@@ -1,0 +1,58 @@
+// Shared fixtures for the E1–E10 benchmark binaries (see DESIGN.md §5 and
+// EXPERIMENTS.md). Fixtures are cached per-process so sweep repetitions do
+// not re-render video.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "author/bundle.hpp"
+#include "core/demo_games.hpp"
+#include "core/platform.hpp"
+
+namespace vgbl::bench {
+
+/// Renders (and caches) a demo clip with `scenes` scenes.
+inline const Clip& cached_clip(int scenes, int frames_per_scene = 24,
+                               i32 w = 320, i32 h = 240) {
+  static std::map<std::tuple<int, int, i32, i32>, Clip> cache;
+  auto key = std::make_tuple(scenes, frames_per_scene, w, h);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, generate_clip(make_demo_spec(
+                                scenes, frames_per_scene, w, h)))
+             .first;
+  }
+  return it->second;
+}
+
+/// Builds (and caches) a published demo bundle.
+inline std::shared_ptr<const GameBundle> cached_bundle(const char* which) {
+  static std::map<std::string, std::shared_ptr<const GameBundle>> cache;
+  auto it = cache.find(which);
+  if (it == cache.end()) {
+    Result<Project> project = std::string(which) == "classroom"
+                                  ? build_classroom_repair_project()
+                              : std::string(which) == "treasure"
+                                  ? build_treasure_hunt_project()
+                                  : build_quickstart_project();
+    auto bundle = publish(project.value());
+    it = cache.emplace(which, bundle.value()).first;
+  }
+  return it->second;
+}
+
+/// Builds (and caches) a scaled project.
+inline const Project& cached_scaled_project(int scenarios, int objects,
+                                            int rules_per_object = 1) {
+  static std::map<std::tuple<int, int, int>, Project> cache;
+  auto key = std::make_tuple(scenarios, objects, rules_per_object);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto p = build_scaled_project(scenarios, objects, rules_per_object);
+    it = cache.emplace(key, std::move(p.value())).first;
+  }
+  return it->second;
+}
+
+}  // namespace vgbl::bench

@@ -1,0 +1,127 @@
+// E6 — event dispatch table: click→rules-matched latency vs rule count,
+// interpreter vs compiled-VM guard engines (ablation), plus raw guard
+// evaluation cost. Expected shape: indexed dispatch stays ~flat with rule
+// count (exact-object buckets); the VM beats the interpreter and the gap
+// widens with guard complexity.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "event/rule.hpp"
+#include "event/vm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace vgbl;
+
+/// A rule set with `n` rules over `n/4` objects and moderately complex
+/// guards, mimicking a dense authoring project.
+std::vector<EventRule> make_rules(int n) {
+  std::vector<EventRule> rules;
+  Rng rng(42);
+  for (int i = 0; i < n; ++i) {
+    EventRule r;
+    r.id = RuleId{static_cast<u32>(i + 1)};
+    r.name = "r" + std::to_string(i);
+    r.trigger.type = TriggerType::kClick;
+    r.trigger.object = ObjectId{static_cast<u32>(1 + i % std::max(1, n / 4))};
+    r.condition = Condition::all_of(
+        {Condition::flag_set("flag" + std::to_string(i % 8)),
+         Condition::any_of({Condition::has_item(ItemId{static_cast<u32>(1 + i % 5)}),
+                            Condition::score_at_least(i % 50)})});
+    r.actions = {Action::add_score(1)};
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
+SimpleStateView bench_state() {
+  SimpleStateView s;
+  s.items[1] = 1;
+  s.items[3] = 2;
+  s.flags = {"flag0", "flag2", "flag4", "flag6"};
+  s.score_value = 25;
+  s.visited_scenarios = {1};
+  return s;
+}
+
+void BM_Dispatch(benchmark::State& state) {
+  const int rule_count = static_cast<int>(state.range(0));
+  const auto engine = state.range(1) == 0 ? GuardEngine::kInterpreter
+                                          : GuardEngine::kCompiledVm;
+  const RuleBook book(make_rules(rule_count), engine);
+  const SimpleStateView view = bench_state();
+  const std::unordered_set<u32> disarmed;
+
+  TriggerEvent event;
+  event.type = TriggerType::kClick;
+  event.scenario = ScenarioId{1};
+  Rng rng(7);
+  const u32 object_span = static_cast<u32>(std::max(1, rule_count / 4));
+
+  for (auto _ : state) {
+    event.object = ObjectId{1 + static_cast<u32>(rng.below(object_span))};
+    auto hits = book.match(event, view, disarmed);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rules"] = rule_count;
+  state.SetLabel(engine == GuardEngine::kCompiledVm ? "vm" : "interpreter");
+}
+
+void DispatchArgs(benchmark::internal::Benchmark* b) {
+  for (int rules : {10, 100, 1000, 10000}) {
+    b->Args({rules, 0});
+    b->Args({rules, 1});
+  }
+}
+
+BENCHMARK(BM_Dispatch)->Apply(DispatchArgs);
+
+/// Raw guard evaluation: the ablation isolated from dispatch overheads.
+void BM_GuardEval(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const bool compiled = state.range(1) == 1;
+  // Build a chain of nested ANDs with `depth` levels.
+  Condition c = Condition::flag_set("flag0");
+  for (int i = 1; i < depth; ++i) {
+    c = Condition::all_of(
+        {std::move(c),
+         Condition::any_of({Condition::has_item(ItemId{static_cast<u32>(i % 5 + 1)}),
+                            Condition::score_at_least(i)})});
+  }
+  const CompiledCondition program(c);
+  const SimpleStateView view = bench_state();
+  for (auto _ : state) {
+    bool v = compiled ? program.evaluate(view) : evaluate(c, view);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["nodes"] = static_cast<double>(c.node_count());
+  state.SetLabel(compiled ? "vm" : "interpreter");
+}
+
+BENCHMARK(BM_GuardEval)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+/// Compilation cost (paid once per bundle load).
+void BM_CompileCondition(benchmark::State& state) {
+  Condition c = Condition::flag_set("flag0");
+  for (int i = 1; i < 32; ++i) {
+    c = Condition::all_of({std::move(c), Condition::score_at_least(i)});
+  }
+  for (auto _ : state) {
+    Program p = compile_condition(c);
+    benchmark::DoNotOptimize(p);
+  }
+}
+
+BENCHMARK(BM_CompileCondition);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// E1 — Figure 1 reproduction + authoring-pipeline benchmark. Renders the
+// authoring-tool interface (the paper's Figure 1) for the classroom-repair
+// project, then measures each stage of the §4.1 workflow: video import &
+// auto-segmentation, object placement, validation, and project save.
+// Expected shape: import (pixel work) dominates; edits and lint are
+// interactive-speed (sub-millisecond) even on large projects.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "author/editor.hpp"
+#include "author/importer.hpp"
+#include "author/serialize.hpp"
+#include "bench_common.hpp"
+#include "runtime/render_text.hpp"
+
+namespace {
+
+using namespace vgbl;
+
+void print_figure1() {
+  auto project = build_classroom_repair_project();
+  if (!project.ok()) return;
+  std::printf("E1 / Figure 1 — the authoring tool interface (headless):\n\n");
+  std::printf("%s\n", render_authoring_view(project.value()).c_str());
+}
+
+void BM_ImportAndSegment(benchmark::State& state) {
+  const int scenes = static_cast<int>(state.range(0));
+  const ClipSpec spec = make_demo_spec(scenes, 24);
+  for (auto _ : state) {
+    Project p;
+    auto report = import_clip(p, spec);
+    benchmark::DoNotOptimize(report);
+    if (!report.ok()) state.SkipWithError("import failed");
+  }
+  state.counters["scenes"] = scenes;
+  state.counters["frames"] = scenes * 24;
+}
+
+void BM_PlaceObject(benchmark::State& state) {
+  Project p;
+  (void)import_clip(p, make_demo_spec(2, 12));
+  Editor edit(&p);
+  const ScenarioId scenario = p.graph.scenarios()[0].id;
+  int i = 0;
+  for (auto _ : state) {
+    InteractiveObject proto;
+    proto.name = "obj" + std::to_string(i++);
+    proto.scenario = scenario;
+    proto.placement.rect = {i % 280, i % 200, 30, 20};
+    auto id = edit.place_object(proto);
+    benchmark::DoNotOptimize(id);
+  }
+}
+
+void BM_UndoRedo(benchmark::State& state) {
+  Project p;
+  (void)import_clip(p, make_demo_spec(2, 12));
+  Editor edit(&p);
+  InteractiveObject proto;
+  proto.name = "box";
+  proto.scenario = p.graph.scenarios()[0].id;
+  proto.placement.rect = {10, 10, 30, 20};
+  const ObjectId id = edit.place_object(proto).value();
+  (void)edit.move_object(id, {50, 50});
+  for (auto _ : state) {
+    (void)edit.undo();
+    (void)edit.redo();
+  }
+}
+
+void BM_Lint(benchmark::State& state) {
+  const Project& p = vgbl::bench::cached_scaled_project(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto issues = p.lint();
+    benchmark::DoNotOptimize(issues);
+  }
+  state.counters["scenarios"] = static_cast<double>(state.range(0));
+  state.counters["objects"] =
+      static_cast<double>(state.range(0) * state.range(1));
+}
+
+void BM_RenderAuthoringView(benchmark::State& state) {
+  const Project& p = vgbl::bench::cached_scaled_project(4, 8);
+  for (auto _ : state) {
+    const std::string view = render_authoring_view(p);
+    benchmark::DoNotOptimize(view);
+  }
+}
+
+BENCHMARK(BM_ImportAndSegment)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PlaceObject);
+BENCHMARK(BM_UndoRedo);
+BENCHMARK(BM_Lint)->Args({2, 4})->Args({8, 16})->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RenderAuthoringView)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E7 — hit-testing figure: point-query latency vs object count, linear
+// scan vs spatial grid (ablation). Expected shape: linear grows O(n);
+// the grid stays near-flat, with the crossover around tens of objects.
+// Rebuild cost is also reported — the grid must stay cheap enough to
+// rebuild per frame-window change.
+#include <benchmark/benchmark.h>
+
+#include "object/interactive_object.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace vgbl;
+
+std::vector<HitTarget> make_targets(int n, u64 seed = 11) {
+  Rng rng(seed);
+  std::vector<HitTarget> targets;
+  targets.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    HitTarget t;
+    t.id = ObjectId{static_cast<u32>(i + 1)};
+    t.rect = {static_cast<i32>(rng.range(0, 300)),
+              static_cast<i32>(rng.range(0, 220)),
+              static_cast<i32>(rng.range(4, 48)),
+              static_cast<i32>(rng.range(4, 48))};
+    t.z = static_cast<i32>(rng.range(0, 8));
+    t.active = true;
+    targets.push_back(t);
+  }
+  return targets;
+}
+
+void BM_HitQuery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool grid = state.range(1) == 1;
+  const auto targets = make_targets(n);
+
+  std::unique_ptr<HitTester> tester;
+  if (grid) {
+    tester = std::make_unique<GridHitTester>(Size{320, 240});
+  } else {
+    tester = std::make_unique<LinearHitTester>();
+  }
+  tester->rebuild(targets);
+
+  Rng rng(3);
+  for (auto _ : state) {
+    const Point p{static_cast<i32>(rng.below(320)),
+                  static_cast<i32>(rng.below(240))};
+    auto hit = tester->hit(p);
+    benchmark::DoNotOptimize(hit);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["objects"] = n;
+  state.SetLabel(grid ? "grid" : "linear");
+}
+
+void BM_HitRebuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool grid = state.range(1) == 1;
+  const auto targets = make_targets(n);
+  std::unique_ptr<HitTester> tester;
+  if (grid) {
+    tester = std::make_unique<GridHitTester>(Size{320, 240});
+  } else {
+    tester = std::make_unique<LinearHitTester>();
+  }
+  for (auto _ : state) {
+    tester->rebuild(targets);
+    benchmark::DoNotOptimize(tester);
+  }
+  state.counters["objects"] = n;
+  state.SetLabel(grid ? "grid" : "linear");
+}
+
+void HitArgs(benchmark::internal::Benchmark* b) {
+  for (int n : {10, 100, 1000, 10000}) {
+    b->Args({n, 0});
+    b->Args({n, 1});
+  }
+}
+
+BENCHMARK(BM_HitQuery)->Apply(HitArgs);
+BENCHMARK(BM_HitRebuild)->Args({100, 0})->Args({100, 1})->Args({10000, 0})->Args({10000, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

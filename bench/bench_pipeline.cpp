@@ -1,0 +1,81 @@
+// E5 — pipeline scaling figure: GOP-parallel decode FPS vs worker threads.
+// Expected shape: FPS rises with workers until GOP granularity or the host
+// core count binds. NOTE: this host has a single core, so measured
+// "speedup" reflects pipeline overlap only — the shape (no slowdown, mild
+// gain from overlap) still validates the design; see EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "media/pipeline.hpp"
+
+namespace {
+
+using namespace vgbl;
+
+std::shared_ptr<const VideoContainer> pipeline_container() {
+  static std::shared_ptr<const VideoContainer> cached = [] {
+    const Clip& clip = vgbl::bench::cached_clip(4, 24);
+    CodecConfig config;
+    config.mode = CodecMode::kDct;
+    config.gop_size = 12;
+    config.quality = 16;
+    auto stream = encode_stream(clip.frames, config).value();
+    return std::make_shared<VideoContainer>(
+        VideoContainer::parse(mux_container(stream, {})).value());
+  }();
+  return cached;
+}
+
+void BM_ParallelDecodeRange(benchmark::State& state) {
+  auto container = pipeline_container();
+  ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    auto frames =
+        decode_range_parallel(*container, 0, container->frame_count(), pool);
+    benchmark::DoNotOptimize(frames);
+  }
+  state.SetItemsProcessed(state.iterations() * container->frame_count());
+  state.counters["fps"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * container->frame_count()),
+      benchmark::Counter::kIsRate);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+
+void BM_StreamingPipeline(benchmark::State& state) {
+  auto container = pipeline_container();
+  for (auto _ : state) {
+    DecodePipeline pipeline(
+        container, {static_cast<unsigned>(state.range(0)), 32});
+    pipeline.start(0, container->frame_count());
+    int n = 0;
+    while (auto f = pipeline.next_frame()) {
+      benchmark::DoNotOptimize(*f);
+      ++n;
+    }
+    if (n != container->frame_count()) state.SkipWithError("frame loss");
+  }
+  state.SetItemsProcessed(state.iterations() * container->frame_count());
+  state.counters["fps"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * container->frame_count()),
+      benchmark::Counter::kIsRate);
+}
+
+// UseRealTime: decode work happens in pool threads, so CPU-time-based
+// rates would misleadingly "scale" even on a single core.
+BENCHMARK(BM_ParallelDecodeRange)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StreamingPipeline)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// E8 — scenario-switch table: click→first-frame-of-next-segment latency.
+// Segment starts are always keyframes (the bundler forces them), so the
+// switch itself is one decode; the interesting knobs are (a) GOP size for
+// *mid-segment* seeks (save-game resume, replays) and (b) the decoded-
+// frame cache for segment re-entry. Expected shape: switch latency is flat
+// in GOP size; mid-segment seek cost grows with GOP size; cache turns
+// re-entry into a copy.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "runtime/session.hpp"
+#include "video/container.hpp"
+
+namespace {
+
+using namespace vgbl;
+
+std::shared_ptr<const VideoContainer> container_with_gop(int gop) {
+  static std::map<int, std::shared_ptr<const VideoContainer>> cache;
+  auto it = cache.find(gop);
+  if (it == cache.end()) {
+    const Clip& clip = vgbl::bench::cached_clip(3, 48);
+    CodecConfig config;
+    config.mode = CodecMode::kDct;
+    config.gop_size = gop;
+    config.quality = 16;
+    std::vector<ContainerSegment> segments;
+    std::vector<int> starts;
+    for (int s = 0; s < 3; ++s) {
+      starts.push_back(s * 48);
+      segments.push_back({SegmentId{static_cast<u32>(s + 1)},
+                          "seg" + std::to_string(s), s * 48, 48});
+    }
+    auto stream = encode_stream(clip.frames, config, clip.fps, starts).value();
+    it = cache.emplace(gop, std::make_shared<VideoContainer>(
+                                VideoContainer::parse(
+                                    mux_container(stream, segments))
+                                    .value()))
+             .first;
+  }
+  return it->second;
+}
+
+/// Segment-entry latency (the paper's button click -> new scenario).
+void BM_SegmentSwitch(benchmark::State& state) {
+  auto container = container_with_gop(static_cast<int>(state.range(0)));
+  const size_t cache_size = static_cast<size_t>(state.range(1));
+  VideoReader reader(*container, cache_size);
+  u32 seg = 1;
+  for (auto _ : state) {
+    auto frame = reader.read_segment_start(SegmentId{seg});
+    benchmark::DoNotOptimize(frame);
+    seg = seg % 3 + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["gop"] = static_cast<double>(state.range(0));
+  state.SetLabel(cache_size ? "cache" : "no-cache");
+}
+
+/// Mid-segment seek (save-game resume): decode from previous keyframe.
+void BM_MidSegmentSeek(benchmark::State& state) {
+  auto container = container_with_gop(static_cast<int>(state.range(0)));
+  VideoReader reader(*container);
+  Rng rng(5);
+  for (auto _ : state) {
+    const int frame = static_cast<int>(rng.below(
+        static_cast<u64>(container->frame_count())));
+    auto f = reader.read_frame(frame);
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["gop"] = static_cast<double>(state.range(0));
+  state.counters["decodes/read"] =
+      static_cast<double>(reader.stats().frames_decoded) /
+      static_cast<double>(state.iterations());
+}
+
+/// End-to-end: a button click that switches scenarios, through the full
+/// dispatch -> rule -> scenario entry -> first-frame path. The classroom
+/// game's GO MARKET / BACK TO CLASS pair lets one session ping-pong
+/// indefinitely (two switches per iteration).
+void BM_ClickToScenarioEntry(benchmark::State& state) {
+  auto bundle = vgbl::bench::cached_bundle("classroom");
+  SimClock clock;
+  GameSession session(bundle, &clock);
+  (void)session.start();
+  auto locate = [&](const char* name) {
+    for (const auto* o : session.visible_objects()) {
+      if (o->name == std::string(name)) {
+        const Point c = o->placement.rect.center();
+        const Point origin = session.ui().layout().video_area.origin();
+        return Point{c.x + origin.x, c.y + origin.y};
+      }
+    }
+    return Point{};
+  };
+  const Point go_market = locate("GO MARKET");
+  (void)session.click(go_market);
+  const Point back = locate("BACK TO CLASS");
+  (void)session.click(back);
+
+  for (auto _ : state) {
+    (void)session.click(go_market);
+    auto f1 = session.current_video_frame();
+    benchmark::DoNotOptimize(f1);
+    (void)session.click(back);
+    auto f2 = session.current_video_frame();
+    benchmark::DoNotOptimize(f2);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.counters["switches/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 2), benchmark::Counter::kIsRate);
+}
+
+void SwitchArgs(benchmark::internal::Benchmark* b) {
+  for (int gop : {4, 12, 48}) {
+    b->Args({gop, 0});
+    b->Args({gop, 8});
+  }
+}
+
+BENCHMARK(BM_SegmentSwitch)->Apply(SwitchArgs)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MidSegmentSeek)
+    ->Arg(4)
+    ->Arg(12)
+    ->Arg(48)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ClickToScenarioEntry)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// E10 — serialization table: save/load time and artifact size, text
+// project vs binary bundle, vs project size. Expected shape: text format
+// is tiny (video stored as recipe) and fast; bundles are dominated by
+// video encoding; load is much cheaper than build.
+#include <benchmark/benchmark.h>
+
+#include "author/serialize.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace vgbl;
+
+void BM_SaveText(benchmark::State& state) {
+  const Project& p = vgbl::bench::cached_scaled_project(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string text = save_project_text(p);
+    benchmark::DoNotOptimize(text);
+    bytes = text.size();
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.counters["scenarios"] = static_cast<double>(state.range(0));
+}
+
+void BM_LoadText(benchmark::State& state) {
+  const Project& p = vgbl::bench::cached_scaled_project(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  const std::string text = save_project_text(p);
+  for (auto _ : state) {
+    auto loaded = load_project_text(text);
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.counters["bytes"] = static_cast<double>(text.size());
+}
+
+void BM_BuildBundle(benchmark::State& state) {
+  const Project& p = vgbl::bench::cached_scaled_project(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto bundle = build_bundle(p);
+    benchmark::DoNotOptimize(bundle);
+    bytes = bundle.value().size();
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+
+void BM_LoadBundle(benchmark::State& state) {
+  const Project& p = vgbl::bench::cached_scaled_project(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  const Bytes bytes = build_bundle(p).value();
+  for (auto _ : state) {
+    Bytes copy = bytes;
+    auto bundle = load_bundle(std::move(copy));
+    benchmark::DoNotOptimize(bundle);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes.size());
+}
+
+void SizeArgs(benchmark::internal::Benchmark* b) {
+  b->Args({2, 4})->Args({4, 8})->Args({8, 16});
+}
+
+BENCHMARK(BM_SaveText)->Apply(SizeArgs)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LoadText)->Apply(SizeArgs)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BuildBundle)->Args({2, 4})->Args({4, 8})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LoadBundle)->Args({2, 4})->Args({4, 8})->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// E9 — streaming figure: startup delay, scenario-switch latency and
+// rebuffer ratio vs client count, with branch-aware prefetch on/off.
+// Deterministic discrete-event simulation (no wall-clock timing), so the
+// whole table prints directly. Expected shape: startup grows linearly with
+// clients sharing the link; prefetch drives switch latency to ~0 until the
+// link saturates; rebuffering appears only past saturation.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "net/streaming.hpp"
+#include "util/text.hpp"
+
+namespace {
+
+using namespace vgbl;
+
+void run_row(const GameBundle& bundle, int clients, bool prefetch) {
+  StreamingConfig config;
+  config.network.bandwidth_bps = 40'000'000;
+  config.network.base_latency = milliseconds(15);
+  config.network.jitter = milliseconds(5);
+  config.network.loss_rate = 0.002;
+  config.prefetch_enabled = prefetch;
+
+  StreamServer server(bundle.video.get(), config, /*seed=*/5);
+  Rng rng(123);
+  for (int i = 0; i < clients; ++i) {
+    server.add_client(random_student_path(bundle.graph, 12, rng));
+  }
+  const MicroTime end = server.run(seconds(600));
+  const auto agg = server.aggregate();
+  std::printf("%8d  %-8s  %11.1f  %11.1f  %10.3f  %7d  %8d  %9.1f MiB  %7.1fs\n",
+              clients, prefetch ? "yes" : "no", agg.mean_startup_ms,
+              agg.mean_switch_ms, agg.mean_rebuffer_ratio,
+              agg.total_rebuffer_events, agg.prefetch_hits,
+              static_cast<double>(agg.bytes_sent) / (1024.0 * 1024.0),
+              to_seconds(end));
+}
+
+}  // namespace
+
+int main() {
+  auto bundle = vgbl::bench::cached_bundle("treasure");
+  std::printf(
+      "E9 streaming: 40 Mbit shared link, 15ms latency, 0.2%% loss,\n"
+      "treasure-hunt bundle (%s video), weighted random student paths\n\n",
+      format_bytes(bundle->video->total_bytes()).c_str());
+  std::printf("%8s  %-8s  %11s  %11s  %10s  %7s  %8s  %12s  %8s\n", "clients",
+              "prefetch", "startup ms", "switch ms", "rebuf rate", "stalls",
+              "pf hits", "bytes sent", "sim time");
+  for (int clients : {1, 2, 4, 8, 16, 32, 64}) {
+    run_row(*bundle, clients, false);
+    run_row(*bundle, clients, true);
+  }
+  std::printf(
+      "\nshape check: startup grows ~linearly with clients; prefetch pushes\n"
+      "switch latency to ~0 off-saturation and loses its edge once the link\n"
+      "saturates (>=32 clients); rebuffering only appears past saturation.\n");
+  return 0;
+}

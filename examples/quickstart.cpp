@@ -1,0 +1,57 @@
+// Quickstart: author a tiny two-scenario game through the public API,
+// publish it to a bundle, play it with a scripted player, and print the
+// runtime screen. ~60 lines of API use end to end.
+#include <cstdio>
+
+#include "core/platform.hpp"
+
+int main() {
+  using namespace vgbl;
+
+  // 1. Author. build_quickstart_project() composes the same public Editor
+  //    calls shown in examples/classroom_repair.cpp; here we take the
+  //    ready-made project to stay brief.
+  auto project = build_quickstart_project();
+  if (!project.ok()) {
+    std::fprintf(stderr, "authoring failed: %s\n",
+                 project.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("authored '%s': %zu scenarios, %zu objects, %zu rules\n",
+              project.value().meta.title.c_str(), project.value().graph.size(),
+              project.value().objects.size(), project.value().rules.size());
+
+  // 2. Publish: encode video, pack the bundle, reload it.
+  auto bundle = publish(project.value());
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "publish failed: %s\n",
+                 bundle.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("bundle: %d frames of %dx%d video, %zu rules\n",
+              bundle.value()->video->frame_count(),
+              bundle.value()->video->width(), bundle.value()->video->height(),
+              bundle.value()->rules.size());
+
+  // 3. Play: pick up the coin, then press FINISH.
+  const InputScript script = {
+      ScriptStep::examine("coin"),
+      ScriptStep::click("coin"),
+      ScriptStep::wait(milliseconds(500)),
+      ScriptStep::click("FINISH"),
+  };
+  auto run = play_scripted(bundle.value(), script);
+  if (!run.ok()) {
+    std::fprintf(stderr, "playthrough failed: %s\n",
+                 run.error().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("\n--- final screen -------------------------------------\n%s\n",
+              run.value().final_screen.c_str());
+  std::printf("%s\n", run.value().learning_report.c_str());
+  std::printf("game over: %s, score: %lld\n",
+              run.value().succeeded ? "success" : "not finished",
+              static_cast<long long>(run.value().score));
+  return run.value().succeeded ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Game bundles: the runtime-loadable artifact the authoring tool produces.
+// A bundle packs the encoded video container together with the compiled
+// game data (graph, objects, rules, items, dialogues) into one CRC-guarded
+// binary blob — the file a teacher would hand to students.
+#pragma once
+
+#include <memory>
+
+#include "author/project.hpp"
+#include "util/bytes.hpp"
+#include "video/container.hpp"
+
+namespace vgbl {
+
+/// Everything the runtime needs to play a game. Produced by `load_bundle`
+/// (or assembled directly by tests).
+struct GameBundle {
+  ProjectMeta meta;
+  ScenarioGraph graph;
+  std::vector<InteractiveObject> objects;
+  ItemCatalog items;
+  CombineTable combines;
+  std::vector<EventRule> rules;
+  std::vector<DialogueTree> dialogues;
+  std::vector<Quiz> quizzes;
+  std::shared_ptr<VideoContainer> video;
+
+  [[nodiscard]] const InteractiveObject* find_object(ObjectId id) const {
+    for (const auto& o : objects) {
+      if (o.id == id) return &o;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const DialogueTree* find_dialogue(DialogueId id) const {
+    for (const auto& d : dialogues) {
+      if (d.id() == id) return &d;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const Quiz* find_quiz(QuizId id) const {
+    for (const auto& q : quizzes) {
+      if (q.id() == id) return &q;
+    }
+    return nullptr;
+  }
+};
+
+struct BundleOptions {
+  CodecConfig codec;  // how the clip is encoded into the bundle
+};
+
+/// Renders the project's clip, encodes it (keyframes forced at segment
+/// starts so every scenario is instantly seekable), muxes the container
+/// and serialises the game data. Fails if the project lint has errors.
+Result<Bytes> build_bundle(const Project& project, const BundleOptions& options);
+inline Result<Bytes> build_bundle(const Project& project) {
+  return build_bundle(project, BundleOptions{});
+}
+
+/// Parses and validates a bundle produced by `build_bundle`.
+Result<GameBundle> load_bundle(Bytes data);
+
+/// Convenience: build then immediately load (authoring-tool "preview").
+Result<GameBundle> build_and_load(const Project& project,
+                                  const BundleOptions& options);
+inline Result<GameBundle> build_and_load(const Project& project) {
+  return build_and_load(project, BundleOptions{});
+}
+
+}  // namespace vgbl

@@ -1,0 +1,418 @@
+#include "author/editor.hpp"
+
+#include <algorithm>
+
+namespace vgbl {
+
+Status Editor::execute(Command command) {
+  if (auto st = command.apply(); !st.ok()) return st;
+  undo_.push_back(std::move(command));
+  redo_.clear();
+  return {};
+}
+
+Status Editor::undo() {
+  if (undo_.empty()) return failed_precondition("nothing to undo");
+  Command cmd = std::move(undo_.back());
+  undo_.pop_back();
+  cmd.revert();
+  redo_.push_back(std::move(cmd));
+  return {};
+}
+
+Status Editor::redo() {
+  if (redo_.empty()) return failed_precondition("nothing to redo");
+  Command cmd = std::move(redo_.back());
+  redo_.pop_back();
+  if (auto st = cmd.apply(); !st.ok()) {
+    // Redo of a previously valid command cannot fail against the same
+    // state; if it does, drop it rather than corrupt the history.
+    return st;
+  }
+  undo_.push_back(std::move(cmd));
+  return {};
+}
+
+std::vector<std::string> Editor::history() const {
+  std::vector<std::string> out;
+  out.reserve(undo_.size());
+  for (const auto& c : undo_) out.push_back(c.description);
+  return out;
+}
+
+// --- Scenario editor ---------------------------------------------------------
+
+Result<ScenarioId> Editor::add_scenario(std::string name, SegmentId segment) {
+  const ScenarioId id = project_->scenario_ids.next();
+  Project* p = project_;
+  Scenario scenario{id, std::move(name), segment, "", false};
+  auto st = execute({"add scenario '" + scenario.name + "'",
+                     [p, scenario] { return p->graph.add_scenario(scenario); },
+                     [p, id] { (void)p->graph.remove_scenario(id); }});
+  if (!st.ok()) return st.error();
+  return id;
+}
+
+Status Editor::remove_scenario(ScenarioId id) {
+  Project* p = project_;
+  const Scenario* s = p->graph.find(id);
+  if (!s) return not_found("scenario " + std::to_string(id.value));
+
+  // Snapshot everything the removal destroys.
+  Scenario snapshot = *s;
+  std::vector<ScenarioTransition> lost_transitions;
+  for (const auto& t : p->graph.transitions()) {
+    if (t.from == id || t.to == id) lost_transitions.push_back(t);
+  }
+  const ScenarioId old_start = p->graph.start();
+
+  return execute(
+      {"remove scenario '" + snapshot.name + "'",
+       [p, id] { return p->graph.remove_scenario(id); },
+       [p, snapshot, lost_transitions, old_start] {
+         (void)p->graph.add_scenario(snapshot);
+         for (const auto& t : lost_transitions) {
+           (void)p->graph.add_transition(t);
+         }
+         if (old_start == snapshot.id) (void)p->graph.set_start(old_start);
+       }});
+}
+
+Status Editor::rename_scenario(ScenarioId id, std::string new_name) {
+  Project* p = project_;
+  const Scenario* s = p->graph.find(id);
+  if (!s) return not_found("scenario " + std::to_string(id.value));
+  if (new_name.empty()) return invalid_argument("scenario name must not be empty");
+  const std::string old_name = s->name;
+  return execute({"rename scenario '" + old_name + "' -> '" + new_name + "'",
+                  [p, id, new_name]() -> Status {
+                    p->graph.find_mutable(id)->name = new_name;
+                    return {};
+                  },
+                  [p, id, old_name] {
+                    p->graph.find_mutable(id)->name = old_name;
+                  }});
+}
+
+Status Editor::set_start_scenario(ScenarioId id) {
+  Project* p = project_;
+  const ScenarioId old_start = p->graph.start();
+  return execute({"set start scenario " + std::to_string(id.value),
+                  [p, id] { return p->graph.set_start(id); },
+                  [p, old_start] {
+                    if (old_start.valid()) (void)p->graph.set_start(old_start);
+                  }});
+}
+
+Status Editor::set_terminal(ScenarioId id, bool terminal) {
+  Project* p = project_;
+  const Scenario* s = p->graph.find(id);
+  if (!s) return not_found("scenario " + std::to_string(id.value));
+  const bool old_terminal = s->terminal;
+  return execute({"set terminal=" + std::to_string(terminal),
+                  [p, id, terminal]() -> Status {
+                    p->graph.find_mutable(id)->terminal = terminal;
+                    return {};
+                  },
+                  [p, id, old_terminal] {
+                    p->graph.find_mutable(id)->terminal = old_terminal;
+                  }});
+}
+
+Status Editor::add_transition(ScenarioTransition transition) {
+  Project* p = project_;
+  return execute({"add transition '" + transition.label + "'",
+                  [p, transition] { return p->graph.add_transition(transition); },
+                  [p, transition] {
+                    (void)p->graph.remove_transition(transition.from,
+                                                     transition.to,
+                                                     transition.label);
+                  }});
+}
+
+Status Editor::remove_transition(ScenarioId from, ScenarioId to,
+                                 std::string label) {
+  Project* p = project_;
+  const ScenarioTransition* found = nullptr;
+  for (const auto& t : p->graph.transitions()) {
+    if (t.from == from && t.to == to && t.label == label) {
+      found = &t;
+      break;
+    }
+  }
+  if (!found) return not_found("transition '" + label + "'");
+  ScenarioTransition snapshot = *found;
+  return execute({"remove transition '" + label + "'",
+                  [p, from, to, label] {
+                    return p->graph.remove_transition(from, to, label);
+                  },
+                  [p, snapshot] { (void)p->graph.add_transition(snapshot); }});
+}
+
+// --- Object editor -----------------------------------------------------------
+
+Result<ObjectId> Editor::place_object(InteractiveObject proto) {
+  Project* p = project_;
+  if (proto.name.empty()) return invalid_argument("object name must not be empty");
+  if (!p->graph.find(proto.scenario)) {
+    return not_found("scenario " + std::to_string(proto.scenario.value));
+  }
+  proto.id = p->object_ids.next();
+  if (proto.sprite.empty() && !proto.sprite_spec.empty()) {
+    auto sprite = Sprite::from_spec(proto.sprite_spec);
+    if (!sprite.ok()) return sprite.error();
+    proto.sprite = std::move(sprite.value());
+  }
+  const ObjectId id = proto.id;
+  auto st = execute({"place object '" + proto.name + "'",
+                     [p, proto]() -> Status {
+                       p->objects.push_back(proto);
+                       return {};
+                     },
+                     [p, id] {
+                       std::erase_if(p->objects, [id](const InteractiveObject& o) {
+                         return o.id == id;
+                       });
+                     }});
+  if (!st.ok()) return st.error();
+  return id;
+}
+
+Status Editor::remove_object(ObjectId id) {
+  Project* p = project_;
+  const InteractiveObject* o = p->find_object(id);
+  if (!o) return not_found("object " + std::to_string(id.value));
+  InteractiveObject snapshot = *o;
+  return execute({"remove object '" + snapshot.name + "'",
+                  [p, id]() -> Status {
+                    std::erase_if(p->objects, [id](const InteractiveObject& obj) {
+                      return obj.id == id;
+                    });
+                    return {};
+                  },
+                  [p, snapshot] { p->objects.push_back(snapshot); }});
+}
+
+Status Editor::move_object(ObjectId id, Point new_origin) {
+  Project* p = project_;
+  const InteractiveObject* o = p->find_object(id);
+  if (!o) return not_found("object " + std::to_string(id.value));
+  const Point old_origin = o->placement.rect.origin();
+  return execute({"move object '" + o->name + "'",
+                  [p, id, new_origin]() -> Status {
+                    auto* obj = p->find_object_mutable(id);
+                    obj->placement.rect.x = new_origin.x;
+                    obj->placement.rect.y = new_origin.y;
+                    return {};
+                  },
+                  [p, id, old_origin] {
+                    auto* obj = p->find_object_mutable(id);
+                    obj->placement.rect.x = old_origin.x;
+                    obj->placement.rect.y = old_origin.y;
+                  }});
+}
+
+Status Editor::resize_object(ObjectId id, Size new_size) {
+  Project* p = project_;
+  const InteractiveObject* o = p->find_object(id);
+  if (!o) return not_found("object " + std::to_string(id.value));
+  if (new_size.empty()) return invalid_argument("object size must be positive");
+  const Size old_size = o->placement.rect.size();
+  return execute({"resize object '" + o->name + "'",
+                  [p, id, new_size]() -> Status {
+                    auto* obj = p->find_object_mutable(id);
+                    obj->placement.rect.width = new_size.width;
+                    obj->placement.rect.height = new_size.height;
+                    return {};
+                  },
+                  [p, id, old_size] {
+                    auto* obj = p->find_object_mutable(id);
+                    obj->placement.rect.width = old_size.width;
+                    obj->placement.rect.height = old_size.height;
+                  }});
+}
+
+Status Editor::set_object_property(ObjectId id, std::string key,
+                                   PropertyValue value) {
+  Project* p = project_;
+  const InteractiveObject* o = p->find_object(id);
+  if (!o) return not_found("object " + std::to_string(id.value));
+  const auto old_value = o->properties.get(key);
+  return execute({"set property '" + key + "' on '" + o->name + "'",
+                  [p, id, key, value]() -> Status {
+                    p->find_object_mutable(id)->properties.set(key, value);
+                    return {};
+                  },
+                  [p, id, key, old_value] {
+                    auto* obj = p->find_object_mutable(id);
+                    if (old_value) {
+                      obj->properties.set(key, *old_value);
+                    } else {
+                      obj->properties.remove(key);
+                    }
+                  }});
+}
+
+Status Editor::set_object_sprite(ObjectId id, std::string spec) {
+  Project* p = project_;
+  const InteractiveObject* o = p->find_object(id);
+  if (!o) return not_found("object " + std::to_string(id.value));
+  auto sprite = Sprite::from_spec(spec);
+  if (!sprite.ok()) return sprite.error();
+  const std::string old_spec = o->sprite_spec;
+  const Sprite old_sprite = o->sprite;
+  Sprite new_sprite = std::move(sprite.value());
+  return execute({"set sprite on '" + o->name + "'",
+                  [p, id, spec, new_sprite]() -> Status {
+                    auto* obj = p->find_object_mutable(id);
+                    obj->sprite_spec = spec;
+                    obj->sprite = new_sprite;
+                    return {};
+                  },
+                  [p, id, old_spec, old_sprite] {
+                    auto* obj = p->find_object_mutable(id);
+                    obj->sprite_spec = old_spec;
+                    obj->sprite = old_sprite;
+                  }});
+}
+
+Status Editor::set_object_description(ObjectId id, std::string description) {
+  Project* p = project_;
+  const InteractiveObject* o = p->find_object(id);
+  if (!o) return not_found("object " + std::to_string(id.value));
+  const std::string old_description = o->description;
+  return execute({"set description on '" + o->name + "'",
+                  [p, id, description]() -> Status {
+                    p->find_object_mutable(id)->description = description;
+                    return {};
+                  },
+                  [p, id, old_description] {
+                    p->find_object_mutable(id)->description = old_description;
+                  }});
+}
+
+Status Editor::set_object_visible(ObjectId id, bool visible) {
+  Project* p = project_;
+  const InteractiveObject* o = p->find_object(id);
+  if (!o) return not_found("object " + std::to_string(id.value));
+  const bool old_visible = o->placement.visible;
+  return execute({"set visible=" + std::to_string(visible),
+                  [p, id, visible]() -> Status {
+                    p->find_object_mutable(id)->placement.visible = visible;
+                    return {};
+                  },
+                  [p, id, old_visible] {
+                    p->find_object_mutable(id)->placement.visible = old_visible;
+                  }});
+}
+
+// --- Items / rules / dialogues -------------------------------------------------
+
+Result<ItemId> Editor::add_item(ItemDef proto) {
+  Project* p = project_;
+  proto.id = p->item_ids.next();
+  const ItemId id = proto.id;
+  auto st = execute({"add item '" + proto.name + "'",
+                     [p, proto] { return p->items.add(proto); },
+                     [p, id] {
+                       // ItemCatalog has no remove; rebuild without the item.
+                       ItemCatalog rebuilt;
+                       for (const auto& def : p->items.all()) {
+                         if (def.id != id) (void)rebuilt.add(def);
+                       }
+                       p->items = std::move(rebuilt);
+                     }});
+  if (!st.ok()) return st.error();
+  return id;
+}
+
+Result<RuleId> Editor::add_rule(EventRule proto) {
+  Project* p = project_;
+  proto.id = p->rule_ids.next();
+  const RuleId id = proto.id;
+  auto st = execute({"add rule '" + proto.name + "'",
+                     [p, proto]() -> Status {
+                       p->rules.push_back(proto);
+                       return {};
+                     },
+                     [p, id] {
+                       std::erase_if(p->rules, [id](const EventRule& r) {
+                         return r.id == id;
+                       });
+                     }});
+  if (!st.ok()) return st.error();
+  return id;
+}
+
+Status Editor::remove_rule(RuleId id) {
+  Project* p = project_;
+  const EventRule* r = p->find_rule(id);
+  if (!r) return not_found("rule " + std::to_string(id.value));
+  EventRule snapshot = *r;
+  return execute({"remove rule '" + snapshot.name + "'",
+                  [p, id]() -> Status {
+                    std::erase_if(p->rules,
+                                  [id](const EventRule& e) { return e.id == id; });
+                    return {};
+                  },
+                  [p, snapshot] { p->rules.push_back(snapshot); }});
+}
+
+Result<DialogueId> Editor::add_dialogue(DialogueTree tree) {
+  Project* p = project_;
+  const DialogueId id = p->dialogue_ids.next();
+  DialogueTree named(id, tree.name());
+  for (const auto& n : tree.nodes()) (void)named.add_node(n);
+  if (tree.entry() != kEndDialogue) (void)named.set_entry(tree.entry());
+  auto st = execute({"add dialogue '" + tree.name() + "'",
+                     [p, named]() -> Status {
+                       p->dialogues.push_back(named);
+                       return {};
+                     },
+                     [p, id] {
+                       std::erase_if(p->dialogues, [id](const DialogueTree& d) {
+                         return d.id() == id;
+                       });
+                     }});
+  if (!st.ok()) return st.error();
+  return id;
+}
+
+Result<QuizId> Editor::add_quiz(Quiz quiz) {
+  Project* p = project_;
+  const QuizId id = p->quiz_ids.next();
+  Quiz named(id, quiz.name());
+  named.set_pass_fraction(quiz.pass_fraction());
+  for (const auto& q : quiz.questions()) named.add_question(q);
+  auto st = execute({"add quiz '" + quiz.name() + "'",
+                     [p, named]() -> Status {
+                       p->quizzes.push_back(named);
+                       return {};
+                     },
+                     [p, id] {
+                       std::erase_if(p->quizzes,
+                                     [id](const Quiz& q) { return q.id() == id; });
+                     }});
+  if (!st.ok()) return st.error();
+  return id;
+}
+
+Status Editor::add_combine_rule(CombineRule rule) {
+  Project* p = project_;
+  const size_t index = p->combines.rules().size();
+  return execute({"add combine rule '" + rule.description + "'",
+                  [p, rule]() -> Status {
+                    p->combines.add(rule);
+                    return {};
+                  },
+                  [p, index] {
+                    CombineTable rebuilt;
+                    const auto& rules = p->combines.rules();
+                    for (size_t i = 0; i < rules.size(); ++i) {
+                      if (i != index) rebuilt.add(rules[i]);
+                    }
+                    p->combines = std::move(rebuilt);
+                  }});
+}
+
+}  // namespace vgbl

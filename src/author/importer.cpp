@@ -1,0 +1,75 @@
+#include "author/importer.hpp"
+
+namespace vgbl {
+
+Result<ImportReport> import_clip(Project& project, ClipSpec spec,
+                                 const ImportOptions& options) {
+  if (spec.scenes.empty()) {
+    return invalid_argument("clip spec has no scenes");
+  }
+  if (spec.width < 16 || spec.height < 16) {
+    return invalid_argument("clip dimensions too small");
+  }
+  if (!project.graph.empty() && !options.create_scenarios) {
+    return failed_precondition(
+        "project already has scenarios; re-import requires create_scenarios");
+  }
+
+  const Clip clip = generate_clip(spec);
+  std::vector<VideoSegment> segments =
+      segment_scenarios(clip.frames, options.segmentation);
+  if (segments.empty()) {
+    return internal_error("segmentation produced no segments");
+  }
+
+  project.clip_spec = std::move(spec);
+  project.segments = segments;
+  project.segment_ids.clear();
+  for (size_t i = 0; i < segments.size(); ++i) {
+    project.segment_ids.push_back(project.segment_id_alloc.next());
+  }
+
+  ImportReport report;
+  report.frame_count = static_cast<int>(clip.frames.size());
+  report.cut_count = static_cast<int>(segments.size()) - 1;
+  report.segment_count = static_cast<int>(segments.size());
+
+  if (options.create_scenarios) {
+    for (size_t i = 0; i < segments.size(); ++i) {
+      // Prefer the ground-truth scene name of the segment's first frame as
+      // the scenario name when available — it matches what the designer
+      // filmed; fall back to the detector's suggested name.
+      std::string name = segments[i].suggested_name;
+      const size_t frame = static_cast<size_t>(segments[i].first_frame);
+      if (frame < clip.scene_of_frame.size() &&
+          !clip.scene_of_frame[frame].empty()) {
+        name = clip.scene_of_frame[frame];
+      }
+      // Disambiguate collisions (two segments may come from one scene).
+      if (project.graph.find_by_name(name)) {
+        name += "_" + std::to_string(i);
+      }
+      Scenario s;
+      s.id = project.scenario_ids.next();
+      s.name = name;
+      s.segment = project.segment_ids[i];
+      if (auto st = project.graph.add_scenario(std::move(s)); !st.ok()) {
+        return st.error();
+      }
+      report.scenario_names.push_back(name);
+    }
+    if (!project.graph.scenarios().empty()) {
+      (void)project.graph.set_start(project.graph.scenarios().front().id);
+    }
+  }
+  return report;
+}
+
+Result<Clip> render_project_clip(const Project& project) {
+  if (!project.clip_spec) {
+    return failed_precondition("project has no imported video");
+  }
+  return generate_clip(*project.clip_spec);
+}
+
+}  // namespace vgbl

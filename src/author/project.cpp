@@ -1,0 +1,297 @@
+#include "author/project.hpp"
+
+#include <unordered_set>
+
+namespace vgbl {
+
+const InteractiveObject* Project::find_object(ObjectId id) const {
+  for (const auto& o : objects) {
+    if (o.id == id) return &o;
+  }
+  return nullptr;
+}
+
+InteractiveObject* Project::find_object_mutable(ObjectId id) {
+  for (auto& o : objects) {
+    if (o.id == id) return &o;
+  }
+  return nullptr;
+}
+
+const InteractiveObject* Project::find_object_by_name(
+    std::string_view name) const {
+  for (const auto& o : objects) {
+    if (o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+std::vector<const InteractiveObject*> Project::objects_in(
+    ScenarioId scenario) const {
+  std::vector<const InteractiveObject*> out;
+  for (const auto& o : objects) {
+    if (o.scenario == scenario) out.push_back(&o);
+  }
+  return out;
+}
+
+const DialogueTree* Project::find_dialogue(DialogueId id) const {
+  for (const auto& d : dialogues) {
+    if (d.id() == id) return &d;
+  }
+  return nullptr;
+}
+
+const Quiz* Project::find_quiz(QuizId id) const {
+  for (const auto& q : quizzes) {
+    if (q.id() == id) return &q;
+  }
+  return nullptr;
+}
+
+const EventRule* Project::find_rule(RuleId id) const {
+  for (const auto& r : rules) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+Size Project::frame_size() const {
+  if (!clip_spec) return {};
+  return {clip_spec->width, clip_spec->height};
+}
+
+namespace {
+
+void check_condition_refs(const Condition& c, const Project& p,
+                          const std::string& rule_name,
+                          std::vector<LintIssue>& issues) {
+  switch (c.op) {
+    case ConditionOp::kHasItem:
+    case ConditionOp::kItemCountAtLeast:
+      if (!p.items.find(c.item)) {
+        issues.push_back({LintLevel::kError,
+                          "rule '" + rule_name + "' condition references missing item " +
+                              std::to_string(c.item.value)});
+      }
+      break;
+    case ConditionOp::kVisited:
+      if (!p.graph.find(c.scenario)) {
+        issues.push_back({LintLevel::kError,
+                          "rule '" + rule_name +
+                              "' condition references missing scenario " +
+                              std::to_string(c.scenario.value)});
+      }
+      break;
+    default:
+      break;
+  }
+  for (const auto& child : c.children) {
+    check_condition_refs(child, p, rule_name, issues);
+  }
+}
+
+}  // namespace
+
+std::vector<LintIssue> Project::lint() const {
+  std::vector<LintIssue> issues;
+  const auto err = [&](std::string m) {
+    issues.push_back({LintLevel::kError, std::move(m)});
+  };
+  const auto warn = [&](std::string m) {
+    issues.push_back({LintLevel::kWarning, std::move(m)});
+  };
+
+  // Graph structure. A game can end either by reaching a terminal scenario
+  // or through an end_game rule action, so the "cannot end" graph finding
+  // is downgraded when such a rule exists.
+  bool has_end_game_rule = false;
+  for (const auto& r : rules) {
+    for (const auto& a : r.actions) {
+      if (a.type == ActionType::kEndGame) has_end_game_rule = true;
+    }
+  }
+  for (auto& m : graph.validate()) {
+    if (has_end_game_rule &&
+        m == "no terminal scenario is reachable: the game cannot end") {
+      continue;
+    }
+    const bool dead_end_with_endgame =
+        has_end_game_rule && m.find("dead end") != std::string::npos;
+    issues.push_back({dead_end_with_endgame ? LintLevel::kWarning
+                                            : LintLevel::kError,
+                      std::move(m)});
+  }
+
+  // Scenario -> segment wiring.
+  std::unordered_set<u32> segment_set;
+  for (const auto sid : segment_ids) segment_set.insert(sid.value);
+  for (const auto& s : graph.scenarios()) {
+    if (!s.segment.valid()) {
+      err("scenario '" + s.name + "' has no video segment assigned");
+    } else if (!segment_set.count(s.segment.value)) {
+      err("scenario '" + s.name + "' references missing segment " +
+          std::to_string(s.segment.value));
+    }
+  }
+
+  // Objects.
+  const Size fs = frame_size();
+  std::unordered_set<std::string> object_names;
+  for (const auto& o : objects) {
+    if (!graph.find(o.scenario)) {
+      err("object '" + o.name + "' belongs to missing scenario " +
+          std::to_string(o.scenario.value));
+    }
+    if (!object_names.insert(o.name).second) {
+      warn("duplicate object name '" + o.name + "'");
+    }
+    if (fs.width > 0 &&
+        o.placement.rect.intersection({0, 0, fs.width, fs.height}).empty()) {
+      warn("object '" + o.name + "' is placed entirely off-frame");
+    }
+    if (o.kind == ObjectKind::kItem && !o.grants_item.valid()) {
+      err("item object '" + o.name + "' grants no inventory item");
+    }
+    if (o.grants_item.valid() && !items.find(o.grants_item)) {
+      err("object '" + o.name + "' grants missing item " +
+          std::to_string(o.grants_item.value));
+    }
+    if (o.kind == ObjectKind::kNpc && !o.dialogue.valid()) {
+      warn("NPC '" + o.name + "' has no dialogue attached");
+    }
+    if (o.dialogue.valid() && !find_dialogue(o.dialogue)) {
+      err("object '" + o.name + "' references missing dialogue " +
+          std::to_string(o.dialogue.value));
+    }
+  }
+
+  // Rules.
+  for (const auto& r : rules) {
+    if (r.trigger.object.valid() && !find_object(r.trigger.object)) {
+      err("rule '" + r.name + "' trigger references missing object " +
+          std::to_string(r.trigger.object.value));
+    }
+    if (r.trigger.scenario.valid() && !graph.find(r.trigger.scenario)) {
+      err("rule '" + r.name + "' trigger references missing scenario " +
+          std::to_string(r.trigger.scenario.value));
+    }
+    if (r.trigger.item.valid() && !items.find(r.trigger.item)) {
+      err("rule '" + r.name + "' trigger references missing item " +
+          std::to_string(r.trigger.item.value));
+    }
+    check_condition_refs(r.condition, *this, r.name, issues);
+    if (r.condition.node_count() > 256) {
+      warn("rule '" + r.name + "' condition is very large (" +
+           std::to_string(r.condition.node_count()) + " nodes)");
+    }
+    if (r.actions.empty()) {
+      warn("rule '" + r.name + "' has no actions");
+    }
+    for (const auto& a : r.actions) {
+      switch (a.type) {
+        case ActionType::kSwitchScenario:
+          if (!graph.find(a.scenario)) {
+            err("rule '" + r.name + "' switches to missing scenario " +
+                std::to_string(a.scenario.value));
+          }
+          break;
+        case ActionType::kGiveItem:
+        case ActionType::kRemoveItem:
+          if (!items.find(a.item)) {
+            err("rule '" + r.name + "' moves missing item " +
+                std::to_string(a.item.value));
+          }
+          break;
+        case ActionType::kGrantReward: {
+          const ItemDef* def = items.find(a.item);
+          if (!def) {
+            err("rule '" + r.name + "' grants missing reward item " +
+                std::to_string(a.item.value));
+          } else if (!def->is_reward) {
+            warn("rule '" + r.name + "' grants item '" + def->name +
+                 "' as a reward but it is not marked is_reward");
+          }
+          break;
+        }
+        case ActionType::kStartDialogue:
+          if (!find_dialogue(a.dialogue)) {
+            err("rule '" + r.name + "' starts missing dialogue " +
+                std::to_string(a.dialogue.value));
+          }
+          break;
+        case ActionType::kStartQuiz:
+          if (!find_quiz(a.quiz)) {
+            err("rule '" + r.name + "' starts missing quiz " +
+                std::to_string(a.quiz.value));
+          }
+          break;
+        case ActionType::kRevealObject:
+        case ActionType::kHideObject:
+          if (!find_object(a.object)) {
+            err("rule '" + r.name + "' toggles missing object " +
+                std::to_string(a.object.value));
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Dialogues.
+  for (const auto& d : dialogues) {
+    for (auto& m : d.validate()) {
+      issues.push_back({LintLevel::kError, std::move(m)});
+    }
+  }
+
+  // Quizzes.
+  for (const auto& q : quizzes) {
+    for (auto& m : q.validate()) {
+      issues.push_back({LintLevel::kError, std::move(m)});
+    }
+  }
+
+  // Items: warn when an item gates a condition but nothing grants it.
+  std::unordered_set<u32> grantable;
+  for (const auto& o : objects) {
+    if (o.grants_item.valid()) grantable.insert(o.grants_item.value);
+  }
+  for (const auto& r : rules) {
+    for (const auto& a : r.actions) {
+      if (a.type == ActionType::kGiveItem || a.type == ActionType::kGrantReward) {
+        grantable.insert(a.item.value);
+      }
+    }
+  }
+  for (const auto& rule : combines.rules()) {
+    grantable.insert(rule.result.value);
+  }
+  for (const auto& def : items.all()) {
+    if (!grantable.count(def.id.value)) {
+      warn("item '" + def.name + "' can never be obtained");
+    }
+  }
+
+  // Combine rules reference existing items.
+  for (const auto& c : combines.rules()) {
+    for (ItemId id : {c.a, c.b, c.result}) {
+      if (!items.find(id)) {
+        err("combine rule '" + c.description + "' references missing item " +
+            std::to_string(id.value));
+      }
+    }
+  }
+
+  return issues;
+}
+
+bool Project::bundleable() const {
+  for (const auto& issue : lint()) {
+    if (issue.level == LintLevel::kError) return false;
+  }
+  return true;
+}
+
+}  // namespace vgbl

@@ -1,0 +1,97 @@
+// The authoring-time project model: everything a course designer creates
+// with the authoring tool (paper §4) before it is packed into a playable
+// bundle — scenario graph, interactive objects, items, combine rules,
+// event rules, dialogues, and the video source recipe.
+//
+// The video is stored as a *recipe* (ClipSpec) plus segmentation results,
+// not as pixels: the text project format stays small and diffable, and the
+// synthetic generator reproduces identical frames from the recipe (our
+// stand-in for the paper's video files on disk; see DESIGN.md §2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dialogue/dialogue.hpp"
+#include "dialogue/quiz.hpp"
+#include "event/rule.hpp"
+#include "inventory/inventory.hpp"
+#include "object/interactive_object.hpp"
+#include "scenario/scenario_graph.hpp"
+#include "util/types.hpp"
+#include "video/scene_detect.hpp"
+#include "video/synthetic.hpp"
+
+namespace vgbl {
+
+inline constexpr int kProjectFormatVersion = 2;
+
+struct ProjectMeta {
+  std::string title;
+  std::string author;
+  std::string description;
+  int format_version = kProjectFormatVersion;
+};
+
+/// Severity for lint findings.
+enum class LintLevel { kWarning, kError };
+
+struct LintIssue {
+  LintLevel level = LintLevel::kError;
+  std::string message;
+};
+
+class Project {
+ public:
+  ProjectMeta meta;
+
+  // --- Video source -------------------------------------------------------
+  /// The imported clip recipe; segments index into the clip it generates.
+  std::optional<ClipSpec> clip_spec;
+  std::vector<VideoSegment> segments;   // authoring-time segmentation
+  /// Segment id assignment (parallel to `segments`).
+  std::vector<SegmentId> segment_ids;
+
+  // --- Game structure -----------------------------------------------------
+  ScenarioGraph graph;
+  std::vector<InteractiveObject> objects;
+  ItemCatalog items;
+  CombineTable combines;
+  std::vector<EventRule> rules;
+  std::vector<DialogueTree> dialogues;
+  std::vector<Quiz> quizzes;
+
+  // --- Id allocation ------------------------------------------------------
+  IdAllocator<ScenarioId> scenario_ids;
+  IdAllocator<ObjectId> object_ids;
+  IdAllocator<ItemId> item_ids;
+  IdAllocator<RuleId> rule_ids;
+  IdAllocator<DialogueId> dialogue_ids;
+  IdAllocator<QuizId> quiz_ids;
+  IdAllocator<SegmentId> segment_id_alloc;
+
+  // --- Object accessors ---------------------------------------------------
+  [[nodiscard]] const InteractiveObject* find_object(ObjectId id) const;
+  [[nodiscard]] InteractiveObject* find_object_mutable(ObjectId id);
+  [[nodiscard]] const InteractiveObject* find_object_by_name(
+      std::string_view name) const;
+  [[nodiscard]] std::vector<const InteractiveObject*> objects_in(
+      ScenarioId scenario) const;
+
+  [[nodiscard]] const DialogueTree* find_dialogue(DialogueId id) const;
+  [[nodiscard]] const Quiz* find_quiz(QuizId id) const;
+  [[nodiscard]] const EventRule* find_rule(RuleId id) const;
+
+  /// Frame dimensions of the project's video (0x0 before import).
+  [[nodiscard]] Size frame_size() const;
+
+  /// Cross-module consistency lint — the authoring tool's "check project"
+  /// button. Errors make the project unbundleable; warnings do not.
+  [[nodiscard]] std::vector<LintIssue> lint() const;
+
+  /// True when lint() reports no errors (warnings allowed).
+  [[nodiscard]] bool bundleable() const;
+};
+
+}  // namespace vgbl

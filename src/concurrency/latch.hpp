@@ -1,0 +1,71 @@
+// Reusable countdown latch and a double-buffer exchange helper used by the
+// compositor (render thread writes the back buffer, presenter reads front).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "util/types.hpp"
+
+namespace vgbl {
+
+/// Like std::latch but resettable, so pipeline stages can reuse one
+/// instance per frame.
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(i64 count) : count_(count) {}
+
+  void count_down(i64 n = 1) {
+    std::lock_guard lock(mutex_);
+    count_ -= n;
+    if (count_ <= 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return count_ <= 0; });
+  }
+
+  void reset(i64 count) {
+    std::lock_guard lock(mutex_);
+    count_ = count;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  i64 count_;
+};
+
+/// Two-slot swap buffer: the producer publishes a complete value, the
+/// consumer always reads the most recent published value. Stale reads are
+/// allowed (video presentation tolerates dropped frames); torn reads are not.
+template <typename T>
+class DoubleBuffer {
+ public:
+  void publish(T value) {
+    std::lock_guard lock(mutex_);
+    back_ = std::move(value);
+    ++version_;
+  }
+
+  /// Returns the newest value and its version. Version 0 means nothing has
+  /// been published yet (value is default-constructed).
+  [[nodiscard]] std::pair<T, u64> snapshot() const {
+    std::lock_guard lock(mutex_);
+    return {back_, version_};
+  }
+
+  [[nodiscard]] u64 version() const {
+    std::lock_guard lock(mutex_);
+    return version_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  T back_{};
+  u64 version_ = 0;
+};
+
+}  // namespace vgbl

@@ -1,0 +1,70 @@
+// Wait-free single-producer/single-consumer ring buffer. Used on the
+// decoder→presenter hand-off where exactly one thread sits on each side and
+// lock overhead would show up at per-frame granularity.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <new>
+#include <optional>
+#include <vector>
+
+namespace vgbl {
+
+#ifdef __cpp_lib_hardware_interference_size
+inline constexpr size_t kCacheLineSize = std::hardware_destructive_interference_size;
+#else
+inline constexpr size_t kCacheLineSize = 64;
+#endif
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; one slot is sacrificed to
+  /// distinguish full from empty.
+  explicit SpscRing(size_t capacity) {
+    size_t n = 2;
+    while (n < capacity + 1) n <<= 1;
+    slots_.resize(n);
+    mask_ = n - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full.
+  bool try_push(T item) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    slots_[head] = std::move(item);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when empty.
+  std::optional<T> try_pop() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T item = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return item;
+  }
+
+  [[nodiscard]] size_t size() const {
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] size_t capacity() const { return mask_; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  alignas(kCacheLineSize) std::atomic<size_t> head_{0};
+  alignas(kCacheLineSize) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace vgbl

@@ -1,0 +1,88 @@
+#include "concurrency/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+
+namespace vgbl {
+
+ThreadPool::ThreadPool(unsigned threads) : queue_(1024) {
+  const unsigned n = std::max(1u, threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.close();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = queue_.pop()) {
+    (*task)();
+  }
+}
+
+void ThreadPool::parallel_for_chunks(i64 begin, i64 end,
+                                     const std::function<void(i64, i64)>& fn,
+                                     i64 grain) {
+  if (begin >= end) return;
+  const i64 total = end - begin;
+  if (grain <= 0) {
+    grain = std::max<i64>(1, total / (static_cast<i64>(thread_count()) * 4));
+  }
+  const i64 chunks = (total + grain - 1) / grain;
+  if (chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  // The submitting thread steals chunks too, so progress is guaranteed even
+  // if all workers are busy with unrelated tasks.
+  auto next = std::make_shared<std::atomic<i64>>(0);
+  auto remaining = std::make_shared<std::atomic<i64>>(chunks);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  auto run_chunks = [=, &fn]() {
+    while (true) {
+      const i64 c = next->fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return false;
+      const i64 lo = begin + c * grain;
+      const i64 hi = std::min(end, lo + grain);
+      fn(lo, hi);
+      if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) return true;
+    }
+  };
+
+  const i64 helpers =
+      std::min<i64>(static_cast<i64>(thread_count()), chunks - 1);
+  for (i64 i = 0; i < helpers; ++i) {
+    queue_.try_push([run_chunks, &done_mutex, &done_cv] {
+      if (run_chunks()) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+  if (run_chunks()) {
+    done_cv.notify_all();
+  }
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining->load(std::memory_order_acquire) == 0; });
+}
+
+void ThreadPool::parallel_for(i64 begin, i64 end,
+                              const std::function<void(i64)>& fn, i64 grain) {
+  parallel_for_chunks(
+      begin, end,
+      [&fn](i64 lo, i64 hi) {
+        for (i64 i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
+}
+
+}  // namespace vgbl

@@ -1,0 +1,63 @@
+// Fixed-size worker pool with a shared task queue. Submission returns
+// std::future; `parallel_for` partitions an index range across workers with
+// the submitting thread participating (so a 1-worker pool still overlaps).
+#pragma once
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "concurrency/bounded_queue.hpp"
+#include "util/types.hpp"
+
+namespace vgbl {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (at least 1). Tasks submitted after
+  /// destruction begins are rejected by the closed queue.
+  explicit ThreadPool(unsigned threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task; the returned future observes its result/exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    const bool accepted = queue_.push([task] { (*task)(); });
+    if (!accepted) {
+      // Pool already shut down: run inline so the future is always satisfied.
+      (*task)();
+    }
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [begin, end) across the pool, blocking until all
+  /// iterations finish. Grain defaults to a heuristic that yields ~4 chunks
+  /// per worker to balance load without drowning the queue.
+  void parallel_for(i64 begin, i64 end, const std::function<void(i64)>& fn,
+                    i64 grain = 0);
+
+  /// Chunked variant: fn(chunk_begin, chunk_end) — lets callers hoist
+  /// per-chunk setup out of the inner loop.
+  void parallel_for_chunks(i64 begin, i64 end,
+                           const std::function<void(i64, i64)>& fn,
+                           i64 grain = 0);
+
+ private:
+  void worker_loop();
+
+  BoundedQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vgbl

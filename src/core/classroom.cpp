@@ -1,0 +1,97 @@
+#include "core/classroom.hpp"
+
+#include "util/text.hpp"
+
+namespace vgbl {
+
+ClassroomSummary simulate_classroom(std::shared_ptr<const GameBundle> bundle,
+                                    const ClassroomOptions& options) {
+  ClassroomSummary summary;
+  Rng rng(options.seed);
+  f64 interactions = 0;
+
+  for (int i = 0; i < options.student_count; ++i) {
+    const BotPolicy policy =
+        options.policies.empty()
+            ? BotPolicy::kExplorer
+            : options.policies[static_cast<size_t>(i) %
+                               options.policies.size()];
+    SimClock clock;
+    GameSession session(bundle, &clock);
+    if (!session.start().ok()) continue;
+
+    const BotResult bot = run_bot(session, clock, policy,
+                                  options.max_steps_per_student, rng.next());
+
+    StudentResult r;
+    r.student_id = i + 1;
+    r.policy = policy;
+    r.completed = bot.completed;
+    r.succeeded = bot.succeeded;
+    r.steps = bot.steps;
+    r.score = session.score();
+    r.play_seconds = to_seconds(clock.now());
+    r.decisions = static_cast<int>(session.tracker().decisions().size());
+    r.items_collected =
+        static_cast<int>(session.tracker().items_collected().size());
+    r.rewards = static_cast<int>(session.tracker().rewards_earned().size());
+    summary.students.push_back(r);
+
+    interactions += static_cast<f64>(session.tracker().interactions().size());
+  }
+
+  const f64 n = static_cast<f64>(
+      std::max<size_t>(1, summary.students.size()));
+  for (const auto& s : summary.students) {
+    summary.completion_rate += s.completed ? 1.0 : 0.0;
+    summary.mean_score += static_cast<f64>(s.score);
+    summary.mean_play_seconds += s.play_seconds;
+  }
+  summary.completion_rate /= n;
+  summary.mean_score /= n;
+  summary.mean_play_seconds /= n;
+  summary.mean_interactions = interactions / n;
+  return summary;
+}
+
+namespace {
+
+const char* policy_name(BotPolicy p) {
+  switch (p) {
+    case BotPolicy::kExplorer:
+      return "explorer";
+    case BotPolicy::kRandom:
+      return "random";
+    case BotPolicy::kSpeedrun:
+      return "speedrun";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ClassroomSummary::report() const {
+  std::string out;
+  out += "=== Classroom summary (" + std::to_string(students.size()) +
+         " students) ===\n";
+  out += "completion rate: " + format_double(completion_rate * 100, 1) + "%\n";
+  out += "mean score:      " + format_double(mean_score, 1) + "\n";
+  out += "mean play time:  " + format_double(mean_play_seconds, 1) + " s\n";
+  out += "mean actions:    " + format_double(mean_interactions, 1) + "\n";
+  out += pad_right("student", 9) + pad_right("policy", 10) +
+         pad_right("done", 6) + pad_right("score", 7) + pad_right("steps", 7) +
+         pad_right("items", 7) + pad_right("rewards", 8) + "decisions\n";
+  for (const auto& s : students) {
+    out += pad_right("#" + std::to_string(s.student_id), 9) +
+           pad_right(policy_name(s.policy), 10) +
+           pad_right(s.completed ? (s.succeeded ? "yes" : "fail") : "no", 6) +
+           pad_right(std::to_string(s.score), 7) +
+           pad_right(std::to_string(s.steps), 7) +
+           pad_right(std::to_string(s.items_collected), 7) +
+           pad_right(std::to_string(s.rewards), 8) +
+           std::to_string(s.decisions) + "\n";
+  }
+  return out;
+}
+
+}  // namespace vgbl

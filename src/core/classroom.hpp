@@ -1,0 +1,53 @@
+// Classroom simulation: many simulated students playing one bundle, each
+// with their own session, clock and behavioural policy. Produces the
+// class-level learning summary a lecturer would review (and the workload
+// for the multi-client experiments).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "author/bundle.hpp"
+#include "runtime/script.hpp"
+
+namespace vgbl {
+
+struct StudentResult {
+  int student_id = 0;
+  BotPolicy policy = BotPolicy::kExplorer;
+  bool completed = false;
+  bool succeeded = false;
+  int steps = 0;
+  i64 score = 0;
+  f64 play_seconds = 0;
+  int decisions = 0;
+  int items_collected = 0;
+  int rewards = 0;
+};
+
+struct ClassroomSummary {
+  std::vector<StudentResult> students;
+  f64 completion_rate = 0;
+  f64 mean_score = 0;
+  f64 mean_play_seconds = 0;
+  f64 mean_interactions = 0;
+
+  [[nodiscard]] std::string report() const;
+};
+
+struct ClassroomOptions {
+  int student_count = 8;
+  int max_steps_per_student = 400;
+  /// Policy mix: students cycle through these.
+  std::vector<BotPolicy> policies{BotPolicy::kExplorer, BotPolicy::kSpeedrun,
+                                  BotPolicy::kRandom};
+  u64 seed = 99;
+};
+
+/// Runs every student to completion (or step budget) sequentially — each
+/// session is deterministic given its seed.
+ClassroomSummary simulate_classroom(std::shared_ptr<const GameBundle> bundle,
+                                    const ClassroomOptions& options);
+
+}  // namespace vgbl

@@ -1,0 +1,24 @@
+#include "core/platform.hpp"
+
+namespace vgbl {
+
+Result<PlaythroughResult> play_scripted(
+    std::shared_ptr<const GameBundle> bundle, const InputScript& script,
+    SessionOptions options) {
+  SimClock clock;
+  GameSession session(std::move(bundle), &clock, options);
+  if (auto st = session.start(); !st.ok()) return st.error();
+
+  ScriptRunner runner(&session, &clock);
+  if (auto st = runner.run(script); !st.ok()) return st.error();
+
+  PlaythroughResult result;
+  result.game_over = session.game_over();
+  result.succeeded = session.succeeded();
+  result.score = session.score();
+  result.learning_report = session.tracker().report(clock.now());
+  result.final_screen = render_runtime_view(session);
+  return result;
+}
+
+}  // namespace vgbl

@@ -1,0 +1,60 @@
+#include "dialogue/quiz.hpp"
+
+namespace vgbl {
+
+std::vector<std::string> Quiz::validate() const {
+  std::vector<std::string> issues;
+  if (questions_.empty()) {
+    issues.push_back("quiz '" + name_ + "' has no questions");
+  }
+  for (size_t i = 0; i < questions_.size(); ++i) {
+    const QuizQuestion& q = questions_[i];
+    if (q.options.size() < 2) {
+      issues.push_back("quiz '" + name_ + "' question " + std::to_string(i + 1) +
+                       " needs at least two options");
+    }
+    if (q.correct_option >= q.options.size()) {
+      issues.push_back("quiz '" + name_ + "' question " + std::to_string(i + 1) +
+                       " marks a missing option as correct");
+    }
+    if (q.prompt.empty()) {
+      issues.push_back("quiz '" + name_ + "' question " + std::to_string(i + 1) +
+                       " has an empty prompt");
+    }
+  }
+  if (pass_fraction_ <= 0.0 || pass_fraction_ > 1.0) {
+    issues.push_back("quiz '" + name_ + "' pass fraction must be in (0, 1]");
+  }
+  return issues;
+}
+
+Result<bool> QuizRunner::answer(size_t option) {
+  if (finished()) return failed_precondition("quiz already finished");
+  const QuizQuestion& q = quiz_->questions()[index_];
+  if (option >= q.options.size()) {
+    return out_of_range("option " + std::to_string(option));
+  }
+  QuizAnswer record;
+  record.question_index = index_;
+  record.chosen_option = option;
+  record.correct = option == q.correct_option;
+  record.points_earned = record.correct ? q.points : 0;
+  answers_.push_back(record);
+  ++index_;
+  return record.correct;
+}
+
+QuizOutcome QuizRunner::outcome() const {
+  QuizOutcome out;
+  out.total = quiz_ ? static_cast<int>(quiz_->size()) : 0;
+  for (const auto& a : answers_) {
+    out.correct_count += a.correct ? 1 : 0;
+    out.points_earned += a.points_earned;
+  }
+  out.answers = answers_;
+  out.passed = quiz_ && out.total > 0 &&
+               out.fraction_correct() >= quiz_->pass_fraction();
+  return out;
+}
+
+}  // namespace vgbl

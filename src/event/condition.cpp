@@ -1,0 +1,74 @@
+#include "event/condition.hpp"
+
+namespace vgbl {
+
+const char* condition_op_name(ConditionOp op) {
+  switch (op) {
+    case ConditionOp::kTrue:
+      return "true";
+    case ConditionOp::kHasItem:
+      return "has_item";
+    case ConditionOp::kItemCountAtLeast:
+      return "item_count_at_least";
+    case ConditionOp::kFlag:
+      return "flag";
+    case ConditionOp::kScoreAtLeast:
+      return "score_at_least";
+    case ConditionOp::kVisited:
+      return "visited";
+    case ConditionOp::kNot:
+      return "not";
+    case ConditionOp::kAnd:
+      return "and";
+    case ConditionOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+Result<ConditionOp> condition_op_from_name(std::string_view name) {
+  for (u8 i = 0; i <= static_cast<u8>(ConditionOp::kOr); ++i) {
+    const auto op = static_cast<ConditionOp>(i);
+    if (name == condition_op_name(op)) return op;
+  }
+  return corrupt_data("unknown condition op '" + std::string(name) + "'");
+}
+
+size_t Condition::node_count() const {
+  size_t n = 1;
+  for (const auto& c : children) n += c.node_count();
+  return n;
+}
+
+bool evaluate(const Condition& condition, const GameStateView& state) {
+  switch (condition.op) {
+    case ConditionOp::kTrue:
+      return true;
+    case ConditionOp::kHasItem:
+      return state.item_count(condition.item) >= 1;
+    case ConditionOp::kItemCountAtLeast:
+      return state.item_count(condition.item) >= condition.value;
+    case ConditionOp::kFlag:
+      return state.flag(condition.flag);
+    case ConditionOp::kScoreAtLeast:
+      return state.score() >= condition.value;
+    case ConditionOp::kVisited:
+      return state.visited(condition.scenario);
+    case ConditionOp::kNot:
+      return condition.children.empty() ? false
+                                        : !evaluate(condition.children[0], state);
+    case ConditionOp::kAnd:
+      for (const auto& c : condition.children) {
+        if (!evaluate(c, state)) return false;
+      }
+      return true;
+    case ConditionOp::kOr:
+      for (const auto& c : condition.children) {
+        if (evaluate(c, state)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+}  // namespace vgbl

@@ -1,0 +1,78 @@
+// Event rules bind a trigger pattern + guard condition to an action list,
+// and the RuleBook indexes them for dispatch. This is the runtime half of
+// the paper's object editor output: "Users can set the properties and
+// events of objects in video and produce adequate feedback when users
+// trigger them" (§4.2).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "event/action.hpp"
+#include "event/condition.hpp"
+#include "event/trigger.hpp"
+#include "event/vm.hpp"
+
+namespace vgbl {
+
+struct EventRule {
+  RuleId id;
+  std::string name;
+  Trigger trigger;
+  Condition condition;  // guard; Condition::always() when absent
+  std::vector<Action> actions;
+  /// One-shot rules disarm after firing (typical for pickups and missions).
+  bool once = false;
+};
+
+/// Evaluation strategy for rule guards (E6 ablation).
+enum class GuardEngine { kInterpreter, kCompiledVm };
+
+/// Immutable, indexed rule collection. Build once per loaded game; the
+/// index buckets rules by (trigger type, primary key) so dispatch touches
+/// only plausible candidates instead of scanning every rule.
+class RuleBook {
+ public:
+  RuleBook() = default;
+  explicit RuleBook(std::vector<EventRule> rules,
+                    GuardEngine engine = GuardEngine::kCompiledVm);
+
+  [[nodiscard]] const std::vector<EventRule>& rules() const { return rules_; }
+  [[nodiscard]] size_t size() const { return rules_.size(); }
+  [[nodiscard]] GuardEngine engine() const { return engine_; }
+
+  /// Rules whose trigger pattern matches `event` AND whose guard passes
+  /// against `state`, in declaration order. `disarmed` carries the fired
+  /// one-shot rule ids (owned by the caller/session so RuleBook stays
+  /// immutable and shareable).
+  [[nodiscard]] std::vector<const EventRule*> match(
+      const TriggerEvent& event, const GameStateView& state,
+      const std::unordered_set<u32>& disarmed) const;
+
+  /// All timer triggers scoped to `scenario` (the session arms these on
+  /// scenario entry).
+  [[nodiscard]] std::vector<const EventRule*> timers_for(
+      ScenarioId scenario) const;
+
+  [[nodiscard]] const EventRule* find(RuleId id) const;
+
+ private:
+  [[nodiscard]] bool guard_passes(size_t rule_index,
+                                  const GameStateView& state) const;
+
+  /// Index key: trigger type ⊕ primary entity. Wildcard rules land in a
+  /// type-only bucket checked in addition to the exact bucket.
+  static u64 key(TriggerType type, u32 entity) {
+    return (static_cast<u64>(type) << 32) | entity;
+  }
+
+  std::vector<EventRule> rules_;
+  std::vector<CompiledCondition> compiled_;
+  GuardEngine engine_ = GuardEngine::kCompiledVm;
+  std::unordered_map<u64, std::vector<u32>> index_;   // key -> rule indices
+  std::vector<u32> type_wildcards_[16];               // per trigger type
+};
+
+}  // namespace vgbl

@@ -1,0 +1,70 @@
+#include "event/trigger.hpp"
+
+namespace vgbl {
+
+const char* trigger_type_name(TriggerType type) {
+  switch (type) {
+    case TriggerType::kClick:
+      return "click";
+    case TriggerType::kExamine:
+      return "examine";
+    case TriggerType::kDragToInventory:
+      return "drag_to_inventory";
+    case TriggerType::kUseItemOn:
+      return "use_item_on";
+    case TriggerType::kCombineItems:
+      return "combine_items";
+    case TriggerType::kEnterScenario:
+      return "enter_scenario";
+    case TriggerType::kSegmentEnd:
+      return "segment_end";
+    case TriggerType::kTimer:
+      return "timer";
+    case TriggerType::kDialogueTag:
+      return "dialogue_tag";
+  }
+  return "?";
+}
+
+Result<TriggerType> trigger_type_from_name(std::string_view name) {
+  for (u8 i = 0; i <= static_cast<u8>(TriggerType::kDialogueTag); ++i) {
+    const auto t = static_cast<TriggerType>(i);
+    if (name == trigger_type_name(t)) return t;
+  }
+  return corrupt_data("unknown trigger type '" + std::string(name) + "'");
+}
+
+bool trigger_matches(const Trigger& pattern, const TriggerEvent& event) {
+  if (pattern.type != event.type) return false;
+  if (pattern.scenario.valid() && pattern.scenario != event.scenario) {
+    return false;
+  }
+  switch (pattern.type) {
+    case TriggerType::kClick:
+    case TriggerType::kExamine:
+    case TriggerType::kDragToInventory:
+      return !pattern.object.valid() || pattern.object == event.object;
+    case TriggerType::kUseItemOn:
+      if (pattern.object.valid() && pattern.object != event.object) return false;
+      return !pattern.item.valid() || pattern.item == event.item;
+    case TriggerType::kCombineItems: {
+      if (!pattern.item.valid() && !pattern.second_item.valid()) return true;
+      const bool direct = (!pattern.item.valid() || pattern.item == event.item) &&
+                          (!pattern.second_item.valid() ||
+                           pattern.second_item == event.second_item);
+      const bool swapped =
+          (!pattern.item.valid() || pattern.item == event.second_item) &&
+          (!pattern.second_item.valid() || pattern.second_item == event.item);
+      return direct || swapped;
+    }
+    case TriggerType::kEnterScenario:
+    case TriggerType::kSegmentEnd:
+    case TriggerType::kTimer:
+      return true;  // scenario scope already checked
+    case TriggerType::kDialogueTag:
+      return pattern.tag.empty() || pattern.tag == event.tag;
+  }
+  return false;
+}
+
+}  // namespace vgbl

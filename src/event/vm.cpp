@@ -1,0 +1,193 @@
+#include "event/vm.hpp"
+
+#include <unordered_map>
+
+namespace vgbl {
+namespace {
+
+class Compiler {
+ public:
+  Program take() && { return std::move(program_); }
+
+  void emit(const Condition& c) {
+    switch (c.op) {
+      case ConditionOp::kTrue:
+        push(OpCode::kPushTrue);
+        break;
+      case ConditionOp::kHasItem:
+        push(OpCode::kHasItem, c.item.value);
+        break;
+      case ConditionOp::kItemCountAtLeast:
+        push(OpCode::kItemCountGe, c.item.value, c.value);
+        break;
+      case ConditionOp::kFlag:
+        push(OpCode::kFlag, intern(c.flag));
+        break;
+      case ConditionOp::kScoreAtLeast:
+        push(OpCode::kScoreGe, 0, c.value);
+        break;
+      case ConditionOp::kVisited:
+        push(OpCode::kVisited, c.scenario.value);
+        break;
+      case ConditionOp::kNot:
+        if (c.children.empty()) {
+          // Interpreter returns false for a childless NOT; mirror that.
+          push(OpCode::kPushFalse);
+        } else {
+          emit(c.children[0]);
+          push(OpCode::kNot);
+        }
+        break;
+      case ConditionOp::kAnd: {
+        if (c.children.empty()) {
+          push(OpCode::kPushTrue);
+          break;
+        }
+        // child0 [JumpIfFalse end] Pop child1 [JumpIfFalse end] Pop childN
+        std::vector<size_t> jumps;
+        for (size_t i = 0; i < c.children.size(); ++i) {
+          if (i > 0) {
+            jumps.push_back(push(OpCode::kJumpIfFalse));
+            push(OpCode::kPop);
+          }
+          emit(c.children[i]);
+        }
+        for (size_t j : jumps) {
+          program_.code[j].a = static_cast<u32>(program_.code.size());
+        }
+        break;
+      }
+      case ConditionOp::kOr: {
+        if (c.children.empty()) {
+          push(OpCode::kPushFalse);
+          break;
+        }
+        std::vector<size_t> jumps;
+        for (size_t i = 0; i < c.children.size(); ++i) {
+          if (i > 0) {
+            jumps.push_back(push(OpCode::kJumpIfTrue));
+            push(OpCode::kPop);
+          }
+          emit(c.children[i]);
+        }
+        for (size_t j : jumps) {
+          program_.code[j].a = static_cast<u32>(program_.code.size());
+        }
+        break;
+      }
+    }
+  }
+
+ private:
+  size_t push(OpCode op, u32 a = 0, i64 b = 0) {
+    program_.code.push_back({op, a, b});
+    return program_.code.size() - 1;
+  }
+
+  u32 intern(const std::string& name) {
+    auto it = interned_.find(name);
+    if (it != interned_.end()) return it->second;
+    const u32 idx = static_cast<u32>(program_.flag_names.size());
+    program_.flag_names.push_back(name);
+    interned_[name] = idx;
+    return idx;
+  }
+
+  Program program_;
+  std::unordered_map<std::string, u32> interned_;
+};
+
+}  // namespace
+
+Program compile_condition(const Condition& condition) {
+  Compiler compiler;
+  compiler.emit(condition);
+  return std::move(compiler).take();
+}
+
+Result<bool> run_program(const Program& program, const GameStateView& state) {
+  // Conditions are small; a fixed-capacity stack avoids allocation.
+  constexpr size_t kStackMax = 256;
+  bool stack[kStackMax];
+  size_t sp = 0;
+
+  const auto& code = program.code;
+  for (size_t pc = 0; pc < code.size(); ++pc) {
+    const Instruction& in = code[pc];
+    switch (in.op) {
+      case OpCode::kPushTrue:
+      case OpCode::kPushFalse:
+      case OpCode::kHasItem:
+      case OpCode::kItemCountGe:
+      case OpCode::kFlag:
+      case OpCode::kScoreGe:
+      case OpCode::kVisited: {
+        if (sp >= kStackMax) return corrupt_data("vm: stack overflow");
+        bool v = false;
+        switch (in.op) {
+          case OpCode::kPushTrue:
+            v = true;
+            break;
+          case OpCode::kPushFalse:
+            v = false;
+            break;
+          case OpCode::kHasItem:
+            v = state.item_count(ItemId{in.a}) >= 1;
+            break;
+          case OpCode::kItemCountGe:
+            v = state.item_count(ItemId{in.a}) >= in.b;
+            break;
+          case OpCode::kFlag:
+            if (in.a >= program.flag_names.size()) {
+              return corrupt_data("vm: flag index out of range");
+            }
+            v = state.flag(program.flag_names[in.a]);
+            break;
+          case OpCode::kScoreGe:
+            v = state.score() >= in.b;
+            break;
+          case OpCode::kVisited:
+            v = state.visited(ScenarioId{in.a});
+            break;
+          default:
+            break;
+        }
+        stack[sp++] = v;
+        break;
+      }
+      case OpCode::kNot:
+        if (sp < 1) return corrupt_data("vm: stack underflow");
+        stack[sp - 1] = !stack[sp - 1];
+        break;
+      case OpCode::kAnd:
+        if (sp < 2) return corrupt_data("vm: stack underflow");
+        stack[sp - 2] = stack[sp - 2] && stack[sp - 1];
+        --sp;
+        break;
+      case OpCode::kOr:
+        if (sp < 2) return corrupt_data("vm: stack underflow");
+        stack[sp - 2] = stack[sp - 2] || stack[sp - 1];
+        --sp;
+        break;
+      case OpCode::kJumpIfFalse:
+      case OpCode::kJumpIfTrue: {
+        if (sp < 1) return corrupt_data("vm: stack underflow");
+        const bool take = in.op == OpCode::kJumpIfFalse ? !stack[sp - 1]
+                                                        : stack[sp - 1];
+        if (take) {
+          if (in.a > code.size()) return corrupt_data("vm: bad jump target");
+          pc = static_cast<size_t>(in.a) - 1;  // -1: loop increments
+        }
+        break;
+      }
+      case OpCode::kPop:
+        if (sp < 1) return corrupt_data("vm: stack underflow");
+        --sp;
+        break;
+    }
+  }
+  if (sp != 1) return corrupt_data("vm: program left stack size != 1");
+  return stack[0];
+}
+
+}  // namespace vgbl

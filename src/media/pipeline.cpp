@@ -1,0 +1,212 @@
+#include "media/pipeline.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <set>
+#include <mutex>
+
+namespace vgbl {
+
+GopPlan plan_gops(const VideoContainer& container, int first, int count) {
+  GopPlan plan;
+  if (count <= 0 || first < 0 || first >= container.frame_count()) return plan;
+  count = std::min(count, container.frame_count() - first);
+
+  const int start_key = container.previous_keyframe(first);
+  plan.lead_in = first - start_key;
+
+  int pos = start_key;
+  const int end = first + count;
+  while (pos < end) {
+    int next = pos + 1;
+    while (next < end && !container.is_keyframe(next)) ++next;
+    plan.gops.push_back({pos, next - pos});
+    pos = next;
+  }
+  return plan;
+}
+
+Result<std::vector<Frame>> decode_gop(const VideoContainer& container,
+                                      GopRange gop,
+                                      const std::atomic<bool>* cancel = nullptr) {
+  Decoder decoder;
+  std::vector<Frame> frames;
+  frames.reserve(static_cast<size_t>(gop.count));
+  for (int i = gop.first; i < gop.first + gop.count; ++i) {
+    // Frame-granular cancellation keeps pipeline teardown — and therefore
+    // scenario-switch latency — bounded by one frame decode, not one GOP.
+    if (cancel && cancel->load(std::memory_order_relaxed)) {
+      return std::vector<Frame>{};
+    }
+    auto data = container.frame_data(i);
+    if (!data.ok()) return data.error();
+    auto frame = decoder.decode(data.value());
+    if (!frame.ok()) return frame.error();
+    frames.push_back(std::move(frame.value()));
+  }
+  return frames;
+}
+
+Result<std::vector<Frame>> decode_range_parallel(const VideoContainer& container,
+                                                 int first, int count,
+                                                 ThreadPool& pool) {
+  const GopPlan plan = plan_gops(container, first, count);
+  if (plan.gops.empty()) return std::vector<Frame>{};
+
+  std::vector<Result<std::vector<Frame>>> results(
+      plan.gops.size(), Result<std::vector<Frame>>(std::vector<Frame>{}));
+  std::atomic<bool> failed{false};
+
+  pool.parallel_for(0, static_cast<i64>(plan.gops.size()), [&](i64 g) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    auto r = decode_gop(container, plan.gops[static_cast<size_t>(g)]);
+    if (!r.ok()) failed.store(true, std::memory_order_relaxed);
+    results[static_cast<size_t>(g)] = std::move(r);
+  });
+
+  std::vector<Frame> out;
+  out.reserve(static_cast<size_t>(count));
+  int skip = plan.lead_in;
+  for (auto& r : results) {
+    if (!r.ok()) return r.error();
+    for (auto& f : r.value()) {
+      if (skip > 0) {
+        --skip;
+        continue;
+      }
+      if (static_cast<int>(out.size()) < count) out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+struct DecodePipeline::Run {
+  std::mutex mutex;
+  std::condition_variable cv;
+  GopPlan plan;
+  // Workers publish frames one at a time so the consumer can present the
+  // first frame of a GOP while the rest is still decoding — this bounds
+  // scenario-switch latency by one frame decode instead of one GOP.
+  std::map<size_t, std::vector<Frame>> partial;   // gop -> frames so far
+  std::set<size_t> done;                          // fully decoded gops
+  std::set<size_t> failed;                        // decode error in gop
+  size_t next_submit = 0;
+  size_t in_flight = 0;
+  std::atomic<bool> cancelled{false};
+
+  // Consumer cursor.
+  size_t current_gop = 0;
+  size_t offset_in_gop = 0;
+  int remaining = 0;  // frames still owed to the consumer
+};
+
+DecodePipeline::DecodePipeline(std::shared_ptr<const VideoContainer> container,
+                               Options options)
+    : container_(std::move(container)),
+      options_(options),
+      pool_(std::max(1u, options.decode_threads)) {}
+
+DecodePipeline::~DecodePipeline() { stop(); }
+
+void DecodePipeline::start(int first, int count) {
+  stop();
+  auto run = std::make_shared<Run>();
+  run->plan = plan_gops(*container_, first, count);
+  run->remaining = std::min(count, std::max(0, container_->frame_count() - first));
+  if (first < 0 || first >= container_->frame_count()) run->remaining = 0;
+  run->offset_in_gop = static_cast<size_t>(run->plan.lead_in);
+  run_ = std::move(run);
+}
+
+void DecodePipeline::stop() {
+  if (!run_) return;
+  auto run = run_;
+  run->cancelled.store(true);
+  // Wait for in-flight decodes so their container reference stays valid.
+  std::unique_lock lock(run->mutex);
+  run->cv.wait(lock, [&] { return run->in_flight == 0; });
+  run_.reset();
+}
+
+std::optional<Frame> DecodePipeline::next_frame() {
+  if (!run_) return std::nullopt;
+  auto run = run_;
+  std::unique_lock lock(run->mutex);
+  if (run->remaining <= 0 || run->current_gop >= run->plan.gops.size()) {
+    return std::nullopt;
+  }
+
+  // Keep the decode window full: submit GOPs up to a lookahead window
+  // *relative to the consumer cursor*. (Gating on in_flight/done counts is
+  // racy: the consumer can consume a GOP's last frame and erase its
+  // bookkeeping before the worker's final done-mark runs, leaving a stale
+  // entry that would block submission forever.)
+  const size_t window =
+      options_.decode_threads +
+      std::max<size_t>(1, options_.lookahead_frames /
+                              std::max(1, container_->codec_config().gop_size));
+  while (run->next_submit < run->plan.gops.size() &&
+         run->next_submit < run->current_gop + window) {
+    const size_t g = run->next_submit++;
+    ++run->in_flight;
+    auto container = container_;
+    pool_.submit([run, container, g] {
+      Decoder decoder;
+      const GopRange gop = run->plan.gops[g];
+      for (int i = gop.first; i < gop.first + gop.count; ++i) {
+        if (run->cancelled.load(std::memory_order_relaxed)) break;
+        auto data = container->frame_data(i);
+        Result<Frame> frame = data.ok() ? decoder.decode(data.value())
+                                        : Result<Frame>(data.error());
+        std::lock_guard inner(run->mutex);
+        if (!frame.ok()) {
+          run->failed.insert(g);
+          run->cv.notify_all();
+          break;
+        }
+        run->partial[g].push_back(std::move(frame.value()));
+        run->cv.notify_all();
+      }
+      std::lock_guard inner(run->mutex);
+      run->done.insert(g);
+      --run->in_flight;
+      run->cv.notify_all();
+    });
+  }
+
+  // Wait for the next frame of the current GOP (not the whole GOP).
+  const size_t cur = run->current_gop;
+  run->cv.wait(lock, [&] {
+    if (run->cancelled.load() || run->failed.count(cur)) return true;
+    auto it = run->partial.find(cur);
+    const size_t have = it == run->partial.end() ? 0 : it->second.size();
+    return have > run->offset_in_gop || run->done.count(cur) > 0;
+  });
+  if (run->cancelled.load() || run->failed.count(cur)) return std::nullopt;
+  auto it = run->partial.find(cur);
+  const size_t have = it == run->partial.end() ? 0 : it->second.size();
+  if (have <= run->offset_in_gop) {
+    return std::nullopt;  // gop finished short (cancel/error race)
+  }
+
+  Frame frame = std::move(it->second[run->offset_in_gop]);
+  ++run->offset_in_gop;
+  --run->remaining;
+  ++stats_.frames_emitted;
+
+  if (run->offset_in_gop >=
+      static_cast<size_t>(run->plan.gops[cur].count)) {
+    run->partial.erase(cur);
+    run->done.erase(cur);
+    run->failed.erase(cur);
+    ++run->current_gop;
+    run->offset_in_gop = 0;
+    ++stats_.gops_decoded;
+  }
+  return frame;
+}
+
+DecodePipeline::Stats DecodePipeline::stats() const { return stats_; }
+
+}  // namespace vgbl

@@ -1,0 +1,48 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+namespace vgbl {
+
+std::optional<MicroTime> SimulatedNetwork::send(Packet packet, MicroTime now) {
+  const MicroTime start = std::max(now, link_busy_until_);
+  // Serialization delay on the shared link: size / bandwidth.
+  const MicroTime ser =
+      static_cast<MicroTime>(static_cast<u64>(packet.size) * 8'000'000 /
+                             std::max<u64>(1, config_.bandwidth_bps));
+  link_busy_until_ = start + ser;
+
+  ++stats_.packets_sent;
+  stats_.bytes_sent += packet.size;
+
+  if (config_.loss_rate > 0 && rng_.chance(config_.loss_rate)) {
+    ++stats_.packets_lost;
+    return std::nullopt;
+  }
+
+  MicroTime jitter = 0;
+  if (config_.jitter > 0) {
+    jitter = static_cast<MicroTime>(rng_.below(
+        static_cast<u64>(config_.jitter)));
+  }
+  packet.sent_at = now;
+  packet.arrives_at = link_busy_until_ + config_.base_latency + jitter;
+
+  // Keep the in-flight queue sorted by arrival; jitter can reorder tails.
+  auto it = std::upper_bound(
+      in_flight_.begin(), in_flight_.end(), packet,
+      [](const Packet& a, const Packet& b) { return a.arrives_at < b.arrives_at; });
+  in_flight_.insert(it, packet);
+  return packet.arrives_at;
+}
+
+std::vector<Packet> SimulatedNetwork::poll(MicroTime now) {
+  std::vector<Packet> out;
+  while (!in_flight_.empty() && in_flight_.front().arrives_at <= now) {
+    out.push_back(in_flight_.front());
+    in_flight_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace vgbl

@@ -1,0 +1,80 @@
+// Simulated packet network: a shared bottleneck link with serialization
+// delay, propagation latency, jitter and random loss. This is the
+// interactive-TV delivery substrate the paper's related work situates the
+// system in (§2: PC-based systems "integrating network, video encoding and
+// transmission technologies") — simulated because this environment has no
+// real network (DESIGN.md §2).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/sim_clock.hpp"
+#include "util/types.hpp"
+
+namespace vgbl {
+
+struct NetworkConfig {
+  /// Shared downlink capacity (the school's pipe, shared by all students).
+  u64 bandwidth_bps = 20'000'000;
+  MicroTime base_latency = milliseconds(20);
+  MicroTime jitter = milliseconds(4);
+  f64 loss_rate = 0.0;
+  u32 mtu_bytes = 1400;
+};
+
+/// One in-flight transfer unit. Payloads are modelled by size only — the
+/// receiver validates against the container, so carrying real bytes would
+/// only slow the simulation down.
+struct Packet {
+  u32 flow = 0;        // client id
+  u64 sequence = 0;    // per-flow sequence number
+  u32 size = 0;        // bytes on the wire
+  u32 segment = 0;     // video segment this chunk belongs to
+  int frame_index = -1;  // frame index *within* the segment
+  bool frame_complete = false;  // last packet of its frame
+  MicroTime sent_at = 0;
+  MicroTime arrives_at = 0;
+};
+
+class SimulatedNetwork {
+ public:
+  SimulatedNetwork(NetworkConfig config, u64 seed = 7)
+      : config_(config), rng_(seed) {}
+
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+  /// True when the link can start serialising another packet at `now`
+  /// (i.e. the sender is not blocked by backpressure).
+  [[nodiscard]] bool can_send(MicroTime now) const {
+    return link_busy_until_ <= now;
+  }
+  [[nodiscard]] MicroTime busy_until() const { return link_busy_until_; }
+
+  /// Enqueues a packet at `now`. Serialization occupies the shared link;
+  /// the packet arrives after latency+jitter unless lost. Returns the
+  /// arrival time (lost packets return nullopt but still consumed link
+  /// time — the bytes were transmitted, just corrupted en route).
+  std::optional<MicroTime> send(Packet packet, MicroTime now);
+
+  /// All packets that have arrived by `now`, in arrival order.
+  std::vector<Packet> poll(MicroTime now);
+
+  struct Stats {
+    u64 packets_sent = 0;
+    u64 packets_lost = 0;
+    u64 bytes_sent = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  NetworkConfig config_;
+  Rng rng_;
+  MicroTime link_busy_until_ = 0;
+  std::deque<Packet> in_flight_;  // sorted by arrival (jitter is bounded)
+  Stats stats_;
+};
+
+}  // namespace vgbl

@@ -1,0 +1,275 @@
+#include "net/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vgbl {
+
+StreamClient::StreamClient(u32 id, const VideoContainer* container,
+                           std::vector<SegmentId> path,
+                           const StreamingConfig& config)
+    : id_(id), container_(container), path_(std::move(path)), config_(config) {
+  if (path_.empty()) {
+    finished_ = true;
+  } else {
+    start_segment(0);
+  }
+}
+
+SegmentId StreamClient::current_segment() const {
+  if (finished_ || path_pos_ >= path_.size()) return {};
+  return path_[path_pos_];
+}
+
+std::vector<SegmentId> StreamClient::upcoming_segments(int max_count) const {
+  std::vector<SegmentId> out;
+  for (size_t i = path_pos_ + 1;
+       i < path_.size() && static_cast<int>(out.size()) < max_count; ++i) {
+    out.push_back(path_[i]);
+  }
+  return out;
+}
+
+int StreamClient::next_needed_frame(SegmentId segment) const {
+  auto it = received_frames_.find(segment.value);
+  return it == received_frames_.end() ? 0 : it->second;
+}
+
+void StreamClient::on_packet(const Packet& packet, MicroTime now) {
+  stats_.bytes_received += packet.size;
+  if (!packet.frame_complete) return;
+  int& received = received_frames_[packet.segment];
+  if (packet.frame_index < received) return;  // duplicate
+  if (packet.frame_index == received) {
+    ++received;
+    // Stitch in any out-of-order frames that are now contiguous.
+    auto& pending = out_of_order_[packet.segment];
+    while (!pending.empty() && *pending.begin() == received) {
+      pending.erase(pending.begin());
+      ++received;
+    }
+  } else {
+    out_of_order_[packet.segment].insert(packet.frame_index);
+  }
+  (void)now;
+}
+
+void StreamClient::start_segment(MicroTime now) {
+  segment_requested_at_ = now;
+  state_ = PlayState::kBuffering;
+  state_since_ = now;
+  presented_in_segment_ = 0;
+}
+
+void StreamClient::tick(MicroTime now) {
+  if (finished_) return;
+  const ContainerSegment* seg = container_->segment_by_id(current_segment());
+  if (!seg) {
+    finished_ = true;
+    return;
+  }
+  const int received = next_needed_frame(current_segment());
+  const MicroTime frame_period = 1'000'000 / std::max(1, container_->fps());
+
+  switch (state_) {
+    case PlayState::kBuffering: {
+      const int threshold =
+          std::min(config_.startup_buffer_frames, seg->frame_count);
+      if (received >= threshold) {
+        // Buffer primed: start presenting.
+        if (!first_frame_presented_) {
+          stats_.startup_delay = now - segment_requested_at_;
+          first_frame_presented_ = true;
+        } else {
+          ++stats_.segment_switches;
+          stats_.switch_delay_total += now - segment_requested_at_;
+          if (now == segment_requested_at_) {
+            ++stats_.prefetch_hits;  // switch served entirely from buffer
+          }
+        }
+        state_ = PlayState::kPlaying;
+        state_since_ = now;
+        next_frame_due_ = now;
+      }
+      break;
+    }
+    case PlayState::kPlaying: {
+      stats_.play_time += now - state_since_;
+      state_since_ = now;
+      while (next_frame_due_ <= now &&
+             presented_in_segment_ < seg->frame_count) {
+        if (presented_in_segment_ < received) {
+          ++presented_in_segment_;
+          ++stats_.frames_presented;
+          next_frame_due_ += frame_period;
+        } else {
+          // Buffer ran dry mid-segment.
+          state_ = PlayState::kStalled;
+          state_since_ = now;
+          ++stats_.rebuffer_events;
+          return;
+        }
+      }
+      if (presented_in_segment_ >= seg->frame_count) {
+        ++stats_.segments_played;
+        ++path_pos_;
+        if (path_pos_ >= path_.size()) {
+          finished_ = true;
+        } else {
+          start_segment(now);
+          tick(now);  // may start playing immediately if prefetched
+        }
+      }
+      break;
+    }
+    case PlayState::kStalled: {
+      stats_.rebuffer_time += now - state_since_;
+      state_since_ = now;
+      if (received - presented_in_segment_ >=
+          std::min(config_.resume_buffer_frames,
+                   seg->frame_count - presented_in_segment_)) {
+        state_ = PlayState::kPlaying;
+        next_frame_due_ = now;
+      }
+      break;
+    }
+  }
+}
+
+StreamServer::StreamServer(const VideoContainer* container,
+                           StreamingConfig config, u64 seed)
+    : container_(container),
+      config_(config),
+      network_(config.network, seed) {}
+
+StreamClient& StreamServer::add_client(std::vector<SegmentId> path) {
+  const u32 id = static_cast<u32>(clients_.size()) + 1;
+  clients_.push_back(
+      std::make_unique<StreamClient>(id, container_, std::move(path), config_));
+  return *clients_.back();
+}
+
+bool StreamServer::pump_client(StreamClient& client, MicroTime now) {
+  if (client.finished()) return false;
+
+  // Service order: current segment first, then prefetch candidates.
+  std::vector<SegmentId> wanted{client.current_segment()};
+  if (config_.prefetch_enabled) {
+    for (SegmentId s : client.upcoming_segments(config_.prefetch_fanout)) {
+      wanted.push_back(s);
+    }
+  }
+
+  for (SegmentId seg_id : wanted) {
+    const ContainerSegment* seg = container_->segment_by_id(seg_id);
+    if (!seg) continue;
+    int& progress = send_progress_[{client.id(), seg_id.value}];
+    if (progress >= seg->frame_count) continue;
+
+    auto data = container_->frame_data(seg->first_frame + progress);
+    if (!data.ok()) continue;
+    Packet p;
+    p.flow = client.id();
+    p.sequence = ++flow_sequence_[client.id()];
+    p.segment = seg_id.value;
+    p.frame_index = progress;
+    p.frame_complete = true;
+    p.size = static_cast<u32>(data.value().size());
+    const auto arrival = network_.send(p, now);
+    if (arrival) {
+      ++progress;  // lost packets are retransmitted (progress holds)
+    }
+    return true;
+  }
+  return false;
+}
+
+MicroTime StreamServer::run(MicroTime deadline) {
+  MicroTime now = 0;
+  const MicroTime step = milliseconds(2);
+  size_t rr = 0;  // round-robin cursor
+
+  while (now < deadline) {
+    // Deliver arrived packets.
+    for (const Packet& p : network_.poll(now)) {
+      if (p.flow >= 1 && p.flow <= clients_.size()) {
+        clients_[p.flow - 1]->on_packet(p, now);
+      }
+    }
+    // Advance playback models.
+    bool all_finished = true;
+    for (auto& c : clients_) {
+      c->tick(now);
+      all_finished &= c->finished();
+    }
+    if (all_finished) return now;
+
+    // Fill the link fairly: round-robin one frame per client while the
+    // link has capacity at this instant.
+    size_t idle_count = 0;
+    while (network_.can_send(now) && idle_count < clients_.size()) {
+      StreamClient& c = *clients_[rr % clients_.size()];
+      ++rr;
+      if (pump_client(c, now)) {
+        idle_count = 0;
+      } else {
+        ++idle_count;
+      }
+    }
+    now += step;
+  }
+  return now;
+}
+
+StreamServer::Aggregate StreamServer::aggregate() const {
+  Aggregate agg;
+  if (clients_.empty()) return agg;
+  std::vector<f64> startups;
+  for (const auto& c : clients_) {
+    const ClientStats& s = c->stats();
+    startups.push_back(to_millis(s.startup_delay));
+    agg.mean_startup_ms += to_millis(s.startup_delay);
+    agg.mean_rebuffer_ratio += s.rebuffer_ratio();
+    agg.total_rebuffer_events += s.rebuffer_events;
+    agg.mean_switch_ms += s.mean_switch_ms();
+    agg.prefetch_hits += s.prefetch_hits;
+  }
+  agg.mean_startup_ms /= static_cast<f64>(clients_.size());
+  agg.mean_rebuffer_ratio /= static_cast<f64>(clients_.size());
+  agg.mean_switch_ms /= static_cast<f64>(clients_.size());
+  std::sort(startups.begin(), startups.end());
+  agg.p95_startup_ms =
+      startups[static_cast<size_t>(std::ceil(0.95 * startups.size())) - 1];
+  agg.bytes_sent = network_.stats().bytes_sent;
+  return agg;
+}
+
+std::vector<SegmentId> random_student_path(const ScenarioGraph& graph,
+                                           int max_hops, Rng& rng) {
+  std::vector<SegmentId> path;
+  ScenarioId current = graph.start();
+  for (int hop = 0; hop <= max_hops; ++hop) {
+    const Scenario* s = graph.find(current);
+    if (!s) break;
+    path.push_back(s->segment);
+    if (s->terminal) break;
+    const auto edges = graph.out_edges(current);
+    if (edges.empty()) break;
+    // Weighted pick.
+    f64 total = 0;
+    for (const auto* e : edges) total += std::max(0.01, e->weight);
+    f64 pick = rng.uniform() * total;
+    const ScenarioTransition* chosen = edges.back();
+    for (const auto* e : edges) {
+      pick -= std::max(0.01, e->weight);
+      if (pick <= 0) {
+        chosen = e;
+        break;
+      }
+    }
+    current = chosen->to;
+  }
+  return path;
+}
+
+}  // namespace vgbl

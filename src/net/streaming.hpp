@@ -1,0 +1,159 @@
+// Scenario-aware video streaming: a server pushing segment frames to many
+// student clients over the simulated network, with optional branch-aware
+// prefetch (the server pre-pushes the segments reachable from the client's
+// current scenario, ordered by transition weight). Evaluated in E9.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "scenario/scenario_graph.hpp"
+#include "video/container.hpp"
+
+namespace vgbl {
+
+struct StreamingConfig {
+  NetworkConfig network;
+  /// Client starts playback once this many frames are buffered.
+  int startup_buffer_frames = 8;
+  /// After a stall, resume once this many frames are buffered.
+  int resume_buffer_frames = 6;
+  /// Branch-aware prefetch of likely next segments (the ablation knob).
+  bool prefetch_enabled = true;
+  /// Cap on prefetch: only this many candidate segments per scenario.
+  int prefetch_fanout = 2;
+};
+
+/// Per-client playback statistics.
+struct ClientStats {
+  MicroTime startup_delay = 0;     // request -> first frame presented
+  int rebuffer_events = 0;
+  MicroTime rebuffer_time = 0;     // total stalled time
+  MicroTime play_time = 0;         // time spent actually presenting
+  int frames_presented = 0;
+  int segments_played = 0;
+  u64 bytes_received = 0;
+  int prefetch_hits = 0;   // segment switches served entirely from buffer
+  int segment_switches = 0;        // switches after the first segment
+  MicroTime switch_delay_total = 0;  // request -> playing, summed over switches
+
+  [[nodiscard]] f64 mean_switch_ms() const {
+    return segment_switches
+               ? to_millis(switch_delay_total) / segment_switches
+               : 0.0;
+  }
+  [[nodiscard]] f64 rebuffer_ratio() const {
+    const f64 total = static_cast<f64>(play_time + rebuffer_time);
+    return total > 0 ? static_cast<f64>(rebuffer_time) / total : 0.0;
+  }
+};
+
+/// A student's streaming receiver + player model. The "path" the student
+/// takes is a pre-computed walk over the scenario graph (each segment is
+/// watched to its end before switching — interaction timing is abstracted
+/// to segment granularity at this layer).
+class StreamClient {
+ public:
+  StreamClient(u32 id, const VideoContainer* container,
+               std::vector<SegmentId> path, const StreamingConfig& config);
+
+  [[nodiscard]] u32 id() const { return id_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const ClientStats& stats() const { return stats_; }
+
+  /// The segment the client currently needs (invalid when finished).
+  [[nodiscard]] SegmentId current_segment() const;
+  /// Segments after the current one on the client's path (for prefetch).
+  [[nodiscard]] std::vector<SegmentId> upcoming_segments(int max_count) const;
+
+  /// Frames of `segment` the client still needs (server-side pull model:
+  /// the server asks each client what to send next).
+  [[nodiscard]] int next_needed_frame(SegmentId segment) const;
+
+  void on_packet(const Packet& packet, MicroTime now);
+  /// Advances the playback model to `now`.
+  void tick(MicroTime now);
+
+ private:
+  void start_segment(MicroTime now);
+
+  u32 id_;
+  const VideoContainer* container_;
+  std::vector<SegmentId> path_;
+  StreamingConfig config_;
+
+  size_t path_pos_ = 0;
+  bool finished_ = false;
+
+  // Receive state per segment: count of *contiguous* frames from the
+  // segment start, plus out-of-order arrivals waiting to be stitched in
+  // (network jitter can reorder packets).
+  std::map<u32, int> received_frames_;
+  std::map<u32, std::set<int>> out_of_order_;
+
+  // Playback state for the current segment.
+  enum class PlayState { kBuffering, kPlaying, kStalled };
+  PlayState state_ = PlayState::kBuffering;
+  MicroTime segment_requested_at_ = 0;
+  MicroTime state_since_ = 0;
+  MicroTime next_frame_due_ = 0;
+  int presented_in_segment_ = 0;
+  bool first_frame_presented_ = false;
+
+  ClientStats stats_;
+};
+
+/// The streaming server: walks all clients round-robin, pushing the next
+/// needed frame of each client's current segment, then (if idle capacity
+/// remains and prefetch is on) frames of upcoming segments.
+class StreamServer {
+ public:
+  StreamServer(const VideoContainer* container, StreamingConfig config,
+               u64 seed = 11);
+
+  StreamClient& add_client(std::vector<SegmentId> path);
+
+  /// Runs the simulation until all clients finish or `deadline` passes.
+  /// Returns the end time.
+  MicroTime run(MicroTime deadline);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<StreamClient>>& clients()
+      const {
+    return clients_;
+  }
+  [[nodiscard]] const SimulatedNetwork& network() const { return network_; }
+
+  struct Aggregate {
+    f64 mean_startup_ms = 0;
+    f64 mean_rebuffer_ratio = 0;
+    f64 p95_startup_ms = 0;
+    f64 mean_switch_ms = 0;   // scenario-switch latency (prefetch target)
+    int prefetch_hits = 0;
+    int total_rebuffer_events = 0;
+    u64 bytes_sent = 0;
+  };
+  [[nodiscard]] Aggregate aggregate() const;
+
+ private:
+  /// Sends one pending frame-chunk for `client`; returns false when the
+  /// client needs nothing (fully buffered / finished).
+  bool pump_client(StreamClient& client, MicroTime now);
+
+  const VideoContainer* container_;
+  StreamingConfig config_;
+  SimulatedNetwork network_;
+  std::vector<std::unique_ptr<StreamClient>> clients_;
+  std::map<u32, u64> flow_sequence_;
+  // Per (client, segment) send progress: next frame index to transmit.
+  std::map<std::pair<u32, u32>, int> send_progress_;
+};
+
+/// Builds a plausible student path: a weighted random walk over the graph
+/// from the start scenario until a terminal scenario (or `max_hops`).
+std::vector<SegmentId> random_student_path(const ScenarioGraph& graph,
+                                           int max_hops, Rng& rng);
+
+}  // namespace vgbl

@@ -1,0 +1,72 @@
+#include "object/properties.hpp"
+
+namespace vgbl {
+
+bool PropertyBag::get_bool(const std::string& key, bool fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  if (const bool* b = std::get_if<bool>(&*v)) return *b;
+  if (const i64* i = std::get_if<i64>(&*v)) return *i != 0;
+  return fallback;
+}
+
+i64 PropertyBag::get_int(const std::string& key, i64 fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  if (const i64* i = std::get_if<i64>(&*v)) return *i;
+  if (const f64* d = std::get_if<f64>(&*v)) return static_cast<i64>(*d);
+  if (const bool* b = std::get_if<bool>(&*v)) return *b ? 1 : 0;
+  return fallback;
+}
+
+f64 PropertyBag::get_double(const std::string& key, f64 fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  if (const f64* d = std::get_if<f64>(&*v)) return *d;
+  if (const i64* i = std::get_if<i64>(&*v)) return static_cast<f64>(*i);
+  return fallback;
+}
+
+std::string PropertyBag::get_string(const std::string& key,
+                                    std::string fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  if (const std::string* s = std::get_if<std::string>(&*v)) return *s;
+  return fallback;
+}
+
+Json PropertyBag::to_json() const {
+  Json out = Json::object();
+  auto& obj = out.mutable_object();
+  for (const auto& [key, value] : values_) {
+    std::visit([&](const auto& v) { obj.set(key, Json(v)); }, value);
+  }
+  return out;
+}
+
+Result<PropertyBag> PropertyBag::from_json(const Json& json) {
+  PropertyBag bag;
+  if (json.is_null()) return bag;
+  if (!json.is_object()) return corrupt_data("properties must be an object");
+  for (const auto& [key, value] : json.as_object().members()) {
+    switch (value.kind()) {
+      case Json::Kind::kBool:
+        bag.set(key, value.as_bool());
+        break;
+      case Json::Kind::kInt:
+        bag.set(key, value.as_int());
+        break;
+      case Json::Kind::kDouble:
+        bag.set(key, value.as_double());
+        break;
+      case Json::Kind::kString:
+        bag.set(key, value.as_string());
+        break;
+      default:
+        return corrupt_data("property '" + key + "' has unsupported type");
+    }
+  }
+  return bag;
+}
+
+}  // namespace vgbl

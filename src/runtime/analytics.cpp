@@ -1,0 +1,149 @@
+#include "runtime/analytics.hpp"
+
+#include "util/text.hpp"
+
+namespace vgbl {
+
+void LearningTracker::on_scenario_entered(ScenarioId id,
+                                          const std::string& name,
+                                          MicroTime now) {
+  if (!visits_.empty() && visits_.back().left < 0) {
+    visits_.back().left = now;
+  }
+  visits_.push_back({id, name, now, -1});
+}
+
+void LearningTracker::on_interaction(const std::string& kind,
+                                     const std::string& target,
+                                     MicroTime now) {
+  interactions_.push_back({kind, target, now});
+}
+
+void LearningTracker::on_decision(const std::string& context,
+                                  const std::string& choice, MicroTime now) {
+  decisions_.push_back({context, choice, now});
+}
+
+void LearningTracker::on_item_collected(const std::string& item,
+                                        MicroTime now) {
+  items_.push_back(item);
+  on_interaction("collect", item, now);
+}
+
+void LearningTracker::on_score(i64 points, const std::string& reason,
+                               MicroTime now) {
+  score_ += points;
+  on_interaction("score", reason + " (" + std::to_string(points) + ")", now);
+}
+
+void LearningTracker::on_reward(const std::string& reward, MicroTime now) {
+  rewards_.push_back(reward);
+  on_interaction("reward", reward, now);
+}
+
+void LearningTracker::on_resource_opened(const std::string& title,
+                                         MicroTime now) {
+  resources_.emplace_back(title, now);
+  on_interaction("open_resource", title, now);
+}
+
+void LearningTracker::on_game_over(bool success, MicroTime now) {
+  finished_ = true;
+  success_ = success;
+  finished_at_ = now;
+  if (!visits_.empty() && visits_.back().left < 0) {
+    visits_.back().left = now;
+  }
+}
+
+std::map<std::string, f64> LearningTracker::time_per_scenario(
+    MicroTime now) const {
+  std::map<std::string, f64> out;
+  for (const auto& v : visits_) {
+    const MicroTime left = v.left >= 0 ? v.left : now;
+    out[v.name] += to_seconds(left - v.entered);
+  }
+  return out;
+}
+
+std::string LearningTracker::report(MicroTime now) const {
+  std::string r;
+  r += "=== Learning report ===\n";
+  r += "outcome: ";
+  r += finished_ ? (success_ ? "mission complete\n" : "mission failed\n")
+                 : "in progress\n";
+  r += "score: " + std::to_string(score_) + "\n";
+  r += "scenarios visited: " + std::to_string(visits_.size()) + "\n";
+  for (const auto& [name, secs] : time_per_scenario(now)) {
+    r += "  " + pad_right(name, 20) + format_double(secs, 1) + " s\n";
+  }
+  r += "interactions: " + std::to_string(interactions_.size()) + "\n";
+  r += "decisions: " + std::to_string(decisions_.size()) + "\n";
+  for (const auto& d : decisions_) {
+    r += "  [" + d.context + "] -> " + d.choice + "\n";
+  }
+  r += "items collected: " + std::to_string(items_.size());
+  if (!items_.empty()) {
+    r += " (";
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (i) r += ", ";
+      r += items_[i];
+    }
+    r += ")";
+  }
+  r += "\n";
+  r += "rewards earned: " + std::to_string(rewards_.size());
+  if (!rewards_.empty()) {
+    r += " (";
+    for (size_t i = 0; i < rewards_.size(); ++i) {
+      if (i) r += ", ";
+      r += rewards_[i];
+    }
+    r += ")";
+  }
+  r += "\n";
+  if (!resources_.empty()) {
+    r += "resources consulted:\n";
+    for (const auto& [title, when] : resources_) {
+      r += "  " + title + " @" + format_double(to_seconds(when), 1) + "s\n";
+    }
+  }
+  return r;
+}
+
+Json LearningTracker::to_json(MicroTime now) const {
+  Json out = Json::object();
+  auto& o = out.mutable_object();
+  o.set("finished", Json(finished_));
+  o.set("success", Json(success_));
+  o.set("score", Json(score_));
+  JsonArray visits;
+  for (const auto& v : visits_) {
+    Json vj = Json::object();
+    auto& vo = vj.mutable_object();
+    vo.set("scenario", Json(v.name));
+    vo.set("entered_s", Json(to_seconds(v.entered)));
+    vo.set("left_s", Json(to_seconds(v.left >= 0 ? v.left : now)));
+    visits.push_back(std::move(vj));
+  }
+  o.set("visits", Json(std::move(visits)));
+  JsonArray decisions;
+  for (const auto& d : decisions_) {
+    Json dj = Json::object();
+    auto& dd = dj.mutable_object();
+    dd.set("context", Json(d.context));
+    dd.set("choice", Json(d.choice));
+    decisions.push_back(std::move(dj));
+  }
+  o.set("decisions", Json(std::move(decisions)));
+  o.set("interaction_count", Json(static_cast<i64>(interactions_.size())));
+  JsonArray items;
+  for (const auto& i : items_) items.push_back(Json(i));
+  o.set("items", Json(std::move(items)));
+  JsonArray rewards;
+  for (const auto& r : rewards_) rewards.push_back(Json(r));
+  o.set("rewards", Json(std::move(rewards)));
+  return out;
+}
+
+}  // namespace vgbl

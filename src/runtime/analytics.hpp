@@ -1,0 +1,91 @@
+// Learning analytics: the knowledge-delivery evidence the paper's §3.2
+// motivates ("Students can obtain knowledge from the process of making
+// decision and interaction"). The tracker records what the player did,
+// where, and when; the report is what a lecturer would review to decide
+// real-world rewards (§3.3: "the lecturers will decide how to reward
+// students themselves").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/sim_clock.hpp"
+#include "util/types.hpp"
+
+namespace vgbl {
+
+class LearningTracker {
+ public:
+  void on_scenario_entered(ScenarioId id, const std::string& name,
+                           MicroTime now);
+  void on_interaction(const std::string& kind, const std::string& target,
+                      MicroTime now);
+  void on_decision(const std::string& context, const std::string& choice,
+                   MicroTime now);
+  void on_item_collected(const std::string& item, MicroTime now);
+  void on_score(i64 points, const std::string& reason, MicroTime now);
+  void on_reward(const std::string& reward, MicroTime now);
+  void on_resource_opened(const std::string& title, MicroTime now);
+  void on_game_over(bool success, MicroTime now);
+
+  struct ScenarioVisit {
+    ScenarioId id;
+    std::string name;
+    MicroTime entered;
+    MicroTime left = -1;  // -1: still inside at game end
+  };
+  struct InteractionRecord {
+    std::string kind;    // "click", "examine", "drag", "use_item", ...
+    std::string target;
+    MicroTime when;
+  };
+  struct DecisionRecord {
+    std::string context;
+    std::string choice;
+    MicroTime when;
+  };
+
+  [[nodiscard]] const std::vector<ScenarioVisit>& visits() const {
+    return visits_;
+  }
+  [[nodiscard]] const std::vector<InteractionRecord>& interactions() const {
+    return interactions_;
+  }
+  [[nodiscard]] const std::vector<DecisionRecord>& decisions() const {
+    return decisions_;
+  }
+  [[nodiscard]] const std::vector<std::string>& items_collected() const {
+    return items_;
+  }
+  [[nodiscard]] const std::vector<std::string>& rewards_earned() const {
+    return rewards_;
+  }
+  [[nodiscard]] i64 total_score() const { return score_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] bool succeeded() const { return success_; }
+
+  /// Seconds spent per scenario name (aggregated over revisits).
+  [[nodiscard]] std::map<std::string, f64> time_per_scenario(
+      MicroTime now) const;
+
+  /// Lecturer-facing plain-text report.
+  [[nodiscard]] std::string report(MicroTime now) const;
+  /// Machine-readable form (for gradebook export).
+  [[nodiscard]] Json to_json(MicroTime now) const;
+
+ private:
+  std::vector<ScenarioVisit> visits_;
+  std::vector<InteractionRecord> interactions_;
+  std::vector<DecisionRecord> decisions_;
+  std::vector<std::string> items_;
+  std::vector<std::string> rewards_;
+  std::vector<std::pair<std::string, MicroTime>> resources_;
+  i64 score_ = 0;
+  bool finished_ = false;
+  bool success_ = false;
+  MicroTime finished_at_ = -1;
+};
+
+}  // namespace vgbl

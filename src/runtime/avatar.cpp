@@ -1,0 +1,54 @@
+#include "runtime/avatar.hpp"
+
+#include <cmath>
+
+namespace vgbl {
+
+void Avatar::walk_to(Point p, MicroTime now) {
+  target_ = p;
+  last_update_ = now;
+}
+
+bool Avatar::update(MicroTime now) {
+  if (!target_) {
+    last_update_ = now;
+    return false;
+  }
+  const f64 dt = to_seconds(now - last_update_);
+  last_update_ = now;
+  if (dt <= 0) return false;
+
+  const f64 dx = static_cast<f64>(target_->x - position_.x);
+  const f64 dy = static_cast<f64>(target_->y - position_.y);
+  const f64 dist = std::sqrt(dx * dx + dy * dy);
+  const f64 step = options_.speed_px_per_s * dt;
+  if (dist <= step || dist < 0.5) {
+    position_ = *target_;
+    target_.reset();
+    return true;  // arrived
+  }
+  position_.x += static_cast<i32>(std::lround(dx / dist * step));
+  position_.y += static_cast<i32>(std::lround(dy / dist * step));
+  return false;
+}
+
+bool Avatar::can_reach(const Rect& rect) const {
+  // Distance from the avatar's feet to the nearest point of the rect.
+  const i32 cx = std::clamp(position_.x, rect.x, rect.right() - 1);
+  const i32 cy = std::clamp(position_.y, rect.y, rect.bottom() - 1);
+  const i64 dx = position_.x - cx;
+  const i64 dy = position_.y - cy;
+  const i64 reach = options_.reach_px;
+  return dx * dx + dy * dy <= reach * reach;
+}
+
+Point Avatar::stand_point_for(const Rect& rect) const {
+  // Stand just below the object's centre when possible (adventure-game
+  // convention: the character walks "in front of" the prop), otherwise at
+  // the nearest edge at half reach.
+  const Point c = rect.center();
+  const i32 offset = options_.reach_px / 2;
+  return {c.x, rect.bottom() - 1 + offset};
+}
+
+}  // namespace vgbl

@@ -1,0 +1,70 @@
+// The player avatar (paper §4.3: "The users can manipulate the avatar in
+// a game scenario and make interactions with the interactive objects").
+// The avatar walks toward clicked points at a fixed speed; when avatar
+// mode is enabled, object interactions require proximity — clicking a far
+// object first walks the avatar there, then performs the interaction
+// (classic point-and-click adventure behaviour).
+#pragma once
+
+#include <optional>
+
+#include "util/geometry.hpp"
+#include "util/sim_clock.hpp"
+#include "util/types.hpp"
+
+namespace vgbl {
+
+class Avatar {
+ public:
+  struct Options {
+    f64 speed_px_per_s = 120.0;
+    /// Interaction reach: the avatar can touch objects whose rect is
+    /// within this distance of its position.
+    i32 reach_px = 40;
+    /// Rendered size (feet at `position`).
+    Size size{16, 28};
+  };
+
+  Avatar() : Avatar(Options{}) {}
+  explicit Avatar(Options options) : options_(options) {}
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Current position (video coordinates; the avatar's feet).
+  [[nodiscard]] Point position() const { return position_; }
+  void set_position(Point p) {
+    position_ = p;
+    target_.reset();
+  }
+
+  /// Starts walking toward `p` (clamped to `bounds` by the caller).
+  void walk_to(Point p, MicroTime now);
+  [[nodiscard]] bool walking() const { return target_.has_value(); }
+  [[nodiscard]] std::optional<Point> target() const { return target_; }
+
+  /// Advances motion to `now`. Returns true when a walk completed on this
+  /// update (arrival edge, used to trigger deferred interactions).
+  bool update(MicroTime now);
+
+  /// True when the avatar can reach an object occupying `rect`.
+  [[nodiscard]] bool can_reach(const Rect& rect) const;
+
+  /// Where the avatar should stand to interact with `rect` (the nearest
+  /// point at reach distance below/beside the object).
+  [[nodiscard]] Point stand_point_for(const Rect& rect) const;
+
+  /// Footprint rectangle for rendering.
+  [[nodiscard]] Rect bounds() const {
+    return {position_.x - options_.size.width / 2,
+            position_.y - options_.size.height, options_.size.width,
+            options_.size.height};
+  }
+
+ private:
+  Options options_;
+  Point position_{40, 200};
+  std::optional<Point> target_;
+  MicroTime last_update_ = 0;
+};
+
+}  // namespace vgbl

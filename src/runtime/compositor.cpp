@@ -1,0 +1,280 @@
+#include "runtime/compositor.hpp"
+
+#include <algorithm>
+
+namespace vgbl {
+namespace {
+
+/// 5x7 font for the printable ASCII glyphs the chrome needs. Each glyph is
+/// 5 columns; each byte holds one column's 7 row bits (LSB = top row).
+struct FontGlyph {
+  char ch;
+  u8 cols[5];
+};
+
+// Compact font covering digits, upper-case letters and common punctuation;
+// lower-case maps to upper-case at draw time.
+constexpr FontGlyph kFont[] = {
+    {' ', {0x00, 0x00, 0x00, 0x00, 0x00}},
+    {'!', {0x00, 0x00, 0x5F, 0x00, 0x00}},
+    {'\'', {0x00, 0x00, 0x03, 0x00, 0x00}},
+    {'(', {0x00, 0x1C, 0x22, 0x41, 0x00}},
+    {')', {0x00, 0x41, 0x22, 0x1C, 0x00}},
+    {'+', {0x08, 0x08, 0x3E, 0x08, 0x08}},
+    {',', {0x00, 0x50, 0x30, 0x00, 0x00}},
+    {'-', {0x08, 0x08, 0x08, 0x08, 0x08}},
+    {'.', {0x00, 0x60, 0x60, 0x00, 0x00}},
+    {'/', {0x20, 0x10, 0x08, 0x04, 0x02}},
+    {'0', {0x3E, 0x51, 0x49, 0x45, 0x3E}},
+    {'1', {0x00, 0x42, 0x7F, 0x40, 0x00}},
+    {'2', {0x42, 0x61, 0x51, 0x49, 0x46}},
+    {'3', {0x21, 0x41, 0x45, 0x4B, 0x31}},
+    {'4', {0x18, 0x14, 0x12, 0x7F, 0x10}},
+    {'5', {0x27, 0x45, 0x45, 0x45, 0x39}},
+    {'6', {0x3C, 0x4A, 0x49, 0x49, 0x30}},
+    {'7', {0x01, 0x71, 0x09, 0x05, 0x03}},
+    {'8', {0x36, 0x49, 0x49, 0x49, 0x36}},
+    {'9', {0x06, 0x49, 0x49, 0x29, 0x1E}},
+    {':', {0x00, 0x36, 0x36, 0x00, 0x00}},
+    {'?', {0x02, 0x01, 0x51, 0x09, 0x06}},
+    {'A', {0x7E, 0x11, 0x11, 0x11, 0x7E}},
+    {'B', {0x7F, 0x49, 0x49, 0x49, 0x36}},
+    {'C', {0x3E, 0x41, 0x41, 0x41, 0x22}},
+    {'D', {0x7F, 0x41, 0x41, 0x22, 0x1C}},
+    {'E', {0x7F, 0x49, 0x49, 0x49, 0x41}},
+    {'F', {0x7F, 0x09, 0x09, 0x09, 0x01}},
+    {'G', {0x3E, 0x41, 0x49, 0x49, 0x7A}},
+    {'H', {0x7F, 0x08, 0x08, 0x08, 0x7F}},
+    {'I', {0x00, 0x41, 0x7F, 0x41, 0x00}},
+    {'J', {0x20, 0x40, 0x41, 0x3F, 0x01}},
+    {'K', {0x7F, 0x08, 0x14, 0x22, 0x41}},
+    {'L', {0x7F, 0x40, 0x40, 0x40, 0x40}},
+    {'M', {0x7F, 0x02, 0x0C, 0x02, 0x7F}},
+    {'N', {0x7F, 0x04, 0x08, 0x10, 0x7F}},
+    {'O', {0x3E, 0x41, 0x41, 0x41, 0x3E}},
+    {'P', {0x7F, 0x09, 0x09, 0x09, 0x06}},
+    {'Q', {0x3E, 0x41, 0x51, 0x21, 0x5E}},
+    {'R', {0x7F, 0x09, 0x19, 0x29, 0x46}},
+    {'S', {0x46, 0x49, 0x49, 0x49, 0x31}},
+    {'T', {0x01, 0x01, 0x7F, 0x01, 0x01}},
+    {'U', {0x3F, 0x40, 0x40, 0x40, 0x3F}},
+    {'V', {0x1F, 0x20, 0x40, 0x20, 0x1F}},
+    {'W', {0x3F, 0x40, 0x38, 0x40, 0x3F}},
+    {'X', {0x63, 0x14, 0x08, 0x14, 0x63}},
+    {'Y', {0x07, 0x08, 0x70, 0x08, 0x07}},
+    {'Z', {0x61, 0x51, 0x49, 0x45, 0x43}},
+    {'[', {0x00, 0x7F, 0x41, 0x41, 0x00}},
+    {']', {0x00, 0x41, 0x41, 0x7F, 0x00}},
+    {'_', {0x40, 0x40, 0x40, 0x40, 0x40}},
+};
+
+const FontGlyph* find_glyph(char c) {
+  if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  for (const auto& g : kFont) {
+    if (g.ch == c) return &g;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+i32 Compositor::draw_text(Frame& frame, Point at, const std::string& text,
+                          Color color, int scale) {
+  i32 x = at.x;
+  for (char c : text) {
+    const FontGlyph* glyph = find_glyph(c);
+    if (glyph) {
+      for (int col = 0; col < 5; ++col) {
+        for (int row = 0; row < 7; ++row) {
+          if (!(glyph->cols[col] & (1 << row))) continue;
+          for (int sy = 0; sy < scale; ++sy) {
+            for (int sx = 0; sx < scale; ++sx) {
+              const i32 px = x + col * scale + sx;
+              const i32 py = at.y + row * scale + sy;
+              if (frame.bounds().contains({px, py})) {
+                frame.set_pixel(px, py, color);
+              }
+            }
+          }
+        }
+      }
+    }
+    x += 6 * scale;  // 5 columns + 1 gap
+  }
+  return x;
+}
+
+Frame Compositor::render(GameSession& session) {
+  const UiLayout& layout = session.ui().layout();
+  Frame canvas = Frame::rgb(layout.canvas.width, layout.canvas.height,
+                            options_.chrome_background);
+
+  // Video area.
+  auto video = session.current_video_frame();
+  const Rect va = layout.video_area;
+  if (video) {
+    canvas.blit(*video, va.origin());
+  } else {
+    canvas.fill_rect(va, colors::kBlack);
+  }
+
+  // Mounted objects, in paint order, offset into the video area.
+  for (const InteractiveObject* obj : session.visible_objects()) {
+    const Rect target = obj->placement.rect.translated(va.origin());
+    if (!obj->sprite.empty()) {
+      obj->sprite.draw_scaled(canvas, target);
+    } else if (obj->kind == ObjectKind::kButton) {
+      // Buttons without art get an auto face + label (Fig.2 style).
+      Sprite::button(target.size(), {70, 90, 150}).draw(canvas, target.origin());
+      draw_text(canvas, {target.x + 4, target.y + (target.height - 7) / 2},
+                obj->name, colors::kWhite);
+    }
+    if (options_.draw_object_outlines) {
+      canvas.draw_rect(target, {0, 255, 255});
+    }
+  }
+
+  // Avatar (paper §4.3), drawn above objects, below the chrome.
+  if (session.options().enable_avatar) {
+    const Rect a = session.avatar().bounds().translated(va.origin());
+    // Simple figure: body capsule + head disc.
+    canvas.fill_rect({a.x + a.width / 4, a.y + a.height / 3,
+                      a.width / 2, 2 * a.height / 3},
+                     {60, 90, 160});
+    canvas.fill_circle({a.x + a.width / 2, a.y + a.height / 4},
+                       a.width / 3, {235, 200, 170});
+    if (session.avatar().walking()) {
+      canvas.draw_rect(a, {250, 250, 120});  // walk highlight
+    }
+  }
+
+  draw_chrome(canvas, session);
+  draw_inventory(canvas, session);
+  draw_message(canvas, session);
+  draw_dialogue(canvas, session);
+  draw_quiz(canvas, session);
+
+  // Image popup: centred over the video.
+  if (session.ui().image()) {
+    const Sprite big = Sprite::icon(session.ui().image()->icon, 64);
+    big.draw(canvas, {va.x + (va.width - 64) / 2, va.y + (va.height - 64) / 2});
+  }
+  return canvas;
+}
+
+void Compositor::draw_chrome(Frame& canvas, GameSession& session) {
+  const UiLayout& layout = session.ui().layout();
+  canvas.fill_rect(layout.status_bar, {25, 27, 32});
+  const Scenario* s = session.current_scenario_info();
+  std::string title = session.bundle().meta.title;
+  if (s) title += "  [" + s->name + "]";
+  draw_text(canvas, {4, layout.status_bar.y + 4}, title,
+            options_.chrome_text);
+  const std::string score = "SCORE " + std::to_string(session.score());
+  draw_text(canvas,
+            {layout.status_bar.right() - static_cast<i32>(score.size()) * 6 - 4,
+             layout.status_bar.y + 4},
+            score, {250, 210, 80});
+}
+
+void Compositor::draw_inventory(Frame& canvas, GameSession& session) {
+  const Rect w = session.ui().layout().inventory_window;
+  canvas.fill_rect(w, {55, 58, 66});
+  canvas.draw_rect(w, {90, 94, 104});
+  draw_text(canvas, {w.x + 4, w.y + 4}, "BACKPACK", options_.chrome_text);
+
+  // Item grid: 2 columns of 28px cells.
+  const i32 cell = 38;
+  const i32 x0 = w.x + 6;
+  const i32 y0 = w.y + 16;
+  int slot_index = 0;
+  const auto& slots = session.inventory().slots();
+  for (const auto& slot : slots) {
+    const ItemDef* def = session.bundle().items.find(slot.item);
+    const i32 cx = x0 + (slot_index % 2) * (cell + 6);
+    const i32 cy = y0 + (slot_index / 2) * (cell + 6);
+    if (cy + cell > w.bottom()) break;
+    const Rect cell_rect{cx, cy, cell, cell};
+    canvas.fill_rect(cell_rect, def && def->is_reward
+                                    ? Color{80, 70, 30}
+                                    : Color{45, 48, 55});
+    canvas.draw_rect(cell_rect, {120, 124, 134});
+    if (def) {
+      Sprite::icon(def->icon.empty() ? def->name : def->icon, cell - 10)
+          .draw(canvas, {cx + 5, cy + 5});
+    }
+    if (slot.count > 1) {
+      draw_text(canvas, {cx + 3, cy + cell - 9},
+                "X" + std::to_string(slot.count), colors::kWhite);
+    }
+    ++slot_index;
+  }
+  // Empty-slot placeholders up to capacity.
+  for (; slot_index < session.inventory().capacity(); ++slot_index) {
+    const i32 cx = x0 + (slot_index % 2) * (cell + 6);
+    const i32 cy = y0 + (slot_index / 2) * (cell + 6);
+    if (cy + cell > w.bottom()) break;
+    canvas.draw_rect({cx, cy, cell, cell}, {75, 78, 86});
+  }
+}
+
+void Compositor::draw_message(Frame& canvas, GameSession& session) {
+  const Rect m = session.ui().layout().message_area;
+  canvas.fill_rect(m, {30, 32, 38});
+  canvas.draw_rect(m, {90, 94, 104});
+  if (session.ui().message()) {
+    draw_text(canvas, {m.x + 6, m.y + 6}, session.ui().message()->text,
+              options_.chrome_text);
+  }
+  if (session.game_over()) {
+    draw_text(canvas, {m.x + 6, m.y + 20},
+              session.succeeded() ? "MISSION COMPLETE" : "MISSION FAILED",
+              session.succeeded() ? Color{120, 230, 120} : Color{230, 120, 120});
+  }
+}
+
+void Compositor::draw_quiz(Frame& canvas, GameSession& session) {
+  if (!session.ui().quiz()) return;
+  const QuizView& q = *session.ui().quiz();
+  const Rect va = session.ui().layout().video_area;
+  const i32 lines = 2 + static_cast<i32>(q.options.size());
+  const Rect box{va.x + 8, va.y + 16, va.width - 16, 10 + lines * 10};
+  canvas.fill_rect(box, {24, 28, 20});
+  canvas.draw_rect(box, {180, 200, 140});
+  i32 y = box.y + 4;
+  draw_text(canvas, {box.x + 4, y},
+            "QUIZ " + std::to_string(q.question_number) + "/" +
+                std::to_string(q.total_questions) + ": " + q.quiz_name,
+            {200, 230, 150});
+  y += 10;
+  draw_text(canvas, {box.x + 4, y}, q.prompt, colors::kWhite);
+  y += 10;
+  for (size_t i = 0; i < q.options.size(); ++i) {
+    draw_text(canvas, {box.x + 10, y},
+              std::to_string(i + 1) + ". " + q.options[i], {250, 220, 120});
+    y += 10;
+  }
+}
+
+void Compositor::draw_dialogue(Frame& canvas, GameSession& session) {
+  if (!session.ui().dialogue()) return;
+  const DialogueView& d = *session.ui().dialogue();
+  const Rect va = session.ui().layout().video_area;
+  const i32 lines = 2 + static_cast<i32>(d.choices.size());
+  const Rect box{va.x + 8, va.bottom() - 14 - lines * 10, va.width - 16,
+                 6 + lines * 10};
+  canvas.fill_rect(box, {20, 20, 26});
+  canvas.draw_rect(box, {160, 160, 180});
+  i32 y = box.y + 4;
+  draw_text(canvas, {box.x + 4, y}, d.speaker + ":", {150, 200, 250});
+  y += 10;
+  draw_text(canvas, {box.x + 4, y}, d.line, colors::kWhite);
+  y += 10;
+  for (size_t i = 0; i < d.choices.size(); ++i) {
+    draw_text(canvas, {box.x + 10, y},
+              std::to_string(i + 1) + ". " + d.choices[i], {250, 220, 120});
+    y += 10;
+  }
+}
+
+}  // namespace vgbl

@@ -1,0 +1,42 @@
+// Compositor: rasterises one runtime screen — video frame + mounted
+// interactive objects + UI chrome (status bar, inventory window, message
+// bar, dialogue overlay) — into an RGB frame. This is the pixel-exact
+// headless equivalent of the paper's Figure 2 window.
+#pragma once
+
+#include "runtime/session.hpp"
+#include "video/frame.hpp"
+
+namespace vgbl {
+
+struct CompositorOptions {
+  bool draw_object_outlines = false;  // authoring-style cyan outlines
+  Color chrome_background{40, 42, 48};
+  Color chrome_text{220, 220, 220};
+};
+
+class Compositor {
+ public:
+  Compositor() : Compositor(CompositorOptions{}) {}
+  explicit Compositor(CompositorOptions options) : options_(options) {}
+
+  /// Renders the session's current screen. Never fails: if the video frame
+  /// is unavailable (decode in flight) the video area is filled black.
+  Frame render(GameSession& session);
+
+  /// Draws a 5×7 bitmap-font string (ASCII subset) onto a frame — used for
+  /// labels in the chrome. Returns the x position after the last glyph.
+  static i32 draw_text(Frame& frame, Point at, const std::string& text,
+                       Color color, int scale = 1);
+
+ private:
+  void draw_chrome(Frame& canvas, GameSession& session);
+  void draw_inventory(Frame& canvas, GameSession& session);
+  void draw_message(Frame& canvas, GameSession& session);
+  void draw_dialogue(Frame& canvas, GameSession& session);
+  void draw_quiz(Frame& canvas, GameSession& session);
+
+  CompositorOptions options_;
+};
+
+}  // namespace vgbl

@@ -1,0 +1,47 @@
+#include "runtime/input.hpp"
+
+#include <cstdlib>
+
+namespace vgbl {
+
+std::optional<Gesture> GestureRecognizer::feed(const MouseEvent& event) {
+  switch (event.type) {
+    case MouseEvent::Type::kDown:
+      pressed_ = true;
+      moved_beyond_slop_ = false;
+      pressed_button_ = event.button;
+      press_position_ = event.position;
+      return std::nullopt;
+
+    case MouseEvent::Type::kMove:
+      if (pressed_ && !moved_beyond_slop_) {
+        const Point d = event.position - press_position_;
+        if (std::abs(d.x) > drag_slop_ || std::abs(d.y) > drag_slop_) {
+          moved_beyond_slop_ = true;
+        }
+      }
+      return std::nullopt;
+
+    case MouseEvent::Type::kUp: {
+      if (!pressed_) return std::nullopt;
+      pressed_ = false;
+      Gesture g;
+      g.when = event.when;
+      if (pressed_button_ == MouseButton::kRight) {
+        g.type = Gesture::Type::kExamine;
+        g.position = press_position_;
+      } else if (moved_beyond_slop_) {
+        g.type = Gesture::Type::kDrag;
+        g.position = press_position_;
+        g.drag_end = event.position;
+      } else {
+        g.type = Gesture::Type::kClick;
+        g.position = press_position_;
+      }
+      return g;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace vgbl

@@ -1,0 +1,58 @@
+// Player input model. Mouse and keyboard "are responsible for delivering
+// users' interactions to the interactive VGBL runtime environment" (§3.1).
+// The session consumes semantic gestures (click / examine / drag / use);
+// GestureRecognizer turns raw mouse events into those gestures for callers
+// that simulate a real pointer device.
+#pragma once
+
+#include <optional>
+
+#include "util/geometry.hpp"
+#include "util/sim_clock.hpp"
+#include "util/types.hpp"
+
+namespace vgbl {
+
+enum class MouseButton : u8 { kLeft = 0, kRight };
+
+struct MouseEvent {
+  enum class Type : u8 { kMove, kDown, kUp } type = Type::kMove;
+  Point position;
+  MouseButton button = MouseButton::kLeft;
+  MicroTime when = 0;
+};
+
+/// Semantic gesture produced by the recognizer.
+struct Gesture {
+  enum class Type : u8 {
+    kClick,     // left press+release within slop
+    kExamine,   // right click ("examine" verb, §3.1)
+    kDrag,      // press, move beyond slop, release
+  } type = Type::kClick;
+  Point position;   // click/examine point, or drag start
+  Point drag_end;   // drag release point
+  MicroTime when = 0;
+};
+
+/// Turns raw mouse streams into click/examine/drag gestures. Movement
+/// beyond `drag_slop` pixels between press and release makes a drag.
+class GestureRecognizer {
+ public:
+  explicit GestureRecognizer(i32 drag_slop = 4) : drag_slop_(drag_slop) {}
+
+  /// Feeds one event; returns a completed gesture, if any.
+  std::optional<Gesture> feed(const MouseEvent& event);
+
+  [[nodiscard]] bool dragging() const {
+    return pressed_ && moved_beyond_slop_;
+  }
+
+ private:
+  i32 drag_slop_;
+  bool pressed_ = false;
+  bool moved_beyond_slop_ = false;
+  MouseButton pressed_button_ = MouseButton::kLeft;
+  Point press_position_;
+};
+
+}  // namespace vgbl

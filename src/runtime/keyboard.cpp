@@ -1,0 +1,97 @@
+#include "runtime/keyboard.hpp"
+
+#include <algorithm>
+
+namespace vgbl {
+
+std::vector<const InteractiveObject*> KeyboardController::focus_order() const {
+  std::vector<const InteractiveObject*> objects = session_->visible_objects();
+  std::sort(objects.begin(), objects.end(),
+            [](const InteractiveObject* a, const InteractiveObject* b) {
+              const Point pa = a->placement.rect.origin();
+              const Point pb = b->placement.rect.origin();
+              return pa.y != pb.y ? pa.y < pb.y : pa.x < pb.x;
+            });
+  return objects;
+}
+
+ObjectId KeyboardController::focused() const {
+  // Validate against the current visible set (objects hide/reveal).
+  for (const auto* o : focus_order()) {
+    if (o->id == focus_) return focus_;
+  }
+  return {};
+}
+
+std::optional<Point> KeyboardController::focused_point() const {
+  for (const auto* o : focus_order()) {
+    if (o->id == focus_) {
+      const Point c = o->placement.rect.center();
+      const Point origin = session_->ui().layout().video_area.origin();
+      return Point{c.x + origin.x, c.y + origin.y};
+    }
+  }
+  return std::nullopt;
+}
+
+void KeyboardController::move_focus(int delta) {
+  const auto order = focus_order();
+  if (order.empty()) {
+    focus_ = {};
+    return;
+  }
+  // Find the current anchor; fall back to the first/last element.
+  int index = -1;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i]->id == focus_) {
+      index = static_cast<int>(i);
+      break;
+    }
+  }
+  if (index < 0) {
+    focus_ = delta >= 0 ? order.front()->id : order.back()->id;
+    return;
+  }
+  const int n = static_cast<int>(order.size());
+  focus_ = order[static_cast<size_t>(((index + delta) % n + n) % n)]->id;
+}
+
+Status KeyboardController::press(Key key) {
+  // Digits answer modal UI first (dialogue choices, quiz options).
+  if (key >= Key::kDigit1 && key <= Key::kDigit9) {
+    const size_t choice =
+        static_cast<size_t>(key) - static_cast<size_t>(Key::kDigit1);
+    if (session_->in_quiz()) return session_->answer_quiz(choice);
+    if (session_->in_dialogue()) return session_->choose_dialogue(choice);
+    return {};  // no modal: digits are inert
+  }
+
+  switch (key) {
+    case Key::kTab:
+    case Key::kDown:
+      move_focus(1);
+      return {};
+    case Key::kShiftTab:
+    case Key::kUp:
+      move_focus(-1);
+      return {};
+    case Key::kEnter: {
+      if (session_->in_dialogue()) return session_->advance_dialogue();
+      auto p = focused_point();
+      if (!p) return {};
+      return session_->click(*p);
+    }
+    case Key::kExamine: {
+      auto p = focused_point();
+      if (!p) return {};
+      return session_->examine(*p);
+    }
+    case Key::kEscape:
+      session_->dismiss_popups();
+      return {};
+    default:
+      return {};
+  }
+}
+
+}  // namespace vgbl

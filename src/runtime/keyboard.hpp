@@ -1,0 +1,59 @@
+// Keyboard / remote-control input (paper §2: "Remote control, PDA, tablet,
+// keyboard and mouse are used for delivering the control made by users").
+// Maps discrete key presses onto session interactions: Tab/arrows cycle
+// focus through the visible objects, Enter activates, E examines, digits
+// answer dialogues and quizzes — the ten-key interaction model a TV remote
+// affords.
+#pragma once
+
+#include "runtime/session.hpp"
+
+namespace vgbl {
+
+enum class Key : u8 {
+  kTab = 0,     // focus next object
+  kShiftTab,    // focus previous object
+  kUp,          // focus previous (remote-control arrows)
+  kDown,        // focus next
+  kEnter,       // activate focused object (click)
+  kExamine,     // 'E' / remote INFO button
+  kDigit1,      // choices / quiz answers
+  kDigit2,
+  kDigit3,
+  kDigit4,
+  kDigit5,
+  kDigit6,
+  kDigit7,
+  kDigit8,
+  kDigit9,
+  kEscape,      // dismiss popups
+};
+
+/// Stateful focus-based controller over one session. Focus order is the
+/// visible objects sorted by position (top-to-bottom, left-to-right), so
+/// Tab order matches reading order; it survives object-set changes by
+/// re-anchoring to the nearest still-visible object.
+class KeyboardController {
+ public:
+  explicit KeyboardController(GameSession* session) : session_(session) {}
+
+  /// Handles one key press. Unknown/ignored keys return ok.
+  Status press(Key key);
+
+  /// The currently focused object (invalid when none focusable).
+  [[nodiscard]] ObjectId focused() const;
+
+  /// Canvas-space centre of the focused object (for focus-ring drawing and
+  /// for routing the activation click).
+  [[nodiscard]] std::optional<Point> focused_point() const;
+
+ private:
+  /// Visible objects in reading order.
+  [[nodiscard]] std::vector<const InteractiveObject*> focus_order() const;
+  void move_focus(int delta);
+
+  GameSession* session_;
+  ObjectId focus_;
+};
+
+}  // namespace vgbl

@@ -1,0 +1,213 @@
+#include "runtime/render_text.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "runtime/compositor.hpp"
+#include "util/text.hpp"
+
+namespace vgbl {
+
+std::string ascii_render(const Frame& frame, int columns) {
+  if (frame.empty() || columns <= 0) return "";
+  // Density ramp from dark to light.
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr int kRampSize = sizeof(kRamp) - 2;
+
+  const int cols = std::min<int>(columns, frame.width());
+  const f64 cell_w = static_cast<f64>(frame.width()) / cols;
+  const f64 cell_h = cell_w * 2.0;  // terminal cell aspect correction
+  const int rows =
+      std::max(1, static_cast<int>(frame.height() / cell_h + 0.5));
+
+  std::string out;
+  out.reserve(static_cast<size_t>(rows) * (static_cast<size_t>(cols) + 1));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const i32 x0 = static_cast<i32>(c * cell_w);
+      const i32 y0 = static_cast<i32>(r * cell_h);
+      const i32 x1 = std::min<i32>(frame.width(), static_cast<i32>((c + 1) * cell_w) + 1);
+      const i32 y1 = std::min<i32>(frame.height(), static_cast<i32>((r + 1) * cell_h) + 1);
+      i64 sum = 0;
+      i64 n = 0;
+      for (i32 y = y0; y < y1; ++y) {
+        for (i32 x = x0; x < x1; ++x) {
+          sum += frame.pixel(x, y).luma();
+          ++n;
+        }
+      }
+      const int luma = n ? static_cast<int>(sum / n) : 0;
+      out += kRamp[luma * kRampSize / 255];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string to_ppm(const Frame& frame) {
+  std::string out = "P6\n" + std::to_string(frame.width()) + " " +
+                    std::to_string(frame.height()) + "\n255\n";
+  out.reserve(out.size() +
+              static_cast<size_t>(frame.width()) * frame.height() * 3);
+  for (i32 y = 0; y < frame.height(); ++y) {
+    for (i32 x = 0; x < frame.width(); ++x) {
+      const Color c = frame.pixel(x, y);
+      out += static_cast<char>(c.r);
+      out += static_cast<char>(c.g);
+      out += static_cast<char>(c.b);
+    }
+  }
+  return out;
+}
+
+bool write_ppm(const Frame& frame, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const std::string data = to_ppm(frame);
+  const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  std::fclose(f);
+  return ok;
+}
+
+namespace {
+
+std::string horizontal_rule(int width) {
+  return "+" + std::string(static_cast<size_t>(width) - 2, '-') + "+\n";
+}
+
+std::string boxed_line(const std::string& text, int width) {
+  return "| " + pad_right(text, static_cast<size_t>(width) - 4) + " |\n";
+}
+
+}  // namespace
+
+std::string render_authoring_view(const Project& project,
+                                  ScenarioId selected) {
+  constexpr int kWidth = 96;
+  std::string out;
+  out += horizontal_rule(kWidth);
+  out += boxed_line("VGBL AUTHORING TOOL - " + project.meta.title, kWidth);
+  out += horizontal_rule(kWidth);
+
+  // Timeline: segments laid out proportionally over one text row.
+  int total_frames = 0;
+  for (const auto& s : project.segments) total_frames += s.frame_count;
+  std::string timeline = "video timeline  ";
+  if (total_frames > 0) {
+    const int bar_width = kWidth - 24;
+    for (size_t i = 0; i < project.segments.size(); ++i) {
+      const int w = std::max(
+          1, project.segments[i].frame_count * bar_width / total_frames);
+      timeline += "[" + std::string(static_cast<size_t>(std::max(0, w - 2)),
+                                    i % 2 ? '=' : '#') +
+                  "]";
+    }
+  } else {
+    timeline += "(no video imported)";
+  }
+  out += boxed_line(timeline, kWidth);
+  std::string legend = "segments        ";
+  for (size_t i = 0; i < project.segments.size(); ++i) {
+    legend += std::to_string(i) + ":" + project.segments[i].suggested_name +
+              "(" + std::to_string(project.segments[i].frame_count) + "f) ";
+  }
+  out += boxed_line(legend, kWidth);
+  out += horizontal_rule(kWidth);
+
+  // Scenario list with transitions (the graph panel).
+  out += boxed_line("SCENARIOS", kWidth);
+  for (const auto& s : project.graph.scenarios()) {
+    std::string line = "  ";
+    line += s.id == project.graph.start() ? "> " : "  ";
+    line += s.id == selected ? "*" : " ";
+    line += s.name;
+    if (s.terminal) line += " [terminal]";
+    const auto edges = project.graph.out_edges(s.id);
+    if (!edges.empty()) {
+      line += "  ->";
+      for (const auto* t : edges) {
+        const Scenario* to = project.graph.find(t->to);
+        line += " " + (to ? to->name : "?") + "('" + t->label + "')";
+      }
+    }
+    out += boxed_line(line, kWidth);
+  }
+  out += horizontal_rule(kWidth);
+
+  // Object palette for the selected (or first) scenario.
+  ScenarioId palette = selected;
+  if (!palette.valid() && !project.graph.scenarios().empty()) {
+    palette = project.graph.scenarios().front().id;
+  }
+  const Scenario* ps = project.graph.find(palette);
+  out += boxed_line(
+      "OBJECTS" + (ps ? " in '" + ps->name + "'" : std::string()), kWidth);
+  for (const auto* o : project.objects_in(palette)) {
+    std::string line = "  [" + std::string(object_kind_name(o->kind)) + "] " +
+                       o->name + " @" + to_string(o->placement.rect);
+    if (o->draggable) line += " draggable";
+    if (o->grants_item.valid()) {
+      const ItemDef* def = project.items.find(o->grants_item);
+      line += " grants:" + (def ? def->name : "?");
+    }
+    out += boxed_line(line, kWidth);
+  }
+  out += horizontal_rule(kWidth);
+
+  // Rules & lint summary.
+  out += boxed_line("RULES: " + std::to_string(project.rules.size()) +
+                        "   ITEMS: " + std::to_string(project.items.size()) +
+                        "   DIALOGUES: " +
+                        std::to_string(project.dialogues.size()),
+                    kWidth);
+  const auto issues = project.lint();
+  int errors = 0;
+  int warnings = 0;
+  for (const auto& i : issues) {
+    (i.level == LintLevel::kError ? errors : warnings) += 1;
+  }
+  out += boxed_line("LINT: " + std::to_string(errors) + " error(s), " +
+                        std::to_string(warnings) + " warning(s)",
+                    kWidth);
+  for (const auto& i : issues) {
+    out += boxed_line(
+        std::string(i.level == LintLevel::kError ? "  E " : "  W ") + i.message,
+        kWidth);
+  }
+  out += horizontal_rule(kWidth);
+  return out;
+}
+
+std::string render_runtime_view(GameSession& session, int columns) {
+  Compositor compositor;
+  const Frame screen = compositor.render(session);
+  std::string out = ascii_render(screen, columns);
+
+  out += "\n";
+  const Scenario* s = session.current_scenario_info();
+  out += "scenario: " + (s ? s->name : std::string("-")) +
+         "   score: " + std::to_string(session.score()) + "   backpack:";
+  for (const auto& slot : session.inventory().slots()) {
+    const ItemDef* def = session.bundle().items.find(slot.item);
+    out += " " + (def ? def->name : "?");
+    if (slot.count > 1) out += "x" + std::to_string(slot.count);
+  }
+  out += "\n";
+  if (session.ui().message()) {
+    out += "message: " + session.ui().message()->text + "\n";
+  }
+  if (session.ui().dialogue()) {
+    const auto& d = *session.ui().dialogue();
+    out += d.speaker + ": \"" + d.line + "\"\n";
+    for (size_t i = 0; i < d.choices.size(); ++i) {
+      out += "  " + std::to_string(i + 1) + ") " + d.choices[i] + "\n";
+    }
+  }
+  if (session.game_over()) {
+    out += session.succeeded() ? "*** MISSION COMPLETE ***\n"
+                               : "*** MISSION FAILED ***\n";
+  }
+  return out;
+}
+
+}  // namespace vgbl

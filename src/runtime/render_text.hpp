@@ -1,0 +1,37 @@
+// Terminal-facing output: ASCII art rendering of frames (the headless
+// stand-in for a window), PPM export for pixel-exact inspection, and the
+// two paper-figure views — the authoring-tool interface (Figure 1) and the
+// runtime interface (Figure 2) — drawn as structured text panels.
+#pragma once
+
+#include <string>
+
+#include "author/project.hpp"
+#include "runtime/session.hpp"
+#include "video/frame.hpp"
+
+namespace vgbl {
+
+/// Downsamples a frame to `columns` characters wide and maps cell luma to
+/// a density ramp. Terminal cells are ~2x taller than wide; the row step
+/// compensates.
+[[nodiscard]] std::string ascii_render(const Frame& frame, int columns = 96);
+
+/// Binary PPM (P6) serialisation of an RGB frame.
+[[nodiscard]] std::string to_ppm(const Frame& frame);
+
+/// Writes a frame to a PPM file; returns false on IO failure.
+bool write_ppm(const Frame& frame, const std::string& path);
+
+/// Figure 1 — "The interface of interactive VGBL authoring tool": segment
+/// timeline, scenario list with transitions, object palette for the
+/// selected scenario, and the lint panel.
+[[nodiscard]] std::string render_authoring_view(const Project& project,
+                                                ScenarioId selected = {});
+
+/// Figure 2 — "The interface of interactive VGBL runtime environment":
+/// the composited screen as ASCII plus the inventory/message readout.
+[[nodiscard]] std::string render_runtime_view(GameSession& session,
+                                              int columns = 96);
+
+}  // namespace vgbl

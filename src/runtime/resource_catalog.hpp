@@ -1,0 +1,55 @@
+// Simulated external-resource access. The paper's runtime lets buttons
+// "get information from websites" (§4.3, Fig.2); with no network in this
+// environment, OpenUrl actions resolve against this in-process catalogue,
+// which models page titles and fetch latency (see DESIGN.md §2).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/sim_clock.hpp"
+#include "util/types.hpp"
+
+namespace vgbl {
+
+struct WebResource {
+  std::string url;
+  std::string title;
+  std::string summary;     // shown in the message bar when opened
+  MicroTime fetch_latency = milliseconds(120);
+};
+
+class ResourceCatalog {
+ public:
+  void add(WebResource resource) {
+    resources_[resource.url] = std::move(resource);
+  }
+
+  [[nodiscard]] const WebResource* find(const std::string& url) const {
+    auto it = resources_.find(url);
+    return it == resources_.end() ? nullptr : &it->second;
+  }
+
+  /// "Fetches" a resource: records the access and returns the resource or
+  /// nullopt for unknown urls (a 404, in effect).
+  std::optional<WebResource> fetch(const std::string& url, MicroTime now);
+
+  struct Access {
+    std::string url;
+    MicroTime when;
+    bool found;
+  };
+  [[nodiscard]] const std::vector<Access>& access_log() const { return log_; }
+
+  /// Built-in encyclopedia used by the examples (computer hardware pages
+  /// for the classroom-repair game, etc.).
+  static ResourceCatalog with_default_pages();
+
+ private:
+  std::map<std::string, WebResource> resources_;
+  std::vector<Access> log_;
+};
+
+}  // namespace vgbl

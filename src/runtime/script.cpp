@@ -1,0 +1,347 @@
+#include "runtime/script.hpp"
+
+#include <algorithm>
+
+namespace vgbl {
+
+Result<Point> ScriptRunner::locate(const std::string& object_name) const {
+  for (const InteractiveObject* o : session_->visible_objects()) {
+    if (o->name == object_name) {
+      const Point video_center = o->placement.rect.center();
+      const Point origin = session_->ui().layout().video_area.origin();
+      return Point{video_center.x + origin.x, video_center.y + origin.y};
+    }
+  }
+  return not_found("no visible object named '" + object_name +
+                   "' in the current scenario");
+}
+
+Result<ItemId> ScriptRunner::item_by_name(const std::string& name) const {
+  const ItemDef* def = session_->bundle().items.find_by_name(name);
+  if (!def) return not_found("no item named '" + name + "'");
+  return def->id;
+}
+
+Status ScriptRunner::run_step(const ScriptStep& step) {
+  switch (step.op) {
+    case ScriptStep::Op::kClickObject: {
+      auto p = locate(step.object_name);
+      if (!p.ok()) return p.error();
+      return session_->click(p.value());
+    }
+    case ScriptStep::Op::kExamineObject: {
+      auto p = locate(step.object_name);
+      if (!p.ok()) return p.error();
+      return session_->examine(p.value());
+    }
+    case ScriptStep::Op::kDragObjectToInventory: {
+      auto p = locate(step.object_name);
+      if (!p.ok()) return p.error();
+      const Rect inv = session_->ui().layout().inventory_window;
+      return session_->drag(p.value(), inv.center());
+    }
+    case ScriptStep::Op::kUseItemOn: {
+      auto item = item_by_name(step.item_name);
+      if (!item.ok()) return item.error();
+      auto p = locate(step.object_name);
+      if (!p.ok()) return p.error();
+      return session_->use_item_on(item.value(), p.value());
+    }
+    case ScriptStep::Op::kCombineItems: {
+      auto a = item_by_name(step.item_name);
+      if (!a.ok()) return a.error();
+      auto b = item_by_name(step.second_item_name);
+      if (!b.ok()) return b.error();
+      return session_->combine_items(a.value(), b.value());
+    }
+    case ScriptStep::Op::kChooseDialogue:
+      return session_->choose_dialogue(step.choice);
+    case ScriptStep::Op::kAdvanceDialogue:
+      return session_->advance_dialogue();
+    case ScriptStep::Op::kAnswerQuiz:
+      return session_->answer_quiz(step.choice);
+    case ScriptStep::Op::kWait: {
+      // Tick in frame-sized increments so timers fire at accurate times.
+      MicroTime remaining = step.wait_time;
+      const MicroTime quantum = milliseconds(50);
+      while (remaining > 0) {
+        const MicroTime d = std::min(remaining, quantum);
+        clock_->advance(d);
+        remaining -= d;
+        session_->tick();
+      }
+      return {};
+    }
+    case ScriptStep::Op::kClickPoint:
+      return session_->click(step.point);
+  }
+  return internal_error("unknown script op");
+}
+
+Status ScriptRunner::run(const InputScript& script) {
+  for (const auto& step : script) {
+    if (options_.stop_on_game_over && session_->game_over()) return {};
+    if (auto st = run_step(step); !st.ok()) return st;
+    clock_->advance(options_.step_pause);
+    session_->tick();
+  }
+  return {};
+}
+
+namespace {
+
+/// Signature of the mutable state a retry decision depends on: if it
+/// changed, previously fruitless interactions may now fire (a guard's
+/// has_item/flag may pass), so the explorer retries them. Deliberately
+/// excludes the current scenario — otherwise every navigation hop would
+/// re-arm all interactions and the bot would ping-pong between scenes.
+u64 state_signature(const GameSession& s) {
+  u64 h = 1469598103934665603ULL;
+  const auto mix = [&h](u64 v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  };
+  for (const auto& slot : s.inventory().slots()) {
+    mix(slot.item.value);
+    mix(static_cast<u64>(slot.count));
+  }
+  mix(static_cast<u64>(s.score()));
+  // Flags, order-independently (XOR of name hashes).
+  u64 flag_mix = 0;
+  for (const auto& f : s.flags()) {
+    flag_mix ^= std::hash<std::string>{}(f);
+  }
+  mix(flag_mix);
+  return h;
+}
+
+class ExplorerBot {
+ public:
+  ExplorerBot(GameSession& session, SimClock& clock, Rng rng, bool examine)
+      : session_(session), clock_(clock), rng_(rng), examine_(examine) {}
+
+  /// One action; returns false when the bot is out of ideas this round
+  /// (caller then waits to let timers / segment-end advance the world).
+  bool step() {
+    if (session_.in_quiz()) {
+      const auto& q = session_.ui().quiz();
+      // The explorer "studied": it answers deterministically by prompt
+      // hash, which is stable but not always right — like a real student.
+      const size_t n = q ? q->options.size() : 1;
+      (void)session_.answer_quiz(std::hash<std::string>{}(q ? q->prompt : "") % n);
+      return true;
+    }
+    if (session_.in_dialogue()) {
+      const auto& d = session_.ui().dialogue();
+      if (d && !d->choices.empty()) {
+        // Systematic: take the first untried choice of this line; once all
+        // were tried across conversations, fall back to random.
+        size_t pick = rng_.below(d->choices.size());
+        for (size_t i = 0; i < d->choices.size(); ++i) {
+          if (!dialogue_tried_.count(d->line + "|" + d->choices[i])) {
+            pick = i;
+            break;
+          }
+        }
+        dialogue_tried_.insert(d->line + "|" + d->choices[pick]);
+        (void)session_.choose_dialogue(pick);
+      } else {
+        (void)session_.advance_dialogue();
+      }
+      return true;
+    }
+
+    const u64 sig = state_signature(session_) ^
+                    (dialogue_tried_.size() * 0x9E3779B97F4A7C15ULL);
+    const Point origin = session_.ui().layout().video_area.origin();
+    auto canvas_center = [&](const InteractiveObject* o) {
+      const Point c = o->placement.rect.center();
+      return Point{c.x + origin.x, c.y + origin.y};
+    };
+
+    const auto objects = session_.visible_objects();
+
+    // 1. Untried examines (knowledge first — this is a learning game).
+    //    State-dependent so guarded examines (e.g. "reveals a hidden
+    //    object once you heard the hint") are retried after state changes.
+    if (examine_) {
+      for (const auto* o : objects) {
+        if (mark("ex:" + key(o), sig)) {
+          (void)session_.examine(canvas_center(o));
+          return true;
+        }
+      }
+    }
+    // 2. Collect collectables.
+    for (const auto* o : objects) {
+      if ((o->kind == ObjectKind::kItem || o->draggable) &&
+          mark("take:" + key(o), sig)) {
+        if (o->draggable) {
+          (void)session_.drag(canvas_center(o),
+                              session_.ui().layout().inventory_window.center());
+        } else {
+          (void)session_.click(canvas_center(o));
+        }
+        return true;
+      }
+    }
+    // 3. Talk / click non-navigation objects (state-dependent retry).
+    for (const auto* o : objects) {
+      if (o->kind == ObjectKind::kButton) continue;
+      if (mark("click:" + key(o), sig)) {
+        (void)session_.click(canvas_center(o));
+        return true;
+      }
+    }
+    // 4. Use each held item on each object.
+    for (const auto& slot : session_.inventory().slots()) {
+      for (const auto* o : objects) {
+        if (mark("use:" + std::to_string(slot.item.value) + ":" + key(o),
+                 sig)) {
+          (void)session_.use_item_on(slot.item, canvas_center(o));
+          return true;
+        }
+      }
+    }
+    // 5. Combine held item pairs.
+    const auto& slots = session_.inventory().slots();
+    for (size_t i = 0; i < slots.size(); ++i) {
+      for (size_t j = i; j < slots.size(); ++j) {
+        if (i == j && slots[i].count < 2) continue;
+        const std::string k = "mix:" + std::to_string(slots[i].item.value) +
+                              ":" + std::to_string(slots[j].item.value);
+        if (mark(k, sig)) {
+          (void)session_.combine_items(slots[i].item, slots[j].item);
+          return true;
+        }
+      }
+    }
+    // 6. Navigate: click the least-used button so exploration round-robins
+    //    across all reachable scenarios instead of ping-ponging.
+    const InteractiveObject* best_button = nullptr;
+    int best_count = 0;
+    for (const auto* o : objects) {
+      if (o->kind != ObjectKind::kButton) continue;
+      const int count = button_clicks_[o->id.value];
+      if (!best_button || count < best_count) {
+        best_button = o;
+        best_count = count;
+      }
+    }
+    if (best_button) {
+      ++button_clicks_[best_button->id.value];
+      (void)session_.click(canvas_center(best_button));
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  static std::string key(const InteractiveObject* o) {
+    return std::to_string(o->id.value);
+  }
+
+  /// Returns true (and records the attempt) when `action` has not been
+  /// tried under state signature `sig` yet.
+  bool mark(const std::string& action, u64 sig) {
+    const std::string k = action + "@" + std::to_string(sig);
+    return tried_.insert(k).second;
+  }
+
+  GameSession& session_;
+  SimClock& clock_;
+  Rng rng_;
+  bool examine_;
+  std::unordered_set<std::string> tried_;
+  std::unordered_set<std::string> dialogue_tried_;
+  std::unordered_map<u32, int> button_clicks_;
+};
+
+class RandomBot {
+ public:
+  RandomBot(GameSession& session, Rng rng) : session_(session), rng_(rng) {}
+
+  bool step() {
+    if (session_.in_quiz()) {
+      const auto& q = session_.ui().quiz();
+      (void)session_.answer_quiz(rng_.below(q ? q->options.size() : 1));
+      return true;
+    }
+    if (session_.in_dialogue()) {
+      const auto& d = session_.ui().dialogue();
+      if (d && !d->choices.empty()) {
+        (void)session_.choose_dialogue(rng_.below(d->choices.size()));
+      } else {
+        (void)session_.advance_dialogue();
+      }
+      return true;
+    }
+    const auto objects = session_.visible_objects();
+    const Point origin = session_.ui().layout().video_area.origin();
+    const u64 dice = rng_.below(10);
+    if (!objects.empty() && dice < 7) {
+      const auto* o = objects[rng_.below(objects.size())];
+      const Point c = o->placement.rect.center();
+      const Point p{c.x + origin.x, c.y + origin.y};
+      switch (rng_.below(3)) {
+        case 0:
+          (void)session_.click(p);
+          break;
+        case 1:
+          (void)session_.examine(p);
+          break;
+        default:
+          (void)session_.drag(
+              p, session_.ui().layout().inventory_window.center());
+      }
+      return true;
+    }
+    const auto& slots = session_.inventory().slots();
+    if (!slots.empty() && !objects.empty()) {
+      const auto* o = objects[rng_.below(objects.size())];
+      const Point c = o->placement.rect.center();
+      (void)session_.use_item_on(slots[rng_.below(slots.size())].item,
+                                 {c.x + origin.x, c.y + origin.y});
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  GameSession& session_;
+  Rng rng_;
+};
+
+}  // namespace
+
+BotResult run_bot(GameSession& session, SimClock& clock, BotPolicy policy,
+                  int max_steps, u64 seed) {
+  BotResult result;
+  Rng rng(seed);
+  ExplorerBot explorer(session, clock, rng.fork(), policy == BotPolicy::kExplorer);
+  RandomBot random(session, rng.fork());
+
+  for (int i = 0; i < max_steps && !session.game_over(); ++i) {
+    bool acted;
+    if (policy == BotPolicy::kRandom) {
+      acted = random.step();
+    } else {
+      acted = explorer.step();
+    }
+    ++result.steps;
+    clock.advance(milliseconds(300));
+    session.tick();
+    if (!acted) {
+      // Out of ideas: let the video run (segment-end / timer rules may
+      // change the world) before the next sweep.
+      for (int t = 0; t < 10 && !session.game_over(); ++t) {
+        clock.advance(milliseconds(200));
+        session.tick();
+      }
+    }
+  }
+  result.completed = session.game_over();
+  result.succeeded = session.succeeded();
+  return result;
+}
+
+}  // namespace vgbl

@@ -1,0 +1,837 @@
+#include "runtime/session.hpp"
+
+#include <algorithm>
+
+namespace vgbl {
+
+/// Adapter exposing session state to the condition evaluators.
+class GameSession::StateView final : public GameStateView {
+ public:
+  explicit StateView(const GameSession* s) : s_(s) {}
+  [[nodiscard]] int item_count(ItemId id) const override {
+    return s_->inventory_.count_of(id);
+  }
+  [[nodiscard]] bool flag(const std::string& name) const override {
+    return s_->flags_.count(name) > 0;
+  }
+  [[nodiscard]] i64 score() const override { return s_->ledger_.total(); }
+  [[nodiscard]] bool visited(ScenarioId id) const override {
+    return s_->visited_.count(id.value) > 0;
+  }
+
+ private:
+  const GameSession* s_;
+};
+
+GameSession::GameSession(std::shared_ptr<const GameBundle> bundle,
+                         const Clock* clock, SessionOptions options)
+    : bundle_(std::move(bundle)),
+      clock_(clock),
+      options_(options),
+      rule_book_(bundle_->rules, options.guard_engine),
+      player_(bundle_->video,
+              SegmentPlayer::Options{
+                  {options.decode_threads, 32}, true}),
+      ui_(UiLayout::standard(
+          {bundle_->video->width(), bundle_->video->height()})),
+      inventory_(&bundle_->items, options.inventory_capacity),
+      avatar_(options.avatar) {}
+
+Status GameSession::start() {
+  if (started_) return failed_precondition("session already started");
+  const ScenarioId start = bundle_->graph.start();
+  if (!start.valid()) {
+    return failed_precondition("bundle has no start scenario");
+  }
+  started_ = true;
+  enter_scenario(start);
+  return {};
+}
+
+const Scenario* GameSession::current_scenario_info() const {
+  return bundle_->graph.find(current_);
+}
+
+Point GameSession::to_video(Point canvas) const {
+  const Point origin = ui_.layout().video_area.origin();
+  return {canvas.x - origin.x, canvas.y - origin.y};
+}
+
+bool GameSession::object_effectively_visible(
+    const InteractiveObject& o) const {
+  auto it = visibility_override_.find(o.id.value);
+  const bool authored = it != visibility_override_.end()
+                            ? it->second
+                            : o.placement.visible;
+  return authored && o.placement.active_at(current_frame_index());
+}
+
+int GameSession::current_frame_index() const {
+  return player_.playing() ? player_.frame_index_at(clock_->now()) : 0;
+}
+
+std::vector<const InteractiveObject*> GameSession::visible_objects() const {
+  std::vector<const InteractiveObject*> out;
+  for (const auto& o : bundle_->objects) {
+    if (o.scenario == current_ && object_effectively_visible(o)) {
+      out.push_back(&o);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const InteractiveObject* a, const InteractiveObject* b) {
+                     return a->placement.z < b->placement.z;
+                   });
+  return out;
+}
+
+void GameSession::rebuild_hit_index() const {
+  const int frame = current_frame_index();
+  if (hit_tester_ && frame == hit_index_frame_ &&
+      hit_index_built_epoch_ == hit_index_epoch_) {
+    return;
+  }
+  if (!hit_tester_) {
+    if (options_.hit_tester == HitTesterKind::kGrid) {
+      hit_tester_ = std::make_unique<GridHitTester>(
+          Size{bundle_->video->width(), bundle_->video->height()});
+    } else {
+      hit_tester_ = std::make_unique<LinearHitTester>();
+    }
+  }
+  std::vector<HitTarget> targets;
+  for (const auto& o : bundle_->objects) {
+    if (o.scenario != current_ || !object_effectively_visible(o)) continue;
+    targets.push_back({o.id, o.placement.rect, o.placement.z, true});
+  }
+  hit_tester_->rebuild(targets);
+  hit_index_frame_ = frame;
+  hit_index_built_epoch_ = hit_index_epoch_;
+}
+
+ObjectId GameSession::object_at(Point canvas_point) const {
+  if (!ui_.layout().video_area.contains(canvas_point)) return {};
+  rebuild_hit_index();
+  return hit_tester_->hit(to_video(canvas_point));
+}
+
+std::optional<Frame> GameSession::current_video_frame() {
+  if (!player_.playing()) return std::nullopt;
+  return player_.current_frame(clock_->now());
+}
+
+void GameSession::log(std::string text) {
+  log_.push_back({clock_->now(), std::move(text)});
+}
+
+void GameSession::enter_scenario(ScenarioId id) {
+  const Scenario* s = bundle_->graph.find(id);
+  if (!s) {
+    log("ERROR: switch to missing scenario " + std::to_string(id.value));
+    return;
+  }
+  current_ = id;
+  visited_.insert(id.value);
+  scenario_entered_at_ = clock_->now();
+  segment_end_fired_ = false;
+  hit_index_frame_ = -1;  // force hit index rebuild
+  pending_interaction_.reset();
+  if (options_.enable_avatar) {
+    // The avatar enters each scene at its doorway (bottom-left corner).
+    avatar_.set_position({40, bundle_->video->height() - 20});
+  }
+  if (auto st = player_.play_segment(s->segment, clock_->now()); !st.ok()) {
+    log("ERROR: cannot play segment for '" + s->name + "': " +
+        st.error().to_string());
+  }
+  tracker_.on_scenario_entered(id, s->name, clock_->now());
+  log("entered scenario '" + s->name + "'");
+  arm_timers();
+
+  TriggerEvent ev;
+  ev.type = TriggerType::kEnterScenario;
+  ev.scenario = id;
+  ev.when = clock_->now();
+  dispatch(ev);
+
+  // Terminal scenarios end the game on entry (unless a rule already did).
+  if (s->terminal && !game_over_) {
+    game_over_ = true;
+    success_ = true;
+    tracker_.on_game_over(true, clock_->now());
+    log("game over: reached terminal scenario '" + s->name + "'");
+  }
+}
+
+void GameSession::arm_timers() {
+  timers_.clear();
+  for (const EventRule* r : rule_book_.timers_for(current_)) {
+    if (r->once && disarmed_.count(r->id.value)) continue;
+    timers_.push_back({r->id, scenario_entered_at_ + r->trigger.delay});
+  }
+}
+
+void GameSession::dispatch(const TriggerEvent& event) {
+  if (game_over_) return;
+  StateView view(this);
+  const auto fired = rule_book_.match(event, view, disarmed_);
+  bool scenario_ended = false;
+  for (const EventRule* rule : fired) {
+    if (scenario_ended) break;
+    log("rule '" + rule->name + "' fired");
+    if (rule->once) disarmed_.insert(rule->id.value);
+    for (const Action& action : rule->actions) {
+      if (apply_action(action, rule)) {
+        scenario_ended = true;
+        break;
+      }
+    }
+  }
+  if (!fired.empty() || scenario_ended || !options_.enable_default_behaviours) {
+    return;
+  }
+
+  // Built-in defaults when no designer rule claimed the event.
+  const InteractiveObject* obj =
+      event.object.valid() ? bundle_->find_object(event.object) : nullptr;
+  switch (event.type) {
+    case TriggerType::kExamine:
+      if (obj) {
+        const std::string text = obj->description.empty()
+                                     ? "You see " + obj->name + "."
+                                     : obj->description;
+        ui_.show_message(text, clock_->now(), seconds(4));
+        tracker_.on_interaction("examine", obj->name, clock_->now());
+        log("examined '" + obj->name + "'");
+      }
+      break;
+    case TriggerType::kClick:
+      if (obj && obj->kind == ObjectKind::kNpc && obj->dialogue.valid()) {
+        (void)apply_action(Action::start_dialogue(obj->dialogue), nullptr);
+      } else if (obj && obj->kind == ObjectKind::kItem &&
+                 obj->grants_item.valid()) {
+        (void)apply_action(Action::give_item(obj->grants_item), nullptr);
+        (void)apply_action(Action::hide_object(obj->id), nullptr);
+      } else if (obj) {
+        tracker_.on_interaction("click", obj->name, clock_->now());
+        log("clicked '" + obj->name + "' (no effect)");
+      }
+      break;
+    case TriggerType::kDragToInventory:
+      if (obj && obj->draggable && obj->grants_item.valid()) {
+        (void)apply_action(Action::give_item(obj->grants_item), nullptr);
+        (void)apply_action(Action::hide_object(obj->id), nullptr);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+bool GameSession::apply_action(const Action& action, const EventRule* source) {
+  const MicroTime now = clock_->now();
+  switch (action.type) {
+    case ActionType::kSwitchScenario:
+      enter_scenario(action.scenario);
+      return true;
+    case ActionType::kShowMessage:
+      ui_.show_message(action.text, now, seconds(6));
+      log("message: " + action.text);
+      break;
+    case ActionType::kShowImage:
+      ui_.show_image(action.text, now);
+      log("image popup: " + action.text);
+      break;
+    case ActionType::kOpenUrl: {
+      auto page = resources_.fetch(action.text, now);
+      if (page) {
+        ui_.show_message("[" + page->title + "] " + page->summary, now,
+                         seconds(8));
+        tracker_.on_resource_opened(page->title, now);
+        log("opened resource '" + page->title + "'");
+      } else {
+        ui_.show_message("Page not found: " + action.text, now, seconds(4));
+        log("resource not found: " + action.text);
+      }
+      break;
+    }
+    case ActionType::kGiveItem: {
+      const int count = action.amount > 0 ? static_cast<int>(action.amount) : 1;
+      const ItemDef* def = bundle_->items.find(action.item);
+      if (auto st = inventory_.add(action.item, count); !st.ok()) {
+        ui_.show_message("Your backpack is full.", now, seconds(4));
+        log("give_item failed: " + st.error().to_string());
+        break;
+      }
+      const std::string name = def ? def->name : "item";
+      tracker_.on_item_collected(name, now);
+      if (def && def->bonus_points != 0) {
+        ledger_.award(def->bonus_points, "collected " + name, now);
+        tracker_.on_score(def->bonus_points, "collected " + name, now);
+      }
+      ui_.show_message("Got " + name + ".", now, seconds(3));
+      log("item '" + name + "' added to backpack");
+      break;
+    }
+    case ActionType::kRemoveItem: {
+      const int count = action.amount > 0 ? static_cast<int>(action.amount) : 1;
+      if (auto st = inventory_.remove(action.item, count); !st.ok()) {
+        log("remove_item failed: " + st.error().to_string());
+      }
+      break;
+    }
+    case ActionType::kSetFlag:
+      flags_.insert(action.text);
+      log("flag '" + action.text + "' set");
+      break;
+    case ActionType::kClearFlag:
+      flags_.erase(action.text);
+      log("flag '" + action.text + "' cleared");
+      break;
+    case ActionType::kAddScore: {
+      const std::string reason =
+          !action.text.empty() ? action.text
+          : source             ? "rule '" + source->name + "'"
+                               : "bonus";
+      ledger_.award(action.amount, reason, now);
+      tracker_.on_score(action.amount, reason, now);
+      log("score " + std::to_string(action.amount) + " (" + reason + ")");
+      break;
+    }
+    case ActionType::kStartDialogue: {
+      const DialogueTree* tree = bundle_->find_dialogue(action.dialogue);
+      if (!tree) {
+        log("ERROR: missing dialogue " + std::to_string(action.dialogue.value));
+        break;
+      }
+      dialogue_ = ActiveDialogue{action.dialogue, DialogueRunner(tree), 0};
+      log("dialogue '" + tree->name() + "' started");
+      drain_dialogue_tags();
+      refresh_dialogue_view();
+      break;
+    }
+    case ActionType::kGrantReward: {
+      const ItemDef* def = bundle_->items.find(action.item);
+      if (auto st = inventory_.add(action.item); !st.ok()) {
+        log("grant_reward failed: " + st.error().to_string());
+        break;
+      }
+      const std::string name = def ? def->name : "reward";
+      tracker_.on_reward(name, now);
+      if (def && def->bonus_points != 0) {
+        ledger_.award(def->bonus_points, "reward: " + name, now);
+        tracker_.on_score(def->bonus_points, "reward: " + name, now);
+      }
+      ui_.show_message("Achievement unlocked: " + name + "!", now, seconds(5));
+      log("reward '" + name + "' granted");
+      break;
+    }
+    case ActionType::kRevealObject:
+      visibility_override_[action.object.value] = true;
+      ++hit_index_epoch_;
+      log("object " + std::to_string(action.object.value) + " revealed");
+      break;
+    case ActionType::kHideObject:
+      visibility_override_[action.object.value] = false;
+      ++hit_index_epoch_;
+      log("object " + std::to_string(action.object.value) + " hidden");
+      break;
+    case ActionType::kReplaySegment:
+      (void)player_.replay(now);
+      segment_end_fired_ = false;
+      log("segment replayed");
+      return true;
+    case ActionType::kStartQuiz: {
+      const Quiz* quiz = bundle_->find_quiz(action.quiz);
+      if (!quiz) {
+        log("ERROR: missing quiz " + std::to_string(action.quiz.value));
+        break;
+      }
+      quiz_ = ActiveQuiz{action.quiz, QuizRunner(quiz)};
+      log("quiz '" + quiz->name() + "' started");
+      refresh_quiz_view();
+      break;
+    }
+    case ActionType::kEndGame:
+      game_over_ = true;
+      success_ = action.success_outcome;
+      tracker_.on_game_over(success_, now);
+      log(success_ ? "game over: success" : "game over: failure");
+      return true;
+  }
+  return false;
+}
+
+// --- Input -------------------------------------------------------------------
+
+Status GameSession::click(Point canvas_point) {
+  if (!started_) return failed_precondition("session not started");
+  if (game_over_) return failed_precondition("game is over");
+  if (in_quiz()) {
+    return failed_precondition("a quiz is active; call answer_quiz()");
+  }
+  if (in_dialogue()) {
+    // A click during an auto-advance node advances the conversation.
+    return advance_dialogue();
+  }
+  ui_.dismiss_image();
+
+  const ObjectId id = object_at(canvas_point);
+  if (!id.valid()) {
+    if (options_.enable_avatar &&
+        ui_.layout().video_area.contains(canvas_point)) {
+      // Clicking the ground walks the avatar there (§4.3).
+      const Rect va{0, 0, bundle_->video->width(), bundle_->video->height()};
+      Point target = to_video(canvas_point);
+      target.x = std::clamp(target.x, 0, va.width - 1);
+      target.y = std::clamp(target.y, 0, va.height - 1);
+      avatar_.walk_to(target, clock_->now());
+      pending_interaction_.reset();
+      log("avatar walking to " + to_string(target));
+      return {};
+    }
+    log("clicked empty space at " + to_string(to_video(canvas_point)));
+    return {};
+  }
+  if (defer_if_out_of_reach(TriggerType::kClick, id, ItemId{})) return {};
+  perform_object_interaction(TriggerType::kClick, id, ItemId{});
+  return {};
+}
+
+bool GameSession::defer_if_out_of_reach(TriggerType type, ObjectId object,
+                                        ItemId item) {
+  if (!options_.enable_avatar) return false;
+  const InteractiveObject* obj = bundle_->find_object(object);
+  if (!obj || avatar_.can_reach(obj->placement.rect)) return false;
+  // Walk to the object first; the interaction fires on arrival (tick()).
+  const Rect va{0, 0, bundle_->video->width(), bundle_->video->height()};
+  Point stand = avatar_.stand_point_for(obj->placement.rect);
+  stand.x = std::clamp(stand.x, 0, va.width - 1);
+  stand.y = std::clamp(stand.y, 0, va.height - 1);
+  avatar_.walk_to(stand, clock_->now());
+  pending_interaction_ = PendingInteraction{type, object, item};
+  log("avatar walking to '" + obj->name + "'");
+  return true;
+}
+
+void GameSession::perform_object_interaction(TriggerType type, ObjectId id,
+                                             ItemId item) {
+  const InteractiveObject* obj = bundle_->find_object(id);
+  const char* verb = type == TriggerType::kClick      ? "click"
+                     : type == TriggerType::kExamine  ? "examine"
+                     : type == TriggerType::kUseItemOn ? "use_item"
+                                                       : "interact";
+  if (type != TriggerType::kExamine) {
+    // Examine default behaviour records itself; avoid double counting.
+    tracker_.on_interaction(verb, obj ? obj->name : "?", clock_->now());
+  }
+  TriggerEvent ev;
+  ev.type = type;
+  ev.object = id;
+  ev.item = item;
+  ev.scenario = current_;
+  ev.when = clock_->now();
+  dispatch(ev);
+}
+
+Status GameSession::examine(Point canvas_point) {
+  if (!started_) return failed_precondition("session not started");
+  if (game_over_) return failed_precondition("game is over");
+  const ObjectId id = object_at(canvas_point);
+  if (!id.valid()) return {};
+  if (defer_if_out_of_reach(TriggerType::kExamine, id, ItemId{})) return {};
+  perform_object_interaction(TriggerType::kExamine, id, ItemId{});
+  return {};
+}
+
+Status GameSession::drag(Point canvas_from, Point canvas_to) {
+  if (!started_) return failed_precondition("session not started");
+  if (game_over_) return failed_precondition("game is over");
+  const ObjectId id = object_at(canvas_from);
+  if (!id.valid()) return {};
+  const InteractiveObject* obj = bundle_->find_object(id);
+  if (!ui_.in_inventory_window(canvas_to)) {
+    log("dragged '" + (obj ? obj->name : "?") + "' nowhere useful");
+    return {};
+  }
+  tracker_.on_interaction("drag_to_inventory", obj ? obj->name : "?",
+                          clock_->now());
+  TriggerEvent ev;
+  ev.type = TriggerType::kDragToInventory;
+  ev.object = id;
+  ev.scenario = current_;
+  ev.when = clock_->now();
+  dispatch(ev);
+  return {};
+}
+
+Status GameSession::use_item_on(ItemId item, Point canvas_point) {
+  if (!started_) return failed_precondition("session not started");
+  if (game_over_) return failed_precondition("game is over");
+  if (!inventory_.has(item)) {
+    return failed_precondition("player does not hold item " +
+                               std::to_string(item.value));
+  }
+  const ObjectId id = object_at(canvas_point);
+  if (!id.valid()) return {};
+  if (defer_if_out_of_reach(TriggerType::kUseItemOn, id, item)) return {};
+  const InteractiveObject* obj = bundle_->find_object(id);
+  const ItemDef* def = bundle_->items.find(item);
+  tracker_.on_interaction(
+      "use_item",
+      (def ? def->name : "?") + std::string(" on ") + (obj ? obj->name : "?"),
+      clock_->now());
+  TriggerEvent ev;
+  ev.type = TriggerType::kUseItemOn;
+  ev.object = id;
+  ev.item = item;
+  ev.scenario = current_;
+  ev.when = clock_->now();
+  dispatch(ev);
+  return {};
+}
+
+Status GameSession::combine_items(ItemId a, ItemId b) {
+  if (!started_) return failed_precondition("session not started");
+  if (game_over_) return failed_precondition("game is over");
+
+  // Designer rules may intercept the combination first.
+  TriggerEvent ev;
+  ev.type = TriggerType::kCombineItems;
+  ev.item = a;
+  ev.second_item = b;
+  ev.scenario = current_;
+  ev.when = clock_->now();
+  StateView view(this);
+  const auto fired = rule_book_.match(ev, view, disarmed_);
+  if (!fired.empty()) {
+    dispatch(ev);
+    return {};
+  }
+
+  // Otherwise use the combine table.
+  auto result = bundle_->combines.combine(inventory_, a, b);
+  if (!result.ok()) return result.error();
+  const ItemDef* def = bundle_->items.find(result.value());
+  const std::string name = def ? def->name : "item";
+  tracker_.on_interaction("combine", name, clock_->now());
+  ui_.show_message("Created " + name + ".", clock_->now(), seconds(3));
+  log("combined items into '" + name + "'");
+  return {};
+}
+
+void GameSession::dismiss_popups() {
+  ui_.dismiss_message();
+  ui_.dismiss_image();
+}
+
+// --- Dialogue ------------------------------------------------------------------
+
+void GameSession::drain_dialogue_tags() {
+  if (!dialogue_) return;
+  // Tags may fire rules which start another dialogue; iterate carefully.
+  while (dialogue_ &&
+         dialogue_->consumed_tags < dialogue_->runner.fired_tags().size()) {
+    const std::string tag =
+        dialogue_->runner.fired_tags()[dialogue_->consumed_tags++];
+    TriggerEvent ev;
+    ev.type = TriggerType::kDialogueTag;
+    ev.scenario = current_;
+    ev.tag = tag;
+    ev.when = clock_->now();
+    dispatch(ev);
+  }
+}
+
+void GameSession::refresh_dialogue_view() {
+  if (!dialogue_ || !dialogue_->runner.active()) {
+    ui_.set_dialogue(std::nullopt);
+    if (dialogue_ && !dialogue_->runner.active()) dialogue_.reset();
+    return;
+  }
+  const DialogueNode* node = dialogue_->runner.current();
+  DialogueView view;
+  view.speaker = node->speaker;
+  view.line = node->line;
+  for (const auto& c : node->choices) view.choices.push_back(c.text);
+  ui_.set_dialogue(std::move(view));
+}
+
+Status GameSession::advance_dialogue() {
+  if (!dialogue_) return failed_precondition("no active dialogue");
+  auto st = dialogue_->runner.advance();
+  if (!st.ok()) return st;
+  drain_dialogue_tags();
+  refresh_dialogue_view();
+  return {};
+}
+
+Status GameSession::choose_dialogue(size_t index) {
+  if (!dialogue_) return failed_precondition("no active dialogue");
+  const DialogueNode* node = dialogue_->runner.current();
+  const std::string context = node ? node->line : "";
+  auto st = dialogue_->runner.choose(index);
+  if (!st.ok()) return st;
+  // Record the decision for the learning report (§3.2: knowledge from the
+  // process of making decisions).
+  const auto& transcript = dialogue_->runner.transcript();
+  const std::string chosen =
+      transcript.empty() ? "" : transcript.back().chosen;
+  tracker_.on_decision(context, chosen, clock_->now());
+  drain_dialogue_tags();
+  refresh_dialogue_view();
+  return {};
+}
+
+void GameSession::refresh_quiz_view() {
+  if (!quiz_ || quiz_->runner.finished()) {
+    ui_.set_quiz(std::nullopt);
+    return;
+  }
+  const Quiz* quiz = bundle_->find_quiz(quiz_->id);
+  const QuizQuestion* q = quiz_->runner.current();
+  QuizView view;
+  view.quiz_name = quiz->name();
+  view.prompt = q->prompt;
+  view.options = q->options;
+  view.question_number = quiz_->runner.question_number();
+  view.total_questions = quiz->size();
+  ui_.set_quiz(std::move(view));
+}
+
+Status GameSession::answer_quiz(size_t option) {
+  if (!quiz_) return failed_precondition("no active quiz");
+  const Quiz* quiz = bundle_->find_quiz(quiz_->id);
+  const QuizQuestion* q = quiz_->runner.current();
+  const std::string prompt = q ? q->prompt : "";
+  auto correct = quiz_->runner.answer(option);
+  if (!correct.ok()) return correct.error();
+
+  const std::string chosen =
+      q && option < q->options.size() ? q->options[option] : "?";
+  tracker_.on_decision("[quiz] " + prompt, chosen, clock_->now());
+  if (q && !q->explanation.empty()) {
+    ui_.show_message((correct.value() ? "Correct! " : "Not quite. ") +
+                         q->explanation,
+                     clock_->now(), seconds(5));
+  }
+  log(std::string("quiz answer ") + (correct.value() ? "correct" : "wrong") +
+      ": " + chosen);
+
+  if (quiz_->runner.finished()) {
+    const QuizOutcome outcome = quiz_->runner.outcome();
+    if (outcome.points_earned != 0) {
+      ledger_.award(outcome.points_earned, "quiz '" + quiz->name() + "'",
+                    clock_->now());
+      tracker_.on_score(outcome.points_earned, "quiz '" + quiz->name() + "'",
+                        clock_->now());
+    }
+    flags_.insert((outcome.passed ? "quiz_passed:" : "quiz_failed:") +
+                  quiz->name());
+    ui_.show_message("Quiz '" + quiz->name() + "': " +
+                         std::to_string(outcome.correct_count) + "/" +
+                         std::to_string(outcome.total) +
+                         (outcome.passed ? " - passed!" : " - try again."),
+                     clock_->now(), seconds(6));
+    tracker_.on_interaction("quiz_result",
+                            quiz->name() + " " +
+                                std::to_string(outcome.correct_count) + "/" +
+                                std::to_string(outcome.total),
+                            clock_->now());
+    log("quiz '" + quiz->name() + "' finished: " +
+        std::to_string(outcome.correct_count) + "/" +
+        std::to_string(outcome.total));
+    quiz_.reset();
+    // Completing a quiz may unlock rules gated on the pass flag; give
+    // dialogue-tag-style rules a chance to react.
+    TriggerEvent ev;
+    ev.type = TriggerType::kDialogueTag;
+    ev.scenario = current_;
+    ev.tag = "quiz_done";
+    ev.when = clock_->now();
+    dispatch(ev);
+  }
+  refresh_quiz_view();
+  return {};
+}
+
+// --- Tick ------------------------------------------------------------------------
+
+void GameSession::tick() {
+  if (!started_ || game_over_) return;
+  const MicroTime now = clock_->now();
+  ui_.update(now);
+
+  if (options_.enable_avatar) {
+    const bool arrived = avatar_.update(now);
+    if (arrived && pending_interaction_) {
+      const PendingInteraction pending = *pending_interaction_;
+      pending_interaction_.reset();
+      const InteractiveObject* obj = bundle_->find_object(pending.object);
+      // The world may have moved on mid-walk (object hidden, scenario
+      // switched by a timer); only interact if it is still valid & near.
+      if (obj && obj->scenario == current_ && object_effectively_visible(*obj) &&
+          avatar_.can_reach(obj->placement.rect)) {
+        perform_object_interaction(pending.type, pending.object, pending.item);
+      } else {
+        log("pending interaction dropped (target gone)");
+      }
+      if (game_over_) return;
+    }
+  }
+
+  // Timers.
+  std::vector<ArmedTimer> due;
+  std::erase_if(timers_, [&](const ArmedTimer& t) {
+    if (t.fire_at <= now) {
+      due.push_back(t);
+      return true;
+    }
+    return false;
+  });
+  for (const auto& t : due) {
+    TriggerEvent ev;
+    ev.type = TriggerType::kTimer;
+    ev.scenario = current_;
+    ev.when = now;
+    // Route through the specific rule: match() would fire all due timer
+    // rules at once, which is fine, but we keep per-timer granularity.
+    const EventRule* rule = rule_book_.find(t.rule);
+    if (!rule) continue;
+    if (rule->once && disarmed_.count(rule->id.value)) continue;
+    StateView view(this);
+    if (!trigger_matches(rule->trigger, ev)) continue;
+    if (!(rule_book_.engine() == GuardEngine::kCompiledVm
+              ? CompiledCondition(rule->condition).evaluate(view)
+              : evaluate(rule->condition, view))) {
+      continue;
+    }
+    log("timer rule '" + rule->name + "' fired");
+    if (rule->once) disarmed_.insert(rule->id.value);
+    for (const Action& action : rule->actions) {
+      if (apply_action(action, rule)) break;
+    }
+    if (game_over_) return;
+  }
+
+  // Segment end (fires once per scenario entry).
+  if (!segment_end_fired_ && player_.playing() && player_.finished(now)) {
+    segment_end_fired_ = true;
+    TriggerEvent ev;
+    ev.type = TriggerType::kSegmentEnd;
+    ev.scenario = current_;
+    ev.when = now;
+    dispatch(ev);
+  }
+}
+
+// --- Save games --------------------------------------------------------------------
+
+Json GameSession::save_state() const {
+  Json out = Json::object();
+  auto& o = out.mutable_object();
+  o.set("current_scenario", Json(current_.value));
+  o.set("score", Json(ledger_.total()));
+  o.set("game_over", Json(game_over_));
+  o.set("success", Json(success_));
+  JsonArray inv;
+  for (const auto& slot : inventory_.slots()) {
+    Json sj = Json::object();
+    auto& so = sj.mutable_object();
+    so.set("item", Json(slot.item.value));
+    so.set("count", Json(slot.count));
+    inv.push_back(std::move(sj));
+  }
+  o.set("inventory", Json(std::move(inv)));
+  JsonArray flags;
+  std::vector<std::string> sorted_flags(flags_.begin(), flags_.end());
+  std::sort(sorted_flags.begin(), sorted_flags.end());
+  for (const auto& f : sorted_flags) flags.push_back(Json(f));
+  o.set("flags", Json(std::move(flags)));
+  JsonArray visited;
+  std::vector<u32> sorted_visited(visited_.begin(), visited_.end());
+  std::sort(sorted_visited.begin(), sorted_visited.end());
+  for (u32 v : sorted_visited) visited.push_back(Json(v));
+  o.set("visited", Json(std::move(visited)));
+  JsonArray disarmed;
+  std::vector<u32> sorted_disarmed(disarmed_.begin(), disarmed_.end());
+  std::sort(sorted_disarmed.begin(), sorted_disarmed.end());
+  for (u32 d : sorted_disarmed) disarmed.push_back(Json(d));
+  o.set("disarmed", Json(std::move(disarmed)));
+  JsonArray overrides;
+  std::vector<std::pair<u32, bool>> sorted_overrides(
+      visibility_override_.begin(), visibility_override_.end());
+  std::sort(sorted_overrides.begin(), sorted_overrides.end());
+  for (const auto& [id, vis] : sorted_overrides) {
+    Json oj = Json::object();
+    auto& oo = oj.mutable_object();
+    oo.set("object", Json(id));
+    oo.set("visible", Json(vis));
+    overrides.push_back(std::move(oj));
+  }
+  o.set("visibility", Json(std::move(overrides)));
+  return out;
+}
+
+Status GameSession::load_state(const Json& snapshot) {
+  if (!snapshot.is_object()) return corrupt_data("save state must be an object");
+  const ScenarioId scenario{
+      static_cast<u32>(snapshot["current_scenario"].as_int())};
+  if (!bundle_->graph.find(scenario)) {
+    return corrupt_data("save references missing scenario " +
+                        std::to_string(scenario.value));
+  }
+
+  // Rebuild mutable state from the snapshot.
+  inventory_ = Inventory(&bundle_->items, options_.inventory_capacity);
+  for (const auto& sj : snapshot["inventory"].as_array()) {
+    const ItemId item{static_cast<u32>(sj["item"].as_int())};
+    const int count = static_cast<int>(sj["count"].as_int());
+    if (auto st = inventory_.add(item, count); !st.ok()) return st;
+  }
+  flags_.clear();
+  for (const auto& f : snapshot["flags"].as_array()) {
+    flags_.insert(f.as_string());
+  }
+  visited_.clear();
+  for (const auto& v : snapshot["visited"].as_array()) {
+    visited_.insert(static_cast<u32>(v.as_int()));
+  }
+  disarmed_.clear();
+  for (const auto& d : snapshot["disarmed"].as_array()) {
+    disarmed_.insert(static_cast<u32>(d.as_int()));
+  }
+  visibility_override_.clear();
+  for (const auto& oj : snapshot["visibility"].as_array()) {
+    visibility_override_[static_cast<u32>(oj["object"].as_int())] =
+        oj["visible"].as_bool();
+  }
+  ++hit_index_epoch_;
+
+  ledger_ = ScoreLedger{};
+  const i64 score = snapshot["score"].as_int();
+  if (score != 0) ledger_.award(score, "restored save", clock_->now());
+
+  game_over_ = snapshot["game_over"].as_bool(false);
+  success_ = snapshot["success"].as_bool(false);
+  started_ = true;
+  dialogue_.reset();
+  ui_.set_dialogue(std::nullopt);
+
+  // Re-enter the saved scenario without re-firing enter events (the save
+  // was taken mid-scenario; re-firing would duplicate one-shot effects —
+  // but disarmed_ already guards the once-rules, and non-once enter rules
+  // are expected to be idempotent scene dressing; we restart the video).
+  const Scenario* s = bundle_->graph.find(scenario);
+  current_ = scenario;
+  scenario_entered_at_ = clock_->now();
+  segment_end_fired_ = false;
+  hit_index_frame_ = -1;
+  if (auto st = player_.play_segment(s->segment, clock_->now()); !st.ok()) {
+    return st;
+  }
+  arm_timers();
+  log("save state restored");
+  return {};
+}
+
+}  // namespace vgbl

@@ -1,0 +1,234 @@
+// GameSession: the interactive VGBL runtime environment (paper §4.3) — an
+// augmented video player. It owns all mutable play state (current scenario,
+// backpack, flags, score, dialogue, UI), turns player gestures into trigger
+// events, dispatches them through the rule book, and applies the resulting
+// actions. Built-in default behaviours keep authoring light:
+//   - clicking an item object picks it up (grants its item, hides it)
+//   - examining any object shows its description
+//   - clicking an NPC starts its dialogue
+//   - dragging a draggable item into the inventory window collects it
+// Designer rules run first and may add to or replace these defaults.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "author/bundle.hpp"
+#include "dialogue/dialogue.hpp"
+#include "event/rule.hpp"
+#include "inventory/inventory.hpp"
+#include "media/player.hpp"
+#include "runtime/analytics.hpp"
+#include "runtime/avatar.hpp"
+#include "runtime/resource_catalog.hpp"
+#include "runtime/ui.hpp"
+#include "util/sim_clock.hpp"
+
+namespace vgbl {
+
+enum class HitTesterKind { kLinear, kGrid };
+
+struct SessionOptions {
+  GuardEngine guard_engine = GuardEngine::kCompiledVm;
+  HitTesterKind hit_tester = HitTesterKind::kGrid;
+  int inventory_capacity = 12;
+  unsigned decode_threads = 1;
+  bool enable_default_behaviours = true;
+  /// Avatar mode (paper §4.3): interactions require walking within reach;
+  /// clicking empty ground walks the avatar there. Off by default so
+  /// pointer-style games behave like Fig.2's direct manipulation.
+  bool enable_avatar = false;
+  Avatar::Options avatar;
+};
+
+/// One entry of the session's human-readable event log (tests and the
+/// examples assert on these).
+struct SessionEvent {
+  MicroTime when;
+  std::string text;
+};
+
+class GameSession {
+ public:
+  GameSession(std::shared_ptr<const GameBundle> bundle, const Clock* clock,
+              SessionOptions options);
+  GameSession(std::shared_ptr<const GameBundle> bundle, const Clock* clock)
+      : GameSession(std::move(bundle), clock, SessionOptions{}) {}
+
+  /// Enters the start scenario; must be called once before any input.
+  Status start();
+
+  // --- Player input (canvas coordinates; see UiLayout) ---------------------
+  Status click(Point canvas_point);
+  Status examine(Point canvas_point);
+  Status drag(Point canvas_from, Point canvas_to);
+  /// Applies a held item to the object at `canvas_point`.
+  Status use_item_on(ItemId item, Point canvas_point);
+  /// Combines two held items via the bundle's combine table.
+  Status combine_items(ItemId a, ItemId b);
+  /// Dismisses the active message/image popup (a click anywhere does too).
+  void dismiss_popups();
+
+  // --- Dialogue -------------------------------------------------------------
+  [[nodiscard]] bool in_dialogue() const { return dialogue_.has_value(); }
+  Status advance_dialogue();
+  Status choose_dialogue(size_t index);
+
+  // --- Quiz (knowledge check, §3.2 extension) --------------------------------
+  [[nodiscard]] bool in_quiz() const { return quiz_.has_value(); }
+  /// Answers the current quiz question. On the last question the quiz
+  /// completes: points are awarded, the outcome message is shown and a
+  /// quiz_passed:<name> / quiz_failed:<name> flag is set.
+  Status answer_quiz(size_t option);
+
+  // --- Time ----------------------------------------------------------------
+  /// Processes timers, segment-end events and UI timeouts at the clock's
+  /// current time. Call once per game-loop iteration.
+  void tick();
+
+  // --- State ---------------------------------------------------------------
+  [[nodiscard]] ScenarioId current_scenario() const { return current_; }
+  [[nodiscard]] const Scenario* current_scenario_info() const;
+  [[nodiscard]] bool game_over() const { return game_over_; }
+  [[nodiscard]] bool succeeded() const { return success_; }
+  [[nodiscard]] i64 score() const { return ledger_.total(); }
+  [[nodiscard]] const Inventory& inventory() const { return inventory_; }
+  [[nodiscard]] const ScoreLedger& ledger() const { return ledger_; }
+  [[nodiscard]] bool flag(const std::string& name) const {
+    return flags_.count(name) > 0;
+  }
+  [[nodiscard]] const std::unordered_set<std::string>& flags() const {
+    return flags_;
+  }
+  [[nodiscard]] bool visited(ScenarioId id) const {
+    return visited_.count(id.value) > 0;
+  }
+  [[nodiscard]] const UiState& ui() const { return ui_; }
+  [[nodiscard]] const SessionOptions& options() const { return options_; }
+  /// Avatar state (meaningful only when options().enable_avatar).
+  [[nodiscard]] const Avatar& avatar() const { return avatar_; }
+  /// True while the avatar is walking toward a deferred interaction.
+  [[nodiscard]] bool interaction_pending() const {
+    return pending_interaction_.has_value();
+  }
+  [[nodiscard]] const LearningTracker& tracker() const { return tracker_; }
+  [[nodiscard]] LearningTracker& tracker_mutable() { return tracker_; }
+  [[nodiscard]] const std::vector<SessionEvent>& event_log() const {
+    return log_;
+  }
+  [[nodiscard]] const GameBundle& bundle() const { return *bundle_; }
+  [[nodiscard]] ResourceCatalog& resources() { return resources_; }
+
+  /// Objects of the current scenario visible at the current video frame,
+  /// in paint order (ascending z) — what the compositor draws.
+  [[nodiscard]] std::vector<const InteractiveObject*> visible_objects() const;
+
+  /// The object a canvas point lands on (through the configured hit
+  /// tester); invalid id when none or when the point is outside the video.
+  [[nodiscard]] ObjectId object_at(Point canvas_point) const;
+
+  /// Current video frame (decoded through the segment player).
+  std::optional<Frame> current_video_frame();
+
+  /// The video player's frame index within the current segment.
+  [[nodiscard]] int current_frame_index() const;
+
+  // --- Save games ------------------------------------------------------------
+  /// Serialises mutable play state (not the bundle).
+  [[nodiscard]] Json save_state() const;
+  /// Restores a save produced by `save_state` against the same bundle.
+  Status load_state(const Json& snapshot);
+
+ private:
+  class StateView;
+
+  /// Dispatches a trigger event: designer rules first, then (if nothing
+  /// fired and defaults are enabled) the built-in behaviour.
+  void dispatch(const TriggerEvent& event);
+  /// Applies one action; returns true if the action ended the scenario
+  /// (switch/replay/end) so callers stop applying the remainder.
+  bool apply_action(const Action& action, const EventRule* source);
+  void enter_scenario(ScenarioId id);
+  void arm_timers();
+  void drain_dialogue_tags();
+  void refresh_dialogue_view();
+  void rebuild_hit_index() const;
+  void log(std::string text);
+  [[nodiscard]] bool object_effectively_visible(
+      const InteractiveObject& o) const;
+  [[nodiscard]] Point to_video(Point canvas) const;
+
+  std::shared_ptr<const GameBundle> bundle_;
+  const Clock* clock_;
+  SessionOptions options_;
+
+  RuleBook rule_book_;
+  SegmentPlayer player_;
+  UiState ui_;
+  ResourceCatalog resources_ = ResourceCatalog::with_default_pages();
+
+  ScenarioId current_;
+  bool started_ = false;
+  bool game_over_ = false;
+  bool success_ = false;
+
+  Inventory inventory_;
+  ScoreLedger ledger_;
+  std::unordered_set<std::string> flags_;
+  std::unordered_set<u32> visited_;
+  std::unordered_set<u32> disarmed_;  // fired once-rules
+  /// Designer actions can reveal/hide objects at runtime; overrides the
+  /// authored placement visibility.
+  std::unordered_map<u32, bool> visibility_override_;
+
+  struct ArmedTimer {
+    RuleId rule;
+    MicroTime fire_at;
+  };
+  std::vector<ArmedTimer> timers_;
+  MicroTime scenario_entered_at_ = 0;
+  bool segment_end_fired_ = false;
+
+  /// Interaction deferred until the avatar reaches its target.
+  struct PendingInteraction {
+    TriggerType type = TriggerType::kClick;
+    ObjectId object;
+    ItemId item;
+  };
+  void perform_object_interaction(TriggerType type, ObjectId object,
+                                  ItemId item);
+  /// Returns true when the interaction was deferred (avatar must walk).
+  bool defer_if_out_of_reach(TriggerType type, ObjectId object, ItemId item);
+
+  Avatar avatar_;
+  std::optional<PendingInteraction> pending_interaction_;
+
+  struct ActiveDialogue {
+    DialogueId id;
+    DialogueRunner runner;
+    size_t consumed_tags = 0;
+  };
+  std::optional<ActiveDialogue> dialogue_;
+
+  struct ActiveQuiz {
+    QuizId id;
+    QuizRunner runner;
+  };
+  void refresh_quiz_view();
+  std::optional<ActiveQuiz> quiz_;
+
+  LearningTracker tracker_;
+  std::vector<SessionEvent> log_;
+
+  // Hit testing (rebuilt lazily when the frame index or object set moved).
+  mutable std::unique_ptr<HitTester> hit_tester_;
+  mutable int hit_index_frame_ = -1;
+  mutable u64 hit_index_epoch_ = 0;  // bumped on visibility changes
+  mutable u64 hit_index_built_epoch_ = ~0ULL;
+};
+
+}  // namespace vgbl

@@ -1,0 +1,28 @@
+#include "runtime/ui.hpp"
+
+namespace vgbl {
+
+UiLayout UiLayout::standard(Size video) {
+  UiLayout l;
+  constexpr i32 kInventoryWidth = 96;
+  constexpr i32 kMessageHeight = 40;
+  constexpr i32 kStatusHeight = 16;
+  l.video_area = {0, kStatusHeight, video.width, video.height};
+  l.inventory_window = {video.width, kStatusHeight, kInventoryWidth,
+                        video.height};
+  l.message_area = {0, kStatusHeight + video.height,
+                    video.width + kInventoryWidth, kMessageHeight};
+  l.status_bar = {0, 0, video.width + kInventoryWidth, kStatusHeight};
+  l.canvas = {video.width + kInventoryWidth,
+              kStatusHeight + video.height + kMessageHeight};
+  return l;
+}
+
+void UiState::update(MicroTime now) {
+  if (message_ && message_->timeout > 0 &&
+      now - message_->shown_at >= message_->timeout) {
+    message_.reset();
+  }
+}
+
+}  // namespace vgbl

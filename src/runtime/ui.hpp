@@ -1,0 +1,108 @@
+// Runtime UI model: the inventory window, message popups, image popups and
+// score display that surround the video area (paper Fig.2). Pure state —
+// the compositor rasterises it, the ASCII renderer prints it, and the
+// session mutates it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "util/sim_clock.hpp"
+#include "util/types.hpp"
+
+namespace vgbl {
+
+/// Screen layout: video area plus the chrome around it. All rects are in
+/// output-canvas coordinates; the video area origin is (0,0) so object
+/// placements (authored in video coordinates) map directly.
+struct UiLayout {
+  Size canvas;            // full window
+  Rect video_area;        // where the video frame is drawn
+  Rect inventory_window;  // right-hand backpack panel (drag target)
+  Rect message_area;      // bottom text bar
+  Rect status_bar;        // top: title + score
+
+  /// Default layout for a given video size: video top-left, inventory
+  /// column on the right, message bar under the video.
+  static UiLayout standard(Size video);
+};
+
+struct MessageBox {
+  std::string text;
+  MicroTime shown_at = 0;
+  /// Auto-dismiss after this long; 0 keeps it until replaced/dismissed.
+  MicroTime timeout = 0;
+};
+
+struct ImagePopup {
+  std::string icon;  // Sprite::icon name
+  MicroTime shown_at = 0;
+};
+
+/// One line of the dialogue overlay.
+struct DialogueView {
+  std::string speaker;
+  std::string line;
+  std::vector<std::string> choices;  // empty = "click to continue"
+};
+
+/// The quiz overlay: one question at a time.
+struct QuizView {
+  std::string quiz_name;
+  std::string prompt;
+  std::vector<std::string> options;
+  size_t question_number = 1;
+  size_t total_questions = 1;
+};
+
+class UiState {
+ public:
+  explicit UiState(UiLayout layout) : layout_(layout) {}
+  UiState() : UiState(UiLayout::standard({320, 240})) {}
+
+  [[nodiscard]] const UiLayout& layout() const { return layout_; }
+
+  void show_message(std::string text, MicroTime now, MicroTime timeout = 0) {
+    message_ = MessageBox{std::move(text), now, timeout};
+  }
+  void dismiss_message() { message_.reset(); }
+  /// Expires timed-out popups; called from the session tick.
+  void update(MicroTime now);
+
+  [[nodiscard]] const std::optional<MessageBox>& message() const {
+    return message_;
+  }
+
+  void show_image(std::string icon, MicroTime now) {
+    image_ = ImagePopup{std::move(icon), now};
+  }
+  void dismiss_image() { image_.reset(); }
+  [[nodiscard]] const std::optional<ImagePopup>& image() const { return image_; }
+
+  void set_dialogue(std::optional<DialogueView> view) {
+    dialogue_ = std::move(view);
+  }
+  [[nodiscard]] const std::optional<DialogueView>& dialogue() const {
+    return dialogue_;
+  }
+
+  void set_quiz(std::optional<QuizView> view) { quiz_ = std::move(view); }
+  [[nodiscard]] const std::optional<QuizView>& quiz() const { return quiz_; }
+
+  /// True when `p` lands in the inventory window (the drag-to-backpack
+  /// target test).
+  [[nodiscard]] bool in_inventory_window(Point p) const {
+    return layout_.inventory_window.contains(p);
+  }
+
+ private:
+  UiLayout layout_;
+  std::optional<MessageBox> message_;
+  std::optional<ImagePopup> image_;
+  std::optional<DialogueView> dialogue_;
+  std::optional<QuizView> quiz_;
+};
+
+}  // namespace vgbl

@@ -1,0 +1,203 @@
+#include "scenario/scenario_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace vgbl {
+
+Status ScenarioGraph::add_scenario(Scenario scenario) {
+  if (!scenario.id.valid()) {
+    return invalid_argument("scenario id must be non-zero");
+  }
+  if (scenario.name.empty()) {
+    return invalid_argument("scenario name must not be empty");
+  }
+  if (by_id_.count(scenario.id)) {
+    return already_exists("scenario id " + std::to_string(scenario.id.value));
+  }
+  by_id_[scenario.id] = scenarios_.size();
+  scenarios_.push_back(std::move(scenario));
+  return {};
+}
+
+Status ScenarioGraph::remove_scenario(ScenarioId id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return not_found("scenario id " + std::to_string(id.value));
+  }
+  scenarios_.erase(scenarios_.begin() + static_cast<std::ptrdiff_t>(it->second));
+  // Rebuild the index map (indices after the erased element shifted).
+  by_id_.clear();
+  for (size_t i = 0; i < scenarios_.size(); ++i) by_id_[scenarios_[i].id] = i;
+  // Drop transitions touching the removed scenario.
+  std::erase_if(transitions_, [id](const ScenarioTransition& t) {
+    return t.from == id || t.to == id;
+  });
+  if (start_ == id) start_ = ScenarioId{};
+  return {};
+}
+
+Status ScenarioGraph::add_transition(ScenarioTransition transition) {
+  if (!by_id_.count(transition.from)) {
+    return not_found("transition source " + std::to_string(transition.from.value));
+  }
+  if (!by_id_.count(transition.to)) {
+    return not_found("transition target " + std::to_string(transition.to.value));
+  }
+  for (const auto& t : transitions_) {
+    if (t.from == transition.from && t.to == transition.to &&
+        t.label == transition.label) {
+      return already_exists("duplicate transition '" + transition.label + "'");
+    }
+  }
+  transitions_.push_back(std::move(transition));
+  return {};
+}
+
+Status ScenarioGraph::remove_transition(ScenarioId from, ScenarioId to,
+                                        const std::string& label) {
+  const size_t before = transitions_.size();
+  std::erase_if(transitions_, [&](const ScenarioTransition& t) {
+    return t.from == from && t.to == to && t.label == label;
+  });
+  if (transitions_.size() == before) {
+    return not_found("transition '" + label + "'");
+  }
+  return {};
+}
+
+Status ScenarioGraph::set_start(ScenarioId id) {
+  if (!by_id_.count(id)) {
+    return not_found("start scenario " + std::to_string(id.value));
+  }
+  start_ = id;
+  return {};
+}
+
+const Scenario* ScenarioGraph::find(ScenarioId id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &scenarios_[it->second];
+}
+
+Scenario* ScenarioGraph::find_mutable(ScenarioId id) {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &scenarios_[it->second];
+}
+
+const Scenario* ScenarioGraph::find_by_name(std::string_view name) const {
+  for (const auto& s : scenarios_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const ScenarioTransition*> ScenarioGraph::out_edges(
+    ScenarioId from) const {
+  std::vector<const ScenarioTransition*> out;
+  for (const auto& t : transitions_) {
+    if (t.from == from) out.push_back(&t);
+  }
+  return out;
+}
+
+std::vector<const ScenarioTransition*> ScenarioGraph::in_edges(
+    ScenarioId to) const {
+  std::vector<const ScenarioTransition*> out;
+  for (const auto& t : transitions_) {
+    if (t.to == to) out.push_back(&t);
+  }
+  return out;
+}
+
+std::vector<ScenarioId> ScenarioGraph::reachable_from(ScenarioId from) const {
+  std::vector<ScenarioId> order;
+  if (!by_id_.count(from)) return order;
+  std::unordered_set<ScenarioId> seen{from};
+  std::deque<ScenarioId> queue{from};
+  while (!queue.empty()) {
+    const ScenarioId cur = queue.front();
+    queue.pop_front();
+    order.push_back(cur);
+    for (const auto* t : out_edges(cur)) {
+      if (seen.insert(t->to).second) queue.push_back(t->to);
+    }
+  }
+  return order;
+}
+
+std::vector<ScenarioId> ScenarioGraph::shortest_path(ScenarioId from,
+                                                     ScenarioId to) const {
+  if (!by_id_.count(from) || !by_id_.count(to)) return {};
+  std::unordered_map<ScenarioId, ScenarioId> parent;
+  std::deque<ScenarioId> queue{from};
+  parent[from] = from;
+  while (!queue.empty()) {
+    const ScenarioId cur = queue.front();
+    queue.pop_front();
+    if (cur == to) {
+      std::vector<ScenarioId> path;
+      for (ScenarioId p = to;; p = parent[p]) {
+        path.push_back(p);
+        if (p == from) break;
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (const auto* t : out_edges(cur)) {
+      if (!parent.count(t->to)) {
+        parent[t->to] = cur;
+        queue.push_back(t->to);
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<ScenarioId> ScenarioGraph::prefetch_order(ScenarioId from) const {
+  std::vector<const ScenarioTransition*> edges = out_edges(from);
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const auto* a, const auto* b) { return a->weight > b->weight; });
+  std::vector<ScenarioId> out;
+  std::unordered_set<ScenarioId> seen;
+  for (const auto* t : edges) {
+    if (seen.insert(t->to).second) out.push_back(t->to);
+  }
+  return out;
+}
+
+std::vector<std::string> ScenarioGraph::validate() const {
+  std::vector<std::string> issues;
+  if (scenarios_.empty()) {
+    issues.emplace_back("graph has no scenarios");
+    return issues;
+  }
+  if (!start_.valid() || !by_id_.count(start_)) {
+    issues.emplace_back("no start scenario set");
+    return issues;
+  }
+
+  const std::vector<ScenarioId> reachable = reachable_from(start_);
+  std::unordered_set<ScenarioId> reachable_set(reachable.begin(),
+                                               reachable.end());
+
+  bool terminal_reachable = false;
+  for (const auto& s : scenarios_) {
+    if (!reachable_set.count(s.id)) {
+      issues.push_back("scenario '" + s.name + "' is unreachable from start");
+      continue;
+    }
+    if (s.terminal) {
+      terminal_reachable = true;
+    } else if (out_edges(s.id).empty()) {
+      issues.push_back("scenario '" + s.name +
+                       "' is a dead end (no outgoing transitions and not terminal)");
+    }
+  }
+  if (!terminal_reachable) {
+    issues.emplace_back("no terminal scenario is reachable: the game cannot end");
+  }
+  return issues;
+}
+
+}  // namespace vgbl

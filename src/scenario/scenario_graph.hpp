@@ -1,0 +1,97 @@
+// Scenario model: the branching structure of an interactive video game.
+// Each scenario presents one video segment; transitions are the designer-
+// declared ways play can move between scenarios (buttons, item use, NPC
+// outcomes). The graph supports the authoring-time validation the paper's
+// authoring tool needs ("does every scene remain reachable?") and the
+// branch-aware prefetch used by the streaming substrate.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace vgbl {
+
+struct Scenario {
+  ScenarioId id;
+  std::string name;
+  SegmentId segment;        // video segment presented in this scenario
+  std::string description;  // designer notes / learning goal
+  bool terminal = false;    // reaching it can end the game
+};
+
+/// A designer-declared edge. `guard_hint` is an opaque condition label used
+/// by validation reports and prefetch weighting; actual runtime gating
+/// happens in the event system.
+struct ScenarioTransition {
+  ScenarioId from;
+  ScenarioId to;
+  std::string label;
+  std::string guard_hint;
+  /// Designer-estimated likelihood weight for prefetch ordering (higher =
+  /// prefetched first); default 1.
+  f64 weight = 1.0;
+};
+
+class ScenarioGraph {
+ public:
+  /// Adds a scenario; fails on duplicate id or empty name.
+  Status add_scenario(Scenario scenario);
+  Status remove_scenario(ScenarioId id);
+
+  /// Adds a transition; both endpoints must exist.
+  Status add_transition(ScenarioTransition transition);
+  Status remove_transition(ScenarioId from, ScenarioId to,
+                           const std::string& label);
+
+  Status set_start(ScenarioId id);
+  [[nodiscard]] ScenarioId start() const { return start_; }
+
+  [[nodiscard]] const Scenario* find(ScenarioId id) const;
+  [[nodiscard]] Scenario* find_mutable(ScenarioId id);
+  [[nodiscard]] const Scenario* find_by_name(std::string_view name) const;
+
+  [[nodiscard]] const std::vector<Scenario>& scenarios() const {
+    return scenarios_;
+  }
+  [[nodiscard]] const std::vector<ScenarioTransition>& transitions() const {
+    return transitions_;
+  }
+  [[nodiscard]] std::vector<const ScenarioTransition*> out_edges(
+      ScenarioId from) const;
+  [[nodiscard]] std::vector<const ScenarioTransition*> in_edges(
+      ScenarioId to) const;
+  [[nodiscard]] size_t size() const { return scenarios_.size(); }
+  [[nodiscard]] bool empty() const { return scenarios_.empty(); }
+
+  /// Scenarios reachable from `from` (inclusive), BFS order.
+  [[nodiscard]] std::vector<ScenarioId> reachable_from(ScenarioId from) const;
+
+  /// Fewest-transitions path between two scenarios; empty when unreachable.
+  [[nodiscard]] std::vector<ScenarioId> shortest_path(ScenarioId from,
+                                                      ScenarioId to) const;
+
+  /// Successors ordered by descending transition weight — the prefetch
+  /// priority list for the streaming client.
+  [[nodiscard]] std::vector<ScenarioId> prefetch_order(ScenarioId from) const;
+
+  /// Structural lint. Reported issues (as human-readable strings):
+  ///   - no start scenario set / start missing
+  ///   - scenario unreachable from start
+  ///   - non-terminal scenario with no outgoing transitions (dead end)
+  ///   - transition endpoint missing (defensive; add_transition prevents it)
+  ///   - no terminal scenario reachable (game cannot end)
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+  std::vector<ScenarioTransition> transitions_;
+  std::unordered_map<ScenarioId, size_t> by_id_;
+  ScenarioId start_;
+};
+
+}  // namespace vgbl

@@ -1,0 +1,117 @@
+// Bit-granular writer/reader used by the video codec's entropy stage.
+// Bits are packed MSB-first within each byte so streams are byte-dump
+// debuggable and platform-independent.
+#pragma once
+
+#include <span>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace vgbl {
+
+class BitWriter {
+ public:
+  /// Appends the low `count` bits of `bits` (MSB of the group first).
+  /// count must be in [0, 57] so the accumulator cannot overflow.
+  void put_bits(u64 bits, int count) {
+    acc_ = (acc_ << count) | (bits & mask(count));
+    filled_ += count;
+    while (filled_ >= 8) {
+      filled_ -= 8;
+      buf_.push_back(static_cast<u8>(acc_ >> filled_));
+    }
+  }
+
+  void put_bit(bool b) { put_bits(b ? 1 : 0, 1); }
+
+  /// Exponential-Golomb-style unsigned code: efficient for the
+  /// small-magnitude-dominated residuals the codec produces.
+  void put_ue(u32 v) {
+    const u64 x = static_cast<u64>(v) + 1;
+    int len = 0;
+    for (u64 t = x; t > 1; t >>= 1) ++len;
+    put_bits(0, len);
+    put_bits(x, len + 1);
+  }
+
+  /// Signed exp-Golomb via zig-zag mapping.
+  void put_se(i32 v) {
+    const u32 z = (static_cast<u32>(v) << 1) ^ static_cast<u32>(v >> 31);
+    put_ue(z);
+  }
+
+  /// Flushes partial bits padded with zeros and returns the byte stream.
+  [[nodiscard]] Bytes finish() && {
+    if (filled_ > 0) {
+      buf_.push_back(static_cast<u8>(acc_ << (8 - filled_)));
+      filled_ = 0;
+    }
+    return std::move(buf_);
+  }
+
+  [[nodiscard]] size_t bit_count() const { return buf_.size() * 8 + filled_; }
+
+ private:
+  static constexpr u64 mask(int count) {
+    return count >= 64 ? ~0ULL : (1ULL << count) - 1;
+  }
+
+  Bytes buf_;
+  u64 acc_ = 0;
+  int filled_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const u8> data) : data_(data) {}
+
+  /// Reads `count` bits (MSB-first); fails on stream exhaustion.
+  Result<u64> bits(int count) {
+    u64 v = 0;
+    for (int i = 0; i < count; ++i) {
+      auto b = bit();
+      if (!b.ok()) return b.error();
+      v = (v << 1) | (b.value() ? 1 : 0);
+    }
+    return v;
+  }
+
+  Result<bool> bit() {
+    const size_t byte = pos_ >> 3;
+    if (byte >= data_.size()) return corrupt_data("bitstream exhausted");
+    const bool v = (data_[byte] >> (7 - (pos_ & 7))) & 1;
+    ++pos_;
+    return v;
+  }
+
+  Result<u32> ue() {
+    int zeros = 0;
+    while (true) {
+      auto b = bit();
+      if (!b.ok()) return b.error();
+      if (b.value()) break;
+      if (++zeros > 32) return corrupt_data("exp-golomb prefix too long");
+    }
+    auto rest = bits(zeros);
+    if (!rest.ok()) return rest.error();
+    const u64 x = (1ULL << zeros) | rest.value();
+    return static_cast<u32>(x - 1);
+  }
+
+  Result<i32> se() {
+    auto z = ue();
+    if (!z.ok()) return z.error();
+    const u32 u = z.value();
+    return static_cast<i32>((u >> 1) ^ (~(u & 1) + 1));
+  }
+
+  [[nodiscard]] size_t bit_position() const { return pos_; }
+
+ private:
+  std::span<const u8> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace vgbl

@@ -1,0 +1,36 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace vgbl {
+namespace {
+
+constexpr std::array<u32, 256> make_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+void Crc32::update_byte(u8 b) {
+  state_ = kTable[(state_ ^ b) & 0xFF] ^ (state_ >> 8);
+}
+
+void Crc32::update(std::span<const u8> data) {
+  for (u8 b : data) update_byte(b);
+}
+
+u32 crc32(std::span<const u8> data) {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+}  // namespace vgbl

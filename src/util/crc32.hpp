@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected). Used for bitstream and bundle
+// integrity checks so corrupt data is rejected instead of mis-decoded.
+#pragma once
+
+#include <span>
+
+#include "util/types.hpp"
+
+namespace vgbl {
+
+/// One-shot CRC-32 of a byte span.
+[[nodiscard]] u32 crc32(std::span<const u8> data);
+
+/// Incremental CRC-32 for streamed writers.
+class Crc32 {
+ public:
+  void update(std::span<const u8> data);
+  void update_byte(u8 b);
+  [[nodiscard]] u32 value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  u32 state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace vgbl

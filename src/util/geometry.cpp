@@ -1,0 +1,18 @@
+#include "util/geometry.hpp"
+
+namespace vgbl {
+
+std::string to_string(Point p) {
+  return "(" + std::to_string(p.x) + ", " + std::to_string(p.y) + ")";
+}
+
+std::string to_string(Size s) {
+  return std::to_string(s.width) + "x" + std::to_string(s.height);
+}
+
+std::string to_string(const Rect& r) {
+  return "[" + std::to_string(r.x) + ", " + std::to_string(r.y) + ", " +
+         std::to_string(r.width) + "x" + std::to_string(r.height) + "]";
+}
+
+}  // namespace vgbl

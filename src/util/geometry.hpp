@@ -1,0 +1,106 @@
+// Integer 2D geometry used for frame coordinates, object placement and
+// hit-testing. Coordinates follow raster convention: x grows right, y grows
+// down, rectangles are half-open on neither side (width/height counts).
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace vgbl {
+
+struct Point {
+  i32 x = 0;
+  i32 y = 0;
+
+  constexpr auto operator<=>(const Point&) const = default;
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+};
+
+struct Size {
+  i32 width = 0;
+  i32 height = 0;
+
+  constexpr auto operator<=>(const Size&) const = default;
+  [[nodiscard]] constexpr i64 area() const {
+    return static_cast<i64>(width) * height;
+  }
+  [[nodiscard]] constexpr bool empty() const { return width <= 0 || height <= 0; }
+};
+
+/// Axis-aligned rectangle: origin (top-left) + size. A point is inside when
+/// origin <= p < origin + size (half-open, raster convention).
+struct Rect {
+  i32 x = 0;
+  i32 y = 0;
+  i32 width = 0;
+  i32 height = 0;
+
+  constexpr Rect() = default;
+  constexpr Rect(i32 x_, i32 y_, i32 w, i32 h) : x(x_), y(y_), width(w), height(h) {}
+  constexpr Rect(Point origin, Size size)
+      : x(origin.x), y(origin.y), width(size.width), height(size.height) {}
+
+  constexpr auto operator<=>(const Rect&) const = default;
+
+  [[nodiscard]] constexpr Point origin() const { return {x, y}; }
+  [[nodiscard]] constexpr Size size() const { return {width, height}; }
+  [[nodiscard]] constexpr i32 right() const { return x + width; }
+  [[nodiscard]] constexpr i32 bottom() const { return y + height; }
+  [[nodiscard]] constexpr Point center() const {
+    return {x + width / 2, y + height / 2};
+  }
+  [[nodiscard]] constexpr bool empty() const { return width <= 0 || height <= 0; }
+
+  [[nodiscard]] constexpr bool contains(Point p) const {
+    return p.x >= x && p.x < right() && p.y >= y && p.y < bottom();
+  }
+
+  [[nodiscard]] constexpr bool intersects(const Rect& o) const {
+    return x < o.right() && o.x < right() && y < o.bottom() && o.y < bottom();
+  }
+
+  /// Intersection; empty rect (w==h==0 at the clamped origin) when disjoint.
+  [[nodiscard]] constexpr Rect intersection(const Rect& o) const {
+    const i32 nx = std::max(x, o.x);
+    const i32 ny = std::max(y, o.y);
+    const i32 nr = std::min(right(), o.right());
+    const i32 nb = std::min(bottom(), o.bottom());
+    if (nr <= nx || nb <= ny) return {nx, ny, 0, 0};
+    return {nx, ny, nr - nx, nb - ny};
+  }
+
+  /// Smallest rect containing both (treats empty operands as identity).
+  [[nodiscard]] constexpr Rect united(const Rect& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    const i32 nx = std::min(x, o.x);
+    const i32 ny = std::min(y, o.y);
+    return {nx, ny, std::max(right(), o.right()) - nx,
+            std::max(bottom(), o.bottom()) - ny};
+  }
+
+  [[nodiscard]] Rect translated(Point d) const {
+    return {x + d.x, y + d.y, width, height};
+  }
+
+  /// Clamps this rect so it fits inside `bounds` (shrinking if necessary).
+  [[nodiscard]] constexpr Rect clamped_to(const Rect& bounds) const {
+    return intersection(bounds);
+  }
+};
+
+/// Manhattan distance between points; used by bot players to pick the
+/// nearest interactive object.
+[[nodiscard]] constexpr i32 manhattan_distance(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+[[nodiscard]] std::string to_string(Point p);
+[[nodiscard]] std::string to_string(Size s);
+[[nodiscard]] std::string to_string(const Rect& r);
+
+}  // namespace vgbl

@@ -1,0 +1,49 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace vgbl {
+namespace {
+std::mutex g_log_mutex;
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard lock(g_log_mutex);
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  std::lock_guard lock(g_log_mutex);
+  if (sink_) {
+    sink_(level, message);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", log_level_name(level), message.c_str());
+  }
+}
+
+}  // namespace vgbl

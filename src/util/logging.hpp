@@ -1,0 +1,60 @@
+// Thread-safe leveled logger. Benchmarks set the level to kWarn so logging
+// never perturbs measurements; tests capture records through a sink hook.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace vgbl {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* log_level_name(LogLevel level);
+
+/// Global logger configuration. Sinks receive fully formatted records.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Replaces the output sink (default writes to stderr). Pass nullptr to
+  /// restore the default.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+/// Stream-style log statement builder: LOG(kInfo) << "x=" << x;
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement() { Logger::instance().log(level_, stream_.str()); }
+
+  template <typename T>
+  LogStatement& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace vgbl
+
+#define VGBL_LOG(level)                                     \
+  if (!::vgbl::Logger::instance().enabled(::vgbl::LogLevel::level)) { \
+  } else                                                    \
+    ::vgbl::LogStatement(::vgbl::LogLevel::level)

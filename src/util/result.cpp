@@ -1,0 +1,35 @@
+#include "util/result.hpp"
+
+namespace vgbl {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kAlreadyExists:
+      return "already_exists";
+    case ErrorCode::kOutOfRange:
+      return "out_of_range";
+    case ErrorCode::kCorruptData:
+      return "corrupt_data";
+    case ErrorCode::kUnsupported:
+      return "unsupported";
+    case ErrorCode::kFailedPrecondition:
+      return "failed_precondition";
+    case ErrorCode::kResourceExhausted:
+      return "resource_exhausted";
+    case ErrorCode::kIoError:
+      return "io_error";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace vgbl

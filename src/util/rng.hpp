@@ -1,0 +1,86 @@
+// Deterministic pseudo-random number generation. All stochastic components
+// (synthetic video, bot players, network jitter) take an explicit Rng so
+// every experiment is reproducible from a seed printed in its header.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace vgbl {
+
+/// SplitMix64 — used to expand a single user seed into generator state.
+constexpr u64 splitmix64(u64& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, deterministic across platforms.
+/// Satisfies UniformRandomBitGenerator so it plugs into <random> if needed.
+class Rng {
+ public:
+  using result_type = u64;
+
+  explicit Rng(u64 seed = 0x5EEDBA5Eu) {
+    u64 sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  u64 next() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  u64 below(u64 bound) {
+    if (bound == 0) return 0;
+    // Lemire's multiply-shift rejection-free approximation is fine here:
+    // statistical bias at 64-bit width is negligible for simulation use.
+    return static_cast<u64>((static_cast<__uint128_t>(next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  i64 range(i64 lo, i64 hi) {
+    return lo + static_cast<i64>(below(static_cast<u64>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  f64 uniform() {
+    return static_cast<f64>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(f64 p) { return uniform() < p; }
+
+  /// Approximately normal via sum of uniforms (Irwin–Hall, 12 draws);
+  /// adequate for jitter models, avoids <cmath> transcendental cost.
+  f64 normal(f64 mean, f64 stddev) {
+    f64 acc = 0;
+    for (int i = 0; i < 12; ++i) acc += uniform();
+    return mean + (acc - 6.0) * stddev;
+  }
+
+  /// Derives an independent child generator (for per-entity streams).
+  Rng fork() { return Rng(next()); }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 s_[4]{};
+};
+
+}  // namespace vgbl

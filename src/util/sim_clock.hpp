@@ -1,0 +1,55 @@
+// Virtual time. The runtime, media pipeline and network simulator all run
+// against a Clock interface so tests and benchmarks control time precisely
+// (no sleeps, no flaky wall-clock dependencies).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace vgbl {
+
+/// Microsecond timestamps/durations — enough resolution for per-frame and
+/// per-packet scheduling, no floating point drift.
+using MicroTime = i64;
+
+constexpr MicroTime microseconds(i64 us) { return us; }
+constexpr MicroTime milliseconds(i64 ms) { return ms * 1000; }
+constexpr MicroTime seconds(i64 s) { return s * 1'000'000; }
+constexpr f64 to_seconds(MicroTime t) { return static_cast<f64>(t) / 1e6; }
+constexpr f64 to_millis(MicroTime t) { return static_cast<f64>(t) / 1e3; }
+
+/// Time source abstraction.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual MicroTime now() const = 0;
+};
+
+/// Deterministic, manually advanced clock for simulations and tests.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(MicroTime start = 0) : now_(start) {}
+
+  [[nodiscard]] MicroTime now() const override { return now_; }
+
+  void advance(MicroTime delta) { now_ += delta; }
+  void advance_to(MicroTime t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  MicroTime now_;
+};
+
+/// Monotonic wall clock for benchmarks and interactive runs.
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] MicroTime now() const override {
+    const auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::microseconds>(t).count();
+  }
+};
+
+}  // namespace vgbl

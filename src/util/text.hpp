@@ -1,0 +1,35 @@
+// Small string utilities shared by the text project format, logging and
+// report generation.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vgbl {
+
+/// Splits on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Joins parts with `sep` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Escapes a string for embedding in the JSON-subset text format.
+[[nodiscard]] std::string escape_json(std::string_view s);
+
+/// Left-pads/truncates to exactly `width` columns (used by ASCII UI).
+[[nodiscard]] std::string pad_right(std::string_view s, size_t width);
+
+/// printf-style float formatting with fixed precision.
+[[nodiscard]] std::string format_double(double v, int precision);
+
+/// Human-readable byte count, e.g. "12.4 KiB".
+[[nodiscard]] std::string format_bytes(std::uint64_t n);
+
+}  // namespace vgbl

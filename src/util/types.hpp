@@ -1,0 +1,77 @@
+// Core type aliases and strongly-typed identifiers used across the VGBL
+// platform. Strong id types prevent cross-wiring (e.g. passing an object id
+// where a scenario id is expected) at compile time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace vgbl {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+
+/// A strongly-typed 32-bit identifier. `Tag` is a phantom type used only to
+/// distinguish id families; ids are totally ordered and hashable so they can
+/// key maps. Value 0 is reserved as "invalid".
+template <typename Tag>
+struct Id {
+  u32 value = 0;
+
+  constexpr Id() = default;
+  constexpr explicit Id(u32 v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != 0; }
+  constexpr auto operator<=>(const Id&) const = default;
+};
+
+struct ScenarioTag;
+struct ObjectTag;
+struct ItemTag;
+struct RuleTag;
+struct DialogueTag;
+struct SegmentTag;
+
+using ScenarioId = Id<ScenarioTag>;
+using ObjectId = Id<ObjectTag>;
+using ItemId = Id<ItemTag>;
+using RuleId = Id<RuleTag>;
+using DialogueId = Id<DialogueTag>;
+using SegmentId = Id<SegmentTag>;
+
+/// Monotonic generator handing out unique ids within one id family.
+template <typename IdT>
+class IdAllocator {
+ public:
+  /// Returns a fresh id, never 0 and never previously returned.
+  IdT next() { return IdT{++last_}; }
+
+  /// Informs the allocator that `id` is in use (e.g. after deserialising a
+  /// project) so future ids do not collide with it.
+  void reserve(IdT id) {
+    if (id.value > last_) last_ = id.value;
+  }
+
+  [[nodiscard]] u32 high_water() const { return last_; }
+
+ private:
+  u32 last_ = 0;
+};
+
+}  // namespace vgbl
+
+template <typename Tag>
+struct std::hash<vgbl::Id<Tag>> {
+  size_t operator()(const vgbl::Id<Tag>& id) const noexcept {
+    return std::hash<vgbl::u32>{}(id.value);
+  }
+};

@@ -1,0 +1,204 @@
+#include "video/audio.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vgbl {
+namespace {
+
+// Standard IMA ADPCM tables.
+constexpr int kStepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+constexpr int kIndexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                                 -1, -1, -1, -1, 2, 4, 6, 8};
+
+struct AdpcmState {
+  int predictor = 0;
+  int index = 0;
+
+  u8 encode_sample(int sample) {
+    const int step = kStepTable[index];
+    int diff = sample - predictor;
+    u8 nibble = 0;
+    if (diff < 0) {
+      nibble = 8;
+      diff = -diff;
+    }
+    // Quantise diff against step/4, step/2, step.
+    int delta = 0;
+    if (diff >= step) {
+      nibble |= 4;
+      diff -= step;
+      delta += step;
+    }
+    if (diff >= step / 2) {
+      nibble |= 2;
+      diff -= step / 2;
+      delta += step / 2;
+    }
+    if (diff >= step / 4) {
+      nibble |= 1;
+      delta += step / 4;
+    }
+    delta += step / 8;
+    predictor += (nibble & 8) ? -delta : delta;
+    predictor = std::clamp(predictor, -32768, 32767);
+    index = std::clamp(index + kIndexTable[nibble], 0, 88);
+    return nibble;
+  }
+
+  i16 decode_nibble(u8 nibble) {
+    const int step = kStepTable[index];
+    int delta = step / 8;
+    if (nibble & 1) delta += step / 4;
+    if (nibble & 2) delta += step / 2;
+    if (nibble & 4) delta += step;
+    predictor += (nibble & 8) ? -delta : delta;
+    predictor = std::clamp(predictor, -32768, 32767);
+    index = std::clamp(index + kIndexTable[nibble], 0, 88);
+    return static_cast<i16>(predictor);
+  }
+};
+
+}  // namespace
+
+AudioBuffer synthesize_ambience(const std::string& scene_name,
+                                size_t duration_samples, int sample_rate) {
+  // Voice the chord from the scene-name hash: a root in ~55–110 Hz plus a
+  // fifth and an octave, each with its own amplitude.
+  u64 h = 14695981039346656037ULL;
+  for (char c : scene_name) h = (h ^ static_cast<u8>(c)) * 1099511628211ULL;
+
+  const f64 root = 55.0 + static_cast<f64>(h % 56);
+  const f64 partials[3] = {root, root * 1.5, root * 2.0};
+  const f64 amps[3] = {0.45, 0.25 + static_cast<f64>((h >> 8) % 20) / 100.0,
+                       0.15};
+  const f64 tremolo_hz = 0.2 + static_cast<f64>((h >> 16) % 10) / 20.0;
+
+  AudioBuffer out;
+  out.sample_rate = sample_rate;
+  out.samples.resize(duration_samples);
+  const f64 two_pi = 6.283185307179586;
+  for (size_t i = 0; i < duration_samples; ++i) {
+    const f64 t = static_cast<f64>(i) / sample_rate;
+    f64 v = 0;
+    for (int p = 0; p < 3; ++p) {
+      v += amps[p] * std::sin(two_pi * partials[p] * t);
+    }
+    v *= 0.8 + 0.2 * std::sin(two_pi * tremolo_hz * t);  // slow tremolo
+    // Short fade at both ends to avoid clicks at scene boundaries.
+    const size_t fade = std::min<size_t>(sample_rate / 50, duration_samples / 2);
+    if (i < fade) v *= static_cast<f64>(i) / static_cast<f64>(fade);
+    if (duration_samples - i <= fade) {
+      v *= static_cast<f64>(duration_samples - i) / static_cast<f64>(fade);
+    }
+    out.samples[i] = static_cast<i16>(std::clamp(v * 12000.0, -32768.0, 32767.0));
+  }
+  return out;
+}
+
+AudioBuffer synthesize_clip_audio(
+    const std::vector<std::pair<std::string, int>>& scene_frames, int fps,
+    int sample_rate) {
+  AudioBuffer out;
+  out.sample_rate = sample_rate;
+  for (const auto& [name, frames] : scene_frames) {
+    const size_t samples = static_cast<size_t>(
+        static_cast<i64>(frames) * sample_rate / std::max(1, fps));
+    AudioBuffer scene = synthesize_ambience(name, samples, sample_rate);
+    out.samples.insert(out.samples.end(), scene.samples.begin(),
+                       scene.samples.end());
+  }
+  return out;
+}
+
+Bytes adpcm_encode(const AudioBuffer& pcm) {
+  ByteWriter w(pcm.samples.size() / 2 + 16);
+  w.put_varint(pcm.samples.size());
+  if (pcm.samples.empty()) return std::move(w).take();
+
+  AdpcmState state;
+  state.predictor = pcm.samples[0];
+  w.put_u16(static_cast<u16>(pcm.samples[0]));
+  w.put_u8(0);  // initial step index
+
+  u8 pending = 0;
+  bool half = false;
+  // First sample is the seed; encode from the second on.
+  for (size_t i = 1; i < pcm.samples.size(); ++i) {
+    const u8 nibble = state.encode_sample(pcm.samples[i]);
+    if (!half) {
+      pending = nibble;
+      half = true;
+    } else {
+      w.put_u8(static_cast<u8>(pending | (nibble << 4)));
+      half = false;
+    }
+  }
+  if (half) w.put_u8(pending);
+  return std::move(w).take();
+}
+
+Result<AudioBuffer> adpcm_decode(std::span<const u8> data, int sample_rate) {
+  ByteReader r(data);
+  auto count = r.varint();
+  if (!count.ok()) return count.error();
+  AudioBuffer out;
+  out.sample_rate = sample_rate;
+  if (count.value() == 0) return out;
+  if (count.value() > (1ULL << 32)) {
+    return corrupt_data("implausible audio sample count");
+  }
+  auto seed = r.u16_();
+  auto index = r.u8_();
+  if (!seed.ok() || !index.ok()) return corrupt_data("truncated audio header");
+
+  out.samples.reserve(static_cast<size_t>(count.value()));
+  out.samples.push_back(static_cast<i16>(seed.value()));
+
+  AdpcmState state;
+  state.predictor = static_cast<i16>(seed.value());
+  state.index = std::min<int>(index.value(), 88);
+
+  size_t remaining = static_cast<size_t>(count.value()) - 1;
+  while (remaining > 0) {
+    auto byte = r.u8_();
+    if (!byte.ok()) return corrupt_data("truncated audio payload");
+    out.samples.push_back(state.decode_nibble(byte.value() & 0x0F));
+    --remaining;
+    if (remaining > 0) {
+      out.samples.push_back(state.decode_nibble(byte.value() >> 4));
+      --remaining;
+    }
+  }
+  return out;
+}
+
+f64 audio_snr(const AudioBuffer& original, const AudioBuffer& decoded) {
+  if (original.samples.empty() ||
+      original.samples.size() != decoded.samples.size()) {
+    return 0.0;
+  }
+  f64 signal = 0;
+  f64 noise = 0;
+  for (size_t i = 0; i < original.samples.size(); ++i) {
+    const f64 s = original.samples[i];
+    const f64 n = s - decoded.samples[i];
+    signal += s * s;
+    noise += n * n;
+  }
+  if (noise == 0) return 1e9;
+  if (signal == 0) return 0.0;
+  return 10.0 * std::log10(signal / noise);
+}
+
+}  // namespace vgbl

@@ -1,0 +1,428 @@
+#include "video/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitstream.hpp"
+#include "util/crc32.hpp"
+#include "video/dct.hpp"
+
+namespace vgbl {
+namespace {
+
+enum class FrameType : u8 { kIntra = 0, kInter = 1 };
+
+constexpr u8 kFrameMagic = 0xF5;
+
+/// Run-length encodes raw bytes as (run, value) pairs, runs capped at 255.
+Bytes rle_encode(std::span<const u8> data) {
+  Bytes out;
+  out.reserve(data.size() / 4 + 16);
+  size_t i = 0;
+  while (i < data.size()) {
+    const u8 v = data[i];
+    size_t run = 1;
+    while (i + run < data.size() && data[i + run] == v && run < 255) ++run;
+    out.push_back(static_cast<u8>(run));
+    out.push_back(v);
+    i += run;
+  }
+  return out;
+}
+
+Status rle_decode(std::span<const u8> in, std::span<u8> out) {
+  size_t oi = 0;
+  size_t ii = 0;
+  while (ii + 1 < in.size() + 1 && ii < in.size()) {
+    if (ii + 2 > in.size()) return corrupt_data("rle: dangling run byte");
+    const u8 run = in[ii];
+    const u8 value = in[ii + 1];
+    ii += 2;
+    if (run == 0) return corrupt_data("rle: zero-length run");
+    if (oi + run > out.size()) return corrupt_data("rle: output overflow");
+    std::fill_n(out.begin() + static_cast<std::ptrdiff_t>(oi), run, value);
+    oi += run;
+  }
+  if (oi != out.size()) return corrupt_data("rle: output underflow");
+  return {};
+}
+
+/// Encodes one quantised block: DC then (zero-run, level) AC pairs with an
+/// EOB sentinel (run==63 cannot precede a 64th coefficient).
+void encode_block(BitWriter& bw, const QuantBlock& q) {
+  const auto& zz = zigzag_order();
+  bw.put_se(q[zz[0]]);
+  int run = 0;
+  for (int i = 1; i < kDctBlockArea; ++i) {
+    const i32 level = q[zz[i]];
+    if (level == 0) {
+      ++run;
+      continue;
+    }
+    bw.put_ue(static_cast<u32>(run));
+    bw.put_se(level);
+    run = 0;
+  }
+  bw.put_ue(63);  // end of block
+}
+
+Status decode_block(BitReader& br, QuantBlock& q) {
+  const auto& zz = zigzag_order();
+  q.fill(0);
+  auto dc = br.se();
+  if (!dc.ok()) return dc.error();
+  q[zz[0]] = dc.value();
+  int pos = 1;
+  while (pos < kDctBlockArea) {
+    auto run = br.ue();
+    if (!run.ok()) return run.error();
+    if (run.value() == 63) return {};  // EOB
+    pos += static_cast<int>(run.value());
+    if (pos >= kDctBlockArea) return corrupt_data("dct: run past block end");
+    auto level = br.se();
+    if (!level.ok()) return level.error();
+    if (level.value() == 0) return corrupt_data("dct: zero AC level");
+    q[zz[pos]] = level.value();
+    ++pos;
+  }
+  // Full block: still expect the EOB sentinel for framing consistency.
+  auto eob = br.ue();
+  if (!eob.ok()) return eob.error();
+  if (eob.value() != 63) return corrupt_data("dct: missing EOB");
+  return {};
+}
+
+/// DCT-codes `current` (optionally as a residual against `reference`) and
+/// writes the reconstruction into `recon`.
+Bytes dct_encode(const Frame& current, const Frame* reference, int quality,
+                 Frame& recon) {
+  const i32 w = current.width();
+  const i32 h = current.height();
+  const int channels = current.channels();
+  const i32 bw_blocks = (w + kDctBlockSize - 1) / kDctBlockSize;
+  const i32 bh_blocks = (h + kDctBlockSize - 1) / kDctBlockSize;
+
+  BitWriter bits;
+  DctBlock spatial, freq;
+  QuantBlock q;
+
+  recon = Frame(w, h, current.format());
+
+  for (int c = 0; c < channels; ++c) {
+    for (i32 by = 0; by < bh_blocks; ++by) {
+      for (i32 bx = 0; bx < bw_blocks; ++bx) {
+        // Gather the block, clamping at the frame edge (pixel replication).
+        for (int yy = 0; yy < kDctBlockSize; ++yy) {
+          for (int xx = 0; xx < kDctBlockSize; ++xx) {
+            const i32 x = std::min<i32>(bx * kDctBlockSize + xx, w - 1);
+            const i32 y = std::min<i32>(by * kDctBlockSize + yy, h - 1);
+            f32 v = static_cast<f32>(current.at(x, y, c));
+            if (reference) {
+              v -= static_cast<f32>(reference->at(x, y, c));
+            } else {
+              v -= 128.0f;
+            }
+            spatial[yy * kDctBlockSize + xx] = v;
+          }
+        }
+        forward_dct(spatial, freq);
+        quantize(freq, quality, q);
+        encode_block(bits, q);
+
+        // Closed-loop reconstruction so the encoder reference matches the
+        // decoder exactly.
+        dequantize(q, quality, freq);
+        inverse_dct(freq, spatial);
+        for (int yy = 0; yy < kDctBlockSize; ++yy) {
+          for (int xx = 0; xx < kDctBlockSize; ++xx) {
+            const i32 x = bx * kDctBlockSize + xx;
+            const i32 y = by * kDctBlockSize + yy;
+            if (x >= w || y >= h) continue;
+            f32 v = spatial[yy * kDctBlockSize + xx];
+            if (reference) {
+              v += static_cast<f32>(reference->at(x, y, c));
+            } else {
+              v += 128.0f;
+            }
+            recon.set(x, y, c,
+                      static_cast<u8>(std::clamp(std::lround(v), 0L, 255L)));
+          }
+        }
+      }
+    }
+  }
+  return std::move(bits).finish();
+}
+
+Status dct_decode(std::span<const u8> payload, const Frame* reference,
+                  int quality, Frame& out) {
+  const i32 w = out.width();
+  const i32 h = out.height();
+  const int channels = out.channels();
+  const i32 bw_blocks = (w + kDctBlockSize - 1) / kDctBlockSize;
+  const i32 bh_blocks = (h + kDctBlockSize - 1) / kDctBlockSize;
+
+  BitReader bits(payload);
+  DctBlock spatial, freq;
+  QuantBlock q;
+
+  for (int c = 0; c < channels; ++c) {
+    for (i32 by = 0; by < bh_blocks; ++by) {
+      for (i32 bx = 0; bx < bw_blocks; ++bx) {
+        if (auto st = decode_block(bits, q); !st.ok()) return st;
+        dequantize(q, quality, freq);
+        inverse_dct(freq, spatial);
+        for (int yy = 0; yy < kDctBlockSize; ++yy) {
+          for (int xx = 0; xx < kDctBlockSize; ++xx) {
+            const i32 x = bx * kDctBlockSize + xx;
+            const i32 y = by * kDctBlockSize + yy;
+            if (x >= w || y >= h) continue;
+            f32 v = spatial[yy * kDctBlockSize + xx];
+            if (reference) {
+              v += static_cast<f32>(reference->at(x, y, c));
+            } else {
+              v += 128.0f;
+            }
+            out.set(x, y, c,
+                    static_cast<u8>(std::clamp(std::lround(v), 0L, 255L)));
+          }
+        }
+      }
+    }
+  }
+  return {};
+}
+
+EncodedFrame wrap_frame(CodecMode mode, FrameType type, const Frame& frame,
+                        int quality, Bytes payload) {
+  ByteWriter w(payload.size() + 32);
+  w.put_u8(kFrameMagic);
+  w.put_u8(static_cast<u8>(mode));
+  w.put_u8(static_cast<u8>(type));
+  w.put_u8(static_cast<u8>(frame.format()));
+  w.put_u8(static_cast<u8>(quality));
+  w.put_varint(static_cast<u64>(frame.width()));
+  w.put_varint(static_cast<u64>(frame.height()));
+  w.put_u32(crc32(payload));
+  w.put_blob(payload);
+  EncodedFrame out;
+  out.keyframe = type == FrameType::kIntra;
+  out.data = std::move(w).take();
+  return out;
+}
+
+}  // namespace
+
+const char* codec_mode_name(CodecMode mode) {
+  switch (mode) {
+    case CodecMode::kRaw:
+      return "raw";
+    case CodecMode::kRle:
+      return "rle";
+    case CodecMode::kDct:
+      return "dct";
+  }
+  return "?";
+}
+
+Result<EncodedFrame> Encoder::encode(const Frame& frame) {
+  if (frame.empty()) return invalid_argument("cannot encode empty frame");
+  if (!stream_format_) {
+    stream_format_ = frame.format();
+    stream_size_ = frame.size();
+  } else if (frame.format() != *stream_format_ || frame.size() != stream_size_) {
+    return invalid_argument("frame dimensions/format changed mid-stream");
+  }
+
+  const bool intra = force_keyframe_ || !reference_ ||
+                     (config_.gop_size > 0 &&
+                      frames_since_key_ >= config_.gop_size - 1);
+  force_keyframe_ = false;
+
+  EncodedFrame out = intra ? encode_intra(frame) : encode_inter(frame);
+  frames_since_key_ = intra ? 0 : frames_since_key_ + 1;
+  return out;
+}
+
+EncodedFrame Encoder::encode_intra(const Frame& frame) {
+  switch (config_.mode) {
+    case CodecMode::kRaw: {
+      reference_ = frame;
+      return wrap_frame(config_.mode, FrameType::kIntra, frame, 0,
+                        Bytes(frame.data().begin(), frame.data().end()));
+    }
+    case CodecMode::kRle: {
+      reference_ = frame;
+      return wrap_frame(config_.mode, FrameType::kIntra, frame, 0,
+                        rle_encode(frame.data()));
+    }
+    case CodecMode::kDct: {
+      Frame recon;
+      Bytes payload = dct_encode(frame, nullptr, config_.quality, recon);
+      reference_ = std::move(recon);
+      return wrap_frame(config_.mode, FrameType::kIntra, frame,
+                        config_.quality, std::move(payload));
+    }
+  }
+  return {};
+}
+
+EncodedFrame Encoder::encode_inter(const Frame& frame) {
+  switch (config_.mode) {
+    case CodecMode::kRaw: {
+      reference_ = frame;
+      return wrap_frame(config_.mode, FrameType::kInter, frame, 0,
+                        Bytes(frame.data().begin(), frame.data().end()));
+    }
+    case CodecMode::kRle: {
+      // Temporal delta (mod-256) then RLE: static regions collapse to long
+      // zero runs. Lossless because subtraction is exactly invertible.
+      const auto cur = frame.data();
+      const auto ref = reference_->data();
+      Bytes diff(cur.size());
+      for (size_t i = 0; i < cur.size(); ++i) {
+        diff[i] = static_cast<u8>(cur[i] - ref[i]);
+      }
+      reference_ = frame;
+      return wrap_frame(config_.mode, FrameType::kInter, frame, 0,
+                        rle_encode(diff));
+    }
+    case CodecMode::kDct: {
+      Frame recon;
+      Bytes payload =
+          dct_encode(frame, &*reference_, config_.quality, recon);
+      reference_ = std::move(recon);
+      return wrap_frame(config_.mode, FrameType::kInter, frame,
+                        config_.quality, std::move(payload));
+    }
+  }
+  return {};
+}
+
+Result<Frame> Decoder::decode(std::span<const u8> data) {
+  ByteReader r(data);
+  auto magic = r.u8_();
+  if (!magic.ok() || magic.value() != kFrameMagic) {
+    return corrupt_data("bad frame magic");
+  }
+  auto mode_b = r.u8_();
+  auto type_b = r.u8_();
+  auto fmt_b = r.u8_();
+  auto quality_b = r.u8_();
+  auto width_v = r.varint();
+  auto height_v = r.varint();
+  auto crc_v = r.u32_();
+  auto payload_r = r.blob();
+  if (!mode_b.ok() || !type_b.ok() || !fmt_b.ok() || !quality_b.ok() ||
+      !width_v.ok() || !height_v.ok() || !crc_v.ok() || !payload_r.ok()) {
+    return corrupt_data("truncated frame header");
+  }
+  if (mode_b.value() > static_cast<u8>(CodecMode::kDct)) {
+    return corrupt_data("unknown codec mode");
+  }
+  const auto mode = static_cast<CodecMode>(mode_b.value());
+  const auto type = static_cast<FrameType>(type_b.value());
+  if (fmt_b.value() != static_cast<u8>(PixelFormat::kGray8) &&
+      fmt_b.value() != static_cast<u8>(PixelFormat::kRgb24)) {
+    return corrupt_data("unknown pixel format");
+  }
+  const auto format = static_cast<PixelFormat>(fmt_b.value());
+  const int quality = quality_b.value();
+  const i32 w = static_cast<i32>(width_v.value());
+  const i32 h = static_cast<i32>(height_v.value());
+  if (w <= 0 || h <= 0 || static_cast<u64>(w) * static_cast<u64>(h) > 64u << 20) {
+    return corrupt_data("implausible frame dimensions");
+  }
+  const Bytes& payload = payload_r.value();
+  if (crc32(payload) != crc_v.value()) {
+    return corrupt_data("frame payload CRC mismatch");
+  }
+
+  const bool inter = type == FrameType::kInter;
+  if (inter && mode != CodecMode::kRaw) {
+    if (!reference_ || reference_->size() != Size{w, h} ||
+        reference_->format() != format) {
+      return failed_precondition("inter frame without matching reference");
+    }
+  }
+
+  Frame out(w, h, format);
+  switch (mode) {
+    case CodecMode::kRaw: {
+      if (payload.size() != out.data().size()) {
+        return corrupt_data("raw payload size mismatch");
+      }
+      std::copy(payload.begin(), payload.end(), out.data().begin());
+      break;
+    }
+    case CodecMode::kRle: {
+      if (!inter) {
+        if (auto st = rle_decode(payload, out.data()); !st.ok()) {
+          return st.error();
+        }
+      } else {
+        Bytes diff(out.data().size());
+        if (auto st = rle_decode(payload, diff); !st.ok()) return st.error();
+        const auto ref = reference_->data();
+        auto dst = out.data();
+        for (size_t i = 0; i < dst.size(); ++i) {
+          dst[i] = static_cast<u8>(ref[i] + diff[i]);
+        }
+      }
+      break;
+    }
+    case CodecMode::kDct: {
+      const Frame* ref = inter ? &*reference_ : nullptr;
+      if (auto st = dct_decode(payload, ref, quality, out); !st.ok()) {
+        return st.error();
+      }
+      break;
+    }
+  }
+  reference_ = out;
+  return out;
+}
+
+Result<EncodedStream> encode_stream(const std::vector<Frame>& frames,
+                                    const CodecConfig& config, int fps,
+                                    const std::vector<int>& segment_starts) {
+  if (frames.empty()) return invalid_argument("no frames to encode");
+  EncodedStream stream;
+  stream.config = config;
+  stream.width = frames[0].width();
+  stream.height = frames[0].height();
+  stream.format = frames[0].format();
+  stream.fps = fps;
+
+  Encoder enc(config);
+  size_t next_boundary = 0;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    while (next_boundary < segment_starts.size() &&
+           static_cast<size_t>(segment_starts[next_boundary]) < i) {
+      ++next_boundary;
+    }
+    if (next_boundary < segment_starts.size() &&
+        static_cast<size_t>(segment_starts[next_boundary]) == i) {
+      enc.request_keyframe();
+      ++next_boundary;
+    }
+    auto ef = enc.encode(frames[i]);
+    if (!ef.ok()) return ef.error();
+    stream.frames.push_back(std::move(ef.value()));
+  }
+  return stream;
+}
+
+Result<std::vector<Frame>> decode_stream(const EncodedStream& stream) {
+  Decoder dec;
+  std::vector<Frame> out;
+  out.reserve(stream.frames.size());
+  for (const auto& ef : stream.frames) {
+    auto f = dec.decode(ef.data);
+    if (!f.ok()) return f.error();
+    out.push_back(std::move(f.value()));
+  }
+  return out;
+}
+
+}  // namespace vgbl

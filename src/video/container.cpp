@@ -1,0 +1,291 @@
+#include "video/container.hpp"
+
+#include <algorithm>
+
+#include "util/crc32.hpp"
+
+namespace vgbl {
+namespace {
+
+constexpr char kMagic[4] = {'I', 'V', 'C', '1'};
+constexpr u16 kVersion = 1;
+
+}  // namespace
+
+Bytes mux_container(const EncodedStream& stream,
+                    const std::vector<ContainerSegment>& segments,
+                    const AudioBuffer* audio) {
+  ByteWriter w(stream.total_bytes() + 4096);
+  w.put_raw(kMagic, 4);
+  w.put_u16(kVersion);
+  w.put_u8(static_cast<u8>(stream.config.mode));
+  w.put_u8(static_cast<u8>(stream.format));
+  w.put_varint(static_cast<u64>(stream.config.gop_size));
+  w.put_varint(static_cast<u64>(stream.config.quality));
+  w.put_varint(static_cast<u64>(stream.width));
+  w.put_varint(static_cast<u64>(stream.height));
+  w.put_varint(static_cast<u64>(stream.fps));
+
+  // Frame index: sizes + keyframe flags; offsets are reconstructed
+  // cumulatively at parse time.
+  w.put_varint(stream.frames.size());
+  for (const auto& f : stream.frames) {
+    w.put_varint(f.data.size());
+    w.put_u8(f.keyframe ? 1 : 0);
+  }
+
+  w.put_varint(segments.size());
+  for (const auto& s : segments) {
+    w.put_varint(s.id.value);
+    w.put_string(s.name);
+    w.put_varint(static_cast<u64>(s.first_frame));
+    w.put_varint(static_cast<u64>(s.frame_count));
+  }
+
+  // Frame data blob, CRC-protected as a whole (per-frame CRCs exist too).
+  Bytes blob;
+  blob.reserve(stream.total_bytes());
+  for (const auto& f : stream.frames) {
+    blob.insert(blob.end(), f.data.begin(), f.data.end());
+  }
+  w.put_u32(crc32(blob));
+  w.put_varint(blob.size());
+  w.put_raw(blob.data(), blob.size());
+
+  // Optional trailing audio track ("AUD1"): readers that stop after the
+  // frame blob simply ignore it, so silent-era containers stay readable.
+  if (audio && !audio->empty()) {
+    const Bytes adpcm = adpcm_encode(*audio);
+    w.put_raw("AUD1", 4);
+    w.put_varint(static_cast<u64>(audio->sample_rate));
+    w.put_u32(crc32(adpcm));
+    w.put_blob(adpcm);
+  }
+  return std::move(w).take();
+}
+
+Result<VideoContainer> VideoContainer::parse(Bytes data) {
+  VideoContainer c;
+  c.data_ = std::move(data);
+  ByteReader r(c.data_);
+
+  auto magic = r.view(4);
+  if (!magic.ok() ||
+      !std::equal(magic.value().begin(), magic.value().end(),
+                  reinterpret_cast<const u8*>(kMagic))) {
+    return corrupt_data("not an IVC container (bad magic)");
+  }
+  auto version = r.u16_();
+  if (!version.ok()) return version.error();
+  if (version.value() != kVersion) {
+    return unsupported("IVC version " + std::to_string(version.value()));
+  }
+
+  auto mode = r.u8_();
+  auto fmt = r.u8_();
+  auto gop = r.varint();
+  auto quality = r.varint();
+  auto width = r.varint();
+  auto height = r.varint();
+  auto fps = r.varint();
+  if (!mode.ok() || !fmt.ok() || !gop.ok() || !quality.ok() || !width.ok() ||
+      !height.ok() || !fps.ok()) {
+    return corrupt_data("truncated IVC header");
+  }
+  if (mode.value() > static_cast<u8>(CodecMode::kDct)) {
+    return corrupt_data("unknown codec mode in container");
+  }
+  c.config_.mode = static_cast<CodecMode>(mode.value());
+  c.config_.gop_size = static_cast<int>(gop.value());
+  c.config_.quality = static_cast<int>(quality.value());
+  c.format_ = static_cast<PixelFormat>(fmt.value());
+  c.width_ = static_cast<i32>(width.value());
+  c.height_ = static_cast<i32>(height.value());
+  c.fps_ = static_cast<int>(fps.value());
+  if (c.width_ <= 0 || c.height_ <= 0 || c.fps_ <= 0) {
+    return corrupt_data("implausible container dimensions");
+  }
+
+  auto frame_count = r.varint();
+  if (!frame_count.ok()) return frame_count.error();
+  if (frame_count.value() > 10'000'000) {
+    return corrupt_data("implausible frame count");
+  }
+  u64 offset = 0;
+  c.index_.reserve(static_cast<size_t>(frame_count.value()));
+  for (u64 i = 0; i < frame_count.value(); ++i) {
+    auto size = r.varint();
+    auto key = r.u8_();
+    if (!size.ok() || !key.ok()) return corrupt_data("truncated frame index");
+    c.index_.push_back({offset, static_cast<u32>(size.value()), key.value() != 0});
+    offset += size.value();
+  }
+
+  auto segment_count = r.varint();
+  if (!segment_count.ok()) return segment_count.error();
+  if (segment_count.value() > 1'000'000) {
+    return corrupt_data("implausible segment count");
+  }
+  for (u64 i = 0; i < segment_count.value(); ++i) {
+    auto id = r.varint();
+    auto name = r.string();
+    auto first = r.varint();
+    auto count = r.varint();
+    if (!id.ok() || !name.ok() || !first.ok() || !count.ok()) {
+      return corrupt_data("truncated segment table");
+    }
+    ContainerSegment seg;
+    seg.id = SegmentId{static_cast<u32>(id.value())};
+    seg.name = std::move(name.value());
+    seg.first_frame = static_cast<int>(first.value());
+    seg.frame_count = static_cast<int>(count.value());
+    if (seg.first_frame < 0 ||
+        seg.first_frame + seg.frame_count >
+            static_cast<int>(c.index_.size())) {
+      return corrupt_data("segment range outside frame index");
+    }
+    c.segments_.push_back(std::move(seg));
+  }
+
+  auto blob_crc = r.u32_();
+  auto blob_size = r.varint();
+  if (!blob_crc.ok() || !blob_size.ok()) {
+    return corrupt_data("truncated container trailer");
+  }
+  if (blob_size.value() != offset) {
+    return corrupt_data("frame data size does not match index");
+  }
+  if (blob_size.value() > r.remaining()) {
+    return corrupt_data("container truncated: frame data missing");
+  }
+  c.blob_offset_ = r.position();
+  auto blob = r.view(static_cast<size_t>(blob_size.value()));
+  if (!blob.ok()) return blob.error();
+  if (crc32(blob.value()) != blob_crc.value()) {
+    return corrupt_data("frame data CRC mismatch");
+  }
+
+  // Optional audio track.
+  if (r.remaining() >= 4) {
+    auto marker = r.view(4);
+    if (!marker.ok()) return marker.error();
+    if (std::equal(marker.value().begin(), marker.value().end(),
+                   reinterpret_cast<const u8*>("AUD1"))) {
+      auto rate = r.varint();
+      auto audio_crc = r.u32_();
+      auto adpcm = r.blob();
+      if (!rate.ok() || !audio_crc.ok() || !adpcm.ok()) {
+        return corrupt_data("truncated audio track");
+      }
+      if (crc32(adpcm.value()) != audio_crc.value()) {
+        return corrupt_data("audio track CRC mismatch");
+      }
+      auto decoded =
+          adpcm_decode(adpcm.value(), static_cast<int>(rate.value()));
+      if (!decoded.ok()) return decoded.error();
+      c.audio_ = std::move(decoded.value());
+    }
+  }
+  return c;
+}
+
+const ContainerSegment* VideoContainer::segment_at(int frame) const {
+  for (const auto& s : segments_) {
+    if (frame >= s.first_frame && frame < s.first_frame + s.frame_count) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+const ContainerSegment* VideoContainer::segment_by_id(SegmentId id) const {
+  for (const auto& s : segments_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+const ContainerSegment* VideoContainer::segment_by_name(
+    std::string_view name) const {
+  for (const auto& s : segments_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Result<std::span<const u8>> VideoContainer::frame_data(int i) const {
+  if (i < 0 || i >= frame_count()) {
+    return out_of_range("frame index " + std::to_string(i));
+  }
+  const auto& e = index_[static_cast<size_t>(i)];
+  return std::span<const u8>(data_.data() + blob_offset_ + e.offset, e.size);
+}
+
+int VideoContainer::previous_keyframe(int i) const {
+  i = std::clamp(i, 0, frame_count() - 1);
+  while (i > 0 && !index_[static_cast<size_t>(i)].keyframe) --i;
+  return i;
+}
+
+VideoReader::VideoReader(VideoContainer container, size_t cache_capacity)
+    : container_(std::move(container)), cache_capacity_(cache_capacity) {}
+
+Result<Frame> VideoReader::read_frame(int i) {
+  if (i < 0 || i >= container_.frame_count()) {
+    return out_of_range("frame index " + std::to_string(i));
+  }
+
+  // Cache lookup (most recent at the back).
+  for (auto it = cache_.rbegin(); it != cache_.rend(); ++it) {
+    if (it->first == i) {
+      ++stats_.cache_hits;
+      Frame f = it->second;
+      // Move to MRU position.
+      std::rotate(it.base() - 1, it.base(), cache_.end());
+      return f;
+    }
+  }
+
+  Frame result;
+  if (decoder_valid_ && i == next_sequential_) {
+    auto f = decode_at(i);
+    if (!f.ok()) return f;
+    result = std::move(f.value());
+  } else {
+    // Seek: restart from the nearest preceding keyframe. The very first
+    // read of a fresh reader is initial positioning, not a seek.
+    if (decoder_valid_) ++stats_.seeks;
+    const int key = container_.previous_keyframe(i);
+    decoder_.reset();
+    for (int j = key; j < i; ++j) {
+      auto f = decode_at(j);
+      if (!f.ok()) return f;
+    }
+    auto f = decode_at(i);
+    if (!f.ok()) return f;
+    result = std::move(f.value());
+  }
+  next_sequential_ = i + 1;
+  decoder_valid_ = true;
+
+  if (cache_capacity_ > 0) {
+    if (cache_.size() >= cache_capacity_) cache_.erase(cache_.begin());
+    cache_.emplace_back(i, result);
+  }
+  return result;
+}
+
+Result<Frame> VideoReader::read_segment_start(SegmentId id) {
+  const ContainerSegment* seg = container_.segment_by_id(id);
+  if (!seg) return not_found("segment id " + std::to_string(id.value));
+  return read_frame(seg->first_frame);
+}
+
+Result<Frame> VideoReader::decode_at(int i) {
+  auto data = container_.frame_data(i);
+  if (!data.ok()) return data.error();
+  ++stats_.frames_decoded;
+  return decoder_.decode(data.value());
+}
+
+}  // namespace vgbl

@@ -1,0 +1,130 @@
+#include "video/dct.hpp"
+
+#include <cmath>
+
+namespace vgbl {
+namespace {
+
+/// Cosine basis C[k][n] = c(k) * cos((2n+1)kπ/16), precomputed once.
+struct Basis {
+  f32 c[kDctBlockSize][kDctBlockSize];
+  Basis() {
+    const f64 pi = 3.14159265358979323846;
+    for (int k = 0; k < kDctBlockSize; ++k) {
+      const f64 scale = k == 0 ? std::sqrt(1.0 / kDctBlockSize)
+                               : std::sqrt(2.0 / kDctBlockSize);
+      for (int n = 0; n < kDctBlockSize; ++n) {
+        c[k][n] = static_cast<f32>(
+            scale * std::cos((2 * n + 1) * k * pi / (2 * kDctBlockSize)));
+      }
+    }
+  }
+};
+
+const Basis& basis() {
+  static const Basis b;
+  return b;
+}
+
+// JPEG Annex K luminance quantisation table (quality scaling applied on top).
+constexpr int kBaseQuant[kDctBlockArea] = {
+    16, 11, 10, 16, 24,  40,  51,  61,   //
+    12, 12, 14, 19, 26,  58,  60,  55,   //
+    14, 13, 16, 24, 40,  57,  69,  56,   //
+    14, 17, 22, 29, 51,  87,  80,  62,   //
+    18, 22, 37, 56, 68,  109, 103, 77,   //
+    24, 35, 55, 64, 81,  104, 113, 92,   //
+    49, 64, 78, 87, 103, 121, 120, 101,  //
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+}  // namespace
+
+const std::array<int, kDctBlockArea>& zigzag_order() {
+  static const std::array<int, kDctBlockArea> order = [] {
+    std::array<int, kDctBlockArea> o{};
+    int idx = 0;
+    for (int s = 0; s < 2 * kDctBlockSize - 1; ++s) {
+      if (s % 2 == 0) {  // up-right
+        for (int y = std::min(s, kDctBlockSize - 1);
+             y >= 0 && s - y < kDctBlockSize; --y) {
+          o[idx++] = y * kDctBlockSize + (s - y);
+        }
+      } else {  // down-left
+        for (int x = std::min(s, kDctBlockSize - 1);
+             x >= 0 && s - x < kDctBlockSize; --x) {
+          o[idx++] = (s - x) * kDctBlockSize + x;
+        }
+      }
+    }
+    return o;
+  }();
+  return order;
+}
+
+void forward_dct(const DctBlock& spatial, DctBlock& freq) {
+  const Basis& b = basis();
+  // Separable: rows then columns.
+  DctBlock tmp;
+  for (int y = 0; y < kDctBlockSize; ++y) {
+    for (int k = 0; k < kDctBlockSize; ++k) {
+      f32 acc = 0;
+      for (int n = 0; n < kDctBlockSize; ++n) {
+        acc += spatial[y * kDctBlockSize + n] * b.c[k][n];
+      }
+      tmp[y * kDctBlockSize + k] = acc;
+    }
+  }
+  for (int x = 0; x < kDctBlockSize; ++x) {
+    for (int k = 0; k < kDctBlockSize; ++k) {
+      f32 acc = 0;
+      for (int n = 0; n < kDctBlockSize; ++n) {
+        acc += tmp[n * kDctBlockSize + x] * b.c[k][n];
+      }
+      freq[k * kDctBlockSize + x] = acc;
+    }
+  }
+}
+
+void inverse_dct(const DctBlock& freq, DctBlock& spatial) {
+  const Basis& b = basis();
+  DctBlock tmp;
+  for (int x = 0; x < kDctBlockSize; ++x) {
+    for (int n = 0; n < kDctBlockSize; ++n) {
+      f32 acc = 0;
+      for (int k = 0; k < kDctBlockSize; ++k) {
+        acc += freq[k * kDctBlockSize + x] * b.c[k][n];
+      }
+      tmp[n * kDctBlockSize + x] = acc;
+    }
+  }
+  for (int y = 0; y < kDctBlockSize; ++y) {
+    for (int n = 0; n < kDctBlockSize; ++n) {
+      f32 acc = 0;
+      for (int k = 0; k < kDctBlockSize; ++k) {
+        acc += tmp[y * kDctBlockSize + k] * b.c[k][n];
+      }
+      spatial[y * kDctBlockSize + n] = acc;
+    }
+  }
+}
+
+f32 quant_step(int index, int quality) {
+  // quality 1 ≈ visually lossless, 16 ≈ JPEG default, 32+ coarse.
+  const f32 scale = static_cast<f32>(quality) / 16.0f;
+  const f32 step = static_cast<f32>(kBaseQuant[index]) * scale;
+  return step < 1.0f ? 1.0f : step;
+}
+
+void quantize(const DctBlock& freq, int quality, QuantBlock& out) {
+  for (int i = 0; i < kDctBlockArea; ++i) {
+    out[i] = static_cast<i32>(std::lround(freq[i] / quant_step(i, quality)));
+  }
+}
+
+void dequantize(const QuantBlock& in, int quality, DctBlock& freq) {
+  for (int i = 0; i < kDctBlockArea; ++i) {
+    freq[i] = static_cast<f32>(in[i]) * quant_step(i, quality);
+  }
+}
+
+}  // namespace vgbl

@@ -1,0 +1,38 @@
+// 8×8 block DCT used by the lossy codec path. Forward transform takes
+// centred pixel values (−128..127), quantises with a JPEG-style table scaled
+// by a quality factor; the inverse reverses both steps. Encoder and decoder
+// share these routines so the closed prediction loop stays bit-identical.
+#pragma once
+
+#include <array>
+
+#include "util/types.hpp"
+
+namespace vgbl {
+
+inline constexpr int kDctBlockSize = 8;
+inline constexpr int kDctBlockArea = kDctBlockSize * kDctBlockSize;
+
+using DctBlock = std::array<f32, kDctBlockArea>;       // spatial or frequency
+using QuantBlock = std::array<i32, kDctBlockArea>;     // quantised coeffs
+
+/// Zig-zag scan order mapping scan position -> block index.
+[[nodiscard]] const std::array<int, kDctBlockArea>& zigzag_order();
+
+/// Forward 8×8 type-II DCT (orthonormal).
+void forward_dct(const DctBlock& spatial, DctBlock& freq);
+
+/// Inverse 8×8 DCT.
+void inverse_dct(const DctBlock& freq, DctBlock& spatial);
+
+/// Quantisation step for coefficient index `i` at `quality` (1 = finest,
+/// larger = coarser). Derived from the JPEG luminance table.
+[[nodiscard]] f32 quant_step(int index, int quality);
+
+/// Quantises a frequency block: out[i] = round(freq[i] / step(i)).
+void quantize(const DctBlock& freq, int quality, QuantBlock& out);
+
+/// Dequantises back into a frequency block.
+void dequantize(const QuantBlock& in, int quality, DctBlock& freq);
+
+}  // namespace vgbl

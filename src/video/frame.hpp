@@ -1,0 +1,139 @@
+// Raster frame model. Frames are interleaved 8-bit buffers (RGB24 or GRAY8)
+// with value semantics; all video processing (generation, codec, detection,
+// compositing) operates on this type.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "util/types.hpp"
+
+namespace vgbl {
+
+enum class PixelFormat : u8 { kGray8 = 1, kRgb24 = 3 };
+
+struct Color {
+  u8 r = 0;
+  u8 g = 0;
+  u8 b = 0;
+
+  constexpr auto operator<=>(const Color&) const = default;
+
+  /// ITU-R BT.601 luma.
+  [[nodiscard]] constexpr u8 luma() const {
+    return static_cast<u8>((299 * r + 587 * g + 114 * b) / 1000);
+  }
+
+  /// Linear blend towards `other` by t in [0,1] (t quantised to 1/256).
+  [[nodiscard]] Color lerp(Color other, f64 t) const {
+    const i32 k = static_cast<i32>(t * 256.0);
+    auto mix = [&](u8 a, u8 b) {
+      return static_cast<u8>((a * (256 - k) + b * k) >> 8);
+    };
+    return {mix(r, other.r), mix(g, other.g), mix(b, other.b)};
+  }
+};
+
+namespace colors {
+inline constexpr Color kBlack{0, 0, 0};
+inline constexpr Color kWhite{255, 255, 255};
+inline constexpr Color kRed{200, 40, 40};
+inline constexpr Color kGreen{40, 180, 70};
+inline constexpr Color kBlue{50, 80, 200};
+inline constexpr Color kYellow{230, 210, 60};
+inline constexpr Color kGray{128, 128, 128};
+inline constexpr Color kSky{135, 196, 235};
+inline constexpr Color kSand{222, 200, 160};
+}  // namespace colors
+
+class Frame {
+ public:
+  Frame() = default;
+  Frame(i32 width, i32 height, PixelFormat format, Color fill = colors::kBlack);
+
+  static Frame rgb(i32 width, i32 height, Color fill = colors::kBlack) {
+    return {width, height, PixelFormat::kRgb24, fill};
+  }
+  static Frame gray(i32 width, i32 height, u8 value = 0) {
+    Frame f(width, height, PixelFormat::kGray8);
+    f.fill({value, value, value});
+    return f;
+  }
+
+  [[nodiscard]] i32 width() const { return width_; }
+  [[nodiscard]] i32 height() const { return height_; }
+  [[nodiscard]] Size size() const { return {width_, height_}; }
+  [[nodiscard]] Rect bounds() const { return {0, 0, width_, height_}; }
+  [[nodiscard]] PixelFormat format() const { return format_; }
+  [[nodiscard]] int channels() const { return static_cast<int>(format_); }
+  [[nodiscard]] size_t stride() const {
+    return static_cast<size_t>(width_) * static_cast<size_t>(channels());
+  }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] std::span<const u8> data() const { return data_; }
+  [[nodiscard]] std::span<u8> data() { return data_; }
+
+  /// Unchecked channel access; callers must stay in bounds.
+  [[nodiscard]] u8 at(i32 x, i32 y, int c = 0) const {
+    return data_[index(x, y, c)];
+  }
+  void set(i32 x, i32 y, int c, u8 v) { data_[index(x, y, c)] = v; }
+
+  [[nodiscard]] Color pixel(i32 x, i32 y) const;
+  void set_pixel(i32 x, i32 y, Color c);
+  /// Alpha-blends `c` over the existing pixel (alpha in [0,255]).
+  void blend_pixel(i32 x, i32 y, Color c, u8 alpha);
+
+  void fill(Color c);
+  /// Fills the intersection of `r` with the frame bounds.
+  void fill_rect(Rect r, Color c);
+  /// 1-pixel border inside `r`.
+  void draw_rect(Rect r, Color c);
+  /// Vertical linear gradient from `top` to `bottom` over `r`.
+  void fill_gradient(Rect r, Color top, Color bottom);
+  /// Filled circle, clipped.
+  void fill_circle(Point center, i32 radius, Color c);
+  /// Copies `src` onto this frame with its top-left at `at`, clipped.
+  void blit(const Frame& src, Point at);
+
+  /// Converts to single-channel luma (identity for gray frames).
+  [[nodiscard]] Frame to_gray() const;
+
+  /// 32-bin luma histogram normalised to sum 1.
+  [[nodiscard]] std::vector<f64> luma_histogram(int bins = 32) const;
+
+  /// Concatenated per-channel histogram (`bins_per_channel` bins each,
+  /// normalised to sum 1 overall) — the scene-cut detector's frame
+  /// signature. Catches hue changes that luma alone misses.
+  [[nodiscard]] std::vector<f64> color_histogram(int bins_per_channel = 16) const;
+
+  /// Mean color over the whole frame — cheap scene signature for shot
+  /// grouping.
+  [[nodiscard]] Color mean_color() const;
+
+  bool operator==(const Frame& other) const = default;
+
+ private:
+  [[nodiscard]] size_t index(i32 x, i32 y, int c) const {
+    return (static_cast<size_t>(y) * static_cast<size_t>(width_) +
+            static_cast<size_t>(x)) *
+               static_cast<size_t>(channels()) +
+           static_cast<size_t>(c);
+  }
+
+  i32 width_ = 0;
+  i32 height_ = 0;
+  PixelFormat format_ = PixelFormat::kRgb24;
+  std::vector<u8> data_;
+};
+
+/// Peak signal-to-noise ratio in dB between same-shape frames; +inf (1e9)
+/// for identical frames. Used by codec quality tests and E3.
+[[nodiscard]] f64 psnr(const Frame& a, const Frame& b);
+
+/// Mean absolute per-channel difference; cheaper fidelity metric.
+[[nodiscard]] f64 mean_abs_diff(const Frame& a, const Frame& b);
+
+}  // namespace vgbl

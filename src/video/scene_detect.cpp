@@ -1,0 +1,141 @@
+#include "video/scene_detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vgbl {
+
+f64 chi_square_distance(const std::vector<f64>& a, const std::vector<f64>& b) {
+  f64 acc = 0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const f64 sum = a[i] + b[i];
+    if (sum <= 0) continue;
+    const f64 diff = a[i] - b[i];
+    acc += diff * diff / sum;
+  }
+  return acc;
+}
+
+std::vector<int> detect_cuts(const std::vector<Frame>& frames,
+                             const SceneDetectConfig& config) {
+  std::vector<int> cuts;
+  if (frames.size() < 2) return cuts;
+
+  // Pass 1: per-adjacent-pair χ² distances over color histograms (luma
+  // alone misses equal-brightness location changes).
+  std::vector<f64> dist(frames.size() - 1, 0.0);
+  std::vector<f64> prev_hist = frames[0].color_histogram(config.histogram_bins);
+  for (size_t i = 1; i < frames.size(); ++i) {
+    std::vector<f64> hist = frames[i].color_histogram(config.histogram_bins);
+    dist[i - 1] = chi_square_distance(prev_hist, hist);
+    prev_hist = std::move(hist);
+  }
+
+  // Pass 2: adaptive threshold from *robust* statistics (median + MAD).
+  // Mean/stddev would be inflated by the cut spikes themselves — a clip
+  // with many cuts would then miss its weaker cuts — whereas the median
+  // tracks ordinary inter-frame motion regardless of how many cuts exist.
+  std::vector<f64> sorted = dist;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const f64 median = sorted[sorted.size() / 2];
+  std::vector<f64> deviations(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    deviations[i] = std::abs(dist[i] - median);
+  }
+  std::nth_element(deviations.begin(), deviations.begin() + deviations.size() / 2,
+                   deviations.end());
+  const f64 mad = deviations[deviations.size() / 2];
+  const f64 robust_sigma = 1.4826 * mad;  // MAD -> stddev for normal data
+  const f64 threshold = std::max(
+      config.absolute_floor, median + config.adaptive_k * robust_sigma);
+
+  // Pass 3: declare cuts, debounced by min_shot_length. A cut between
+  // frames i and i+1 means frame i+1 starts a new shot.
+  int last_cut = 0;
+  for (size_t i = 0; i < dist.size(); ++i) {
+    const int cut_frame = static_cast<int>(i) + 1;
+    if (dist[i] > threshold && cut_frame - last_cut >= config.min_shot_length) {
+      cuts.push_back(cut_frame);
+      last_cut = cut_frame;
+    }
+  }
+  return cuts;
+}
+
+std::vector<Shot> detect_shots(const std::vector<Frame>& frames,
+                               const SceneDetectConfig& config) {
+  std::vector<Shot> shots;
+  if (frames.empty()) return shots;
+  std::vector<int> cuts = detect_cuts(frames, config);
+  cuts.push_back(static_cast<int>(frames.size()));
+
+  int start = 0;
+  for (int cut : cuts) {
+    Shot shot;
+    shot.first_frame = start;
+    shot.frame_count = cut - start;
+    shot.signature = frames[static_cast<size_t>(start + shot.frame_count / 2)]
+                         .mean_color();
+    shots.push_back(shot);
+    start = cut;
+  }
+  return shots;
+}
+
+std::vector<VideoSegment> segment_scenarios(const std::vector<Frame>& frames,
+                                            const SegmentationConfig& config) {
+  std::vector<VideoSegment> segments;
+  const std::vector<Shot> shots = detect_shots(frames, config.detect);
+  if (shots.empty()) return segments;
+
+  const auto shot_histogram = [&](const Shot& s) {
+    const size_t mid = static_cast<size_t>(s.first_frame + s.frame_count / 2);
+    return frames[mid].color_histogram(config.detect.histogram_bins);
+  };
+
+  VideoSegment current{shots[0].first_frame, shots[0].frame_count, ""};
+  std::vector<f64> signature = shot_histogram(shots[0]);
+  for (size_t i = 1; i < shots.size(); ++i) {
+    std::vector<f64> hist = shot_histogram(shots[i]);
+    if (chi_square_distance(hist, signature) < config.merge_threshold) {
+      current.frame_count += shots[i].frame_count;  // same place: merge
+    } else {
+      current.suggested_name = "segment_" + std::to_string(segments.size());
+      segments.push_back(current);
+      current = {shots[i].first_frame, shots[i].frame_count, ""};
+      signature = std::move(hist);
+    }
+  }
+  current.suggested_name = "segment_" + std::to_string(segments.size());
+  segments.push_back(current);
+  return segments;
+}
+
+CutScore score_cuts(const std::vector<int>& detected,
+                    const std::vector<int>& ground_truth, int tolerance) {
+  CutScore score;
+  std::vector<bool> matched(ground_truth.size(), false);
+  for (int d : detected) {
+    bool hit = false;
+    for (size_t i = 0; i < ground_truth.size(); ++i) {
+      if (!matched[i] && std::abs(ground_truth[i] - d) <= tolerance) {
+        matched[i] = true;
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
+      ++score.true_positives;
+    } else {
+      ++score.false_positives;
+    }
+  }
+  for (bool m : matched) {
+    if (!m) ++score.false_negatives;
+  }
+  return score;
+}
+
+}  // namespace vgbl

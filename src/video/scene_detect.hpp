@@ -1,0 +1,92 @@
+// Scene-cut detection and shot→scenario segmentation. This is the paper's
+// §4.1 "divide the video file into several small video segments as
+// scenarios" step: the authoring tool imports a clip, detects hard cuts via
+// luma-histogram distance, then groups visually similar consecutive shots
+// ("same place or characters") into scenario-sized segments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+#include "video/frame.hpp"
+
+namespace vgbl {
+
+struct SceneDetectConfig {
+  int histogram_bins = 16;  // per channel
+  /// A cut is declared when the χ² distance between consecutive frame
+  /// histograms exceeds mean + k·stddev of the clip's distances AND the
+  /// absolute floor. The adaptive part suppresses false cuts in noisy or
+  /// high-motion footage; the floor suppresses them in near-static footage.
+  f64 adaptive_k = 3.0;
+  f64 absolute_floor = 0.12;
+  /// Minimum frames between cuts (debounce; shots shorter than this merge).
+  int min_shot_length = 6;
+};
+
+/// One detected shot: [first_frame, first_frame + frame_count).
+struct Shot {
+  int first_frame = 0;
+  int frame_count = 0;
+  Color signature;  // mean color of the shot's middle frame
+};
+
+/// χ² distance between two normalised histograms, in [0, 2].
+[[nodiscard]] f64 chi_square_distance(const std::vector<f64>& a,
+                                      const std::vector<f64>& b);
+
+/// Returns frame indices where a new shot begins (never includes 0).
+[[nodiscard]] std::vector<int> detect_cuts(const std::vector<Frame>& frames,
+                                           const SceneDetectConfig& config = {});
+
+/// Splits frames into shots at the detected cuts.
+[[nodiscard]] std::vector<Shot> detect_shots(const std::vector<Frame>& frames,
+                                             const SceneDetectConfig& config = {});
+
+struct SegmentationConfig {
+  SceneDetectConfig detect;
+  /// Two adjacent shots merge into one scenario segment when the χ²
+  /// distance between their middle-frame color histograms is below this —
+  /// "a series of continuous shots with the same place or characters".
+  f64 merge_threshold = 0.2;
+};
+
+/// A scenario-sized video segment produced by the authoring import step.
+struct VideoSegment {
+  int first_frame = 0;
+  int frame_count = 0;
+  std::string suggested_name;  // "segment_0" etc.; designers rename later
+};
+
+/// Shot grouping: merges visually continuous shots into scenario segments.
+[[nodiscard]] std::vector<VideoSegment> segment_scenarios(
+    const std::vector<Frame>& frames, const SegmentationConfig& config = {});
+
+/// Precision/recall of detected cuts vs ground truth (E4 scoring). A
+/// detection within `tolerance` frames of a true cut counts as a hit.
+struct CutScore {
+  int true_positives = 0;
+  int false_positives = 0;
+  int false_negatives = 0;
+
+  [[nodiscard]] f64 precision() const {
+    const int denom = true_positives + false_positives;
+    return denom ? static_cast<f64>(true_positives) / denom : 1.0;
+  }
+  [[nodiscard]] f64 recall() const {
+    const int denom = true_positives + false_negatives;
+    return denom ? static_cast<f64>(true_positives) / denom : 1.0;
+  }
+  [[nodiscard]] f64 f1() const {
+    const f64 p = precision();
+    const f64 r = recall();
+    return (p + r) > 0 ? 2 * p * r / (p + r) : 0.0;
+  }
+};
+
+[[nodiscard]] CutScore score_cuts(const std::vector<int>& detected,
+                                  const std::vector<int>& ground_truth,
+                                  int tolerance = 1);
+
+}  // namespace vgbl

@@ -1,0 +1,71 @@
+// Procedural video source. Substitutes for the paper's camera/video-file
+// input (see DESIGN.md §2): generates multi-scene clips with hard cuts,
+// per-scene palettes, static props and moving "characters", plus an exact
+// ground-truth cut list that the scene-detection evaluation (E4) scores
+// against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "video/audio.hpp"
+#include "video/frame.hpp"
+
+namespace vgbl {
+
+/// Visual style of one scene ("place"): background palette plus prop and
+/// character counts. Distinct palettes model distinct filming locations.
+struct SceneStyle {
+  Color background_top;
+  Color background_bottom;
+  int prop_count = 3;       // static rectangles (furniture, signs, ...)
+  int character_count = 2;  // bouncing circles (actors)
+  f64 motion_speed = 2.0;   // pixels/frame for characters
+  f64 noise_level = 0.0;    // stddev of additive sensor noise, 0 disables
+};
+
+/// One scripted scene: a style held for `duration_frames` frames.
+struct SceneSpec {
+  std::string name;
+  SceneStyle style;
+  int duration_frames = 48;
+};
+
+/// Full clip specification.
+struct ClipSpec {
+  i32 width = 320;
+  i32 height = 240;
+  int fps = 24;
+  std::vector<SceneSpec> scenes;
+  u64 seed = 1;
+};
+
+/// Generated clip: decoded frames plus ground truth.
+struct Clip {
+  i32 width = 0;
+  i32 height = 0;
+  int fps = 24;
+  std::vector<Frame> frames;
+  /// Per-scene ambience soundtrack aligned to the frames (8 kHz mono).
+  AudioBuffer audio;
+  /// Frame indices at which a new scene starts (excluding frame 0).
+  std::vector<int> ground_truth_cuts;
+  /// Scene name per frame (for segmentation-accuracy scoring).
+  std::vector<std::string> scene_of_frame;
+};
+
+/// A small library of ready-made scene styles keyed by name; the examples
+/// use these to build the paper's classroom/market scenarios.
+[[nodiscard]] SceneStyle scene_style(const std::string& name);
+
+/// Renders the clip. Deterministic for a given spec (including seed).
+[[nodiscard]] Clip generate_clip(const ClipSpec& spec);
+
+/// Convenience: a clip with `scene_count` visually distinct scenes of
+/// `frames_per_scene` frames each, used throughout tests and benches.
+[[nodiscard]] ClipSpec make_demo_spec(int scene_count, int frames_per_scene,
+                                      i32 width = 320, i32 height = 240,
+                                      u64 seed = 1);
+
+}  // namespace vgbl

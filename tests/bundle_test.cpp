@@ -1,0 +1,147 @@
+// Bundle tests: build/load round trip, lint gating, keyframe placement,
+// and corruption handling.
+#include <gtest/gtest.h>
+
+#include "author/bundle.hpp"
+#include "author/serialize.hpp"
+#include "core/demo_games.hpp"
+#include "util/rng.hpp"
+
+namespace vgbl {
+namespace {
+
+TEST(BundleTest, BuildAndLoadQuickstart) {
+  auto project = build_quickstart_project();
+  ASSERT_TRUE(project.ok());
+  auto bytes = build_bundle(project.value());
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_GT(bytes.value().size(), 1000u);
+
+  auto bundle = load_bundle(bytes.value());
+  ASSERT_TRUE(bundle.ok());
+  const GameBundle& b = bundle.value();
+  EXPECT_EQ(b.meta.title, "Quickstart");
+  EXPECT_EQ(b.graph.size(), 2u);
+  EXPECT_EQ(b.objects.size(), 2u);
+  EXPECT_EQ(b.rules.size(), 1u);
+  ASSERT_NE(b.video, nullptr);
+  EXPECT_EQ(b.video->frame_count(), 96);
+  EXPECT_EQ(b.video->segments().size(), 2u);
+}
+
+TEST(BundleTest, GameDataSurvivesExactly) {
+  auto project = build_classroom_repair_project();
+  ASSERT_TRUE(project.ok());
+  auto bundle = build_and_load(project.value());
+  ASSERT_TRUE(bundle.ok());
+  // Re-serialize the loaded game data and compare against the project's
+  // (bundle stores the same JSON).
+  Project reassembled;
+  reassembled.meta = bundle.value().meta;
+  EXPECT_EQ(reassembled.meta.title, project.value().meta.title);
+  EXPECT_EQ(bundle.value().rules.size(), project.value().rules.size());
+  EXPECT_EQ(bundle.value().objects.size(), project.value().objects.size());
+  EXPECT_EQ(bundle.value().dialogues.size(),
+            project.value().dialogues.size());
+  EXPECT_EQ(bundle.value().items.size(), project.value().items.size());
+  EXPECT_EQ(bundle.value().combines.rules().size(),
+            project.value().combines.rules().size());
+}
+
+TEST(BundleTest, EveryScenarioSegmentExistsAndIsKeyframed) {
+  auto project = build_treasure_hunt_project();
+  ASSERT_TRUE(project.ok());
+  auto bundle = build_and_load(project.value());
+  ASSERT_TRUE(bundle.ok());
+  for (const auto& s : bundle.value().graph.scenarios()) {
+    const ContainerSegment* seg = bundle.value().video->segment_by_id(s.segment);
+    ASSERT_NE(seg, nullptr) << s.name;
+    EXPECT_TRUE(bundle.value().video->is_keyframe(seg->first_frame))
+        << "segment '" << seg->name << "' does not start on a keyframe";
+  }
+}
+
+TEST(BundleTest, VideoDecodesFromBundle) {
+  auto project = build_quickstart_project();
+  auto bundle = build_and_load(project.value());
+  ASSERT_TRUE(bundle.ok());
+  VideoReader reader(*bundle.value().video);
+  auto first = reader.read_frame(0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().size(), (Size{320, 240}));
+  auto mid = reader.read_frame(50);
+  ASSERT_TRUE(mid.ok());
+}
+
+TEST(BundleTest, LintErrorsBlockBuild) {
+  auto project = build_quickstart_project();
+  ASSERT_TRUE(project.ok());
+  // Sabotage: point a scenario at a missing segment.
+  project.value().graph.find_mutable(project.value().graph.scenarios()[0].id)
+      ->segment = SegmentId{1234};
+  auto bytes = build_bundle(project.value());
+  ASSERT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.error().code, ErrorCode::kFailedPrecondition);
+}
+
+TEST(BundleTest, CodecOptionsAffectSize) {
+  auto project = build_quickstart_project();
+  BundleOptions fine;
+  fine.codec.mode = CodecMode::kDct;
+  fine.codec.quality = 2;
+  BundleOptions coarse;
+  coarse.codec.mode = CodecMode::kDct;
+  coarse.codec.quality = 48;
+  const auto big = build_bundle(project.value(), fine);
+  const auto small = build_bundle(project.value(), coarse);
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE(small.ok());
+  EXPECT_GT(big.value().size(), small.value().size());
+}
+
+TEST(BundleCorruptionTest, BadMagicRejected) {
+  auto bytes = build_bundle(build_quickstart_project().value());
+  ASSERT_TRUE(bytes.ok());
+  bytes.value()[0] = 'Z';
+  EXPECT_FALSE(load_bundle(std::move(bytes.value())).ok());
+}
+
+TEST(BundleCorruptionTest, FlippedJsonByteFailsCrc) {
+  auto bytes = build_bundle(build_quickstart_project().value());
+  ASSERT_TRUE(bytes.ok());
+  bytes.value()[20] ^= 0x10;  // inside the game-data JSON
+  EXPECT_FALSE(load_bundle(std::move(bytes.value())).ok());
+}
+
+TEST(BundleCorruptionTest, TruncationsRejected) {
+  auto bytes = build_bundle(build_quickstart_project().value());
+  ASSERT_TRUE(bytes.ok());
+  const Bytes& full = bytes.value();
+  for (size_t keep :
+       {size_t{2}, size_t{10}, full.size() / 4, full.size() - 5}) {
+    Bytes cut(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_FALSE(load_bundle(std::move(cut)).ok()) << "kept " << keep;
+  }
+}
+
+TEST(BundleCorruptionTest, RandomGarbageNeverCrashes) {
+  Rng rng(77);
+  for (int i = 0; i < 60; ++i) {
+    Bytes garbage(static_cast<size_t>(rng.below(500)));
+    for (auto& b : garbage) b = static_cast<u8>(rng.next());
+    EXPECT_FALSE(load_bundle(std::move(garbage)).ok());
+  }
+}
+
+TEST(BundleTest, ScaledProjectBundles) {
+  auto project = build_scaled_project(4, 6, 1);
+  ASSERT_TRUE(project.ok());
+  auto bundle = build_and_load(project.value());
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_EQ(bundle.value().graph.size(), 4u);
+  EXPECT_EQ(bundle.value().objects.size(), 24u);
+  EXPECT_EQ(bundle.value().rules.size(), 24u);
+}
+
+}  // namespace
+}  // namespace vgbl

@@ -1,0 +1,206 @@
+// IVC container tests: mux/demux round trip, segment table, seeking,
+// the reader's cache, and corruption handling.
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "video/container.hpp"
+#include "video/synthetic.hpp"
+
+namespace vgbl {
+namespace {
+
+struct Fixture {
+  std::vector<Frame> frames;
+  EncodedStream stream;
+  std::vector<ContainerSegment> segments;
+  Bytes muxed;
+};
+
+Fixture make_fixture(CodecMode mode = CodecMode::kRle, int gop = 6) {
+  Fixture fx;
+  fx.frames = generate_clip(make_demo_spec(3, 12, 64, 48)).frames;  // 36 frames
+  CodecConfig config;
+  config.mode = mode;
+  config.gop_size = gop;
+  config.quality = 12;
+  fx.stream = encode_stream(fx.frames, config, 24, {0, 12, 24}).value();
+  fx.segments = {{SegmentId{1}, "classroom", 0, 12},
+                 {SegmentId{2}, "market", 12, 12},
+                 {SegmentId{3}, "street", 24, 12}};
+  fx.muxed = mux_container(fx.stream, fx.segments);
+  return fx;
+}
+
+TEST(ContainerTest, RoundTripMetadata) {
+  Fixture fx = make_fixture();
+  auto c = VideoContainer::parse(fx.muxed);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().width(), 64);
+  EXPECT_EQ(c.value().height(), 48);
+  EXPECT_EQ(c.value().fps(), 24);
+  EXPECT_EQ(c.value().frame_count(), 36);
+  EXPECT_EQ(c.value().codec_config().mode, CodecMode::kRle);
+  EXPECT_EQ(c.value().codec_config().gop_size, 6);
+  ASSERT_EQ(c.value().segments().size(), 3u);
+  EXPECT_EQ(c.value().segments()[1].name, "market");
+  EXPECT_EQ(c.value().segments()[1].first_frame, 12);
+}
+
+TEST(ContainerTest, FrameDataMatchesStream) {
+  Fixture fx = make_fixture();
+  auto c = VideoContainer::parse(fx.muxed).value();
+  for (int i = 0; i < c.frame_count(); ++i) {
+    auto data = c.frame_data(i);
+    ASSERT_TRUE(data.ok());
+    const auto& expected = fx.stream.frames[static_cast<size_t>(i)].data;
+    ASSERT_EQ(data.value().size(), expected.size());
+    EXPECT_TRUE(std::equal(data.value().begin(), data.value().end(),
+                           expected.begin()));
+  }
+  EXPECT_FALSE(c.frame_data(-1).ok());
+  EXPECT_FALSE(c.frame_data(36).ok());
+}
+
+TEST(ContainerTest, SegmentLookup) {
+  Fixture fx = make_fixture();
+  auto c = VideoContainer::parse(fx.muxed).value();
+  EXPECT_EQ(c.segment_at(0)->name, "classroom");
+  EXPECT_EQ(c.segment_at(12)->name, "market");
+  EXPECT_EQ(c.segment_at(35)->name, "street");
+  EXPECT_EQ(c.segment_at(36), nullptr);
+  EXPECT_EQ(c.segment_by_id(SegmentId{2})->name, "market");
+  EXPECT_EQ(c.segment_by_id(SegmentId{9}), nullptr);
+  EXPECT_EQ(c.segment_by_name("street")->first_frame, 24);
+  EXPECT_EQ(c.segment_by_name("nope"), nullptr);
+}
+
+TEST(ContainerTest, PreviousKeyframe) {
+  Fixture fx = make_fixture(CodecMode::kRle, 6);
+  auto c = VideoContainer::parse(fx.muxed).value();
+  EXPECT_TRUE(c.is_keyframe(0));
+  EXPECT_TRUE(c.is_keyframe(12));  // segment start forced
+  EXPECT_EQ(c.previous_keyframe(0), 0);
+  EXPECT_EQ(c.previous_keyframe(5), 0);
+  EXPECT_EQ(c.previous_keyframe(7), 6);
+  EXPECT_EQ(c.previous_keyframe(13), 12);
+}
+
+TEST(ContainerReaderTest, SequentialReadsDecodeExactly) {
+  Fixture fx = make_fixture();  // RLE: lossless
+  VideoReader reader(VideoContainer::parse(fx.muxed).value());
+  for (int i = 0; i < 36; ++i) {
+    auto f = reader.read_frame(i);
+    ASSERT_TRUE(f.ok()) << i;
+    EXPECT_EQ(f.value(), fx.frames[static_cast<size_t>(i)]) << i;
+  }
+  EXPECT_EQ(reader.stats().seeks, 0u);
+  EXPECT_EQ(reader.stats().frames_decoded, 36u);
+}
+
+TEST(ContainerReaderTest, RandomSeeksMatchSequential) {
+  Fixture fx = make_fixture();
+  VideoReader reader(VideoContainer::parse(fx.muxed).value());
+  Rng rng(9);
+  for (int n = 0; n < 40; ++n) {
+    const int i = static_cast<int>(rng.below(36));
+    auto f = reader.read_frame(i);
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ(f.value(), fx.frames[static_cast<size_t>(i)]) << "frame " << i;
+  }
+  EXPECT_GT(reader.stats().seeks, 0u);
+}
+
+TEST(ContainerReaderTest, SegmentStartIsInstant) {
+  Fixture fx = make_fixture();
+  VideoReader reader(VideoContainer::parse(fx.muxed).value());
+  auto f = reader.read_segment_start(SegmentId{2});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value(), fx.frames[12]);
+  // Segment start is a keyframe: exactly one decode.
+  EXPECT_EQ(reader.stats().frames_decoded, 1u);
+  EXPECT_FALSE(reader.read_segment_start(SegmentId{42}).ok());
+}
+
+TEST(ContainerReaderTest, CacheServesRepeats) {
+  Fixture fx = make_fixture();
+  VideoReader reader(VideoContainer::parse(fx.muxed).value(),
+                     /*cache_capacity=*/8);
+  (void)reader.read_frame(12);
+  const u64 decoded_before = reader.stats().frames_decoded;
+  auto again = reader.read_frame(12);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(reader.stats().frames_decoded, decoded_before);
+  EXPECT_EQ(reader.stats().cache_hits, 1u);
+  EXPECT_EQ(again.value(), fx.frames[12]);
+}
+
+TEST(ContainerReaderTest, CacheEvictsOldest) {
+  Fixture fx = make_fixture();
+  VideoReader reader(VideoContainer::parse(fx.muxed).value(),
+                     /*cache_capacity=*/2);
+  (void)reader.read_frame(0);
+  (void)reader.read_frame(1);
+  (void)reader.read_frame(2);  // evicts 0
+  const u64 hits_before = reader.stats().cache_hits;
+  (void)reader.read_frame(0);  // miss
+  EXPECT_EQ(reader.stats().cache_hits, hits_before);
+}
+
+TEST(ContainerReaderTest, DctSeekMatchesSequentialDecode) {
+  // For lossy streams the invariant is: seeking to i yields bit-identical
+  // output to decoding 0..i sequentially (closed-loop reconstruction).
+  Fixture fx = make_fixture(CodecMode::kDct, 6);
+  VideoReader sequential(VideoContainer::parse(fx.muxed).value());
+  std::vector<Frame> seq;
+  for (int i = 0; i < 36; ++i) seq.push_back(sequential.read_frame(i).value());
+
+  VideoReader seeker(VideoContainer::parse(fx.muxed).value());
+  for (int i : {35, 3, 17, 12, 29, 0, 23}) {
+    auto f = seeker.read_frame(i);
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ(f.value(), seq[static_cast<size_t>(i)]) << "frame " << i;
+  }
+}
+
+// --- Corruption ----------------------------------------------------------------
+
+TEST(ContainerCorruptionTest, BadMagic) {
+  Fixture fx = make_fixture();
+  fx.muxed[0] = 'X';
+  EXPECT_FALSE(VideoContainer::parse(fx.muxed).ok());
+}
+
+TEST(ContainerCorruptionTest, Truncation) {
+  Fixture fx = make_fixture();
+  for (size_t keep : {size_t{4}, size_t{16}, fx.muxed.size() / 2, fx.muxed.size() - 1}) {
+    Bytes cut(fx.muxed.begin(),
+              fx.muxed.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_FALSE(VideoContainer::parse(cut).ok()) << "kept " << keep;
+  }
+}
+
+TEST(ContainerCorruptionTest, FlippedDataByteFailsCrc) {
+  Fixture fx = make_fixture();
+  Bytes bad = fx.muxed;
+  bad[bad.size() - 10] ^= 0x40;
+  EXPECT_FALSE(VideoContainer::parse(bad).ok());
+}
+
+TEST(ContainerCorruptionTest, RandomGarbageNeverCrashes) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    Bytes garbage(static_cast<size_t>(rng.below(300)));
+    for (auto& b : garbage) b = static_cast<u8>(rng.next());
+    EXPECT_FALSE(VideoContainer::parse(garbage).ok());
+  }
+}
+
+TEST(ContainerCorruptionTest, SegmentRangeOutsideIndexRejected) {
+  Fixture fx = make_fixture();
+  fx.segments.push_back({SegmentId{4}, "bogus", 30, 100});  // past the end
+  Bytes bad = mux_container(fx.stream, fx.segments);
+  EXPECT_FALSE(VideoContainer::parse(bad).ok());
+}
+
+}  // namespace
+}  // namespace vgbl

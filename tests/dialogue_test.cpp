@@ -1,0 +1,172 @@
+// Dialogue tests: tree construction, validation and the runner.
+#include <gtest/gtest.h>
+
+#include "dialogue/dialogue.hpp"
+
+namespace vgbl {
+namespace {
+
+/// Teacher briefing: 1 -(choices)-> {2 -> end, end}.
+DialogueTree teacher_tree() {
+  DialogueTree tree(DialogueId{1}, "teacher");
+  DialogueNode n1;
+  n1.id = 1;
+  n1.speaker = "Teacher";
+  n1.line = "Can you fix the computer?";
+  n1.choices = {{"Yes.", 2, "accept"}, {"No.", kEndDialogue, "decline"}};
+  DialogueNode n2;
+  n2.id = 2;
+  n2.speaker = "Teacher";
+  n2.line = "Check it for faults first.";
+  n2.next_node = kEndDialogue;
+  n2.action_tag = "briefed";
+  EXPECT_TRUE(tree.add_node(n1).ok());
+  EXPECT_TRUE(tree.add_node(n2).ok());
+  return tree;
+}
+
+TEST(DialogueTreeTest, FirstNodeIsDefaultEntry) {
+  const DialogueTree tree = teacher_tree();
+  EXPECT_EQ(tree.entry(), 1);
+  EXPECT_EQ(tree.find(2)->line, "Check it for faults first.");
+  EXPECT_EQ(tree.find(3), nullptr);
+}
+
+TEST(DialogueTreeTest, DuplicateNodeRejected) {
+  DialogueTree tree(DialogueId{1}, "t");
+  DialogueNode n;
+  n.id = 1;
+  EXPECT_TRUE(tree.add_node(n).ok());
+  EXPECT_FALSE(tree.add_node(n).ok());
+}
+
+TEST(DialogueTreeTest, SetEntryValidates) {
+  DialogueTree tree = teacher_tree();
+  EXPECT_TRUE(tree.set_entry(2).ok());
+  EXPECT_EQ(tree.entry(), 2);
+  EXPECT_FALSE(tree.set_entry(99).ok());
+}
+
+TEST(DialogueValidateTest, CleanTreePasses) {
+  EXPECT_TRUE(teacher_tree().validate().empty());
+}
+
+TEST(DialogueValidateTest, EmptyTree) {
+  DialogueTree tree(DialogueId{1}, "empty");
+  EXPECT_FALSE(tree.validate().empty());
+}
+
+TEST(DialogueValidateTest, DanglingReference) {
+  DialogueTree tree(DialogueId{1}, "bad");
+  DialogueNode n;
+  n.id = 1;
+  n.line = "go";
+  n.next_node = 42;  // missing
+  (void)tree.add_node(n);
+  bool found = false;
+  for (const auto& issue : tree.validate()) {
+    found |= issue.find("missing node 42") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DialogueValidateTest, UnreachableNode) {
+  DialogueTree tree = teacher_tree();
+  DialogueNode orphan;
+  orphan.id = 7;
+  orphan.line = "nobody says this";
+  orphan.next_node = kEndDialogue;
+  (void)tree.add_node(orphan);
+  bool found = false;
+  for (const auto& issue : tree.validate()) {
+    found |= issue.find("node 7 is unreachable") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DialogueValidateTest, InfiniteLoopCannotTerminate) {
+  DialogueTree tree(DialogueId{1}, "loop");
+  DialogueNode a;
+  a.id = 1;
+  a.next_node = 2;
+  DialogueNode b;
+  b.id = 2;
+  b.next_node = 1;
+  (void)tree.add_node(a);
+  (void)tree.add_node(b);
+  bool found = false;
+  for (const auto& issue : tree.validate()) {
+    found |= issue.find("cannot terminate") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- Runner -----------------------------------------------------------------------
+
+TEST(DialogueRunnerTest, WalkAcceptBranch) {
+  const DialogueTree tree = teacher_tree();
+  DialogueRunner runner(&tree);
+  ASSERT_TRUE(runner.active());
+  EXPECT_EQ(runner.current()->id, 1);
+
+  // Choices present: advance() must refuse.
+  EXPECT_FALSE(runner.advance().ok());
+  ASSERT_TRUE(runner.choose(0).ok());
+  ASSERT_TRUE(runner.active());
+  EXPECT_EQ(runner.current()->id, 2);
+
+  // Auto node: choose() must refuse, advance() ends the conversation.
+  EXPECT_FALSE(runner.choose(0).ok());
+  ASSERT_TRUE(runner.advance().ok());
+  EXPECT_FALSE(runner.active());
+
+  // Transcript holds both lines with the chosen text recorded.
+  ASSERT_EQ(runner.transcript().size(), 2u);
+  EXPECT_EQ(runner.transcript()[0].line, "Can you fix the computer?");
+  EXPECT_EQ(runner.transcript()[1].chosen, "Yes.");
+
+  // Tags fired in order: the choice tag then the node tag.
+  ASSERT_EQ(runner.fired_tags().size(), 2u);
+  EXPECT_EQ(runner.fired_tags()[0], "accept");
+  EXPECT_EQ(runner.fired_tags()[1], "briefed");
+}
+
+TEST(DialogueRunnerTest, DeclineEndsImmediately) {
+  const DialogueTree tree = teacher_tree();
+  DialogueRunner runner(&tree);
+  ASSERT_TRUE(runner.choose(1).ok());
+  EXPECT_FALSE(runner.active());
+  ASSERT_EQ(runner.fired_tags().size(), 1u);
+  EXPECT_EQ(runner.fired_tags()[0], "decline");
+}
+
+TEST(DialogueRunnerTest, ChoiceOutOfRange) {
+  const DialogueTree tree = teacher_tree();
+  DialogueRunner runner(&tree);
+  EXPECT_FALSE(runner.choose(5).ok());
+  EXPECT_TRUE(runner.active());  // still on node 1
+}
+
+TEST(DialogueRunnerTest, InactiveRunnerRejectsInput) {
+  const DialogueTree tree = teacher_tree();
+  DialogueRunner runner(&tree);
+  (void)runner.choose(1);  // ends
+  EXPECT_FALSE(runner.advance().ok());
+  EXPECT_FALSE(runner.choose(0).ok());
+}
+
+TEST(DialogueRunnerTest, EntryNodeTagFiresOnStart) {
+  DialogueTree tree(DialogueId{1}, "greeting");
+  DialogueNode n;
+  n.id = 1;
+  n.line = "Welcome!";
+  n.action_tag = "greeted";
+  n.next_node = kEndDialogue;
+  (void)tree.add_node(n);
+  DialogueRunner runner(&tree);
+  ASSERT_EQ(runner.fired_tags().size(), 1u);
+  EXPECT_EQ(runner.fired_tags()[0], "greeted");
+}
+
+}  // namespace
+}  // namespace vgbl

@@ -1,0 +1,190 @@
+// Integration tests: the full author → lint → bundle → play loop on all
+// demo games, the classroom simulation, and cross-module invariants.
+#include <gtest/gtest.h>
+
+#include "core/classroom.hpp"
+#include "core/demo_games.hpp"
+#include "core/platform.hpp"
+
+namespace vgbl {
+namespace {
+
+TEST(IntegrationTest, ClassroomRepairFullWalkthrough) {
+  auto project = build_classroom_repair_project();
+  ASSERT_TRUE(project.ok());
+  auto bundle = publish(project.value());
+  ASSERT_TRUE(bundle.ok());
+
+  const InputScript walkthrough = {
+      ScriptStep::click("teacher"),
+      ScriptStep::choose(0),
+      ScriptStep::advance(),
+      ScriptStep::examine("computer"),
+      ScriptStep::click("PSU INFO"),
+      ScriptStep::click("GO MARKET"),
+      ScriptStep::wait(milliseconds(500)),
+      ScriptStep::click("psu_box"),
+      ScriptStep::click("BACK TO CLASS"),
+      ScriptStep::use_item("psu_part", "computer"),
+  };
+  auto result = play_scripted(bundle.value(), walkthrough);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().game_over);
+  EXPECT_TRUE(result.value().succeeded);
+  EXPECT_EQ(result.value().score, 175);
+  EXPECT_NE(result.value().learning_report.find("mission complete"),
+            std::string::npos);
+  EXPECT_NE(result.value().learning_report.find("I will fix it."),
+            std::string::npos);
+  EXPECT_NE(result.value().final_screen.find("MISSION COMPLETE"),
+            std::string::npos);
+}
+
+TEST(IntegrationTest, ClassroomRepairWrongOrderIsGuarded) {
+  auto bundle = publish(build_classroom_repair_project().value());
+  ASSERT_TRUE(bundle.ok());
+  // Rush to the market without diagnosing: the shop refuses to sell.
+  const InputScript wrong_order = {
+      ScriptStep::click("GO MARKET"),
+      ScriptStep::click("psu_box"),
+  };
+  SimClock clock;
+  GameSession session(bundle.value(), &clock);
+  ASSERT_TRUE(session.start().ok());
+  ScriptRunner runner(&session, &clock);
+  ASSERT_TRUE(runner.run(wrong_order).ok());
+  EXPECT_EQ(session.inventory().total_items(), 0);
+  EXPECT_FALSE(session.game_over());
+}
+
+TEST(IntegrationTest, TreasureHuntWalkthrough) {
+  auto bundle = publish(build_treasure_hunt_project().value());
+  ASSERT_TRUE(bundle.ok());
+  const InputScript walkthrough = {
+      ScriptStep::drag_to_inventory("torn map"),
+      ScriptStep::click("TO CAVE"),
+      ScriptStep::click("lantern"),
+      ScriptStep::combine("torn_map", "lantern"),
+      ScriptStep::click("TO BEACH"),
+      ScriptStep::click("TO LIBRARY"),
+      ScriptStep::click("librarian"),
+      ScriptStep::choose(0),
+      ScriptStep::advance(),
+      ScriptStep::examine("bookshelf"),
+      ScriptStep::click("old key"),
+      ScriptStep::click("TO BEACH"),
+      ScriptStep::click("TO CAVE"),
+      ScriptStep::click("vault door"),
+  };
+  auto result = play_scripted(bundle.value(), walkthrough);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().succeeded);
+  EXPECT_EQ(result.value().score, 320);
+}
+
+TEST(IntegrationTest, TreasureHuntVaultStaysLockedWithoutItems) {
+  auto bundle = publish(build_treasure_hunt_project().value());
+  SimClock clock;
+  GameSession session(bundle.value(), &clock);
+  ASSERT_TRUE(session.start().ok());
+  ScriptRunner runner(&session, &clock);
+  ASSERT_TRUE(runner.run({ScriptStep::click("TO CAVE"),
+                          ScriptStep::click("vault door")})
+                  .ok());
+  EXPECT_EQ(session.current_scenario_info()->name, "cave");
+  EXPECT_FALSE(session.game_over());
+  ASSERT_TRUE(session.ui().message().has_value());
+  EXPECT_NE(session.ui().message()->text.find("will not budge"),
+            std::string::npos);
+}
+
+TEST(IntegrationTest, ProjectSurvivesTextAndBundleRoundTrip) {
+  // Author -> text -> reload -> bundle -> play. The reloaded project must
+  // behave identically to the original.
+  auto original = build_classroom_repair_project().value();
+  auto reloaded = load_project_text(save_project_text(original));
+  ASSERT_TRUE(reloaded.ok());
+  auto bundle = publish(reloaded.value());
+  ASSERT_TRUE(bundle.ok());
+  auto result = play_scripted(bundle.value(), {
+                                                  ScriptStep::click("teacher"),
+                                                  ScriptStep::choose(0),
+                                                  ScriptStep::advance(),
+                                                  ScriptStep::examine("computer"),
+                                              });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().score, 15);  // accept (5) + diagnose (10)
+}
+
+TEST(IntegrationTest, ClassroomSimulationProducesSummary) {
+  auto bundle = publish(build_quickstart_project().value()).value();
+  ClassroomOptions options;
+  options.student_count = 6;
+  options.max_steps_per_student = 80;
+  const ClassroomSummary summary = simulate_classroom(bundle, options);
+  ASSERT_EQ(summary.students.size(), 6u);
+  EXPECT_GT(summary.completion_rate, 0.5);  // quickstart is trivial
+  EXPECT_GT(summary.mean_score, 0.0);
+  const std::string report = summary.report();
+  EXPECT_NE(report.find("completion rate"), std::string::npos);
+  EXPECT_NE(report.find("#1"), std::string::npos);
+}
+
+TEST(IntegrationTest, ClassroomSimulationDeterministic) {
+  auto bundle = publish(build_quickstart_project().value()).value();
+  ClassroomOptions options;
+  options.student_count = 4;
+  options.max_steps_per_student = 60;
+  options.seed = 123;
+  const auto a = simulate_classroom(bundle, options);
+  const auto b = simulate_classroom(bundle, options);
+  ASSERT_EQ(a.students.size(), b.students.size());
+  for (size_t i = 0; i < a.students.size(); ++i) {
+    EXPECT_EQ(a.students[i].score, b.students[i].score);
+    EXPECT_EQ(a.students[i].steps, b.students[i].steps);
+  }
+}
+
+TEST(IntegrationTest, ExplorerBotSolvesTreasureHunt) {
+  auto bundle = publish(build_treasure_hunt_project().value()).value();
+  SimClock clock;
+  GameSession session(bundle, &clock);
+  ASSERT_TRUE(session.start().ok());
+  const BotResult result =
+      run_bot(session, clock, BotPolicy::kExplorer, 600, 2718);
+  EXPECT_TRUE(result.succeeded)
+      << "explorer bot failed after " << result.steps << " steps";
+  EXPECT_EQ(session.score(), 320);
+}
+
+TEST(IntegrationTest, AnalyticsConsistentWithLedger) {
+  auto bundle = publish(build_classroom_repair_project().value()).value();
+  SimClock clock;
+  GameSession session(bundle, &clock);
+  ASSERT_TRUE(session.start().ok());
+  (void)run_bot(session, clock, BotPolicy::kExplorer, 300, 99);
+  EXPECT_EQ(session.tracker().total_score(), session.ledger().total());
+  EXPECT_EQ(session.score(), session.ledger().total());
+}
+
+TEST(IntegrationTest, FigureViewsRenderForAllDemoGames) {
+  for (auto builder :
+       {build_quickstart_project, build_classroom_repair_project,
+        build_treasure_hunt_project}) {
+    auto project = builder(42);
+    ASSERT_TRUE(project.ok());
+    const std::string fig1 = render_authoring_view(project.value());
+    EXPECT_GT(fig1.size(), 400u);
+
+    auto bundle = publish(project.value());
+    ASSERT_TRUE(bundle.ok());
+    SimClock clock;
+    GameSession session(bundle.value(), &clock);
+    ASSERT_TRUE(session.start().ok());
+    const std::string fig2 = render_runtime_view(session);
+    EXPECT_GT(fig2.size(), 400u);
+  }
+}
+
+}  // namespace
+}  // namespace vgbl

@@ -1,0 +1,186 @@
+// Keyboard / remote-control input tests: focus cycling, activation,
+// modal digit routing, and full keyboard-only playthroughs.
+#include <gtest/gtest.h>
+
+#include "core/demo_games.hpp"
+#include "core/platform.hpp"
+#include "runtime/keyboard.hpp"
+
+namespace vgbl {
+namespace {
+
+std::shared_ptr<const GameBundle> classroom_bundle() {
+  static auto cached = publish(build_classroom_repair_project().value()).value();
+  return cached;
+}
+
+std::string name_of(const GameSession& session, ObjectId id) {
+  const InteractiveObject* o = session.bundle().find_object(id);
+  return o ? o->name : "";
+}
+
+TEST(KeyboardTest, TabCyclesInReadingOrder) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  KeyboardController keys(&session);
+  EXPECT_FALSE(keys.focused().valid());
+
+  // Classroom reading order: GO MARKET (y=8), PSU INFO (y=34),
+  // teacher (y=130), computer (y=150).
+  (void)keys.press(Key::kTab);
+  EXPECT_EQ(name_of(session, keys.focused()), "GO MARKET");
+  (void)keys.press(Key::kTab);
+  EXPECT_EQ(name_of(session, keys.focused()), "PSU INFO");
+  (void)keys.press(Key::kTab);
+  EXPECT_EQ(name_of(session, keys.focused()), "teacher");
+  (void)keys.press(Key::kTab);
+  EXPECT_EQ(name_of(session, keys.focused()), "computer");
+  (void)keys.press(Key::kTab);  // wraps
+  EXPECT_EQ(name_of(session, keys.focused()), "GO MARKET");
+  (void)keys.press(Key::kShiftTab);
+  EXPECT_EQ(name_of(session, keys.focused()), "computer");
+}
+
+TEST(KeyboardTest, ArrowsMirrorTab) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  KeyboardController keys(&session);
+  (void)keys.press(Key::kDown);
+  EXPECT_EQ(name_of(session, keys.focused()), "GO MARKET");
+  (void)keys.press(Key::kUp);
+  // Wraps backwards to the last object in reading order.
+  EXPECT_EQ(name_of(session, keys.focused()), "computer");
+}
+
+TEST(KeyboardTest, EnterActivatesFocused) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  KeyboardController keys(&session);
+  (void)keys.press(Key::kTab);  // GO MARKET
+  ASSERT_TRUE(keys.press(Key::kEnter).ok());
+  EXPECT_EQ(session.current_scenario_info()->name, "market");
+}
+
+TEST(KeyboardTest, ExamineKeyShowsDescription) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  KeyboardController keys(&session);
+  for (int i = 0; i < 4; ++i) (void)keys.press(Key::kTab);  // computer
+  ASSERT_EQ(name_of(session, keys.focused()), "computer");
+  ASSERT_TRUE(keys.press(Key::kExamine).ok());
+  ASSERT_TRUE(session.ui().message().has_value());
+  EXPECT_NE(session.ui().message()->text.find("does not power on"),
+            std::string::npos);
+}
+
+TEST(KeyboardTest, DigitsAnswerDialogue) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  KeyboardController keys(&session);
+  for (int i = 0; i < 3; ++i) (void)keys.press(Key::kTab);  // teacher
+  ASSERT_TRUE(keys.press(Key::kEnter).ok());  // talk
+  ASSERT_TRUE(session.in_dialogue());
+  ASSERT_TRUE(keys.press(Key::kDigit1).ok());  // "I will fix it."
+  ASSERT_TRUE(keys.press(Key::kEnter).ok());   // advance the reply
+  EXPECT_FALSE(session.in_dialogue());
+  EXPECT_TRUE(session.flag("mission_accepted"));
+}
+
+TEST(KeyboardTest, DigitsAnswerQuiz) {
+  auto bundle = publish(build_science_quiz_project().value()).value();
+  SimClock clock;
+  GameSession session(bundle, &clock);
+  (void)session.start();
+  KeyboardController keys(&session);
+  (void)keys.press(Key::kTab);  // TAKE QUIZ button (topmost)
+  ASSERT_EQ(name_of(session, keys.focused()), "TAKE QUIZ");
+  ASSERT_TRUE(keys.press(Key::kEnter).ok());
+  ASSERT_TRUE(session.in_quiz());
+  ASSERT_TRUE(keys.press(Key::kDigit2).ok());  // correct: option index 1
+  ASSERT_TRUE(keys.press(Key::kDigit1).ok());  // correct: option index 0
+  ASSERT_TRUE(keys.press(Key::kDigit3).ok());  // correct: option index 2
+  EXPECT_TRUE(session.succeeded());
+}
+
+TEST(KeyboardTest, EscapeDismissesPopups) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  KeyboardController keys(&session);
+  for (int i = 0; i < 4; ++i) (void)keys.press(Key::kTab);
+  (void)keys.press(Key::kExamine);
+  ASSERT_TRUE(session.ui().message().has_value());
+  (void)keys.press(Key::kEscape);
+  EXPECT_FALSE(session.ui().message().has_value());
+}
+
+TEST(KeyboardTest, FocusSurvivesObjectDisappearing) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  KeyboardController keys(&session);
+  (void)keys.press(Key::kTab);
+  ASSERT_TRUE(keys.press(Key::kEnter).ok());  // -> market
+  // Focus anchor (GO MARKET) is gone; next Tab re-anchors to the first
+  // market object instead of crashing or staying invalid.
+  (void)keys.press(Key::kTab);
+  EXPECT_TRUE(keys.focused().valid());
+  EXPECT_EQ(name_of(session, keys.focused()), "BACK TO CLASS");
+}
+
+TEST(KeyboardTest, DigitsInertOutsideModals) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  KeyboardController keys(&session);
+  EXPECT_TRUE(keys.press(Key::kDigit5).ok());
+  EXPECT_FALSE(session.game_over());
+}
+
+TEST(KeyboardTest, FullKeyboardOnlyPlaythrough) {
+  // The entire classroom-repair mission driven by keys alone — the
+  // TV-remote accessibility story. (use_item has no key chord; the install
+  // step uses the session API directly, as a remote's context menu would.)
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  KeyboardController keys(&session);
+
+  auto tab_to = [&](const std::string& name) {
+    for (int i = 0; i < 10; ++i) {
+      (void)keys.press(Key::kTab);
+      if (name_of(session, keys.focused()) == name) return true;
+    }
+    return false;
+  };
+
+  ASSERT_TRUE(tab_to("teacher"));
+  (void)keys.press(Key::kEnter);
+  (void)keys.press(Key::kDigit1);
+  (void)keys.press(Key::kEnter);
+  ASSERT_TRUE(tab_to("computer"));
+  (void)keys.press(Key::kExamine);
+  EXPECT_TRUE(session.flag("found_problem"));
+  ASSERT_TRUE(tab_to("GO MARKET"));
+  (void)keys.press(Key::kEnter);
+  ASSERT_TRUE(tab_to("psu_box"));
+  (void)keys.press(Key::kEnter);
+  ASSERT_TRUE(tab_to("BACK TO CLASS"));
+  (void)keys.press(Key::kEnter);
+
+  const ItemDef* part = session.bundle().items.find_by_name("psu_part");
+  ASSERT_TRUE(session.inventory().has(part->id));
+  ASSERT_TRUE(tab_to("computer"));
+  auto p = keys.focused_point();
+  ASSERT_TRUE(p.has_value());
+  ASSERT_TRUE(session.use_item_on(part->id, *p).ok());
+  EXPECT_TRUE(session.succeeded());
+}
+
+}  // namespace
+}  // namespace vgbl

@@ -1,0 +1,266 @@
+// Network and streaming tests: link timing model, loss/jitter behaviour,
+// client playback invariants, prefetch, and path generation.
+#include <gtest/gtest.h>
+
+#include "author/bundle.hpp"
+#include "core/demo_games.hpp"
+#include "net/streaming.hpp"
+
+namespace vgbl {
+namespace {
+
+// --- SimulatedNetwork -------------------------------------------------------------
+
+Packet make_packet(u32 size, u32 flow = 1) {
+  Packet p;
+  p.flow = flow;
+  p.size = size;
+  p.frame_complete = true;
+  return p;
+}
+
+TEST(NetworkTest, SerializationDelayMatchesBandwidth) {
+  NetworkConfig config;
+  config.bandwidth_bps = 8'000'000;  // 1 MB/s
+  config.base_latency = 0;
+  config.jitter = 0;
+  SimulatedNetwork net(config);
+  auto arrival = net.send(make_packet(1'000'000), 0);  // 1 MB
+  ASSERT_TRUE(arrival.has_value());
+  EXPECT_EQ(*arrival, seconds(1));
+  EXPECT_EQ(net.busy_until(), seconds(1));
+}
+
+TEST(NetworkTest, LatencyAdds) {
+  NetworkConfig config;
+  config.bandwidth_bps = 8'000'000;
+  config.base_latency = milliseconds(50);
+  config.jitter = 0;
+  SimulatedNetwork net(config);
+  auto arrival = net.send(make_packet(1000), 0);  // 1ms serialization
+  ASSERT_TRUE(arrival.has_value());
+  EXPECT_EQ(*arrival, milliseconds(51));
+}
+
+TEST(NetworkTest, SharedLinkSerializesBackToBack) {
+  NetworkConfig config;
+  config.bandwidth_bps = 8'000'000;
+  config.base_latency = 0;
+  config.jitter = 0;
+  SimulatedNetwork net(config);
+  auto first = net.send(make_packet(8000), 0);   // 8ms
+  auto second = net.send(make_packet(8000), 0);  // queued behind
+  EXPECT_EQ(*first, milliseconds(8));
+  EXPECT_EQ(*second, milliseconds(16));
+  EXPECT_FALSE(net.can_send(milliseconds(10)));
+  EXPECT_TRUE(net.can_send(milliseconds(16)));
+}
+
+TEST(NetworkTest, PollDeliversInArrivalOrder) {
+  NetworkConfig config;
+  config.jitter = milliseconds(10);
+  SimulatedNetwork net(config, 3);
+  for (int i = 0; i < 20; ++i) {
+    (void)net.send(make_packet(100), 0);
+  }
+  const auto delivered = net.poll(seconds(10));
+  ASSERT_EQ(delivered.size(), 20u);
+  for (size_t i = 1; i < delivered.size(); ++i) {
+    EXPECT_GE(delivered[i].arrives_at, delivered[i - 1].arrives_at);
+  }
+  EXPECT_TRUE(net.poll(seconds(10)).empty());  // drained
+}
+
+TEST(NetworkTest, PollRespectsTime) {
+  NetworkConfig config;
+  config.base_latency = milliseconds(100);
+  config.jitter = 0;
+  SimulatedNetwork net(config);
+  (void)net.send(make_packet(100), 0);
+  EXPECT_TRUE(net.poll(milliseconds(50)).empty());
+  EXPECT_EQ(net.poll(milliseconds(200)).size(), 1u);
+}
+
+TEST(NetworkTest, LossRateDropsSome) {
+  NetworkConfig config;
+  config.loss_rate = 0.3;
+  SimulatedNetwork net(config, 7);
+  int lost = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!net.send(make_packet(100), 0)) ++lost;
+  }
+  EXPECT_GT(lost, 200);
+  EXPECT_LT(lost, 400);
+  EXPECT_EQ(net.stats().packets_lost, static_cast<u64>(lost));
+  EXPECT_EQ(net.stats().packets_sent, 1000u);
+}
+
+TEST(NetworkTest, StatsCountBytes) {
+  SimulatedNetwork net(NetworkConfig{});
+  (void)net.send(make_packet(100), 0);
+  (void)net.send(make_packet(250), 0);
+  EXPECT_EQ(net.stats().bytes_sent, 350u);
+}
+
+// --- Streaming ----------------------------------------------------------------------
+
+struct StreamFixture {
+  std::shared_ptr<const GameBundle> bundle;
+  std::vector<SegmentId> straight_path;
+};
+
+StreamFixture make_stream_fixture() {
+  StreamFixture fx;
+  auto project = build_treasure_hunt_project();
+  EXPECT_TRUE(project.ok());
+  auto bundle = build_and_load(project.value());
+  EXPECT_TRUE(bundle.ok());
+  fx.bundle = std::make_shared<GameBundle>(std::move(bundle.value()));
+  for (const auto& seg : fx.bundle->video->segments()) {
+    fx.straight_path.push_back(seg.id);
+  }
+  return fx;
+}
+
+TEST(StreamingTest, SingleClientPlaysEverythingWithoutStalls) {
+  StreamFixture fx = make_stream_fixture();
+  StreamingConfig config;
+  config.network.bandwidth_bps = 100'000'000;
+  config.network.loss_rate = 0;
+  StreamServer server(fx.bundle->video.get(), config);
+  StreamClient& client = server.add_client(fx.straight_path);
+  server.run(seconds(120));
+
+  EXPECT_TRUE(client.finished());
+  const ClientStats& s = client.stats();
+  int total_frames = 0;
+  for (const auto& seg : fx.bundle->video->segments()) {
+    total_frames += seg.frame_count;
+  }
+  EXPECT_EQ(s.frames_presented, total_frames);
+  EXPECT_EQ(s.segments_played, static_cast<int>(fx.straight_path.size()));
+  EXPECT_EQ(s.rebuffer_events, 0);
+  EXPECT_GT(s.startup_delay, 0);
+  EXPECT_GT(s.bytes_received, 0u);
+}
+
+TEST(StreamingTest, SurvivesPacketLoss) {
+  StreamFixture fx = make_stream_fixture();
+  StreamingConfig config;
+  config.network.bandwidth_bps = 100'000'000;
+  config.network.loss_rate = 0.05;  // retransmission path must cover this
+  StreamServer server(fx.bundle->video.get(), config, 13);
+  StreamClient& client = server.add_client(fx.straight_path);
+  server.run(seconds(300));
+  EXPECT_TRUE(client.finished());
+  EXPECT_GT(server.network().stats().packets_lost, 0u);
+}
+
+TEST(StreamingTest, SurvivesJitterReordering) {
+  StreamFixture fx = make_stream_fixture();
+  StreamingConfig config;
+  config.network.bandwidth_bps = 100'000'000;
+  config.network.jitter = milliseconds(20);
+  StreamServer server(fx.bundle->video.get(), config, 17);
+  StreamClient& client = server.add_client(fx.straight_path);
+  server.run(seconds(300));
+  EXPECT_TRUE(client.finished());
+}
+
+TEST(StreamingTest, PrefetchCutsSwitchLatency) {
+  StreamFixture fx = make_stream_fixture();
+  auto run_with = [&](bool prefetch) {
+    StreamingConfig config;
+    config.network.bandwidth_bps = 60'000'000;
+    config.prefetch_enabled = prefetch;
+    StreamServer server(fx.bundle->video.get(), config, 5);
+    for (int i = 0; i < 4; ++i) server.add_client(fx.straight_path);
+    server.run(seconds(200));
+    return server.aggregate();
+  };
+  const auto without = run_with(false);
+  const auto with = run_with(true);
+  EXPECT_LT(with.mean_switch_ms, without.mean_switch_ms);
+  EXPECT_GT(with.prefetch_hits, without.prefetch_hits);
+  // Startup is unaffected by prefetch (first segment always streams).
+  EXPECT_NEAR(with.mean_startup_ms, without.mean_startup_ms, 1.0);
+}
+
+TEST(StreamingTest, ManyClientsShareTheLink) {
+  StreamFixture fx = make_stream_fixture();
+  auto startup_with_clients = [&](int n) {
+    StreamingConfig config;
+    config.network.bandwidth_bps = 20'000'000;
+    StreamServer server(fx.bundle->video.get(), config, 5);
+    for (int i = 0; i < n; ++i) server.add_client(fx.straight_path);
+    server.run(seconds(200));
+    return server.aggregate().mean_startup_ms;
+  };
+  // More clients on the same pipe -> slower startup.
+  EXPECT_LT(startup_with_clients(2), startup_with_clients(16));
+}
+
+TEST(StreamingTest, EmptyPathFinishesImmediately) {
+  StreamFixture fx = make_stream_fixture();
+  StreamServer server(fx.bundle->video.get(), StreamingConfig{});
+  StreamClient& client = server.add_client({});
+  EXPECT_TRUE(client.finished());
+  server.run(seconds(1));
+}
+
+TEST(StreamingTest, RevisitedSegmentServedFromBuffer) {
+  StreamFixture fx = make_stream_fixture();
+  std::vector<SegmentId> path{fx.straight_path[0], fx.straight_path[1],
+                              fx.straight_path[0]};  // revisit
+  StreamingConfig config;
+  config.network.bandwidth_bps = 60'000'000;
+  StreamServer server(fx.bundle->video.get(), config);
+  StreamClient& client = server.add_client(path);
+  server.run(seconds(120));
+  ASSERT_TRUE(client.finished());
+  EXPECT_GE(client.stats().prefetch_hits, 1);  // the revisit was instant
+}
+
+// --- Path generation ----------------------------------------------------------------
+
+TEST(StudentPathTest, StartsAtStartScenarioSegment) {
+  auto project = build_treasure_hunt_project().value();
+  Rng rng(3);
+  const auto path = random_student_path(project.graph, 10, rng);
+  ASSERT_FALSE(path.empty());
+  const Scenario* start = project.graph.find(project.graph.start());
+  EXPECT_EQ(path[0], start->segment);
+}
+
+TEST(StudentPathTest, EndsAtTerminalOrHopLimit) {
+  auto project = build_treasure_hunt_project().value();
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto path = random_student_path(project.graph, 8, rng);
+    EXPECT_LE(path.size(), 9u);
+    ASSERT_FALSE(path.empty());
+  }
+}
+
+TEST(StudentPathTest, FollowsOnlyRealTransitions) {
+  auto project = build_treasure_hunt_project().value();
+  // Map segment -> scenario for edge checking.
+  std::map<u32, ScenarioId> seg_to_scenario;
+  for (const auto& s : project.graph.scenarios()) {
+    seg_to_scenario[s.segment.value] = s.id;
+  }
+  Rng rng(5);
+  const auto path = random_student_path(project.graph, 12, rng);
+  for (size_t i = 1; i < path.size(); ++i) {
+    const ScenarioId from = seg_to_scenario.at(path[i - 1].value);
+    const ScenarioId to = seg_to_scenario.at(path[i].value);
+    bool edge_exists = false;
+    for (const auto* t : project.graph.out_edges(from)) {
+      edge_exists |= t->to == to;
+    }
+    EXPECT_TRUE(edge_exists) << "hop " << i;
+  }
+}
+
+}  // namespace
+}  // namespace vgbl

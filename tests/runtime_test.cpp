@@ -1,0 +1,706 @@
+// Runtime tests: gestures, UI model, the game session's dispatch/default
+// behaviours/timers/dialogue/save-games, the compositor and the text
+// renderers, and the script runner.
+#include <gtest/gtest.h>
+
+#include "core/demo_games.hpp"
+#include "core/platform.hpp"
+#include "runtime/compositor.hpp"
+#include "runtime/input.hpp"
+#include "runtime/render_text.hpp"
+#include "runtime/script.hpp"
+#include "runtime/session.hpp"
+#include "util/text.hpp"
+
+namespace vgbl {
+namespace {
+
+std::shared_ptr<const GameBundle> quickstart_bundle() {
+  static std::shared_ptr<const GameBundle> cached = [] {
+    auto project = build_quickstart_project();
+    EXPECT_TRUE(project.ok());
+    auto bundle = publish(project.value());
+    EXPECT_TRUE(bundle.ok());
+    return bundle.value();
+  }();
+  return cached;
+}
+
+std::shared_ptr<const GameBundle> classroom_bundle() {
+  static std::shared_ptr<const GameBundle> cached = [] {
+    auto bundle = publish(build_classroom_repair_project().value());
+    EXPECT_TRUE(bundle.ok());
+    return bundle.value();
+  }();
+  return cached;
+}
+
+/// Canvas-space centre of a named object.
+Point object_center(const GameSession& session, const std::string& name) {
+  for (const auto* o : session.visible_objects()) {
+    if (o->name == name) {
+      const Point c = o->placement.rect.center();
+      const Point origin = session.ui().layout().video_area.origin();
+      return {c.x + origin.x, c.y + origin.y};
+    }
+  }
+  ADD_FAILURE() << "object '" << name << "' not visible";
+  return {};
+}
+
+// --- GestureRecognizer ------------------------------------------------------------
+
+TEST(GestureTest, ClickWithinSlop) {
+  GestureRecognizer rec(4);
+  EXPECT_FALSE(rec.feed({MouseEvent::Type::kDown, {10, 10}, MouseButton::kLeft, 0}));
+  EXPECT_FALSE(rec.feed({MouseEvent::Type::kMove, {12, 11}, MouseButton::kLeft, 1}));
+  auto g = rec.feed({MouseEvent::Type::kUp, {12, 11}, MouseButton::kLeft, 2});
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->type, Gesture::Type::kClick);
+  EXPECT_EQ(g->position, (Point{10, 10}));
+}
+
+TEST(GestureTest, DragBeyondSlop) {
+  GestureRecognizer rec(4);
+  (void)rec.feed({MouseEvent::Type::kDown, {10, 10}, MouseButton::kLeft, 0});
+  (void)rec.feed({MouseEvent::Type::kMove, {40, 30}, MouseButton::kLeft, 1});
+  EXPECT_TRUE(rec.dragging());
+  auto g = rec.feed({MouseEvent::Type::kUp, {60, 50}, MouseButton::kLeft, 2});
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->type, Gesture::Type::kDrag);
+  EXPECT_EQ(g->position, (Point{10, 10}));
+  EXPECT_EQ(g->drag_end, (Point{60, 50}));
+}
+
+TEST(GestureTest, RightClickIsExamine) {
+  GestureRecognizer rec;
+  (void)rec.feed({MouseEvent::Type::kDown, {5, 5}, MouseButton::kRight, 0});
+  auto g = rec.feed({MouseEvent::Type::kUp, {5, 5}, MouseButton::kRight, 1});
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->type, Gesture::Type::kExamine);
+}
+
+TEST(GestureTest, UpWithoutDownIgnored) {
+  GestureRecognizer rec;
+  EXPECT_FALSE(rec.feed({MouseEvent::Type::kUp, {5, 5}, MouseButton::kLeft, 0}));
+}
+
+// --- UiState -----------------------------------------------------------------------
+
+TEST(UiTest, StandardLayoutGeometry) {
+  const UiLayout layout = UiLayout::standard({320, 240});
+  EXPECT_EQ(layout.video_area.size(), (Size{320, 240}));
+  EXPECT_EQ(layout.inventory_window.x, 320);
+  EXPECT_GT(layout.canvas.width, 320);
+  EXPECT_GT(layout.canvas.height, 240);
+  // Regions do not overlap.
+  EXPECT_FALSE(layout.video_area.intersects(layout.inventory_window));
+  EXPECT_FALSE(layout.video_area.intersects(layout.message_area));
+}
+
+TEST(UiTest, MessageTimeout) {
+  UiState ui(UiLayout::standard({320, 240}));
+  ui.show_message("hello", seconds(1), seconds(2));
+  EXPECT_TRUE(ui.message().has_value());
+  ui.update(seconds(2));
+  EXPECT_TRUE(ui.message().has_value());
+  ui.update(seconds(3));
+  EXPECT_FALSE(ui.message().has_value());
+}
+
+TEST(UiTest, PersistentMessageStays) {
+  UiState ui(UiLayout::standard({320, 240}));
+  ui.show_message("sticky", 0, 0);
+  ui.update(seconds(100));
+  EXPECT_TRUE(ui.message().has_value());
+  ui.dismiss_message();
+  EXPECT_FALSE(ui.message().has_value());
+}
+
+TEST(UiTest, InventoryWindowHitTest) {
+  UiState ui(UiLayout::standard({320, 240}));
+  EXPECT_TRUE(ui.in_inventory_window(ui.layout().inventory_window.center()));
+  EXPECT_FALSE(ui.in_inventory_window({10, 100}));
+}
+
+// --- GameSession: basics ------------------------------------------------------------
+
+TEST(SessionTest, StartEntersStartScenario) {
+  SimClock clock;
+  GameSession session(quickstart_bundle(), &clock);
+  ASSERT_TRUE(session.start().ok());
+  EXPECT_TRUE(session.current_scenario().valid());
+  EXPECT_EQ(session.current_scenario_info()->name, "classroom");
+  EXPECT_TRUE(session.visited(session.current_scenario()));
+  EXPECT_FALSE(session.start().ok());  // double start rejected
+}
+
+TEST(SessionTest, InputBeforeStartRejected) {
+  SimClock clock;
+  GameSession session(quickstart_bundle(), &clock);
+  EXPECT_FALSE(session.click({10, 10}).ok());
+}
+
+TEST(SessionTest, VideoFrameAvailable) {
+  SimClock clock;
+  GameSession session(quickstart_bundle(), &clock);
+  (void)session.start();
+  auto frame = session.current_video_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->size(), (Size{320, 240}));
+}
+
+TEST(SessionTest, ObjectAtFindsByCanvasPoint) {
+  SimClock clock;
+  GameSession session(quickstart_bundle(), &clock);
+  (void)session.start();
+  const Point coin = object_center(session, "coin");
+  EXPECT_TRUE(session.object_at(coin).valid());
+  // Outside the video area: nothing.
+  EXPECT_FALSE(session.object_at({-5, -5}).valid());
+  EXPECT_FALSE(
+      session.object_at(session.ui().layout().inventory_window.center())
+          .valid());
+}
+
+TEST(SessionTest, LinearAndGridHitTestersAgreeInSession) {
+  SimClock clock_a, clock_b;
+  SessionOptions grid_opts;
+  grid_opts.hit_tester = HitTesterKind::kGrid;
+  SessionOptions linear_opts;
+  linear_opts.hit_tester = HitTesterKind::kLinear;
+  GameSession grid(quickstart_bundle(), &clock_a, grid_opts);
+  GameSession linear(quickstart_bundle(), &clock_b, linear_opts);
+  (void)grid.start();
+  (void)linear.start();
+  for (i32 y = 0; y < 256; y += 7) {
+    for (i32 x = 0; x < 400; x += 7) {
+      EXPECT_EQ(grid.object_at({x, y}), linear.object_at({x, y}));
+    }
+  }
+}
+
+// --- Default behaviours ----------------------------------------------------------
+
+TEST(SessionDefaultsTest, ClickItemPicksItUp) {
+  SimClock clock;
+  GameSession session(quickstart_bundle(), &clock);
+  (void)session.start();
+  ASSERT_TRUE(session.click(object_center(session, "coin")).ok());
+  EXPECT_EQ(session.inventory().total_items(), 1);
+  EXPECT_EQ(session.score(), 10);  // coin bonus_points
+  // Object hidden after pickup.
+  for (const auto* o : session.visible_objects()) {
+    EXPECT_NE(o->name, "coin");
+  }
+}
+
+TEST(SessionDefaultsTest, ExamineShowsDescription) {
+  SimClock clock;
+  GameSession session(quickstart_bundle(), &clock);
+  (void)session.start();
+  ASSERT_TRUE(session.examine(object_center(session, "coin")).ok());
+  ASSERT_TRUE(session.ui().message().has_value());
+  EXPECT_NE(session.ui().message()->text.find("coin"), std::string::npos);
+}
+
+TEST(SessionDefaultsTest, ClickNpcStartsDialogue) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  ASSERT_TRUE(session.click(object_center(session, "teacher")).ok());
+  EXPECT_TRUE(session.in_dialogue());
+  ASSERT_TRUE(session.ui().dialogue().has_value());
+  EXPECT_EQ(session.ui().dialogue()->speaker, "Teacher");
+  EXPECT_EQ(session.ui().dialogue()->choices.size(), 2u);
+}
+
+TEST(SessionDefaultsTest, DragDraggableToInventory) {
+  auto bundle = publish(build_treasure_hunt_project().value()).value();
+  SimClock clock;
+  GameSession session(bundle, &clock);
+  (void)session.start();
+  const Point map = object_center(session, "torn map");
+  const Point inv = session.ui().layout().inventory_window.center();
+  ASSERT_TRUE(session.drag(map, inv).ok());
+  EXPECT_EQ(session.inventory().total_items(), 1);
+}
+
+TEST(SessionDefaultsTest, DragToNowhereDoesNothing) {
+  auto bundle = publish(build_treasure_hunt_project().value()).value();
+  SimClock clock;
+  GameSession session(bundle, &clock);
+  (void)session.start();
+  const Point map = object_center(session, "torn map");
+  ASSERT_TRUE(session.drag(map, {10, 10}).ok());
+  EXPECT_EQ(session.inventory().total_items(), 0);
+}
+
+TEST(SessionDefaultsTest, DefaultsCanBeDisabled) {
+  SimClock clock;
+  SessionOptions options;
+  options.enable_default_behaviours = false;
+  GameSession session(quickstart_bundle(), &clock, options);
+  (void)session.start();
+  ASSERT_TRUE(session.click(object_center(session, "coin")).ok());
+  EXPECT_EQ(session.inventory().total_items(), 0);
+}
+
+// --- Rules & state ----------------------------------------------------------------
+
+TEST(SessionRulesTest, ButtonRuleSwitchesScenario) {
+  SimClock clock;
+  GameSession session(quickstart_bundle(), &clock);
+  (void)session.start();
+  const ScenarioId before = session.current_scenario();
+  ASSERT_TRUE(session.click(object_center(session, "FINISH")).ok());
+  EXPECT_NE(session.current_scenario(), before);
+  EXPECT_EQ(session.current_scenario_info()->name, "beach");
+  // beach is terminal: game over, success.
+  EXPECT_TRUE(session.game_over());
+  EXPECT_TRUE(session.succeeded());
+}
+
+TEST(SessionRulesTest, InputAfterGameOverRejected) {
+  SimClock clock;
+  GameSession session(quickstart_bundle(), &clock);
+  (void)session.start();
+  (void)session.click(object_center(session, "FINISH"));
+  ASSERT_TRUE(session.game_over());
+  EXPECT_FALSE(session.click({50, 50}).ok());
+  EXPECT_FALSE(session.examine({50, 50}).ok());
+}
+
+TEST(SessionRulesTest, GuardedRuleNeedsState) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  // Examining the computer before accepting the mission: the diagnose rule
+  // is guarded on mission_accepted, so the default examine fires instead.
+  ASSERT_TRUE(session.examine(object_center(session, "computer")).ok());
+  EXPECT_FALSE(session.flag("found_problem"));
+  ASSERT_TRUE(session.ui().message().has_value());
+  EXPECT_NE(session.ui().message()->text.find("does not power on"),
+            std::string::npos);
+}
+
+TEST(SessionRulesTest, FullClassroomFlowViaDirectCalls) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+
+  // Talk to the teacher, accept.
+  ASSERT_TRUE(session.click(object_center(session, "teacher")).ok());
+  ASSERT_TRUE(session.choose_dialogue(0).ok());
+  ASSERT_TRUE(session.advance_dialogue().ok());
+  EXPECT_FALSE(session.in_dialogue());
+  EXPECT_TRUE(session.flag("mission_accepted"));
+
+  // Diagnose.
+  ASSERT_TRUE(session.examine(object_center(session, "computer")).ok());
+  EXPECT_TRUE(session.flag("found_problem"));
+
+  // Market: buy the part.
+  ASSERT_TRUE(session.click(object_center(session, "GO MARKET")).ok());
+  EXPECT_EQ(session.current_scenario_info()->name, "market");
+  ASSERT_TRUE(session.click(object_center(session, "psu_box")).ok());
+  const ItemDef* part = session.bundle().items.find_by_name("psu_part");
+  ASSERT_NE(part, nullptr);
+  EXPECT_TRUE(session.inventory().has(part->id));
+
+  // Back, install.
+  ASSERT_TRUE(session.click(object_center(session, "BACK TO CLASS")).ok());
+  ASSERT_TRUE(
+      session.use_item_on(part->id, object_center(session, "computer")).ok());
+  EXPECT_TRUE(session.game_over());
+  EXPECT_TRUE(session.succeeded());
+  EXPECT_FALSE(session.inventory().has(part->id));  // consumed
+  const ItemDef* badge = session.bundle().items.find_by_name("repair_badge");
+  EXPECT_TRUE(session.inventory().has(badge->id));  // reward in backpack
+  EXPECT_EQ(session.score(), 5 + 10 + 10 + 100 + 50);
+}
+
+TEST(SessionRulesTest, OnceRulesFireOnce) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  (void)session.click(object_center(session, "teacher"));
+  (void)session.choose_dialogue(0);
+  (void)session.advance_dialogue();
+  (void)session.examine(object_center(session, "computer"));
+  const i64 after_first = session.score();
+  // Examine again: diagnose is once-only, default examine takes over.
+  (void)session.examine(object_center(session, "computer"));
+  EXPECT_EQ(session.score(), after_first);
+}
+
+TEST(SessionRulesTest, UseItemRequiresHolding) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  const ItemDef* part = session.bundle().items.find_by_name("psu_part");
+  EXPECT_FALSE(
+      session.use_item_on(part->id, object_center(session, "computer")).ok());
+}
+
+TEST(SessionRulesTest, OpenUrlGoesThroughCatalog) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  ASSERT_TRUE(session.click(object_center(session, "PSU INFO")).ok());
+  ASSERT_TRUE(session.ui().message().has_value());
+  EXPECT_NE(session.ui().message()->text.find("Power supply"),
+            std::string::npos);
+  ASSERT_EQ(session.resources().access_log().size(), 1u);
+  EXPECT_TRUE(session.resources().access_log()[0].found);
+}
+
+TEST(SessionRulesTest, CombineViaTable) {
+  auto bundle = publish(build_treasure_hunt_project().value()).value();
+  SimClock clock;
+  GameSession session(bundle, &clock);
+  (void)session.start();
+  const ItemDef* torn = session.bundle().items.find_by_name("torn_map");
+  const ItemDef* lantern = session.bundle().items.find_by_name("lantern");
+  const ItemDef* readable = session.bundle().items.find_by_name("readable_map");
+
+  // Not holding: fails.
+  EXPECT_FALSE(session.combine_items(torn->id, lantern->id).ok());
+
+  // Pick up both first.
+  (void)session.drag(object_center(session, "torn map"),
+                     session.ui().layout().inventory_window.center());
+  (void)session.click(object_center(session, "TO CAVE"));
+  (void)session.click(object_center(session, "lantern"));
+  ASSERT_TRUE(session.combine_items(torn->id, lantern->id).ok());
+  EXPECT_TRUE(session.inventory().has(readable->id));
+  EXPECT_FALSE(session.inventory().has(torn->id));
+}
+
+// --- Timers & segment end ----------------------------------------------------------
+
+std::shared_ptr<const GameBundle> timer_bundle() {
+  auto project = build_quickstart_project();
+  EXPECT_TRUE(project.ok());
+  Editor edit(&project.value());
+  const ScenarioId classroom =
+      project.value().graph.find_by_name("classroom")->id;
+
+  EventRule timer;
+  timer.name = "hint after 2s";
+  timer.trigger.type = TriggerType::kTimer;
+  timer.trigger.scenario = classroom;
+  timer.trigger.delay = seconds(2);
+  timer.once = true;
+  timer.actions = {Action::set_flag("hint_shown"),
+                   Action::show_message("Try clicking the coin!")};
+  EXPECT_TRUE(edit.add_rule(timer).ok());
+
+  EventRule on_end;
+  on_end.name = "nudge at segment end";
+  on_end.trigger.type = TriggerType::kSegmentEnd;
+  on_end.trigger.scenario = classroom;
+  on_end.actions = {Action::set_flag("video_ended")};
+  EXPECT_TRUE(edit.add_rule(on_end).ok());
+
+  return publish(project.value()).value();
+}
+
+TEST(SessionTimerTest, TimerFiresAtDelay) {
+  SimClock clock;
+  GameSession session(timer_bundle(), &clock);
+  (void)session.start();
+  clock.advance(seconds(1));
+  session.tick();
+  EXPECT_FALSE(session.flag("hint_shown"));
+  clock.advance(seconds(1));
+  session.tick();
+  EXPECT_TRUE(session.flag("hint_shown"));
+}
+
+TEST(SessionTimerTest, SegmentEndFiresOnce) {
+  SimClock clock;
+  GameSession session(timer_bundle(), &clock);
+  (void)session.start();
+  // The classroom segment is 48 frames @24fps = 2 seconds.
+  clock.advance(seconds(3));
+  session.tick();
+  EXPECT_TRUE(session.flag("video_ended"));
+  const size_t log_size = session.event_log().size();
+  clock.advance(seconds(1));
+  session.tick();  // must not fire again
+  EXPECT_EQ(session.event_log().size(), log_size);
+}
+
+// --- Save / load -----------------------------------------------------------------
+
+TEST(SessionSaveTest, RoundTripRestoresState) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  (void)session.click(object_center(session, "teacher"));
+  (void)session.choose_dialogue(0);
+  (void)session.advance_dialogue();
+  (void)session.examine(object_center(session, "computer"));
+  (void)session.click(object_center(session, "GO MARKET"));
+  (void)session.click(object_center(session, "psu_box"));
+  const Json save = session.save_state();
+
+  // Fresh session, restore.
+  SimClock clock2;
+  GameSession restored(classroom_bundle(), &clock2);
+  ASSERT_TRUE(restored.load_state(save).ok());
+  EXPECT_EQ(restored.current_scenario_info()->name, "market");
+  EXPECT_TRUE(restored.flag("mission_accepted"));
+  EXPECT_TRUE(restored.flag("found_problem"));
+  const ItemDef* part = restored.bundle().items.find_by_name("psu_part");
+  EXPECT_TRUE(restored.inventory().has(part->id));
+  EXPECT_EQ(restored.score(), session.score());
+
+  // And the restored session can finish the game.
+  (void)restored.click(object_center(restored, "BACK TO CLASS"));
+  ASSERT_TRUE(restored
+                  .use_item_on(part->id, object_center(restored, "computer"))
+                  .ok());
+  EXPECT_TRUE(restored.succeeded());
+}
+
+TEST(SessionSaveTest, SaveIsStableJson) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  const std::string a = session.save_state().dump(-1);
+  const std::string b = session.save_state().dump(-1);
+  EXPECT_EQ(a, b);
+  // Round-trips through text.
+  auto parsed = Json::parse(a);
+  ASSERT_TRUE(parsed.ok());
+  SimClock clock2;
+  GameSession restored(classroom_bundle(), &clock2);
+  EXPECT_TRUE(restored.load_state(parsed.value()).ok());
+}
+
+TEST(SessionSaveTest, CorruptSaveRejected) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  EXPECT_FALSE(session.load_state(Json(5)).ok());
+  Json bad = Json::object();
+  bad.mutable_object().set("current_scenario", Json(9999));
+  EXPECT_FALSE(session.load_state(bad).ok());
+}
+
+// --- Reveal / hide -----------------------------------------------------------------
+
+TEST(SessionVisibilityTest, RevealAndHideThroughRules) {
+  auto bundle = publish(build_treasure_hunt_project().value()).value();
+  SimClock clock;
+  GameSession session(bundle, &clock);
+  (void)session.start();
+  (void)session.click(object_center(session, "TO LIBRARY"));
+  ASSERT_EQ(session.current_scenario_info()->name, "library");
+  // The key is hidden until the hint is heard and the shelf examined.
+  for (const auto* o : session.visible_objects()) {
+    EXPECT_NE(o->name, "old key");
+  }
+  (void)session.click(object_center(session, "librarian"));
+  (void)session.choose_dialogue(0);
+  (void)session.advance_dialogue();
+  EXPECT_TRUE(session.flag("heard_hint"));
+  (void)session.examine(object_center(session, "bookshelf"));
+  bool key_visible = false;
+  for (const auto* o : session.visible_objects()) {
+    key_visible |= o->name == "old key";
+  }
+  EXPECT_TRUE(key_visible);
+}
+
+// --- Analytics ---------------------------------------------------------------------
+
+TEST(AnalyticsTest, TracksVisitsAndDecisions) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  clock.advance(seconds(2));
+  (void)session.click(object_center(session, "teacher"));
+  (void)session.choose_dialogue(0);
+  (void)session.advance_dialogue();
+  (void)session.examine(object_center(session, "computer"));
+  (void)session.click(object_center(session, "GO MARKET"));
+  clock.advance(seconds(3));
+
+  const LearningTracker& t = session.tracker();
+  ASSERT_EQ(t.visits().size(), 2u);
+  EXPECT_EQ(t.visits()[0].name, "classroom");
+  EXPECT_EQ(t.visits()[1].name, "market");
+  ASSERT_EQ(t.decisions().size(), 1u);
+  EXPECT_EQ(t.decisions()[0].choice, "I will fix it.");
+  const auto time = t.time_per_scenario(clock.now());
+  EXPECT_GT(time.at("classroom"), 1.5);
+  EXPECT_GT(time.at("market"), 2.5);
+
+  const std::string report = t.report(clock.now());
+  EXPECT_NE(report.find("decisions: 1"), std::string::npos);
+  EXPECT_NE(report.find("classroom"), std::string::npos);
+
+  const Json json = t.to_json(clock.now());
+  EXPECT_EQ(json["visits"].as_array().size(), 2u);
+}
+
+// --- Compositor & text renderers ---------------------------------------------------
+
+TEST(CompositorTest, RendersFullCanvas) {
+  SimClock clock;
+  GameSession session(quickstart_bundle(), &clock);
+  (void)session.start();
+  Compositor compositor;
+  const Frame screen = compositor.render(session);
+  EXPECT_EQ(screen.size(), session.ui().layout().canvas);
+  // The video area shows actual video (not the chrome background).
+  const Color chrome = screen.pixel(screen.width() - 1, screen.height() - 1);
+  const Rect va = session.ui().layout().video_area;
+  EXPECT_NE(screen.pixel(va.center().x, va.center().y), chrome);
+}
+
+TEST(CompositorTest, InventoryItemsDrawn) {
+  SimClock clock;
+  GameSession session(quickstart_bundle(), &clock);
+  (void)session.start();
+  Compositor compositor;
+  const Frame before = compositor.render(session);
+  (void)session.click(object_center(session, "coin"));
+  const Frame after = compositor.render(session);
+  // The inventory window region changed after pickup.
+  const Rect inv = session.ui().layout().inventory_window;
+  f64 diff = 0;
+  for (i32 y = inv.y; y < inv.bottom(); ++y) {
+    for (i32 x = inv.x; x < inv.right(); ++x) {
+      diff += before.pixel(x, y) == after.pixel(x, y) ? 0 : 1;
+    }
+  }
+  EXPECT_GT(diff, 50);
+}
+
+TEST(CompositorTest, DrawTextProducesPixels) {
+  Frame f = Frame::rgb(100, 20, colors::kBlack);
+  Compositor::draw_text(f, {2, 2}, "SCORE 42", colors::kWhite);
+  int lit = 0;
+  for (i32 y = 0; y < 20; ++y) {
+    for (i32 x = 0; x < 100; ++x) {
+      lit += f.pixel(x, y) == colors::kWhite;
+    }
+  }
+  EXPECT_GT(lit, 40);
+}
+
+TEST(RenderTextTest, AsciiRenderShapes) {
+  Frame f = Frame::rgb(96, 48, colors::kBlack);
+  f.fill_rect({0, 0, 48, 48}, colors::kWhite);
+  const std::string art = ascii_render(f, 32);
+  ASSERT_FALSE(art.empty());
+  const auto lines = split(art.substr(0, art.size() - 1), '\n');
+  EXPECT_EQ(lines[0].size(), 32u);
+  // Left half bright, right half dark.
+  EXPECT_EQ(lines[0][2], '@');
+  EXPECT_EQ(lines[0][30], ' ');
+}
+
+TEST(RenderTextTest, PpmHeaderAndSize) {
+  Frame f = Frame::rgb(10, 5, colors::kRed);
+  const std::string ppm = to_ppm(f);
+  EXPECT_EQ(ppm.substr(0, 2), "P6");
+  EXPECT_NE(ppm.find("10 5"), std::string::npos);
+  EXPECT_EQ(ppm.size(), ppm.find("255\n") + 4 + 10 * 5 * 3);
+}
+
+TEST(RenderTextTest, AuthoringViewShowsProjectStructure) {
+  auto project = build_classroom_repair_project().value();
+  const std::string view = render_authoring_view(project);
+  EXPECT_NE(view.find("VGBL AUTHORING TOOL"), std::string::npos);
+  EXPECT_NE(view.find("classroom"), std::string::npos);
+  EXPECT_NE(view.find("market"), std::string::npos);
+  EXPECT_NE(view.find("SCENARIOS"), std::string::npos);
+  EXPECT_NE(view.find("OBJECTS"), std::string::npos);
+  EXPECT_NE(view.find("LINT"), std::string::npos);
+  EXPECT_NE(view.find("teacher"), std::string::npos);
+}
+
+TEST(RenderTextTest, RuntimeViewShowsState) {
+  SimClock clock;
+  GameSession session(quickstart_bundle(), &clock);
+  (void)session.start();
+  (void)session.click(object_center(session, "coin"));
+  const std::string view = render_runtime_view(session);
+  EXPECT_NE(view.find("scenario: classroom"), std::string::npos);
+  EXPECT_NE(view.find("score: 10"), std::string::npos);
+  EXPECT_NE(view.find("backpack: coin"), std::string::npos);
+}
+
+// --- ScriptRunner -------------------------------------------------------------------
+
+TEST(ScriptTest, RunsQuickstartToCompletion) {
+  auto result = play_scripted(quickstart_bundle(),
+                              {ScriptStep::click("coin"),
+                               ScriptStep::click("FINISH")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().succeeded);
+  EXPECT_EQ(result.value().score, 10);
+}
+
+TEST(ScriptTest, MissingObjectFailsFast) {
+  auto result = play_scripted(quickstart_bundle(),
+                              {ScriptStep::click("no_such_thing")});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kNotFound);
+}
+
+TEST(ScriptTest, MissingItemFailsFast) {
+  auto result = play_scripted(quickstart_bundle(),
+                              {ScriptStep::use_item("ghost", "coin")});
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(ScriptTest, WaitAdvancesTime) {
+  SimClock clock;
+  GameSession session(quickstart_bundle(), &clock);
+  (void)session.start();
+  ScriptRunner runner(&session, &clock);
+  const MicroTime before = clock.now();
+  ASSERT_TRUE(runner.run({ScriptStep::wait(seconds(2))}).ok());
+  EXPECT_GE(clock.now() - before, seconds(2));
+}
+
+// --- Bots ---------------------------------------------------------------------------
+
+TEST(BotTest, ExplorerCompletesQuickstart) {
+  SimClock clock;
+  GameSession session(quickstart_bundle(), &clock);
+  (void)session.start();
+  const BotResult result = run_bot(session, clock, BotPolicy::kExplorer, 100, 7);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.succeeded);
+  EXPECT_LT(result.steps, 30);
+}
+
+TEST(BotTest, ExplorerCompletesClassroomRepair) {
+  SimClock clock;
+  GameSession session(classroom_bundle(), &clock);
+  (void)session.start();
+  const BotResult result =
+      run_bot(session, clock, BotPolicy::kExplorer, 300, 11);
+  EXPECT_TRUE(result.succeeded);
+  EXPECT_GT(session.score(), 100);
+}
+
+TEST(BotTest, DeterministicForSeed) {
+  auto run_once = [](u64 seed) {
+    SimClock clock;
+    GameSession session(classroom_bundle(), &clock);
+    (void)session.start();
+    const BotResult r = run_bot(session, clock, BotPolicy::kExplorer, 300, seed);
+    return std::make_pair(r.steps, session.score());
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+}
+
+}  // namespace
+}  // namespace vgbl

@@ -1,0 +1,196 @@
+// Scenario graph tests: CRUD, traversal, prefetch ordering and validation.
+#include <gtest/gtest.h>
+
+#include "scenario/scenario_graph.hpp"
+
+namespace vgbl {
+namespace {
+
+Scenario make(u32 id, std::string name, bool terminal = false) {
+  Scenario s;
+  s.id = ScenarioId{id};
+  s.name = std::move(name);
+  s.segment = SegmentId{id};
+  s.terminal = terminal;
+  return s;
+}
+
+/// beach -> cave -> vault(terminal); beach -> library -> beach.
+ScenarioGraph demo_graph() {
+  ScenarioGraph g;
+  EXPECT_TRUE(g.add_scenario(make(1, "beach")).ok());
+  EXPECT_TRUE(g.add_scenario(make(2, "cave")).ok());
+  EXPECT_TRUE(g.add_scenario(make(3, "library")).ok());
+  EXPECT_TRUE(g.add_scenario(make(4, "vault", true)).ok());
+  EXPECT_TRUE(g.add_transition({ScenarioId{1}, ScenarioId{2}, "to cave", "", 2.0}).ok());
+  EXPECT_TRUE(g.add_transition({ScenarioId{1}, ScenarioId{3}, "to library", "", 1.0}).ok());
+  EXPECT_TRUE(g.add_transition({ScenarioId{2}, ScenarioId{4}, "open vault", "", 0.5}).ok());
+  EXPECT_TRUE(g.add_transition({ScenarioId{2}, ScenarioId{1}, "back", "", 1.0}).ok());
+  EXPECT_TRUE(g.add_transition({ScenarioId{3}, ScenarioId{1}, "back", "", 1.0}).ok());
+  EXPECT_TRUE(g.set_start(ScenarioId{1}).ok());
+  return g;
+}
+
+TEST(ScenarioGraphTest, AddAndFind) {
+  ScenarioGraph g = demo_graph();
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(g.find(ScenarioId{2})->name, "cave");
+  EXPECT_EQ(g.find(ScenarioId{99}), nullptr);
+  EXPECT_EQ(g.find_by_name("vault")->id, ScenarioId{4});
+  EXPECT_EQ(g.find_by_name("nope"), nullptr);
+}
+
+TEST(ScenarioGraphTest, RejectsInvalidScenarios) {
+  ScenarioGraph g;
+  EXPECT_FALSE(g.add_scenario(make(0, "zero-id")).ok());
+  EXPECT_FALSE(g.add_scenario(make(1, "")).ok());
+  EXPECT_TRUE(g.add_scenario(make(1, "a")).ok());
+  auto dup = g.add_scenario(make(1, "b"));
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, ErrorCode::kAlreadyExists);
+}
+
+TEST(ScenarioGraphTest, TransitionEndpointsMustExist) {
+  ScenarioGraph g;
+  (void)g.add_scenario(make(1, "a"));
+  EXPECT_FALSE(g.add_transition({ScenarioId{1}, ScenarioId{2}, "x", "", 1}).ok());
+  EXPECT_FALSE(g.add_transition({ScenarioId{2}, ScenarioId{1}, "x", "", 1}).ok());
+}
+
+TEST(ScenarioGraphTest, DuplicateTransitionRejected) {
+  ScenarioGraph g = demo_graph();
+  EXPECT_FALSE(
+      g.add_transition({ScenarioId{1}, ScenarioId{2}, "to cave", "", 1}).ok());
+  // Same endpoints, different label: allowed (different buttons).
+  EXPECT_TRUE(
+      g.add_transition({ScenarioId{1}, ScenarioId{2}, "sneak in", "", 1}).ok());
+}
+
+TEST(ScenarioGraphTest, RemoveScenarioDropsTransitions) {
+  ScenarioGraph g = demo_graph();
+  EXPECT_TRUE(g.remove_scenario(ScenarioId{2}).ok());
+  EXPECT_EQ(g.size(), 3u);
+  for (const auto& t : g.transitions()) {
+    EXPECT_NE(t.from, ScenarioId{2});
+    EXPECT_NE(t.to, ScenarioId{2});
+  }
+  EXPECT_FALSE(g.remove_scenario(ScenarioId{2}).ok());
+}
+
+TEST(ScenarioGraphTest, RemoveStartClearsStart) {
+  ScenarioGraph g = demo_graph();
+  (void)g.remove_scenario(ScenarioId{1});
+  EXPECT_FALSE(g.start().valid());
+}
+
+TEST(ScenarioGraphTest, RemoveTransition) {
+  ScenarioGraph g = demo_graph();
+  EXPECT_TRUE(
+      g.remove_transition(ScenarioId{1}, ScenarioId{3}, "to library").ok());
+  EXPECT_FALSE(
+      g.remove_transition(ScenarioId{1}, ScenarioId{3}, "to library").ok());
+  EXPECT_TRUE(g.out_edges(ScenarioId{1}).size() == 1);
+}
+
+TEST(ScenarioGraphTest, EdgesQueries) {
+  ScenarioGraph g = demo_graph();
+  EXPECT_EQ(g.out_edges(ScenarioId{1}).size(), 2u);
+  EXPECT_EQ(g.in_edges(ScenarioId{1}).size(), 2u);
+  EXPECT_EQ(g.out_edges(ScenarioId{4}).size(), 0u);
+  EXPECT_EQ(g.in_edges(ScenarioId{4}).size(), 1u);
+}
+
+TEST(ScenarioGraphTest, Reachability) {
+  ScenarioGraph g = demo_graph();
+  const auto reach = g.reachable_from(ScenarioId{1});
+  EXPECT_EQ(reach.size(), 4u);
+  EXPECT_EQ(reach.front(), ScenarioId{1});  // BFS order starts at source
+  const auto from_vault = g.reachable_from(ScenarioId{4});
+  EXPECT_EQ(from_vault.size(), 1u);
+  EXPECT_TRUE(g.reachable_from(ScenarioId{99}).empty());
+}
+
+TEST(ScenarioGraphTest, ShortestPath) {
+  ScenarioGraph g = demo_graph();
+  const auto path = g.shortest_path(ScenarioId{1}, ScenarioId{4});
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], ScenarioId{1});
+  EXPECT_EQ(path[1], ScenarioId{2});
+  EXPECT_EQ(path[2], ScenarioId{4});
+  EXPECT_EQ(g.shortest_path(ScenarioId{1}, ScenarioId{1}).size(), 1u);
+  EXPECT_TRUE(g.shortest_path(ScenarioId{4}, ScenarioId{1}).empty());
+}
+
+TEST(ScenarioGraphTest, PrefetchOrderByWeight) {
+  ScenarioGraph g = demo_graph();
+  const auto order = g.prefetch_order(ScenarioId{1});
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], ScenarioId{2});  // weight 2.0 first
+  EXPECT_EQ(order[1], ScenarioId{3});
+}
+
+TEST(ScenarioGraphTest, PrefetchDeduplicatesTargets) {
+  ScenarioGraph g = demo_graph();
+  (void)g.add_transition({ScenarioId{1}, ScenarioId{2}, "second door", "", 5.0});
+  const auto order = g.prefetch_order(ScenarioId{1});
+  EXPECT_EQ(order.size(), 2u);
+}
+
+// --- Validation --------------------------------------------------------------------
+
+TEST(ScenarioValidateTest, CleanGraphHasNoIssues) {
+  EXPECT_TRUE(demo_graph().validate().empty());
+}
+
+TEST(ScenarioValidateTest, EmptyGraph) {
+  ScenarioGraph g;
+  const auto issues = g.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("no scenarios"), std::string::npos);
+}
+
+TEST(ScenarioValidateTest, MissingStart) {
+  ScenarioGraph g;
+  (void)g.add_scenario(make(1, "a", true));
+  const auto issues = g.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("no start"), std::string::npos);
+}
+
+TEST(ScenarioValidateTest, UnreachableScenario) {
+  ScenarioGraph g = demo_graph();
+  (void)g.add_scenario(make(5, "orphan", true));
+  bool found = false;
+  for (const auto& issue : g.validate()) {
+    found |= issue.find("'orphan' is unreachable") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ScenarioValidateTest, DeadEndReported) {
+  ScenarioGraph g;
+  (void)g.add_scenario(make(1, "a"));
+  (void)g.add_scenario(make(2, "stuck"));
+  (void)g.add_transition({ScenarioId{1}, ScenarioId{2}, "go", "", 1});
+  (void)g.set_start(ScenarioId{1});
+  bool dead_end = false;
+  bool cannot_end = false;
+  for (const auto& issue : g.validate()) {
+    dead_end |= issue.find("dead end") != std::string::npos;
+    cannot_end |= issue.find("cannot end") != std::string::npos;
+  }
+  EXPECT_TRUE(dead_end);
+  EXPECT_TRUE(cannot_end);
+}
+
+TEST(ScenarioValidateTest, TerminalDeadEndIsFine) {
+  ScenarioGraph g;
+  (void)g.add_scenario(make(1, "a"));
+  (void)g.add_scenario(make(2, "end", true));
+  (void)g.add_transition({ScenarioId{1}, ScenarioId{2}, "go", "", 1});
+  (void)g.set_start(ScenarioId{1});
+  EXPECT_TRUE(g.validate().empty());
+}
+
+}  // namespace
+}  // namespace vgbl

@@ -1,0 +1,227 @@
+// vgbl — command-line front-end for the VGBL platform.
+//
+//   vgbl demo <classroom|treasure|quickstart|quiz> <out.vgbl>
+//   vgbl lint <project.vgbl>
+//   vgbl bundle <project.vgbl> <out.vgblb> [rle|dct] [quality]
+//   vgbl info <bundle.vgblb>
+//   vgbl play <bundle.vgblb> [explorer|random|speedrun] [max_steps]
+//   vgbl figure1 <project.vgbl>
+//   vgbl figure2 <bundle.vgblb>
+//   vgbl screenshot <bundle.vgblb> <out.ppm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/platform.hpp"
+#include "runtime/compositor.hpp"
+#include "util/text.hpp"
+
+namespace {
+
+using namespace vgbl;
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return io_error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Status write_file(const std::string& path, const void* data, size_t size) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return io_error("cannot create '" + path + "'");
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  return out.good() ? Status{} : Status(io_error("write failed for '" + path + "'"));
+}
+
+Result<Project> load_project_file(const std::string& path) {
+  auto text = read_file(path);
+  if (!text.ok()) return text.error();
+  return load_project_text(text.value());
+}
+
+Result<GameBundle> load_bundle_file(const std::string& path) {
+  auto data = read_file(path);
+  if (!data.ok()) return data.error();
+  Bytes bytes(data.value().begin(), data.value().end());
+  return load_bundle(std::move(bytes));
+}
+
+int fail(const Error& error) {
+  std::fprintf(stderr, "error: %s\n", error.to_string().c_str());
+  return 1;
+}
+
+int cmd_demo(const std::string& which, const std::string& out) {
+  Result<Project> project = which == "classroom" ? build_classroom_repair_project()
+                            : which == "treasure" ? build_treasure_hunt_project()
+                            : which == "quiz"     ? build_science_quiz_project()
+                                                  : build_quickstart_project();
+  if (!project.ok()) return fail(project.error());
+  const std::string text = save_project_text(project.value());
+  if (auto st = write_file(out, text.data(), text.size()); !st.ok()) {
+    return fail(st.error());
+  }
+  std::printf("wrote %s (%s, %zu scenarios, %zu rules)\n", out.c_str(),
+              format_bytes(text.size()).c_str(), project.value().graph.size(),
+              project.value().rules.size());
+  return 0;
+}
+
+int cmd_lint(const std::string& path) {
+  auto project = load_project_file(path);
+  if (!project.ok()) return fail(project.error());
+  int errors = 0;
+  for (const auto& issue : project.value().lint()) {
+    std::printf("%s %s\n", issue.level == LintLevel::kError ? "E" : "W",
+                issue.message.c_str());
+    errors += issue.level == LintLevel::kError;
+  }
+  std::printf("%d error(s); project is %s\n", errors,
+              errors == 0 ? "bundleable" : "NOT bundleable");
+  return errors == 0 ? 0 : 2;
+}
+
+int cmd_bundle(const std::string& in, const std::string& out,
+               const std::string& codec, int quality) {
+  auto project = load_project_file(in);
+  if (!project.ok()) return fail(project.error());
+  BundleOptions options;
+  options.codec.mode = codec == "rle" ? CodecMode::kRle : CodecMode::kDct;
+  if (quality > 0) options.codec.quality = quality;
+  auto bytes = build_bundle(project.value(), options);
+  if (!bytes.ok()) return fail(bytes.error());
+  if (auto st = write_file(out, bytes.value().data(), bytes.value().size());
+      !st.ok()) {
+    return fail(st.error());
+  }
+  std::printf("wrote %s (%s, codec=%s q=%d)\n", out.c_str(),
+              format_bytes(bytes.value().size()).c_str(),
+              codec_mode_name(options.codec.mode), options.codec.quality);
+  return 0;
+}
+
+int cmd_info(const std::string& path) {
+  auto bundle = load_bundle_file(path);
+  if (!bundle.ok()) return fail(bundle.error());
+  const GameBundle& b = bundle.value();
+  std::printf("title:      %s\n", b.meta.title.c_str());
+  std::printf("author:     %s\n", b.meta.author.c_str());
+  std::printf("video:      %dx%d @%d fps, %d frames, %s (%s, gop %d)\n",
+              b.video->width(), b.video->height(), b.video->fps(),
+              b.video->frame_count(),
+              format_bytes(b.video->total_bytes()).c_str(),
+              codec_mode_name(b.video->codec_config().mode),
+              b.video->codec_config().gop_size);
+  std::printf("scenarios:  %zu (start: %s)\n", b.graph.size(),
+              b.graph.find(b.graph.start())
+                  ? b.graph.find(b.graph.start())->name.c_str()
+                  : "-");
+  std::printf("objects:    %zu\n", b.objects.size());
+  std::printf("items:      %zu\n", b.items.size());
+  std::printf("rules:      %zu\n", b.rules.size());
+  std::printf("dialogues:  %zu\n", b.dialogues.size());
+  std::printf("quizzes:    %zu\n", b.quizzes.size());
+  return 0;
+}
+
+int cmd_play(const std::string& path, const std::string& policy_name,
+             int max_steps) {
+  auto bundle = load_bundle_file(path);
+  if (!bundle.ok()) return fail(bundle.error());
+  auto shared = std::make_shared<GameBundle>(std::move(bundle.value()));
+
+  const BotPolicy policy = policy_name == "random"    ? BotPolicy::kRandom
+                           : policy_name == "speedrun" ? BotPolicy::kSpeedrun
+                                                       : BotPolicy::kExplorer;
+  SimClock clock;
+  GameSession session(shared, &clock);
+  if (auto st = session.start(); !st.ok()) return fail(st.error());
+  const BotResult result = run_bot(session, clock, policy, max_steps, 42);
+
+  std::printf("%s\n", render_runtime_view(session).c_str());
+  std::printf("%s\n", session.tracker().report(clock.now()).c_str());
+  std::printf("bot: %s, %d steps, %s\n", policy_name.c_str(), result.steps,
+              result.completed ? (result.succeeded ? "succeeded" : "failed")
+                               : "did not finish");
+  return result.succeeded ? 0 : 3;
+}
+
+int cmd_figure1(const std::string& path) {
+  auto project = load_project_file(path);
+  if (!project.ok()) return fail(project.error());
+  std::printf("%s", render_authoring_view(project.value()).c_str());
+  return 0;
+}
+
+int cmd_figure2(const std::string& path) {
+  auto bundle = load_bundle_file(path);
+  if (!bundle.ok()) return fail(bundle.error());
+  auto shared = std::make_shared<GameBundle>(std::move(bundle.value()));
+  SimClock clock;
+  GameSession session(shared, &clock);
+  if (auto st = session.start(); !st.ok()) return fail(st.error());
+  std::printf("%s", render_runtime_view(session).c_str());
+  return 0;
+}
+
+int cmd_screenshot(const std::string& path, const std::string& out) {
+  auto bundle = load_bundle_file(path);
+  if (!bundle.ok()) return fail(bundle.error());
+  auto shared = std::make_shared<GameBundle>(std::move(bundle.value()));
+  SimClock clock;
+  GameSession session(shared, &clock);
+  if (auto st = session.start(); !st.ok()) return fail(st.error());
+  Compositor compositor;
+  const Frame screen = compositor.render(session);
+  if (!write_ppm(screen, out)) {
+    return fail(io_error("cannot write '" + out + "'"));
+  }
+  std::printf("wrote %s (%dx%d)\n", out.c_str(), screen.width(),
+              screen.height());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: vgbl <command> ...\n"
+               "  demo <classroom|treasure|quickstart|quiz> <out.vgbl>\n"
+               "  lint <project.vgbl>\n"
+               "  bundle <project.vgbl> <out.vgblb> [rle|dct] [quality]\n"
+               "  info <bundle.vgblb>\n"
+               "  play <bundle.vgblb> [explorer|random|speedrun] [max_steps]\n"
+               "  figure1 <project.vgbl>\n"
+               "  figure2 <bundle.vgblb>\n"
+               "  screenshot <bundle.vgblb> <out.ppm>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 64;
+  }
+  const std::string cmd = argv[1];
+  auto arg = [&](int i, const char* fallback = "") {
+    return std::string(argc > i ? argv[i] : fallback);
+  };
+  if (cmd == "demo" && argc >= 4) return cmd_demo(arg(2), arg(3));
+  if (cmd == "lint" && argc >= 3) return cmd_lint(arg(2));
+  if (cmd == "bundle" && argc >= 4) {
+    return cmd_bundle(arg(2), arg(3), arg(4, "dct"),
+                      argc > 5 ? std::atoi(argv[5]) : 0);
+  }
+  if (cmd == "info" && argc >= 3) return cmd_info(arg(2));
+  if (cmd == "play" && argc >= 3) {
+    return cmd_play(arg(2), arg(3, "explorer"),
+                    argc > 4 ? std::atoi(argv[4]) : 500);
+  }
+  if (cmd == "figure1" && argc >= 3) return cmd_figure1(arg(2));
+  if (cmd == "figure2" && argc >= 3) return cmd_figure2(arg(2));
+  if (cmd == "screenshot" && argc >= 4) return cmd_screenshot(arg(2), arg(3));
+  usage();
+  return 64;
+}
