@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event_dispatch.dir/bench_event_dispatch.cpp.o"
+  "CMakeFiles/bench_event_dispatch.dir/bench_event_dispatch.cpp.o.d"
+  "bench_event_dispatch"
+  "bench_event_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_authoring.dir/bench_fig1_authoring.cpp.o"
+  "CMakeFiles/bench_fig1_authoring.dir/bench_fig1_authoring.cpp.o.d"
+  "bench_fig1_authoring"
+  "bench_fig1_authoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_authoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hit_test.dir/bench_hit_test.cpp.o"
+  "CMakeFiles/bench_hit_test.dir/bench_hit_test.cpp.o.d"
+  "bench_hit_test"
+  "bench_hit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario_switch.dir/bench_scenario_switch.cpp.o"
+  "CMakeFiles/bench_scenario_switch.dir/bench_scenario_switch.cpp.o.d"
+  "bench_scenario_switch"
+  "bench_scenario_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scene_detect.dir/bench_scene_detect.cpp.o"
+  "CMakeFiles/bench_scene_detect.dir/bench_scene_detect.cpp.o.d"
+  "bench_scene_detect"
+  "bench_scene_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scene_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authoring_studio.dir/authoring_studio.cpp.o"
+  "CMakeFiles/authoring_studio.dir/authoring_studio.cpp.o.d"
+  "authoring_studio"
+  "authoring_studio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authoring_studio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classroom_repair.dir/classroom_repair.cpp.o"
+  "CMakeFiles/classroom_repair.dir/classroom_repair.cpp.o.d"
+  "classroom_repair"
+  "classroom_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classroom_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/science_quiz.dir/science_quiz.cpp.o"
+  "CMakeFiles/science_quiz.dir/science_quiz.cpp.o.d"
+  "science_quiz"
+  "science_quiz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/science_quiz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_classroom.dir/streaming_classroom.cpp.o"
+  "CMakeFiles/streaming_classroom.dir/streaming_classroom.cpp.o.d"
+  "streaming_classroom"
+  "streaming_classroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_classroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treasure_hunt.dir/treasure_hunt.cpp.o"
+  "CMakeFiles/treasure_hunt.dir/treasure_hunt.cpp.o.d"
+  "treasure_hunt"
+  "treasure_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treasure_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("concurrency")
+subdirs("video")
+subdirs("media")
+subdirs("scenario")
+subdirs("object")
+subdirs("event")
+subdirs("inventory")
+subdirs("dialogue")
+subdirs("author")
+subdirs("runtime")
+subdirs("net")
+subdirs("core")

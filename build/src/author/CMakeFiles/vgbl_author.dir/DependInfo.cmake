@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/author/bundle.cpp" "src/author/CMakeFiles/vgbl_author.dir/bundle.cpp.o" "gcc" "src/author/CMakeFiles/vgbl_author.dir/bundle.cpp.o.d"
+  "/root/repo/src/author/editor.cpp" "src/author/CMakeFiles/vgbl_author.dir/editor.cpp.o" "gcc" "src/author/CMakeFiles/vgbl_author.dir/editor.cpp.o.d"
+  "/root/repo/src/author/importer.cpp" "src/author/CMakeFiles/vgbl_author.dir/importer.cpp.o" "gcc" "src/author/CMakeFiles/vgbl_author.dir/importer.cpp.o.d"
+  "/root/repo/src/author/project.cpp" "src/author/CMakeFiles/vgbl_author.dir/project.cpp.o" "gcc" "src/author/CMakeFiles/vgbl_author.dir/project.cpp.o.d"
+  "/root/repo/src/author/serialize.cpp" "src/author/CMakeFiles/vgbl_author.dir/serialize.cpp.o" "gcc" "src/author/CMakeFiles/vgbl_author.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vgbl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vgbl_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/vgbl_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/vgbl_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/vgbl_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/inventory/CMakeFiles/vgbl_inventory.dir/DependInfo.cmake"
+  "/root/repo/build/src/dialogue/CMakeFiles/vgbl_dialogue.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

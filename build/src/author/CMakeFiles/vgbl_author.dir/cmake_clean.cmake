@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgbl_author.dir/bundle.cpp.o"
+  "CMakeFiles/vgbl_author.dir/bundle.cpp.o.d"
+  "CMakeFiles/vgbl_author.dir/editor.cpp.o"
+  "CMakeFiles/vgbl_author.dir/editor.cpp.o.d"
+  "CMakeFiles/vgbl_author.dir/importer.cpp.o"
+  "CMakeFiles/vgbl_author.dir/importer.cpp.o.d"
+  "CMakeFiles/vgbl_author.dir/project.cpp.o"
+  "CMakeFiles/vgbl_author.dir/project.cpp.o.d"
+  "CMakeFiles/vgbl_author.dir/serialize.cpp.o"
+  "CMakeFiles/vgbl_author.dir/serialize.cpp.o.d"
+  "libvgbl_author.a"
+  "libvgbl_author.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgbl_author.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgbl_concurrency.dir/thread_pool.cpp.o"
+  "CMakeFiles/vgbl_concurrency.dir/thread_pool.cpp.o.d"
+  "libvgbl_concurrency.a"
+  "libvgbl_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgbl_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

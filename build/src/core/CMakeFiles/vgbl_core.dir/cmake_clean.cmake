@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgbl_core.dir/classroom.cpp.o"
+  "CMakeFiles/vgbl_core.dir/classroom.cpp.o.d"
+  "CMakeFiles/vgbl_core.dir/demo_games.cpp.o"
+  "CMakeFiles/vgbl_core.dir/demo_games.cpp.o.d"
+  "CMakeFiles/vgbl_core.dir/platform.cpp.o"
+  "CMakeFiles/vgbl_core.dir/platform.cpp.o.d"
+  "libvgbl_core.a"
+  "libvgbl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgbl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgbl_dialogue.dir/dialogue.cpp.o"
+  "CMakeFiles/vgbl_dialogue.dir/dialogue.cpp.o.d"
+  "CMakeFiles/vgbl_dialogue.dir/quiz.cpp.o"
+  "CMakeFiles/vgbl_dialogue.dir/quiz.cpp.o.d"
+  "libvgbl_dialogue.a"
+  "libvgbl_dialogue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgbl_dialogue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vgbl_dialogue.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/event/condition.cpp" "src/event/CMakeFiles/vgbl_event.dir/condition.cpp.o" "gcc" "src/event/CMakeFiles/vgbl_event.dir/condition.cpp.o.d"
+  "/root/repo/src/event/rule.cpp" "src/event/CMakeFiles/vgbl_event.dir/rule.cpp.o" "gcc" "src/event/CMakeFiles/vgbl_event.dir/rule.cpp.o.d"
+  "/root/repo/src/event/trigger.cpp" "src/event/CMakeFiles/vgbl_event.dir/trigger.cpp.o" "gcc" "src/event/CMakeFiles/vgbl_event.dir/trigger.cpp.o.d"
+  "/root/repo/src/event/vm.cpp" "src/event/CMakeFiles/vgbl_event.dir/vm.cpp.o" "gcc" "src/event/CMakeFiles/vgbl_event.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vgbl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dialogue/CMakeFiles/vgbl_dialogue.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgbl_event.dir/condition.cpp.o"
+  "CMakeFiles/vgbl_event.dir/condition.cpp.o.d"
+  "CMakeFiles/vgbl_event.dir/rule.cpp.o"
+  "CMakeFiles/vgbl_event.dir/rule.cpp.o.d"
+  "CMakeFiles/vgbl_event.dir/trigger.cpp.o"
+  "CMakeFiles/vgbl_event.dir/trigger.cpp.o.d"
+  "CMakeFiles/vgbl_event.dir/vm.cpp.o"
+  "CMakeFiles/vgbl_event.dir/vm.cpp.o.d"
+  "libvgbl_event.a"
+  "libvgbl_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgbl_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

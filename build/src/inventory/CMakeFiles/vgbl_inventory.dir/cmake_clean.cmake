@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgbl_inventory.dir/inventory.cpp.o"
+  "CMakeFiles/vgbl_inventory.dir/inventory.cpp.o.d"
+  "libvgbl_inventory.a"
+  "libvgbl_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgbl_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

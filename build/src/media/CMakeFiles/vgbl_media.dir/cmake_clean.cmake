@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgbl_media.dir/pipeline.cpp.o"
+  "CMakeFiles/vgbl_media.dir/pipeline.cpp.o.d"
+  "CMakeFiles/vgbl_media.dir/player.cpp.o"
+  "CMakeFiles/vgbl_media.dir/player.cpp.o.d"
+  "libvgbl_media.a"
+  "libvgbl_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgbl_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

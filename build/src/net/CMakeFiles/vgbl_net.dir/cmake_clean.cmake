@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgbl_net.dir/network.cpp.o"
+  "CMakeFiles/vgbl_net.dir/network.cpp.o.d"
+  "CMakeFiles/vgbl_net.dir/streaming.cpp.o"
+  "CMakeFiles/vgbl_net.dir/streaming.cpp.o.d"
+  "libvgbl_net.a"
+  "libvgbl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgbl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

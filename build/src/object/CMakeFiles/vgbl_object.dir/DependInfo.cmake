@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/object/interactive_object.cpp" "src/object/CMakeFiles/vgbl_object.dir/interactive_object.cpp.o" "gcc" "src/object/CMakeFiles/vgbl_object.dir/interactive_object.cpp.o.d"
+  "/root/repo/src/object/properties.cpp" "src/object/CMakeFiles/vgbl_object.dir/properties.cpp.o" "gcc" "src/object/CMakeFiles/vgbl_object.dir/properties.cpp.o.d"
+  "/root/repo/src/object/sprite.cpp" "src/object/CMakeFiles/vgbl_object.dir/sprite.cpp.o" "gcc" "src/object/CMakeFiles/vgbl_object.dir/sprite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vgbl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vgbl_video.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

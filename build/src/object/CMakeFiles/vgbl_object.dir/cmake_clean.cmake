@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgbl_object.dir/interactive_object.cpp.o"
+  "CMakeFiles/vgbl_object.dir/interactive_object.cpp.o.d"
+  "CMakeFiles/vgbl_object.dir/properties.cpp.o"
+  "CMakeFiles/vgbl_object.dir/properties.cpp.o.d"
+  "CMakeFiles/vgbl_object.dir/sprite.cpp.o"
+  "CMakeFiles/vgbl_object.dir/sprite.cpp.o.d"
+  "libvgbl_object.a"
+  "libvgbl_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgbl_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/analytics.cpp" "src/runtime/CMakeFiles/vgbl_runtime.dir/analytics.cpp.o" "gcc" "src/runtime/CMakeFiles/vgbl_runtime.dir/analytics.cpp.o.d"
+  "/root/repo/src/runtime/avatar.cpp" "src/runtime/CMakeFiles/vgbl_runtime.dir/avatar.cpp.o" "gcc" "src/runtime/CMakeFiles/vgbl_runtime.dir/avatar.cpp.o.d"
+  "/root/repo/src/runtime/compositor.cpp" "src/runtime/CMakeFiles/vgbl_runtime.dir/compositor.cpp.o" "gcc" "src/runtime/CMakeFiles/vgbl_runtime.dir/compositor.cpp.o.d"
+  "/root/repo/src/runtime/input.cpp" "src/runtime/CMakeFiles/vgbl_runtime.dir/input.cpp.o" "gcc" "src/runtime/CMakeFiles/vgbl_runtime.dir/input.cpp.o.d"
+  "/root/repo/src/runtime/keyboard.cpp" "src/runtime/CMakeFiles/vgbl_runtime.dir/keyboard.cpp.o" "gcc" "src/runtime/CMakeFiles/vgbl_runtime.dir/keyboard.cpp.o.d"
+  "/root/repo/src/runtime/recorder.cpp" "src/runtime/CMakeFiles/vgbl_runtime.dir/recorder.cpp.o" "gcc" "src/runtime/CMakeFiles/vgbl_runtime.dir/recorder.cpp.o.d"
+  "/root/repo/src/runtime/render_text.cpp" "src/runtime/CMakeFiles/vgbl_runtime.dir/render_text.cpp.o" "gcc" "src/runtime/CMakeFiles/vgbl_runtime.dir/render_text.cpp.o.d"
+  "/root/repo/src/runtime/resource_catalog.cpp" "src/runtime/CMakeFiles/vgbl_runtime.dir/resource_catalog.cpp.o" "gcc" "src/runtime/CMakeFiles/vgbl_runtime.dir/resource_catalog.cpp.o.d"
+  "/root/repo/src/runtime/script.cpp" "src/runtime/CMakeFiles/vgbl_runtime.dir/script.cpp.o" "gcc" "src/runtime/CMakeFiles/vgbl_runtime.dir/script.cpp.o.d"
+  "/root/repo/src/runtime/session.cpp" "src/runtime/CMakeFiles/vgbl_runtime.dir/session.cpp.o" "gcc" "src/runtime/CMakeFiles/vgbl_runtime.dir/session.cpp.o.d"
+  "/root/repo/src/runtime/ui.cpp" "src/runtime/CMakeFiles/vgbl_runtime.dir/ui.cpp.o" "gcc" "src/runtime/CMakeFiles/vgbl_runtime.dir/ui.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/author/CMakeFiles/vgbl_author.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/vgbl_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/vgbl_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/inventory/CMakeFiles/vgbl_inventory.dir/DependInfo.cmake"
+  "/root/repo/build/src/dialogue/CMakeFiles/vgbl_dialogue.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/vgbl_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/vgbl_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vgbl_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/vgbl_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vgbl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgbl_runtime.dir/analytics.cpp.o"
+  "CMakeFiles/vgbl_runtime.dir/analytics.cpp.o.d"
+  "CMakeFiles/vgbl_runtime.dir/avatar.cpp.o"
+  "CMakeFiles/vgbl_runtime.dir/avatar.cpp.o.d"
+  "CMakeFiles/vgbl_runtime.dir/compositor.cpp.o"
+  "CMakeFiles/vgbl_runtime.dir/compositor.cpp.o.d"
+  "CMakeFiles/vgbl_runtime.dir/input.cpp.o"
+  "CMakeFiles/vgbl_runtime.dir/input.cpp.o.d"
+  "CMakeFiles/vgbl_runtime.dir/keyboard.cpp.o"
+  "CMakeFiles/vgbl_runtime.dir/keyboard.cpp.o.d"
+  "CMakeFiles/vgbl_runtime.dir/recorder.cpp.o"
+  "CMakeFiles/vgbl_runtime.dir/recorder.cpp.o.d"
+  "CMakeFiles/vgbl_runtime.dir/render_text.cpp.o"
+  "CMakeFiles/vgbl_runtime.dir/render_text.cpp.o.d"
+  "CMakeFiles/vgbl_runtime.dir/resource_catalog.cpp.o"
+  "CMakeFiles/vgbl_runtime.dir/resource_catalog.cpp.o.d"
+  "CMakeFiles/vgbl_runtime.dir/script.cpp.o"
+  "CMakeFiles/vgbl_runtime.dir/script.cpp.o.d"
+  "CMakeFiles/vgbl_runtime.dir/session.cpp.o"
+  "CMakeFiles/vgbl_runtime.dir/session.cpp.o.d"
+  "CMakeFiles/vgbl_runtime.dir/ui.cpp.o"
+  "CMakeFiles/vgbl_runtime.dir/ui.cpp.o.d"
+  "libvgbl_runtime.a"
+  "libvgbl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgbl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

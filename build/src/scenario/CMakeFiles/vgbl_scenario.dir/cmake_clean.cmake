@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgbl_scenario.dir/scenario_graph.cpp.o"
+  "CMakeFiles/vgbl_scenario.dir/scenario_graph.cpp.o.d"
+  "libvgbl_scenario.a"
+  "libvgbl_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgbl_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

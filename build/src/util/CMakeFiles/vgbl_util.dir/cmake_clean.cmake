@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgbl_util.dir/crc32.cpp.o"
+  "CMakeFiles/vgbl_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/vgbl_util.dir/geometry.cpp.o"
+  "CMakeFiles/vgbl_util.dir/geometry.cpp.o.d"
+  "CMakeFiles/vgbl_util.dir/json.cpp.o"
+  "CMakeFiles/vgbl_util.dir/json.cpp.o.d"
+  "CMakeFiles/vgbl_util.dir/logging.cpp.o"
+  "CMakeFiles/vgbl_util.dir/logging.cpp.o.d"
+  "CMakeFiles/vgbl_util.dir/result.cpp.o"
+  "CMakeFiles/vgbl_util.dir/result.cpp.o.d"
+  "CMakeFiles/vgbl_util.dir/text.cpp.o"
+  "CMakeFiles/vgbl_util.dir/text.cpp.o.d"
+  "libvgbl_util.a"
+  "libvgbl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgbl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

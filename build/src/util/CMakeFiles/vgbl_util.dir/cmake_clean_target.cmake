@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvgbl_util.a"
+)

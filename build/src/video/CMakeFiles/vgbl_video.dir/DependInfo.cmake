@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/audio.cpp" "src/video/CMakeFiles/vgbl_video.dir/audio.cpp.o" "gcc" "src/video/CMakeFiles/vgbl_video.dir/audio.cpp.o.d"
+  "/root/repo/src/video/codec.cpp" "src/video/CMakeFiles/vgbl_video.dir/codec.cpp.o" "gcc" "src/video/CMakeFiles/vgbl_video.dir/codec.cpp.o.d"
+  "/root/repo/src/video/container.cpp" "src/video/CMakeFiles/vgbl_video.dir/container.cpp.o" "gcc" "src/video/CMakeFiles/vgbl_video.dir/container.cpp.o.d"
+  "/root/repo/src/video/dct.cpp" "src/video/CMakeFiles/vgbl_video.dir/dct.cpp.o" "gcc" "src/video/CMakeFiles/vgbl_video.dir/dct.cpp.o.d"
+  "/root/repo/src/video/frame.cpp" "src/video/CMakeFiles/vgbl_video.dir/frame.cpp.o" "gcc" "src/video/CMakeFiles/vgbl_video.dir/frame.cpp.o.d"
+  "/root/repo/src/video/scene_detect.cpp" "src/video/CMakeFiles/vgbl_video.dir/scene_detect.cpp.o" "gcc" "src/video/CMakeFiles/vgbl_video.dir/scene_detect.cpp.o.d"
+  "/root/repo/src/video/synthetic.cpp" "src/video/CMakeFiles/vgbl_video.dir/synthetic.cpp.o" "gcc" "src/video/CMakeFiles/vgbl_video.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vgbl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

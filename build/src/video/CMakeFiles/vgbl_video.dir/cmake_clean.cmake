@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgbl_video.dir/audio.cpp.o"
+  "CMakeFiles/vgbl_video.dir/audio.cpp.o.d"
+  "CMakeFiles/vgbl_video.dir/codec.cpp.o"
+  "CMakeFiles/vgbl_video.dir/codec.cpp.o.d"
+  "CMakeFiles/vgbl_video.dir/container.cpp.o"
+  "CMakeFiles/vgbl_video.dir/container.cpp.o.d"
+  "CMakeFiles/vgbl_video.dir/dct.cpp.o"
+  "CMakeFiles/vgbl_video.dir/dct.cpp.o.d"
+  "CMakeFiles/vgbl_video.dir/frame.cpp.o"
+  "CMakeFiles/vgbl_video.dir/frame.cpp.o.d"
+  "CMakeFiles/vgbl_video.dir/scene_detect.cpp.o"
+  "CMakeFiles/vgbl_video.dir/scene_detect.cpp.o.d"
+  "CMakeFiles/vgbl_video.dir/synthetic.cpp.o"
+  "CMakeFiles/vgbl_video.dir/synthetic.cpp.o.d"
+  "libvgbl_video.a"
+  "libvgbl_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgbl_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

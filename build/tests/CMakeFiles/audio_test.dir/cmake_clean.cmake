@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_test.dir/audio_test.cpp.o"
+  "CMakeFiles/audio_test.dir/audio_test.cpp.o.d"
+  "audio_test"
+  "audio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

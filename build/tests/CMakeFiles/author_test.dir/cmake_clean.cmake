@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/author_test.dir/author_test.cpp.o"
+  "CMakeFiles/author_test.dir/author_test.cpp.o.d"
+  "author_test"
+  "author_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/author_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialogue_test.dir/dialogue_test.cpp.o"
+  "CMakeFiles/dialogue_test.dir/dialogue_test.cpp.o.d"
+  "dialogue_test"
+  "dialogue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialogue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/inventory_test.cpp" "tests/CMakeFiles/inventory_test.dir/inventory_test.cpp.o" "gcc" "tests/CMakeFiles/inventory_test.dir/inventory_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vgbl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/vgbl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/author/CMakeFiles/vgbl_author.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/vgbl_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/vgbl_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/inventory/CMakeFiles/vgbl_inventory.dir/DependInfo.cmake"
+  "/root/repo/build/src/dialogue/CMakeFiles/vgbl_dialogue.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/vgbl_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/vgbl_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vgbl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vgbl_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/vgbl_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vgbl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inventory_test.dir/inventory_test.cpp.o"
+  "CMakeFiles/inventory_test.dir/inventory_test.cpp.o.d"
+  "inventory_test"
+  "inventory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inventory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgbl_cli.dir/vgbl_cli.cpp.o"
+  "CMakeFiles/vgbl_cli.dir/vgbl_cli.cpp.o.d"
+  "vgbl"
+  "vgbl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgbl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
