@@ -16,28 +16,77 @@ ClassroomSummary simulate_classroom(std::shared_ptr<const GameBundle> bundle,
             ? BotPolicy::kExplorer
             : options.policies[static_cast<size_t>(i) %
                                options.policies.size()];
-    SimClock clock;
-    GameSession session(bundle, &clock);
-    if (!session.start().ok()) continue;
-
-    const BotResult bot = run_bot(session, clock, policy,
-                                  options.max_steps_per_student, rng.next());
+    const u64 bot_seed = rng.next();
 
     StudentResult r;
     r.student_id = i + 1;
     r.policy = policy;
+
+    if (options.store == nullptr) {
+      SimClock clock;
+      GameSession session(bundle, &clock);
+      if (!session.start().ok()) continue;
+
+      const BotResult bot = run_bot(session, clock, policy,
+                                    options.max_steps_per_student, bot_seed);
+      r.completed = bot.completed;
+      r.succeeded = bot.succeeded;
+      r.steps = bot.steps;
+      r.score = session.score();
+      r.play_seconds = to_seconds(clock.now());
+      r.decisions = static_cast<int>(session.tracker().decisions().size());
+      r.items_collected =
+          static_cast<int>(session.tracker().items_collected().size());
+      r.rewards = static_cast<int>(session.tracker().rewards_earned().size());
+      summary.students.push_back(r);
+      interactions +=
+          static_cast<f64>(session.tracker().interactions().size());
+      continue;
+    }
+
+    // Persisted run: play half the budget, suspend to disk (checkpoint +
+    // session teardown), then resume from the store and finish. The resumed
+    // session continues from the snapshot exactly where the first half left
+    // off — bots mutate sessions directly, so suspension rides the
+    // snapshot path rather than the input journal.
+    const std::string student = "student-" + std::to_string(i + 1);
+    (void)options.store->remove_session(student);
+    const int first_half = options.max_steps_per_student / 2;
+
+    auto opened = options.store->open_session(bundle, student);
+    if (!opened.ok()) continue;
+    BotResult bot = run_bot(opened.value()->session(), opened.value()->clock(),
+                            policy, first_half, bot_seed);
+    if (!opened.value()->checkpoint().ok()) continue;
+    opened.value().reset();  // suspend: the live session is gone
+
+    auto resumed = options.store->open_session(bundle, student);
+    if (!resumed.ok()) continue;
+    PersistedSession& ps = *resumed.value();
+    if (!bot.completed) {
+      const BotResult rest =
+          run_bot(ps.session(), ps.clock(), policy,
+                  options.max_steps_per_student - first_half, bot_seed + 1);
+      bot.steps += rest.steps;
+      bot.completed = rest.completed;
+      bot.succeeded = rest.succeeded;
+    }
+    (void)ps.checkpoint();
+
+    r.resumed = ps.resumed();
     r.completed = bot.completed;
     r.succeeded = bot.succeeded;
     r.steps = bot.steps;
-    r.score = session.score();
-    r.play_seconds = to_seconds(clock.now());
-    r.decisions = static_cast<int>(session.tracker().decisions().size());
+    r.score = ps.session().score();
+    r.play_seconds = to_seconds(ps.clock().now());
+    r.decisions = static_cast<int>(ps.session().tracker().decisions().size());
     r.items_collected =
-        static_cast<int>(session.tracker().items_collected().size());
-    r.rewards = static_cast<int>(session.tracker().rewards_earned().size());
+        static_cast<int>(ps.session().tracker().items_collected().size());
+    r.rewards =
+        static_cast<int>(ps.session().tracker().rewards_earned().size());
     summary.students.push_back(r);
-
-    interactions += static_cast<f64>(session.tracker().interactions().size());
+    interactions +=
+        static_cast<f64>(ps.session().tracker().interactions().size());
   }
 
   const f64 n = static_cast<f64>(

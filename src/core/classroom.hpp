@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "author/bundle.hpp"
+#include "persist/session_store.hpp"
 #include "runtime/script.hpp"
 
 namespace vgbl {
@@ -24,6 +25,9 @@ struct StudentResult {
   int decisions = 0;
   int items_collected = 0;
   int rewards = 0;
+  /// True when the student's run was suspended to a SessionStore mid-way
+  /// and finished in a second, resumed session.
+  bool resumed = false;
 };
 
 struct ClassroomSummary {
@@ -43,6 +47,11 @@ struct ClassroomOptions {
   std::vector<BotPolicy> policies{BotPolicy::kExplorer, BotPolicy::kSpeedrun,
                                   BotPolicy::kRandom};
   u64 seed = 99;
+  /// When set, every student plays through the store (lesson-interrupted
+  /// classroom): half the step budget, checkpoint + session teardown, then
+  /// resume from disk for the remaining half. Exercises the full
+  /// suspend/recover path under emergent bot play.
+  SessionStore* store = nullptr;
 };
 
 /// Runs every student to completion (or step budget) sequentially — each

@@ -39,6 +39,10 @@ class SegmentPlayer {
   [[nodiscard]] bool paused() const { return paused_; }
   [[nodiscard]] bool playing() const { return active_; }
   [[nodiscard]] SegmentId current_segment() const { return segment_; }
+  /// Presentation time of the current segment's frame 0 (what
+  /// `play_segment`/`replay` was last called with). Session snapshots
+  /// save this so a restored session resumes at the same frame.
+  [[nodiscard]] MicroTime start_time() const { return start_time_; }
 
   /// Frame index within the segment that should be on screen at `now`
   /// (clamped to the last frame once the segment ends).

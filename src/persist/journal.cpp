@@ -1,0 +1,311 @@
+#include "persist/journal.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "util/crc32.hpp"
+
+namespace vgbl {
+namespace {
+
+Error file_error(const std::string& what, const std::string& path) {
+  return io_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+void write_step_payload(ByteWriter& w, const ScriptStep& s) {
+  w.put_u8(static_cast<u8>(s.op));
+  w.put_string(s.object_name);
+  w.put_string(s.item_name);
+  w.put_string(s.second_item_name);
+  w.put_varint(s.choice);
+  w.put_i64(s.wait_time);
+  w.put_i32(s.point.x);
+  w.put_i32(s.point.y);
+}
+
+Result<ScriptStep> read_step_payload(std::span<const u8> payload) {
+  ByteReader r(payload);
+  auto op = r.u8_();
+  if (!op.ok()) return op.error();
+  if (op.value() > static_cast<u8>(ScriptStep::Op::kClickPoint)) {
+    return corrupt_data("journal step has unknown op " +
+                        std::to_string(op.value()));
+  }
+  auto object = r.string();
+  auto item = r.string();
+  auto second = r.string();
+  auto choice = r.varint();
+  auto wait_time = r.i64_();
+  auto px = r.i32_();
+  auto py = r.i32_();
+  if (!object.ok()) return object.error();
+  if (!item.ok()) return item.error();
+  if (!second.ok()) return second.error();
+  if (!choice.ok()) return choice.error();
+  if (!wait_time.ok()) return wait_time.error();
+  if (!px.ok()) return px.error();
+  if (!py.ok()) return py.error();
+  ScriptStep s;
+  s.op = static_cast<ScriptStep::Op>(op.value());
+  s.object_name = std::move(object).value();
+  s.item_name = std::move(item).value();
+  s.second_item_name = std::move(second).value();
+  s.choice = static_cast<size_t>(choice.value());
+  s.wait_time = wait_time.value();
+  s.point = {px.value(), py.value()};
+  return s;
+}
+
+Bytes journal_header() {
+  ByteWriter w;
+  w.put_u32(kJournalMagic);
+  w.put_u16(kJournalVersion);
+  w.put_u16(0);  // reserved
+  w.put_u32(crc32(w.bytes()));
+  return std::move(w).take();
+}
+
+}  // namespace
+
+// --- JournalWriter ----------------------------------------------------------
+
+Result<JournalWriter> JournalWriter::create(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return file_error("cannot create journal", path);
+  const Bytes header = journal_header();
+  if (std::fwrite(header.data(), 1, header.size(), f) != header.size() ||
+      std::fflush(f) != 0) {
+    std::fclose(f);
+    return file_error("cannot write journal header", path);
+  }
+  return JournalWriter(f, path, header.size());
+}
+
+Result<JournalWriter> JournalWriter::open(const std::string& path) {
+  auto existing = read_journal_file(path);
+  if (!existing.ok()) {
+    if (existing.error().code == ErrorCode::kNotFound) return create(path);
+    return existing.error();
+  }
+  // Trim a torn tail before appending so the new record starts at a clean
+  // boundary (otherwise it would be glued onto half of an old one).
+  if (existing.value().torn_tail) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, existing.value().valid_bytes, ec);
+    if (ec) {
+      return io_error("cannot trim torn journal tail '" + path +
+                      "': " + ec.message());
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return file_error("cannot open journal", path);
+  return JournalWriter(f, path, existing.value().valid_bytes);
+}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      path_(std::move(other.path_)),
+      bytes_written_(other.bytes_written_) {}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    path_ = std::move(other.path_);
+    bytes_written_ = other.bytes_written_;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status JournalWriter::append_record(JournalRecord::Kind kind,
+                                    const Bytes& payload) {
+  if (file_ == nullptr) {
+    return failed_precondition("journal writer was moved-from or closed");
+  }
+  ByteWriter frame;
+  frame.put_u8(static_cast<u8>(kind));
+  frame.put_u32(static_cast<u32>(payload.size()));
+  frame.put_raw(payload.data(), payload.size());
+  frame.put_u32(crc32(payload));
+  const Bytes bytes = std::move(frame).take();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size() ||
+      std::fflush(file_) != 0) {
+    return file_error("cannot append to journal", path_);
+  }
+  bytes_written_ += bytes.size();
+  return {};
+}
+
+Status JournalWriter::append_step(const ScriptStep& step) {
+  ByteWriter payload;
+  write_step_payload(payload, step);
+  return append_record(JournalRecord::Kind::kStep, payload.bytes());
+}
+
+Status JournalWriter::append_barrier(u64 snapshot_sequence, u64 step_count) {
+  ByteWriter payload;
+  payload.put_varint(snapshot_sequence);
+  payload.put_varint(step_count);
+  return append_record(JournalRecord::Kind::kBarrier, payload.bytes());
+}
+
+// --- reading ----------------------------------------------------------------
+
+Result<JournalContents> parse_journal(std::span<const u8> data) {
+  ByteReader r(data);
+  auto magic = r.u32_();
+  if (!magic.ok() || magic.value() != kJournalMagic) {
+    return corrupt_data("not a VGSJ journal (bad magic)");
+  }
+  auto version = r.u16_();
+  auto reserved = r.u16_();
+  auto header_crc = r.u32_();
+  if (!version.ok() || !reserved.ok() || !header_crc.ok()) {
+    return corrupt_data("truncated journal header");
+  }
+  if (header_crc.value() != crc32(data.subspan(0, 8))) {
+    return corrupt_data("journal header crc mismatch");
+  }
+  if (version.value() != kJournalVersion) {
+    return unsupported("journal format version " +
+                       std::to_string(version.value()) + " (reader supports " +
+                       std::to_string(kJournalVersion) + ")");
+  }
+
+  JournalContents out;
+  out.valid_bytes = r.position();
+  ByteReader rec(data);
+  (void)rec.skip(out.valid_bytes);
+  while (!rec.at_end()) {
+    const size_t record_start = rec.position();
+    auto kind = rec.u8_();
+    auto size = rec.u32_();
+    if (!kind.ok() || !size.ok()) {
+      out.torn_tail = true;  // header of the record itself was cut short
+      break;
+    }
+    auto payload = rec.view(size.value());
+    auto stored_crc = rec.u32_();
+    if (!payload.ok() || !stored_crc.ok()) {
+      out.torn_tail = true;  // payload or trailer cut short: crash tail
+      break;
+    }
+    if (stored_crc.value() != crc32(payload.value())) {
+      // The record is fully present but damaged — that is corruption, not
+      // a torn append, so reject the journal.
+      return corrupt_data("journal record at byte " +
+                          std::to_string(record_start) + " crc mismatch");
+    }
+    JournalRecord record;
+    if (kind.value() == static_cast<u8>(JournalRecord::Kind::kStep)) {
+      auto step = read_step_payload(payload.value());
+      if (!step.ok()) {
+        return corrupt_data("journal step record at byte " +
+                            std::to_string(record_start) +
+                            ": " + step.error().message);
+      }
+      record.kind = JournalRecord::Kind::kStep;
+      record.step = std::move(step).value();
+    } else if (kind.value() ==
+               static_cast<u8>(JournalRecord::Kind::kBarrier)) {
+      ByteReader pr(payload.value());
+      auto sequence = pr.varint();
+      auto steps = pr.varint();
+      if (!sequence.ok() || !steps.ok()) {
+        return corrupt_data("journal barrier record at byte " +
+                            std::to_string(record_start) + " is malformed");
+      }
+      record.kind = JournalRecord::Kind::kBarrier;
+      record.barrier_sequence = sequence.value();
+      record.barrier_step_count = steps.value();
+    } else {
+      return corrupt_data("journal record at byte " +
+                          std::to_string(record_start) +
+                          " has unknown kind " +
+                          std::to_string(kind.value()));
+    }
+    out.records.push_back(std::move(record));
+    out.valid_bytes = rec.position();
+  }
+  return out;
+}
+
+Result<JournalContents> read_journal_file(const std::string& path) {
+  auto data = read_binary_file(path);
+  if (!data.ok()) return data.error();
+  return parse_journal(data.value());
+}
+
+std::vector<ScriptStep> steps_after_barrier(const JournalContents& journal,
+                                            u64 snapshot_sequence) {
+  // Find the last matching barrier; steps before it (or with no matching
+  // barrier at all) are already folded into the snapshot.
+  std::ptrdiff_t barrier = -1;
+  for (size_t i = 0; i < journal.records.size(); ++i) {
+    const auto& rec = journal.records[i];
+    if (rec.kind == JournalRecord::Kind::kBarrier &&
+        rec.barrier_sequence == snapshot_sequence) {
+      barrier = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  std::vector<ScriptStep> steps;
+  if (barrier < 0) return steps;
+  for (size_t i = static_cast<size_t>(barrier) + 1;
+       i < journal.records.size(); ++i) {
+    if (journal.records[i].kind == JournalRecord::Kind::kStep) {
+      steps.push_back(journal.records[i].step);
+    }
+  }
+  return steps;
+}
+
+// --- file helpers -----------------------------------------------------------
+
+Result<Bytes> read_binary_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) return not_found("no such file: " + path);
+    return file_error("cannot open", path);
+  }
+  Bytes data;
+  u8 chunk[16384];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    data.insert(data.end(), chunk, chunk + n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return file_error("cannot read", path);
+  return data;
+}
+
+Status write_binary_file_atomic(const std::string& path,
+                                std::span<const u8> data) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return file_error("cannot create", tmp);
+  const bool wrote =
+      std::fwrite(data.data(), 1, data.size(), f) == data.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote) {
+    std::remove(tmp.c_str());
+    return file_error("cannot write", tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return io_error("cannot rename '" + tmp + "' over '" + path +
+                    "': " + ec.message());
+  }
+  return {};
+}
+
+}  // namespace vgbl

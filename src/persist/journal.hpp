@@ -1,0 +1,104 @@
+// Write-ahead input journal: an append-only, CRC-framed log of the
+// ScriptSteps applied to a session since its last snapshot, plus barrier
+// records marking snapshot checkpoints. Recovery = load the latest valid
+// snapshot, then replay the journal records that follow the barrier whose
+// sequence matches it (see session_store.hpp for the full protocol).
+//
+//   file header  magic u32 | version u16 | reserved u16 | crc32(header)
+//   record       kind u8 | payload_size u32 | payload | crc32(payload)
+//
+// Failure semantics distinguish a *torn tail* from *corruption*: a record
+// cut short by the end of the file is the expected shape of a crash during
+// append, so readers drop it and report the journal recoverable. A record
+// that is fully present but fails its CRC means the file was damaged after
+// the fact, and the whole journal is rejected with kCorruptData.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/script.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace vgbl {
+
+inline constexpr u32 kJournalMagic = 0x4A534756;  // "VGSJ" little-endian
+inline constexpr u16 kJournalVersion = 1;
+
+struct JournalRecord {
+  enum class Kind : u8 { kStep = 1, kBarrier = 2 };
+  Kind kind = Kind::kStep;
+  ScriptStep step;            ///< meaningful when kind == kStep
+  u64 barrier_sequence = 0;   ///< snapshot sequence, when kind == kBarrier
+  u64 barrier_step_count = 0; ///< steps covered by that snapshot
+};
+
+/// Appends records to a journal file, flushing after every write so the
+/// log-before-apply ordering survives a crash of the process.
+class JournalWriter {
+ public:
+  /// Creates (or truncates) `path` and writes a fresh file header.
+  static Result<JournalWriter> create(const std::string& path);
+  /// Opens an existing journal for appending. The readable prefix is
+  /// validated first; a torn tail is trimmed, corruption is rejected.
+  static Result<JournalWriter> open(const std::string& path);
+
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
+
+  Status append_step(const ScriptStep& step);
+  Status append_barrier(u64 snapshot_sequence, u64 step_count);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] u64 bytes_written() const { return bytes_written_; }
+
+ private:
+  JournalWriter(std::FILE* file, std::string path, u64 size)
+      : file_(file), path_(std::move(path)), bytes_written_(size) {}
+  Status append_record(JournalRecord::Kind kind, const Bytes& payload);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  u64 bytes_written_ = 0;
+};
+
+struct JournalContents {
+  std::vector<JournalRecord> records;
+  /// Byte length of the prefix that parsed cleanly (file-header included).
+  size_t valid_bytes = 0;
+  /// True when a torn record at the end of the file was dropped.
+  bool torn_tail = false;
+};
+
+/// Parses journal bytes. Torn tails are trimmed (crash recovery); bad
+/// magic, version or CRC anywhere else returns a typed error.
+Result<JournalContents> parse_journal(std::span<const u8> data);
+
+/// Reads and parses a journal file. kNotFound when the file is absent.
+Result<JournalContents> read_journal_file(const std::string& path);
+
+/// The steps to replay on top of a snapshot with `snapshot_sequence`:
+/// everything after the last barrier whose sequence matches. Returns an
+/// empty list when no such barrier exists — then every journaled step is
+/// already folded into the snapshot (a crash hit between the snapshot
+/// rename and the journal compaction) or the journal belongs to an older
+/// generation; replaying would double-apply inputs.
+std::vector<ScriptStep> steps_after_barrier(const JournalContents& journal,
+                                            u64 snapshot_sequence);
+
+// --- shared file helpers (used by the session store as well) ---------------
+
+/// Reads a whole file. kNotFound when absent, kIoError on read failure.
+Result<Bytes> read_binary_file(const std::string& path);
+
+/// Writes `data` atomically: to `path + ".tmp"`, then rename over `path`.
+/// Readers therefore never observe a half-written file.
+Status write_binary_file_atomic(const std::string& path,
+                                std::span<const u8> data);
+
+}  // namespace vgbl

@@ -146,4 +146,32 @@ Json LearningTracker::to_json(MicroTime now) const {
   return out;
 }
 
+LearningTracker::State LearningTracker::state() const {
+  State s;
+  s.visits = visits_;
+  s.interactions = interactions_;
+  s.decisions = decisions_;
+  s.items = items_;
+  s.rewards = rewards_;
+  s.resources = resources_;
+  s.score = score_;
+  s.finished = finished_;
+  s.success = success_;
+  s.finished_at = finished_at_;
+  return s;
+}
+
+void LearningTracker::restore(State state) {
+  visits_ = std::move(state.visits);
+  interactions_ = std::move(state.interactions);
+  decisions_ = std::move(state.decisions);
+  items_ = std::move(state.items);
+  rewards_ = std::move(state.rewards);
+  resources_ = std::move(state.resources);
+  score_ = state.score;
+  finished_ = state.finished;
+  success_ = state.success;
+  finished_at_ = state.finished_at;
+}
+
 }  // namespace vgbl

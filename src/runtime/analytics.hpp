@@ -66,6 +66,23 @@ class LearningTracker {
   [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] bool succeeded() const { return success_; }
 
+  /// Full mutable state as plain data — what the session-persistence
+  /// snapshot serialises ("analytics counters" survive suspend/resume).
+  struct State {
+    std::vector<ScenarioVisit> visits;
+    std::vector<InteractionRecord> interactions;
+    std::vector<DecisionRecord> decisions;
+    std::vector<std::string> items;
+    std::vector<std::string> rewards;
+    std::vector<std::pair<std::string, MicroTime>> resources;
+    i64 score = 0;
+    bool finished = false;
+    bool success = false;
+    MicroTime finished_at = -1;
+  };
+  [[nodiscard]] State state() const;
+  void restore(State state);
+
   /// Seconds spent per scenario name (aggregated over revisits).
   [[nodiscard]] std::map<std::string, f64> time_per_scenario(
       MicroTime now) const;

@@ -560,6 +560,7 @@ Status GameSession::advance_dialogue() {
   if (!dialogue_) return failed_precondition("no active dialogue");
   auto st = dialogue_->runner.advance();
   if (!st.ok()) return st;
+  dialogue_->path.push_back(kDialogueAdvance);
   drain_dialogue_tags();
   refresh_dialogue_view();
   return {};
@@ -571,6 +572,7 @@ Status GameSession::choose_dialogue(size_t index) {
   const std::string context = node ? node->line : "";
   auto st = dialogue_->runner.choose(index);
   if (!st.ok()) return st;
+  dialogue_->path.push_back(static_cast<u32>(index));
   // Record the decision for the learning report (§3.2: knowledge from the
   // process of making decisions).
   const auto& transcript = dialogue_->runner.transcript();
@@ -605,6 +607,7 @@ Status GameSession::answer_quiz(size_t option) {
   const std::string prompt = q ? q->prompt : "";
   auto correct = quiz_->runner.answer(option);
   if (!correct.ok()) return correct.error();
+  quiz_->answers.push_back(static_cast<u32>(option));
 
   const std::string chosen =
       q && option < q->options.size() ? q->options[option] : "?";
@@ -831,6 +834,228 @@ Status GameSession::load_state(const Json& snapshot) {
   }
   arm_timers();
   log("save state restored");
+  return {};
+}
+
+// --- Session persistence -----------------------------------------------------------
+
+SessionState GameSession::capture_state() const {
+  SessionState s;
+  s.now = clock_->now();
+  s.scenario = current_;
+  s.started = started_;
+  s.game_over = game_over_;
+  s.success = success_;
+  s.scenario_entered_at = scenario_entered_at_;
+  s.segment_end_fired = segment_end_fired_;
+  s.player_active = player_.playing();
+  s.player_start = player_.start_time();
+
+  for (const auto& slot : inventory_.slots()) {
+    s.inventory.push_back({slot.item.value, slot.count});
+  }
+  for (const auto& e : ledger_.entries()) {
+    s.ledger.push_back({e.points, e.reason, e.when});
+  }
+
+  // Sets are sorted so snapshots of equal states are byte-identical.
+  s.flags.assign(flags_.begin(), flags_.end());
+  std::sort(s.flags.begin(), s.flags.end());
+  s.visited.assign(visited_.begin(), visited_.end());
+  std::sort(s.visited.begin(), s.visited.end());
+  s.disarmed.assign(disarmed_.begin(), disarmed_.end());
+  std::sort(s.disarmed.begin(), s.disarmed.end());
+  for (const auto& [id, visible] : visibility_override_) {
+    s.visibility.push_back({id, visible});
+  }
+  std::sort(s.visibility.begin(), s.visibility.end(),
+            [](const auto& a, const auto& b) { return a.object < b.object; });
+  for (const auto& t : timers_) {
+    s.timers.push_back({t.rule.value, t.fire_at});
+  }
+
+  s.avatar_position = avatar_.position();
+  s.avatar_walking = avatar_.walking();
+  if (s.avatar_walking) s.avatar_target = *avatar_.target();
+  if (pending_interaction_) {
+    s.has_pending_interaction = true;
+    s.pending_trigger = static_cast<u8>(pending_interaction_->type);
+    s.pending_object = pending_interaction_->object.value;
+    s.pending_item = pending_interaction_->item.value;
+  }
+
+  if (dialogue_) {
+    s.in_dialogue = true;
+    s.dialogue_id = dialogue_->id.value;
+    s.dialogue_path = dialogue_->path;
+    s.dialogue_consumed_tags = static_cast<u32>(dialogue_->consumed_tags);
+  }
+  if (quiz_) {
+    s.in_quiz = true;
+    s.quiz_id = quiz_->id.value;
+    s.quiz_answers = quiz_->answers;
+  }
+
+  if (ui_.message()) {
+    s.has_message = true;
+    s.message_text = ui_.message()->text;
+    s.message_shown_at = ui_.message()->shown_at;
+    s.message_timeout = ui_.message()->timeout;
+  }
+  if (ui_.image()) {
+    s.has_image = true;
+    s.image_icon = ui_.image()->icon;
+    s.image_shown_at = ui_.image()->shown_at;
+  }
+
+  s.tracker = tracker_.state();
+  for (const auto& e : log_) s.log.push_back({e.when, e.text});
+  return s;
+}
+
+Status GameSession::restore_state(const SessionState& state) {
+  if (clock_->now() != state.now) {
+    return failed_precondition(
+        "clock must read the snapshot time before restore (expected " +
+        std::to_string(state.now) + ", is " +
+        std::to_string(clock_->now()) + ")");
+  }
+  const Scenario* scenario = bundle_->graph.find(state.scenario);
+  if (!scenario) {
+    return corrupt_data("snapshot references missing scenario " +
+                        std::to_string(state.scenario.value));
+  }
+
+  // Rebuild all fallible pieces into locals first so a corrupt snapshot
+  // rejects without half-mutating the session.
+  Inventory inventory(&bundle_->items, options_.inventory_capacity);
+  for (const auto& slot : state.inventory) {
+    if (auto st = inventory.add(ItemId{slot.item}, slot.count); !st.ok()) {
+      return corrupt_data("snapshot inventory invalid: " +
+                          st.error().to_string());
+    }
+  }
+
+  std::optional<ActiveDialogue> dialogue;
+  if (state.in_dialogue) {
+    const DialogueTree* tree =
+        bundle_->find_dialogue(DialogueId{state.dialogue_id});
+    if (!tree) {
+      return corrupt_data("snapshot references missing dialogue " +
+                          std::to_string(state.dialogue_id));
+    }
+    dialogue = ActiveDialogue{DialogueId{state.dialogue_id},
+                              DialogueRunner(tree), 0, {}};
+    for (u32 input : state.dialogue_path) {
+      auto st = input == kDialogueAdvance
+                    ? dialogue->runner.advance()
+                    : dialogue->runner.choose(input);
+      if (!st.ok()) {
+        return corrupt_data("snapshot dialogue path does not replay: " +
+                            st.error().to_string());
+      }
+    }
+    if (!dialogue->runner.active()) {
+      return corrupt_data("snapshot dialogue path ends the conversation");
+    }
+    if (state.dialogue_consumed_tags > dialogue->runner.fired_tags().size()) {
+      return corrupt_data("snapshot dialogue consumed-tag count too large");
+    }
+    dialogue->consumed_tags = state.dialogue_consumed_tags;
+    dialogue->path = state.dialogue_path;
+  }
+
+  std::optional<ActiveQuiz> quiz;
+  if (state.in_quiz) {
+    const Quiz* q = bundle_->find_quiz(QuizId{state.quiz_id});
+    if (!q) {
+      return corrupt_data("snapshot references missing quiz " +
+                          std::to_string(state.quiz_id));
+    }
+    quiz = ActiveQuiz{QuizId{state.quiz_id}, QuizRunner(q), {}};
+    for (u32 option : state.quiz_answers) {
+      auto answered = quiz->runner.answer(option);
+      if (!answered.ok()) {
+        return corrupt_data("snapshot quiz answers do not replay: " +
+                            answered.error().to_string());
+      }
+    }
+    if (quiz->runner.finished()) {
+      return corrupt_data("snapshot quiz answers finish the quiz");
+    }
+    quiz->answers = state.quiz_answers;
+  }
+
+  // Commit.
+  inventory_ = std::move(inventory);
+  ledger_ = ScoreLedger{};
+  for (const auto& e : state.ledger) ledger_.award(e.points, e.reason, e.when);
+  flags_.clear();
+  flags_.insert(state.flags.begin(), state.flags.end());
+  visited_.clear();
+  visited_.insert(state.visited.begin(), state.visited.end());
+  disarmed_.clear();
+  disarmed_.insert(state.disarmed.begin(), state.disarmed.end());
+  visibility_override_.clear();
+  for (const auto& v : state.visibility) {
+    visibility_override_[v.object] = v.visible;
+  }
+  timers_.clear();
+  for (const auto& t : state.timers) {
+    timers_.push_back({RuleId{t.rule}, t.fire_at});
+  }
+
+  current_ = state.scenario;
+  started_ = state.started;
+  game_over_ = state.game_over;
+  success_ = state.success;
+  scenario_entered_at_ = state.scenario_entered_at;
+  segment_end_fired_ = state.segment_end_fired;
+
+  avatar_.set_position(state.avatar_position);
+  if (state.avatar_walking) {
+    avatar_.walk_to(state.avatar_target, clock_->now());
+  }
+  pending_interaction_.reset();
+  if (state.has_pending_interaction) {
+    pending_interaction_ =
+        PendingInteraction{static_cast<TriggerType>(state.pending_trigger),
+                           ObjectId{state.pending_object},
+                           ItemId{state.pending_item}};
+  }
+
+  dialogue_ = std::move(dialogue);
+  quiz_ = std::move(quiz);
+
+  if (state.has_message) {
+    ui_.show_message(state.message_text, state.message_shown_at,
+                     state.message_timeout);
+  } else {
+    ui_.dismiss_message();
+  }
+  if (state.has_image) {
+    ui_.show_image(state.image_icon, state.image_shown_at);
+  } else {
+    ui_.dismiss_image();
+  }
+  refresh_dialogue_view();
+  refresh_quiz_view();
+
+  tracker_.restore(state.tracker);
+  log_.clear();
+  for (const auto& e : state.log) log_.push_back({e.when, e.text});
+
+  if (state.player_active) {
+    if (auto st = player_.play_segment(scenario->segment, state.player_start);
+        !st.ok()) {
+      return st;
+    }
+  } else {
+    player_.stop();
+  }
+
+  hit_index_frame_ = -1;
+  ++hit_index_epoch_;
   return {};
 }
 

@@ -25,6 +25,7 @@
 #include "runtime/analytics.hpp"
 #include "runtime/avatar.hpp"
 #include "runtime/resource_catalog.hpp"
+#include "runtime/session_state.hpp"
 #include "runtime/ui.hpp"
 #include "util/sim_clock.hpp"
 
@@ -143,6 +144,20 @@ class GameSession {
   /// Restores a save produced by `save_state` against the same bundle.
   Status load_state(const Json& snapshot);
 
+  // --- Session persistence (src/persist) -------------------------------------
+  /// Captures the complete mutable state — scenario position, backpack,
+  /// score ledger, flags, armed timers, avatar pose, mid-dialogue/quiz
+  /// position, UI popups, analytics and the event log — as plain data.
+  /// A session restored from this state and driven with the same inputs
+  /// produces a bit-identical SessionEvent log.
+  [[nodiscard]] SessionState capture_state() const;
+  /// Re-applies a captured state against the same bundle. The session's
+  /// clock must already read `state.now` (advance it first) so timers and
+  /// video playback resume in phase. Fails with a typed error on bundle
+  /// mismatch or inconsistent state; the session is then unspecified and
+  /// should be discarded (restore into a fresh session).
+  Status restore_state(const SessionState& state);
+
  private:
   class StateView;
 
@@ -211,12 +226,17 @@ class GameSession {
     DialogueId id;
     DialogueRunner runner;
     size_t consumed_tags = 0;
+    /// Inputs applied so far (kDialogueAdvance or choice index) — lets a
+    /// snapshot restore the runner mid-conversation by replaying them.
+    std::vector<u32> path;
   };
   std::optional<ActiveDialogue> dialogue_;
 
   struct ActiveQuiz {
     QuizId id;
     QuizRunner runner;
+    /// Options answered so far (snapshot restore replays these).
+    std::vector<u32> answers;
   };
   void refresh_quiz_view();
   std::optional<ActiveQuiz> quiz_;

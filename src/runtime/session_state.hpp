@@ -1,0 +1,119 @@
+// SessionState: the full mutable play state of a GameSession as plain
+// data, captured by `GameSession::capture_state()` and re-applied by
+// `restore_state()`. The persist layer serialises this struct into the
+// versioned snapshot format (src/persist/snapshot.hpp); keeping the struct
+// here keeps the dependency arrow pointing persist -> runtime.
+//
+// Everything a resumed session needs to behave bit-identically to the
+// uninterrupted run is included: scenario position, backpack, score
+// ledger, flags, armed timers, video playback origin, avatar pose,
+// mid-conversation dialogue/quiz positions (as replayable input paths),
+// UI popups, learning analytics and the human-readable event log. The
+// only mutable state deliberately excluded is diagnostic-only (the
+// resource catalog's access log and the video player's frame statistics).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/analytics.hpp"
+#include "util/geometry.hpp"
+#include "util/sim_clock.hpp"
+#include "util/types.hpp"
+
+namespace vgbl {
+
+/// One entry of the session's human-readable event log (mirrors
+/// SessionEvent; duplicated here so this header stays session-free).
+struct SessionLogEntry {
+  MicroTime when = 0;
+  std::string text;
+};
+
+/// Sentinel in a dialogue input path meaning "advance()" (all other values
+/// are choose() indices).
+inline constexpr u32 kDialogueAdvance = 0xFFFFFFFFu;
+
+struct SessionState {
+  /// Clock reading at capture time. restore_state() requires the target
+  /// session's clock to sit exactly here so armed timers and video
+  /// position resume in phase with the uninterrupted timeline.
+  MicroTime now = 0;
+
+  // --- Scenario position -----------------------------------------------------
+  ScenarioId scenario;
+  bool started = false;
+  bool game_over = false;
+  bool success = false;
+  MicroTime scenario_entered_at = 0;
+  bool segment_end_fired = false;
+  /// Presentation time of the current segment's frame 0 (differs from
+  /// scenario_entered_at after a replay-segment action).
+  MicroTime player_start = 0;
+  bool player_active = false;
+
+  // --- Backpack and score ----------------------------------------------------
+  struct InventoryEntry {
+    u32 item = 0;
+    i32 count = 0;
+  };
+  std::vector<InventoryEntry> inventory;
+
+  struct LedgerEntry {
+    i64 points = 0;
+    std::string reason;
+    MicroTime when = 0;
+  };
+  std::vector<LedgerEntry> ledger;
+
+  // --- Rule-engine state (sorted for canonical encodings) --------------------
+  std::vector<std::string> flags;
+  std::vector<u32> visited;
+  std::vector<u32> disarmed;
+  struct VisibilityOverride {
+    u32 object = 0;
+    bool visible = false;
+  };
+  std::vector<VisibilityOverride> visibility;
+  struct ArmedTimer {
+    u32 rule = 0;
+    MicroTime fire_at = 0;
+  };
+  std::vector<ArmedTimer> timers;
+
+  // --- Avatar and deferred interaction ---------------------------------------
+  Point avatar_position;
+  bool avatar_walking = false;
+  Point avatar_target;
+  bool has_pending_interaction = false;
+  u8 pending_trigger = 0;  // TriggerType of the deferred interaction
+  u32 pending_object = 0;
+  u32 pending_item = 0;
+
+  // --- Mid-conversation dialogue / quiz --------------------------------------
+  // Runners are restored by replaying the recorded input path against the
+  // bundle's (immutable) tree, which reproduces transcript and fired tags
+  // exactly; consumed_tags guards against re-dispatching tag events.
+  bool in_dialogue = false;
+  u32 dialogue_id = 0;
+  std::vector<u32> dialogue_path;  // kDialogueAdvance or choice index
+  u32 dialogue_consumed_tags = 0;
+  bool in_quiz = false;
+  u32 quiz_id = 0;
+  std::vector<u32> quiz_answers;
+
+  // --- UI popups -------------------------------------------------------------
+  bool has_message = false;
+  std::string message_text;
+  MicroTime message_shown_at = 0;
+  MicroTime message_timeout = 0;
+  bool has_image = false;
+  std::string image_icon;
+  MicroTime image_shown_at = 0;
+
+  // --- Analytics and event log -----------------------------------------------
+  LearningTracker::State tracker;
+  std::vector<SessionLogEntry> log;
+};
+
+}  // namespace vgbl

@@ -8,12 +8,16 @@
 //   vgbl figure1 <project.vgbl>
 //   vgbl figure2 <bundle.vgblb>
 //   vgbl screenshot <bundle.vgblb> <out.ppm>
+//   vgbl save <bundle.vgblb> <store_dir> <student> [steps] [policy]
+//   vgbl resume <bundle.vgblb> <store_dir> <student> [max_steps] [policy]
+//   vgbl inspect-snapshot <file.snap>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "core/platform.hpp"
+#include "persist/session_store.hpp"
 #include "runtime/compositor.hpp"
 #include "util/text.hpp"
 
@@ -184,6 +188,104 @@ int cmd_screenshot(const std::string& path, const std::string& out) {
   return 0;
 }
 
+BotPolicy parse_policy(const std::string& name) {
+  return name == "random"     ? BotPolicy::kRandom
+         : name == "speedrun" ? BotPolicy::kSpeedrun
+                              : BotPolicy::kExplorer;
+}
+
+int cmd_save(const std::string& path, const std::string& dir,
+             const std::string& student, int steps,
+             const std::string& policy_name) {
+  auto bundle = load_bundle_file(path);
+  if (!bundle.ok()) return fail(bundle.error());
+  auto shared = std::make_shared<GameBundle>(std::move(bundle.value()));
+
+  SessionStore store({.directory = dir});
+  auto opened = store.open_session(shared, student);
+  if (!opened.ok()) return fail(opened.error());
+  PersistedSession& ps = *opened.value();
+  if (ps.resumed()) {
+    std::printf("resuming '%s' at checkpoint %llu (%llu steps so far)\n",
+                student.c_str(),
+                static_cast<unsigned long long>(ps.checkpoint_sequence()),
+                static_cast<unsigned long long>(ps.step_count()));
+  }
+  const BotResult bot = run_bot(ps.session(), ps.clock(),
+                                parse_policy(policy_name), steps, 42);
+  if (auto st = ps.checkpoint(); !st.ok()) return fail(st.error());
+  std::printf(
+      "saved '%s' after %d step(s): scenario '%s', score %lld, t=%.1fs\n",
+      student.c_str(), bot.steps,
+      ps.session().current_scenario_info()
+          ? ps.session().current_scenario_info()->name.c_str()
+          : "-",
+      static_cast<long long>(ps.session().score()),
+      to_seconds(ps.clock().now()));
+  std::printf("snapshot: %s (sequence %llu)\n",
+              store.snapshot_path(student).c_str(),
+              static_cast<unsigned long long>(ps.checkpoint_sequence()));
+  return 0;
+}
+
+int cmd_resume(const std::string& path, const std::string& dir,
+               const std::string& student, int max_steps,
+               const std::string& policy_name) {
+  auto bundle = load_bundle_file(path);
+  if (!bundle.ok()) return fail(bundle.error());
+  auto shared = std::make_shared<GameBundle>(std::move(bundle.value()));
+
+  SessionStore store({.directory = dir});
+  if (!store.has_session(student)) {
+    return fail(not_found("no saved session for '" + student + "' in '" +
+                          dir + "'"));
+  }
+  auto opened = store.open_session(shared, student);
+  if (!opened.ok()) return fail(opened.error());
+  PersistedSession& ps = *opened.value();
+  std::printf("resumed '%s': scenario '%s', score %lld, t=%.1fs"
+              " (%llu journal step(s) replayed)\n",
+              student.c_str(),
+              ps.session().current_scenario_info()
+                  ? ps.session().current_scenario_info()->name.c_str()
+                  : "-",
+              static_cast<long long>(ps.session().score()),
+              to_seconds(ps.clock().now()),
+              static_cast<unsigned long long>(ps.replayed_steps()));
+
+  const BotResult result = run_bot(ps.session(), ps.clock(),
+                                   parse_policy(policy_name), max_steps, 43);
+  if (auto st = ps.checkpoint(); !st.ok()) return fail(st.error());
+  std::printf("%s\n", ps.session().tracker().report(ps.clock().now()).c_str());
+  std::printf("bot: %s, %d step(s) after resume, %s\n", policy_name.c_str(),
+              result.steps,
+              result.completed ? (result.succeeded ? "succeeded" : "failed")
+                               : "did not finish");
+  return result.succeeded ? 0 : 3;
+}
+
+int cmd_inspect_snapshot(const std::string& path) {
+  auto data = read_binary_file(path);
+  if (!data.ok()) return fail(data.error());
+  auto info = inspect_snapshot(data.value());
+  if (!info.ok()) return fail(info.error());
+  const SnapshotInfo& s = info.value();
+  std::printf("snapshot:  %s (%s, format v%u)\n", path.c_str(),
+              format_bytes(s.total_bytes).c_str(), s.version);
+  std::printf("student:   %s\n", s.meta.student_id.c_str());
+  std::printf("bundle:    %s\n", s.meta.bundle_title.c_str());
+  std::printf("sequence:  %llu (after %llu input step(s))\n",
+              static_cast<unsigned long long>(s.meta.sequence),
+              static_cast<unsigned long long>(s.meta.step_count));
+  std::printf("sim time:  %.1fs\n", to_seconds(s.meta.sim_time));
+  std::printf("sections:\n");
+  for (const auto& section : s.sections) {
+    std::printf("  %s  %s\n", section.name.c_str(),
+                format_bytes(section.payload_bytes).c_str());
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: vgbl <command> ...\n"
@@ -194,7 +296,12 @@ void usage() {
                "  play <bundle.vgblb> [explorer|random|speedrun] [max_steps]\n"
                "  figure1 <project.vgbl>\n"
                "  figure2 <bundle.vgblb>\n"
-               "  screenshot <bundle.vgblb> <out.ppm>\n");
+               "  screenshot <bundle.vgblb> <out.ppm>\n"
+               "  save <bundle.vgblb> <store_dir> <student> [steps] "
+               "[policy]\n"
+               "  resume <bundle.vgblb> <store_dir> <student> [max_steps] "
+               "[policy]\n"
+               "  inspect-snapshot <file.snap>\n");
 }
 
 }  // namespace
@@ -222,6 +329,16 @@ int main(int argc, char** argv) {
   if (cmd == "figure1" && argc >= 3) return cmd_figure1(arg(2));
   if (cmd == "figure2" && argc >= 3) return cmd_figure2(arg(2));
   if (cmd == "screenshot" && argc >= 4) return cmd_screenshot(arg(2), arg(3));
+  if (cmd == "save" && argc >= 5) {
+    return cmd_save(arg(2), arg(3), arg(4),
+                    argc > 5 ? std::atoi(argv[5]) : 40, arg(6, "explorer"));
+  }
+  if (cmd == "resume" && argc >= 5) {
+    return cmd_resume(arg(2), arg(3), arg(4),
+                      argc > 5 ? std::atoi(argv[5]) : 500,
+                      arg(6, "explorer"));
+  }
+  if (cmd == "inspect-snapshot" && argc >= 3) return cmd_inspect_snapshot(arg(2));
   usage();
   return 64;
 }
