@@ -1,0 +1,146 @@
+// E12 — parallel classroom scaling: the 64-student workload simulated
+// sequentially and on {2, 4, 8} worker threads. Emits BENCH_classroom.json
+// (students/sec, speedup over sequential, per-student p50/p99 wall time)
+// so the perf trajectory of the classroom engine is tracked from PR 2 on.
+// Also cross-checks the determinism contract: every config must produce
+// identical student results. Speedup is bounded by the hardware — the
+// JSON records hardware_threads so readers can interpret the numbers.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/classroom.hpp"
+
+namespace {
+
+using namespace vgbl;
+
+constexpr int kStudents = 64;
+constexpr int kMaxSteps = 300;
+constexpr u64 kSeed = 99;
+
+struct ConfigResult {
+  int threads = 0;
+  double seconds = 0;
+  double students_per_sec = 0;
+  double speedup = 1.0;
+  double p50_student_ms = 0;
+  double p99_student_ms = 0;
+  ClassroomSummary summary;
+};
+
+ConfigResult run_config(const std::shared_ptr<const GameBundle>& bundle,
+                        int threads) {
+  ClassroomOptions options;
+  options.student_count = kStudents;
+  options.max_steps_per_student = kMaxSteps;
+  options.seed = kSeed;
+  options.worker_threads = threads;
+
+  ConfigResult r;
+  r.threads = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  r.summary = simulate_classroom(bundle, options);
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.students_per_sec =
+      r.seconds > 0 ? static_cast<double>(r.summary.students.size()) / r.seconds
+                    : 0;
+
+  std::vector<double> walls;
+  walls.reserve(r.summary.students.size());
+  for (const auto& s : r.summary.students) walls.push_back(s.wall_ms);
+  std::sort(walls.begin(), walls.end());
+  if (!walls.empty()) {
+    r.p50_student_ms = walls[walls.size() / 2];
+    r.p99_student_ms = walls[std::min(walls.size() - 1,
+                                      walls.size() * 99 / 100)];
+  }
+  return r;
+}
+
+bool students_match(const ClassroomSummary& a, const ClassroomSummary& b) {
+  if (a.students.size() != b.students.size()) return false;
+  for (size_t i = 0; i < a.students.size(); ++i) {
+    if (a.students[i].score != b.students[i].score ||
+        a.students[i].steps != b.students[i].steps ||
+        a.students[i].play_seconds != b.students[i].play_seconds) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_json(const std::vector<ConfigResult>& configs,
+                const char* path) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"benchmark\": \"classroom\",\n"
+      << "  \"workload\": {\"students\": " << kStudents
+      << ", \"max_steps_per_student\": " << kMaxSteps
+      << ", \"bundle\": \"treasure\", \"seed\": " << kSeed << "},\n"
+      << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "  \"configs\": [\n";
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const ConfigResult& c = configs[i];
+    char line[320];
+    std::snprintf(line, sizeof line,
+                  "    {\"threads\": %d, \"seconds\": %.4f, "
+                  "\"students_per_sec\": %.1f, \"speedup\": %.2f, "
+                  "\"p50_student_ms\": %.2f, \"p99_student_ms\": %.2f}%s\n",
+                  c.threads, c.seconds, c.students_per_sec, c.speedup,
+                  c.p50_student_ms, c.p99_student_ms,
+                  i + 1 < configs.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_classroom.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  auto bundle = vgbl::bench::cached_bundle("treasure");
+  // Warm-up: fault in the bundle and code paths outside the timed region.
+  (void)run_config(bundle, 0);
+
+  std::vector<ConfigResult> configs;
+  configs.push_back(run_config(bundle, 0));  // sequential baseline
+  for (int threads : {2, 4, 8}) {
+    configs.push_back(run_config(bundle, threads));
+  }
+  const double base = configs.front().seconds;
+  bool deterministic = true;
+  for (auto& c : configs) {
+    c.speedup = c.seconds > 0 ? base / c.seconds : 0;
+    deterministic &= students_match(configs.front().summary, c.summary);
+  }
+
+  std::printf("%8s  %9s  %13s  %8s  %8s  %8s\n", "threads", "seconds",
+              "students/sec", "speedup", "p50 ms", "p99 ms");
+  for (const auto& c : configs) {
+    std::printf("%8d  %9.3f  %13.1f  %7.2fx  %8.2f  %8.2f\n", c.threads,
+                c.seconds, c.students_per_sec, c.speedup, c.p50_student_ms,
+                c.p99_student_ms);
+  }
+  std::printf("determinism across configs: %s  (hardware threads: %u)\n",
+              deterministic ? "OK" : "MISMATCH",
+              std::thread::hardware_concurrency());
+
+  write_json(configs, out_path);
+  std::printf("wrote %s\n", out_path);
+  return deterministic ? 0 : 1;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# One-command verify gate: the tier1 test suite in the default tree, then
+# the same gate under ASan+UBSan, then tier1 plus the `tsan`-labelled
+# concurrency stress suite under TSan (trees: build/, build-asan/,
+# build-tsan/ — see CMakePresets.json).
+#
+#   ./check.sh          # everything
+#   ./check.sh fast     # default tree only (the quick tier1 gate)
+#
+# JOBS=<n> overrides the parallelism (default: nproc).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+MODE="${1:-all}"
+
+gate() {
+  local preset="$1" dir="$2" labels="$3"
+  echo "=== ${preset}: configure + build (${dir}) ==="
+  cmake --preset "${preset}" >/dev/null
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== ${preset}: ctest -L '${labels}' ==="
+  ctest --test-dir "${dir}" -L "${labels}" --output-on-failure -j "${JOBS}"
+}
+
+gate default build tier1
+if [ "${MODE}" != "fast" ]; then
+  gate build-asan build-asan tier1
+  gate build-tsan build-tsan "tier1|tsan"
+fi
+echo "all gates passed"

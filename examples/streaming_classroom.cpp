@@ -1,9 +1,16 @@
 // Streaming classroom: 32 students stream the treasure-hunt game over the
 // simulated shared school link, with and without branch-aware prefetch.
 // Shows startup delay and rebuffering — the interactive-TV delivery story
-// of the paper's related work (§2).
+// of the paper's related work (§2). Before the delivery experiment, the
+// same cohort *plays* the game on the parallel classroom engine
+// (`--threads N`, default 4; 0 = sequential) — gameplay and delivery are
+// the two halves of the multi-client story.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
+#include "core/classroom.hpp"
 #include "core/platform.hpp"
 #include "net/streaming.hpp"
 #include "util/text.hpp"
@@ -11,6 +18,31 @@
 using namespace vgbl;
 
 namespace {
+
+void run_gameplay_cohort(std::shared_ptr<const GameBundle> bundle,
+                         int threads) {
+  ClassroomOptions options;
+  options.student_count = 16;
+  options.max_steps_per_student = 250;
+  options.seed = 99;
+  options.worker_threads = threads;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const ClassroomSummary summary = simulate_classroom(std::move(bundle),
+                                                      options);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("%zu students played on %d worker thread(s) in %.2fs "
+              "(%.1f students/s)\n",
+              summary.students.size(), threads, elapsed,
+              elapsed > 0
+                  ? static_cast<double>(summary.students.size()) / elapsed
+                  : 0.0);
+  std::printf("completion %.0f%%, mean score %.1f, mean play time %.1fs\n",
+              summary.completion_rate * 100, summary.mean_score,
+              summary.mean_play_seconds);
+}
 
 void run_cohort(const GameBundle& bundle, int clients, bool prefetch) {
   StreamingConfig config;
@@ -37,7 +69,13 @@ void run_cohort(const GameBundle& bundle, int clients, bool prefetch) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    }
+  }
   auto project = build_treasure_hunt_project();
   if (!project.ok()) {
     std::fprintf(stderr, "authoring failed\n");
@@ -49,7 +87,12 @@ int main() {
                  bundle.error().to_string().c_str());
     return 1;
   }
-  std::printf("streaming '%s' (%s of video)\n",
+
+  std::printf("playing '%s' (parallel classroom engine)\n",
+              bundle.value()->meta.title.c_str());
+  run_gameplay_cohort(bundle.value(), threads < 0 ? 0 : threads);
+
+  std::printf("\nstreaming '%s' (%s of video)\n",
               bundle.value()->meta.title.c_str(),
               format_bytes(bundle.value()->video->total_bytes()).c_str());
   std::printf("%8s  %-8s  %10s  %11s  %10s  %8s  %9s  %8s\n", "clients",

@@ -1,92 +1,143 @@
 #include "core/classroom.hpp"
 
+#include <chrono>
+#include <optional>
+
+#include "concurrency/thread_pool.hpp"
 #include "util/text.hpp"
 
 namespace vgbl {
 
+u64 classroom_student_seed(u64 classroom_seed, int student_id) {
+  // Pure (seed, id) mixing: one splitmix step decorrelates adjacent
+  // classroom seeds, a golden-ratio stride separates adjacent students,
+  // and a second splitmix step whitens the result. No shared generator is
+  // consulted, so the seed — and therefore the whole student run — is
+  // independent of execution order.
+  u64 state = classroom_seed;
+  (void)splitmix64(state);
+  state += static_cast<u64>(static_cast<u32>(student_id)) *
+           0x9E3779B97F4A7C15ULL;
+  return splitmix64(state);
+}
+
+namespace {
+
+void fill_from_session(StudentResult& r, const GameSession& session,
+                       const SimClock& clock, const BotResult& bot) {
+  r.completed = bot.completed;
+  r.succeeded = bot.succeeded;
+  r.steps = bot.steps;
+  r.score = session.score();
+  r.play_seconds = to_seconds(clock.now());
+  r.decisions = static_cast<int>(session.tracker().decisions().size());
+  r.items_collected =
+      static_cast<int>(session.tracker().items_collected().size());
+  r.rewards = static_cast<int>(session.tracker().rewards_earned().size());
+  r.interactions = static_cast<int>(session.tracker().interactions().size());
+}
+
+/// Simulates one student, start to finish. Reads only immutable shared
+/// state (the bundle, the options) plus the student's own store files, so
+/// any number of these can run concurrently. Returns nullopt when a
+/// session cannot be opened/started (that student is skipped, as before).
+std::optional<StudentResult> run_student(
+    const std::shared_ptr<const GameBundle>& bundle,
+    const ClassroomOptions& options, int index) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const BotPolicy policy =
+      options.policies.empty()
+          ? BotPolicy::kExplorer
+          : options.policies[static_cast<size_t>(index) %
+                             options.policies.size()];
+  const u64 bot_seed = classroom_student_seed(options.seed, index + 1);
+
+  StudentResult r;
+  r.student_id = index + 1;
+  r.policy = policy;
+  auto finish = [&](StudentResult result) {
+    result.wall_ms =
+        std::chrono::duration<f64, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+  };
+
+  if (options.store == nullptr) {
+    SimClock clock;
+    GameSession session(bundle, &clock);
+    if (!session.start().ok()) return std::nullopt;
+
+    const BotResult bot = run_bot(session, clock, policy,
+                                  options.max_steps_per_student, bot_seed);
+    fill_from_session(r, session, clock, bot);
+    return finish(r);
+  }
+
+  // Persisted run: play half the budget, suspend to disk (checkpoint +
+  // session teardown), then resume from the store and finish. The resumed
+  // session continues from the snapshot exactly where the first half left
+  // off — bots mutate sessions directly, so suspension rides the
+  // snapshot path rather than the input journal.
+  const std::string student = "student-" + std::to_string(index + 1);
+  (void)options.store->remove_session(student);
+  const int first_half = options.max_steps_per_student / 2;
+
+  auto opened = options.store->open_session(bundle, student);
+  if (!opened.ok()) return std::nullopt;
+  BotResult bot = run_bot(opened.value()->session(), opened.value()->clock(),
+                          policy, first_half, bot_seed);
+  if (!opened.value()->checkpoint().ok()) return std::nullopt;
+  opened.value().reset();  // suspend: the live session is gone
+
+  auto resumed = options.store->open_session(bundle, student);
+  if (!resumed.ok()) return std::nullopt;
+  PersistedSession& ps = *resumed.value();
+  if (!bot.completed) {
+    const BotResult rest =
+        run_bot(ps.session(), ps.clock(), policy,
+                options.max_steps_per_student - first_half, bot_seed + 1);
+    bot.steps += rest.steps;
+    bot.completed = rest.completed;
+    bot.succeeded = rest.succeeded;
+  }
+  (void)ps.checkpoint();
+
+  r.resumed = ps.resumed();
+  fill_from_session(r, ps.session(), ps.clock(), bot);
+  return finish(r);
+}
+
+}  // namespace
+
 ClassroomSummary simulate_classroom(std::shared_ptr<const GameBundle> bundle,
                                     const ClassroomOptions& options) {
+  // Every student writes only its own pre-allocated slot; aggregation
+  // happens after the parallel_for barrier, in index order. That plus the
+  // pure per-student seeding makes the parallel path bit-identical to the
+  // sequential one.
+  std::vector<std::optional<StudentResult>> results(
+      static_cast<size_t>(std::max(0, options.student_count)));
+  auto run_one = [&](i64 i) {
+    results[static_cast<size_t>(i)] =
+        run_student(bundle, options, static_cast<int>(i));
+  };
+
+  if (options.worker_threads > 0 && options.student_count > 1) {
+    ThreadPool pool(static_cast<unsigned>(options.worker_threads));
+    // Grain 1: students are coarse, heterogeneous tasks — let the pool
+    // load-balance them individually.
+    pool.parallel_for(0, options.student_count, run_one, /*grain=*/1);
+  } else {
+    for (int i = 0; i < options.student_count; ++i) run_one(i);
+  }
+
   ClassroomSummary summary;
-  Rng rng(options.seed);
   f64 interactions = 0;
-
-  for (int i = 0; i < options.student_count; ++i) {
-    const BotPolicy policy =
-        options.policies.empty()
-            ? BotPolicy::kExplorer
-            : options.policies[static_cast<size_t>(i) %
-                               options.policies.size()];
-    const u64 bot_seed = rng.next();
-
-    StudentResult r;
-    r.student_id = i + 1;
-    r.policy = policy;
-
-    if (options.store == nullptr) {
-      SimClock clock;
-      GameSession session(bundle, &clock);
-      if (!session.start().ok()) continue;
-
-      const BotResult bot = run_bot(session, clock, policy,
-                                    options.max_steps_per_student, bot_seed);
-      r.completed = bot.completed;
-      r.succeeded = bot.succeeded;
-      r.steps = bot.steps;
-      r.score = session.score();
-      r.play_seconds = to_seconds(clock.now());
-      r.decisions = static_cast<int>(session.tracker().decisions().size());
-      r.items_collected =
-          static_cast<int>(session.tracker().items_collected().size());
-      r.rewards = static_cast<int>(session.tracker().rewards_earned().size());
-      summary.students.push_back(r);
-      interactions +=
-          static_cast<f64>(session.tracker().interactions().size());
-      continue;
-    }
-
-    // Persisted run: play half the budget, suspend to disk (checkpoint +
-    // session teardown), then resume from the store and finish. The resumed
-    // session continues from the snapshot exactly where the first half left
-    // off — bots mutate sessions directly, so suspension rides the
-    // snapshot path rather than the input journal.
-    const std::string student = "student-" + std::to_string(i + 1);
-    (void)options.store->remove_session(student);
-    const int first_half = options.max_steps_per_student / 2;
-
-    auto opened = options.store->open_session(bundle, student);
-    if (!opened.ok()) continue;
-    BotResult bot = run_bot(opened.value()->session(), opened.value()->clock(),
-                            policy, first_half, bot_seed);
-    if (!opened.value()->checkpoint().ok()) continue;
-    opened.value().reset();  // suspend: the live session is gone
-
-    auto resumed = options.store->open_session(bundle, student);
-    if (!resumed.ok()) continue;
-    PersistedSession& ps = *resumed.value();
-    if (!bot.completed) {
-      const BotResult rest =
-          run_bot(ps.session(), ps.clock(), policy,
-                  options.max_steps_per_student - first_half, bot_seed + 1);
-      bot.steps += rest.steps;
-      bot.completed = rest.completed;
-      bot.succeeded = rest.succeeded;
-    }
-    (void)ps.checkpoint();
-
-    r.resumed = ps.resumed();
-    r.completed = bot.completed;
-    r.succeeded = bot.succeeded;
-    r.steps = bot.steps;
-    r.score = ps.session().score();
-    r.play_seconds = to_seconds(ps.clock().now());
-    r.decisions = static_cast<int>(ps.session().tracker().decisions().size());
-    r.items_collected =
-        static_cast<int>(ps.session().tracker().items_collected().size());
-    r.rewards =
-        static_cast<int>(ps.session().tracker().rewards_earned().size());
-    summary.students.push_back(r);
-    interactions +=
-        static_cast<f64>(ps.session().tracker().interactions().size());
+  for (auto& slot : results) {
+    if (!slot.has_value()) continue;
+    interactions += static_cast<f64>(slot->interactions);
+    summary.students.push_back(std::move(*slot));
   }
 
   const f64 n = static_cast<f64>(

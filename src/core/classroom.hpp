@@ -25,9 +25,14 @@ struct StudentResult {
   int decisions = 0;
   int items_collected = 0;
   int rewards = 0;
+  int interactions = 0;
   /// True when the student's run was suspended to a SessionStore mid-way
   /// and finished in a second, resumed session.
   bool resumed = false;
+  /// Wall-clock time spent simulating this student. Measurement only —
+  /// every other field is covered by the determinism contract, this one
+  /// varies run to run by construction.
+  f64 wall_ms = 0;
 };
 
 struct ClassroomSummary {
@@ -52,10 +57,22 @@ struct ClassroomOptions {
   /// resume from disk for the remaining half. Exercises the full
   /// suspend/recover path under emergent bot play.
   SessionStore* store = nullptr;
+  /// Worker threads running students concurrently. 0 runs everything on
+  /// the calling thread; N spins up a ThreadPool of N workers (the caller
+  /// participates too). Every value produces the same ClassroomSummary:
+  /// each student's RNG seed is a pure function of (seed, student_id), so
+  /// no thread count, scheduling order or interleaving can leak into the
+  /// results.
+  int worker_threads = 0;
 };
 
-/// Runs every student to completion (or step budget) sequentially — each
-/// session is deterministic given its seed.
+/// Derives the bot seed for one student purely from the classroom seed and
+/// the 1-based student id — the determinism contract behind the parallel
+/// engine (DESIGN.md §5c). Exposed so tests can pin the scheme.
+u64 classroom_student_seed(u64 classroom_seed, int student_id);
+
+/// Runs every student to completion (or step budget) — sequentially, or
+/// across `options.worker_threads` workers with bit-identical results.
 ClassroomSummary simulate_classroom(std::shared_ptr<const GameBundle> bundle,
                                     const ClassroomOptions& options);
 

@@ -25,7 +25,10 @@ std::optional<MicroTime> SimulatedNetwork::send(Packet packet, MicroTime now) {
     jitter = static_cast<MicroTime>(rng_.below(
         static_cast<u64>(config_.jitter)));
   }
-  packet.sent_at = now;
+  // Stamp the moment serialization actually started, not the send call:
+  // when the link was busy the packet queued until `link_busy_until_`, and
+  // `sent_at` is how that queueing delay becomes observable downstream.
+  packet.sent_at = start;
   packet.arrives_at = link_busy_until_ + config_.base_latency + jitter;
 
   // Keep the in-flight queue sorted by arrival; jitter can reorder tails.

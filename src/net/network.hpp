@@ -35,7 +35,9 @@ struct Packet {
   u32 segment = 0;     // video segment this chunk belongs to
   int frame_index = -1;  // frame index *within* the segment
   bool frame_complete = false;  // last packet of its frame
-  MicroTime sent_at = 0;
+  MicroTime sent_at = 0;     // when serialization started (>= the send
+                             // call when the link was busy — the gap is
+                             // the queueing delay)
   MicroTime arrives_at = 0;
 };
 

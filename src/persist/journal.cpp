@@ -80,6 +80,14 @@ Result<JournalWriter> JournalWriter::create(const std::string& path) {
     std::fclose(f);
     return file_error("cannot write journal header", path);
   }
+  std::fclose(f);
+  // Keep the live handle in append mode: every record then lands at the
+  // file's current end even if another handle compacts (truncates) the
+  // journal in between — two live sessions for the same student can
+  // interleave records, but a stale buffered offset can never punch a
+  // hole in the log.
+  f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return file_error("cannot open journal", path);
   return JournalWriter(f, path, header.size());
 }
 

@@ -41,6 +41,14 @@ PersistedSession::PersistedSession(std::shared_ptr<const GameBundle> bundle,
       journal_path_(std::move(journal_path)) {}
 
 Status PersistedSession::apply(const ScriptStep& step) {
+  if (store_mutex_ != nullptr) {
+    std::lock_guard lock(*store_mutex_);
+    return apply_locked(step);
+  }
+  return apply_locked(step);
+}
+
+Status PersistedSession::apply_locked(const ScriptStep& step) {
   if (session_->game_over()) return {};  // mirrors ScriptRunner::run
   if (!journal_.has_value()) {
     return failed_precondition("session's journal is not open");
@@ -59,11 +67,19 @@ Status PersistedSession::apply(const ScriptStep& step) {
   const bool time_due =
       policy_.every_sim_time > 0 &&
       clock_.now() - last_checkpoint_time_ >= policy_.every_sim_time;
-  if (steps_due || time_due) return checkpoint();
+  if (steps_due || time_due) return checkpoint_locked();
   return {};
 }
 
 Status PersistedSession::checkpoint() {
+  if (store_mutex_ != nullptr) {
+    std::lock_guard lock(*store_mutex_);
+    return checkpoint_locked();
+  }
+  return checkpoint_locked();
+}
+
+Status PersistedSession::checkpoint_locked() {
   SnapshotMeta meta;
   meta.sequence = sequence_ + 1;
   meta.step_count = step_count_;
@@ -93,6 +109,23 @@ Status PersistedSession::checkpoint() {
 
 SessionStore::SessionStore(SessionStoreOptions options)
     : options_(std::move(options)) {}
+
+std::mutex& SessionStore::student_mutex(const std::string& student_id) const {
+  return shards_[std::hash<std::string>{}(student_id) % kLockShards];
+}
+
+Status SessionStore::ensure_directory() {
+  std::lock_guard lock(directory_mutex_);
+  if (directory_ready_) return {};
+  std::error_code ec;
+  fs::create_directories(options_.directory, ec);
+  if (ec) {
+    return io_error("cannot create store directory '" + options_.directory +
+                    "': " + ec.message());
+  }
+  directory_ready_ = true;
+  return {};
+}
 
 std::string SessionStore::snapshot_path(const std::string& student_id) const {
   return (fs::path(options_.directory) / (student_id + kSnapshotSuffix))
@@ -130,6 +163,7 @@ std::vector<std::string> SessionStore::list_students() const {
 
 Status SessionStore::remove_session(const std::string& student_id) {
   if (auto st = validate_student_id(student_id); !st.ok()) return st;
+  std::lock_guard lock(student_mutex(student_id));
   std::error_code ec;
   fs::remove(snapshot_path(student_id), ec);
   if (ec) return io_error("cannot remove snapshot: " + ec.message());
@@ -142,16 +176,16 @@ Result<std::unique_ptr<PersistedSession>> SessionStore::open_session(
     std::shared_ptr<const GameBundle> bundle, const std::string& student_id) {
   if (auto st = validate_student_id(student_id); !st.ok()) return st.error();
   if (!bundle) return invalid_argument("bundle must not be null");
-  std::error_code ec;
-  fs::create_directories(options_.directory, ec);
-  if (ec) {
-    return io_error("cannot create store directory '" + options_.directory +
-                    "': " + ec.message());
-  }
+  if (auto st = ensure_directory(); !st.ok()) return st.error();
 
   std::unique_ptr<PersistedSession> ps(new PersistedSession(
       bundle, options_.session, options_.policy, student_id,
       snapshot_path(student_id), journal_path(student_id)));
+  ps->store_mutex_ = &student_mutex(student_id);
+  // Hold the student's shard for the whole open: read snapshot, replay
+  // journal, rewrite both. A concurrent open/checkpoint for the same
+  // student serialises here; other students use different shards.
+  std::lock_guard lock(*ps->store_mutex_);
 
   // 1. Latest snapshot, when one exists.
   bool have_snapshot = false;
@@ -206,7 +240,7 @@ Result<std::unique_ptr<PersistedSession>> SessionStore::open_session(
   // compaction). A brand-new session just gets its empty journal +
   // barrier(0).
   if (ps->resumed_) {
-    if (auto st = ps->checkpoint(); !st.ok()) return st.error();
+    if (auto st = ps->checkpoint_locked(); !st.ok()) return st.error();
   } else {
     auto writer = JournalWriter::create(ps->journal_path_);
     if (!writer.ok()) return writer.error();

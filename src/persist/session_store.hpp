@@ -18,9 +18,19 @@
 // Sessions are deterministic under SimClock, so a resumed session driven
 // with the remaining inputs produces the same SessionEvent log as an
 // uninterrupted run.
+//
+// Concurrency. The store is safe to share across threads as long as each
+// thread works on its own student ids: a pool of sharded mutexes keyed by
+// student id serialises open/apply/checkpoint/remove for the same student
+// (so writes to one <id>.snap/<id>.journal pair never interleave) while
+// different students proceed without contention. The store must outlive
+// every PersistedSession it opened — sessions lock through a pointer into
+// the store's shard array.
 #pragma once
 
+#include <array>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -92,6 +102,11 @@ class PersistedSession {
                    std::string student_id, std::string snapshot_path,
                    std::string journal_path);
 
+  /// Bodies of apply/checkpoint, run with the student's store shard lock
+  /// already held (or with no store lock at all during open_session).
+  Status apply_locked(const ScriptStep& step);
+  Status checkpoint_locked();
+
   std::shared_ptr<const GameBundle> bundle_;
   SimClock clock_;
   std::unique_ptr<GameSession> session_;
@@ -102,6 +117,10 @@ class PersistedSession {
   std::string snapshot_path_;
   std::string journal_path_;
   std::optional<JournalWriter> journal_;
+  /// The owning store's shard mutex for this student; file writes
+  /// (journal appends, checkpoints) lock it so two sessions for the same
+  /// student never interleave on-disk writes.
+  std::mutex* store_mutex_ = nullptr;
 
   bool resumed_ = false;
   u64 replayed_steps_ = 0;
@@ -137,7 +156,20 @@ class SessionStore {
   [[nodiscard]] const SessionStoreOptions& options() const { return options_; }
 
  private:
+  /// Shard count: a power of two well above typical per-store thread
+  /// counts, so unrelated students rarely collide while the mutex array
+  /// stays cache-friendly.
+  static constexpr size_t kLockShards = 32;
+
+  [[nodiscard]] std::mutex& student_mutex(const std::string& student_id) const;
+  /// Creates the store directory once (idempotent, mutex-guarded so
+  /// concurrent first opens do not race the existence check).
+  Status ensure_directory();
+
   SessionStoreOptions options_;
+  mutable std::array<std::mutex, kLockShards> shards_;
+  std::mutex directory_mutex_;
+  bool directory_ready_ = false;
 };
 
 }  // namespace vgbl

@@ -1,0 +1,174 @@
+// Parallel classroom engine: the determinism contract. A classroom
+// simulated on N worker threads must produce a ClassroomSummary that is
+// field-for-field identical to the sequential run — across thread counts,
+// bot-policy mixes, and with or without a SessionStore in the loop
+// (DESIGN.md §5c).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/classroom.hpp"
+#include "core/demo_games.hpp"
+#include "core/platform.hpp"
+#include "persist/session_store.hpp"
+
+namespace vgbl {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::shared_ptr<const GameBundle> quickstart_bundle() {
+  static auto bundle = publish(build_quickstart_project().value()).value();
+  return bundle;
+}
+
+std::string test_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "vgbl_classroom_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Field-for-field equality over every deterministic StudentResult field.
+/// `wall_ms` is the one exclusion: it is a wall-clock measurement and
+/// varies run to run by construction.
+void expect_students_equal(const ClassroomSummary& a,
+                           const ClassroomSummary& b) {
+  ASSERT_EQ(a.students.size(), b.students.size());
+  for (size_t i = 0; i < a.students.size(); ++i) {
+    const StudentResult& x = a.students[i];
+    const StudentResult& y = b.students[i];
+    EXPECT_EQ(x.student_id, y.student_id) << "student " << i;
+    EXPECT_EQ(x.policy, y.policy) << "student " << i;
+    EXPECT_EQ(x.completed, y.completed) << "student " << i;
+    EXPECT_EQ(x.succeeded, y.succeeded) << "student " << i;
+    EXPECT_EQ(x.steps, y.steps) << "student " << i;
+    EXPECT_EQ(x.score, y.score) << "student " << i;
+    EXPECT_EQ(x.play_seconds, y.play_seconds) << "student " << i;
+    EXPECT_EQ(x.decisions, y.decisions) << "student " << i;
+    EXPECT_EQ(x.items_collected, y.items_collected) << "student " << i;
+    EXPECT_EQ(x.rewards, y.rewards) << "student " << i;
+    EXPECT_EQ(x.interactions, y.interactions) << "student " << i;
+    EXPECT_EQ(x.resumed, y.resumed) << "student " << i;
+  }
+  EXPECT_EQ(a.completion_rate, b.completion_rate);
+  EXPECT_EQ(a.mean_score, b.mean_score);
+  EXPECT_EQ(a.mean_play_seconds, b.mean_play_seconds);
+  EXPECT_EQ(a.mean_interactions, b.mean_interactions);
+  // The human-facing report is derived only from deterministic fields, so
+  // it must match byte for byte too.
+  EXPECT_EQ(a.report(), b.report());
+}
+
+ClassroomOptions base_options() {
+  ClassroomOptions options;
+  options.student_count = 8;
+  options.max_steps_per_student = 60;
+  options.seed = 2024;
+  return options;
+}
+
+TEST(ClassroomParallelTest, MatchesSequentialAcrossThreadCounts) {
+  ClassroomOptions options = base_options();
+  const ClassroomSummary sequential =
+      simulate_classroom(quickstart_bundle(), options);
+  ASSERT_EQ(sequential.students.size(), 8u);
+
+  for (int threads : {1, 2, 8}) {
+    options.worker_threads = threads;
+    const ClassroomSummary parallel =
+        simulate_classroom(quickstart_bundle(), options);
+    SCOPED_TRACE("worker_threads=" + std::to_string(threads));
+    expect_students_equal(sequential, parallel);
+  }
+}
+
+TEST(ClassroomParallelTest, MatchesSequentialForEveryPolicyMix) {
+  const std::vector<std::vector<BotPolicy>> mixes = {
+      {BotPolicy::kExplorer},
+      {BotPolicy::kRandom},
+      {BotPolicy::kSpeedrun},
+      {BotPolicy::kExplorer, BotPolicy::kSpeedrun, BotPolicy::kRandom},
+  };
+  for (const auto& mix : mixes) {
+    ClassroomOptions options = base_options();
+    options.student_count = 6;
+    options.policies = mix;
+    const ClassroomSummary sequential =
+        simulate_classroom(quickstart_bundle(), options);
+    for (int threads : {2, 8}) {
+      options.worker_threads = threads;
+      const ClassroomSummary parallel =
+          simulate_classroom(quickstart_bundle(), options);
+      SCOPED_TRACE("mix size " + std::to_string(mix.size()) + ", threads " +
+                   std::to_string(threads));
+      expect_students_equal(sequential, parallel);
+    }
+  }
+}
+
+TEST(ClassroomParallelTest, MatchesSequentialWithSessionStore) {
+  // The interrupted-lesson path: every student suspends to disk halfway
+  // and resumes. Sequential and parallel runs use separate store
+  // directories so each comparison starts from a clean slate.
+  ClassroomOptions options = base_options();
+  options.student_count = 6;
+
+  SessionStore seq_store({.directory = test_dir("store_seq")});
+  options.store = &seq_store;
+  const ClassroomSummary sequential =
+      simulate_classroom(quickstart_bundle(), options);
+  ASSERT_EQ(sequential.students.size(), 6u);
+  for (const auto& s : sequential.students) {
+    EXPECT_TRUE(s.resumed) << "student " << s.student_id;
+  }
+
+  for (int threads : {1, 2, 8}) {
+    SessionStore par_store(
+        {.directory = test_dir("store_par_" + std::to_string(threads))});
+    options.store = &par_store;
+    options.worker_threads = threads;
+    const ClassroomSummary parallel =
+        simulate_classroom(quickstart_bundle(), options);
+    SCOPED_TRACE("worker_threads=" + std::to_string(threads));
+    expect_students_equal(sequential, parallel);
+    EXPECT_EQ(par_store.list_students().size(), 6u);
+  }
+}
+
+TEST(ClassroomParallelTest, StudentSeedIsPureFunctionOfSeedAndId) {
+  // The scheme itself: stable values, no cross-talk between students, and
+  // sensitivity to both inputs.
+  EXPECT_EQ(classroom_student_seed(1, 1), classroom_student_seed(1, 1));
+  EXPECT_NE(classroom_student_seed(1, 1), classroom_student_seed(1, 2));
+  EXPECT_NE(classroom_student_seed(1, 1), classroom_student_seed(2, 1));
+
+  // Consequence: a student's result depends only on (seed, id) — growing
+  // the classroom does not perturb the students already in it.
+  ClassroomOptions small = base_options();
+  small.student_count = 4;
+  ClassroomOptions large = base_options();
+  large.student_count = 8;
+  large.worker_threads = 2;
+  const ClassroomSummary a = simulate_classroom(quickstart_bundle(), small);
+  const ClassroomSummary b = simulate_classroom(quickstart_bundle(), large);
+  ASSERT_EQ(a.students.size(), 4u);
+  ASSERT_EQ(b.students.size(), 8u);
+  for (size_t i = 0; i < a.students.size(); ++i) {
+    EXPECT_EQ(a.students[i].score, b.students[i].score) << "student " << i;
+    EXPECT_EQ(a.students[i].steps, b.students[i].steps) << "student " << i;
+    EXPECT_EQ(a.students[i].play_seconds, b.students[i].play_seconds)
+        << "student " << i;
+  }
+}
+
+TEST(ClassroomParallelTest, RepeatedParallelRunsAreIdentical) {
+  ClassroomOptions options = base_options();
+  options.worker_threads = 4;
+  const ClassroomSummary a = simulate_classroom(quickstart_bundle(), options);
+  const ClassroomSummary b = simulate_classroom(quickstart_bundle(), options);
+  expect_students_equal(a, b);
+}
+
+}  // namespace
+}  // namespace vgbl

@@ -102,6 +102,87 @@ TEST(NetworkTest, StatsCountBytes) {
   EXPECT_EQ(net.stats().bytes_sent, 350u);
 }
 
+TEST(NetworkTest, SentAtRecordsSerializationStartNotSendCall) {
+  // Two back-to-back sends on a busy link: the second packet queues until
+  // the first finishes serialising, and its sent_at must record that real
+  // start so the queueing delay is observable downstream.
+  NetworkConfig config;
+  config.bandwidth_bps = 8'000'000;
+  config.base_latency = 0;
+  config.jitter = 0;
+  SimulatedNetwork net(config);
+  (void)net.send(make_packet(8000), 0);  // serialises for 8ms
+  (void)net.send(make_packet(8000), 0);  // queued behind it
+  const auto delivered = net.poll(seconds(1));
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].sent_at, 0);
+  EXPECT_EQ(delivered[1].sent_at, milliseconds(8));  // not 0: it queued
+  EXPECT_EQ(delivered[1].arrives_at - delivered[1].sent_at, milliseconds(8));
+}
+
+TEST(NetworkTest, PropertyInvariantsHoldAcrossRandomConfigs) {
+  // Property-style sweep pinning the invariants the header promises, for
+  // randomized configs and send patterns:
+  //   1. poll returns packets in non-decreasing arrives_at order,
+  //   2. packets_sent == delivered + lost,
+  //   3. bytes_sent == sum of sent packet sizes (lost ones included),
+  //   4. sent_at >= the send call (equality iff the link was idle).
+  Rng rng(20240805);
+  for (int trial = 0; trial < 40; ++trial) {
+    NetworkConfig config;
+    config.bandwidth_bps = 1'000'000 + rng.below(100'000'000);
+    config.base_latency = milliseconds(rng.range(0, 80));
+    config.jitter = milliseconds(rng.range(0, 15));
+    config.loss_rate = rng.uniform() * 0.4;
+    config.mtu_bytes = 1400;
+    SimulatedNetwork net(config, rng.next());
+
+    const int count = static_cast<int>(16 + rng.below(120));
+    std::vector<MicroTime> send_calls(static_cast<size_t>(count));
+    u64 bytes = 0;
+    u64 delivered_expected = 0;
+    MicroTime now = 0;
+    for (int i = 0; i < count; ++i) {
+      Packet p;
+      p.flow = 1;
+      p.sequence = static_cast<u64>(i);
+      p.size = static_cast<u32>(40 + rng.below(8000));
+      bytes += p.size;
+      send_calls[static_cast<size_t>(i)] = now;
+      const auto arrival = net.send(p, now);
+      if (arrival.has_value()) {
+        ++delivered_expected;
+        EXPECT_GE(*arrival, now) << "trial " << trial << " packet " << i;
+      }
+      // Sometimes fire while the link is still busy (queueing), sometimes
+      // after it drained.
+      now += static_cast<MicroTime>(rng.below(12'000));
+    }
+
+    const auto delivered = net.poll(now + seconds(3600));
+    EXPECT_EQ(delivered.size(), delivered_expected) << "trial " << trial;
+    EXPECT_EQ(net.stats().packets_sent, static_cast<u64>(count))
+        << "trial " << trial;
+    EXPECT_EQ(net.stats().packets_sent,
+              delivered.size() + net.stats().packets_lost)
+        << "trial " << trial;
+    EXPECT_EQ(net.stats().bytes_sent, bytes) << "trial " << trial;
+    EXPECT_TRUE(net.poll(now + seconds(3600)).empty()) << "trial " << trial;
+
+    for (size_t i = 0; i < delivered.size(); ++i) {
+      const Packet& p = delivered[i];
+      if (i > 0) {
+        EXPECT_GE(p.arrives_at, delivered[i - 1].arrives_at)
+            << "trial " << trial << " delivery " << i;
+      }
+      EXPECT_GE(p.sent_at, send_calls[p.sequence])
+          << "trial " << trial << " packet " << p.sequence;
+      EXPECT_GE(p.arrives_at, p.sent_at + config.base_latency)
+          << "trial " << trial << " packet " << p.sequence;
+    }
+  }
+}
+
 // --- Streaming ----------------------------------------------------------------------
 
 struct StreamFixture {

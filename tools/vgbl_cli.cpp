@@ -11,11 +11,16 @@
 //   vgbl save <bundle.vgblb> <store_dir> <student> [steps] [policy]
 //   vgbl resume <bundle.vgblb> <store_dir> <student> [max_steps] [policy]
 //   vgbl inspect-snapshot <file.snap>
+//   vgbl classroom <bundle.vgblb> [students] [max_steps] [--threads N]
+//                  [--seed S] [--store <dir>]
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
+#include "core/classroom.hpp"
 #include "core/platform.hpp"
 #include "persist/session_store.hpp"
 #include "runtime/compositor.hpp"
@@ -264,6 +269,64 @@ int cmd_resume(const std::string& path, const std::string& dir,
   return result.succeeded ? 0 : 3;
 }
 
+int cmd_classroom(const std::string& path,
+                  const std::vector<std::string>& rest) {
+  ClassroomOptions options;
+  options.student_count = 16;
+  options.max_steps_per_student = 200;
+  std::string store_dir;
+  int positional = 0;
+  for (size_t i = 0; i < rest.size(); ++i) {
+    const std::string& a = rest[i];
+    if (a == "--threads" && i + 1 < rest.size()) {
+      options.worker_threads = std::atoi(rest[++i].c_str());
+    } else if (a == "--seed" && i + 1 < rest.size()) {
+      options.seed = std::strtoull(rest[++i].c_str(), nullptr, 10);
+    } else if (a == "--store" && i + 1 < rest.size()) {
+      store_dir = rest[++i];
+    } else if (positional == 0) {
+      options.student_count = std::atoi(a.c_str());
+      ++positional;
+    } else if (positional == 1) {
+      options.max_steps_per_student = std::atoi(a.c_str());
+      ++positional;
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", a.c_str());
+      return 64;
+    }
+  }
+  if (options.student_count <= 0 || options.max_steps_per_student <= 0 ||
+      options.worker_threads < 0) {
+    std::fprintf(stderr, "students, max_steps must be > 0; threads >= 0\n");
+    return 64;
+  }
+
+  auto bundle = load_bundle_file(path);
+  if (!bundle.ok()) return fail(bundle.error());
+  auto shared = std::make_shared<GameBundle>(std::move(bundle.value()));
+
+  std::optional<SessionStore> store;
+  if (!store_dir.empty()) {
+    store.emplace(SessionStoreOptions{.directory = store_dir});
+    options.store = &*store;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const ClassroomSummary summary = simulate_classroom(shared, options);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("%s", summary.report().c_str());
+  std::printf(
+      "simulated %zu student(s) in %.2fs on %d worker thread(s)%s "
+      "(%.1f students/s)\n",
+      summary.students.size(), elapsed, options.worker_threads,
+      store_dir.empty() ? "" : " via session store",
+      elapsed > 0 ? static_cast<double>(summary.students.size()) / elapsed
+                  : 0.0);
+  return 0;
+}
+
 int cmd_inspect_snapshot(const std::string& path) {
   auto data = read_binary_file(path);
   if (!data.ok()) return fail(data.error());
@@ -301,7 +364,9 @@ void usage() {
                "[policy]\n"
                "  resume <bundle.vgblb> <store_dir> <student> [max_steps] "
                "[policy]\n"
-               "  inspect-snapshot <file.snap>\n");
+               "  inspect-snapshot <file.snap>\n"
+               "  classroom <bundle.vgblb> [students] [max_steps] "
+               "[--threads N] [--seed S] [--store <dir>]\n");
 }
 
 }  // namespace
@@ -339,6 +404,10 @@ int main(int argc, char** argv) {
                       arg(6, "explorer"));
   }
   if (cmd == "inspect-snapshot" && argc >= 3) return cmd_inspect_snapshot(arg(2));
+  if (cmd == "classroom" && argc >= 3) {
+    return cmd_classroom(arg(2),
+                         std::vector<std::string>(argv + 3, argv + argc));
+  }
   usage();
   return 64;
 }
