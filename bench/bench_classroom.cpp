@@ -56,12 +56,8 @@ ConfigResult run_config(const std::shared_ptr<const GameBundle>& bundle,
   std::vector<double> walls;
   walls.reserve(r.summary.students.size());
   for (const auto& s : r.summary.students) walls.push_back(s.wall_ms);
-  std::sort(walls.begin(), walls.end());
-  if (!walls.empty()) {
-    r.p50_student_ms = walls[walls.size() / 2];
-    r.p99_student_ms = walls[std::min(walls.size() - 1,
-                                      walls.size() * 99 / 100)];
-  }
+  r.p50_student_ms = bench::percentile(walls, 50);
+  r.p99_student_ms = bench::percentile(std::move(walls), 99);
   return r;
 }
 

@@ -3,14 +3,27 @@
 // not re-render video.
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "author/bundle.hpp"
 #include "core/demo_games.hpp"
 #include "core/platform.hpp"
 
 namespace vgbl::bench {
+
+/// Nearest-rank percentile, `p` in [0, 100]. Takes the sample by value and
+/// sorts it, so callers can pass their raw measurement vector directly.
+/// Returns 0 for an empty sample.
+inline double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t index = static_cast<size_t>(
+      static_cast<double>(values.size()) * p / 100.0);
+  return values[std::min(values.size() - 1, index)];
+}
 
 /// Renders (and caches) a demo clip with `scenes` scenes.
 inline const Clip& cached_clip(int scenes, int frames_per_scene = 24,

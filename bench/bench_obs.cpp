@@ -1,0 +1,184 @@
+// E13 — observability overhead: the 32-student classroom workload with
+// metrics compiled in but idle vs. enabled. Reps are interleaved
+// (disabled, enabled, disabled, ...) so drift in machine load hits both
+// arms equally, and the comparison uses medians. Emits BENCH_obs.json
+// with overhead_pct (<2% is the DESIGN.md §5d budget) plus a full-scrape
+// phase that exercises the persist, net/stream, and pool subsystems so
+// the exporter's subsystem coverage is tracked too.
+//
+// Exit status is nonzero when instrumentation breaks the determinism
+// contract or the scrape covers fewer than 4 subsystems; the overhead
+// number is recorded rather than gated (single-core CI runners are too
+// noisy for a hard 2% wall-time gate).
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/classroom.hpp"
+#include "net/streaming.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "persist/session_store.hpp"
+
+namespace {
+
+using namespace vgbl;
+
+constexpr int kStudents = 32;
+constexpr int kMaxSteps = 250;
+constexpr u64 kSeed = 77;
+constexpr int kReps = 7;  // per arm
+
+ClassroomSummary run_classroom(const std::shared_ptr<const GameBundle>& bundle,
+                               SessionStore* store = nullptr) {
+  ClassroomOptions options;
+  options.student_count = kStudents;
+  options.max_steps_per_student = kMaxSteps;
+  options.seed = kSeed;
+  options.worker_threads = 2;
+  options.store = store;
+  return simulate_classroom(bundle, options);
+}
+
+double timed_run(const std::shared_ptr<const GameBundle>& bundle) {
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)run_classroom(bundle);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool students_match(const ClassroomSummary& a, const ClassroomSummary& b) {
+  if (a.students.size() != b.students.size()) return false;
+  for (size_t i = 0; i < a.students.size(); ++i) {
+    if (a.students[i].score != b.students[i].score ||
+        a.students[i].steps != b.students[i].steps ||
+        a.students[i].play_seconds != b.students[i].play_seconds ||
+        a.students[i].interactions != b.students[i].interactions) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Touches persist (session store) and net/stream (delivery cohort) so
+/// the scrape demonstrates cross-subsystem coverage, mirroring
+/// `vgbl classroom --store --stream --metrics-out`.
+void exercise_all_subsystems(const std::shared_ptr<const GameBundle>& bundle) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "vgbl_bench_obs_store";
+  std::filesystem::remove_all(dir);
+  SessionStore store({.directory = dir.string()});
+  ClassroomOptions options;
+  options.student_count = 4;
+  options.max_steps_per_student = 60;
+  options.seed = kSeed;
+  options.worker_threads = 2;
+  options.store = &store;
+  (void)simulate_classroom(bundle, options);
+  std::filesystem::remove_all(dir);
+
+  StreamingConfig config;
+  config.network.bandwidth_bps = 40'000'000;
+  config.network.base_latency = milliseconds(15);
+  config.prefetch_enabled = true;
+  StreamServer server(bundle->video.get(), config, kSeed);
+  Rng rng(kSeed + 1);
+  for (int i = 0; i < 4; ++i) {
+    server.add_client(random_student_path(bundle->graph, 8, rng));
+  }
+  server.run(seconds(120));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_obs.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  auto bundle = vgbl::bench::cached_bundle("treasure");
+  // Warm-up both arms outside the timed region.
+  (void)timed_run(bundle);
+  {
+    obs::ScopedEnable on;
+    (void)timed_run(bundle);
+  }
+
+  std::vector<double> disabled_s, enabled_s;
+  for (int rep = 0; rep < kReps; ++rep) {
+    disabled_s.push_back(timed_run(bundle));
+    obs::ScopedEnable on;
+    enabled_s.push_back(timed_run(bundle));
+  }
+  const double disabled_med = vgbl::bench::percentile(disabled_s, 50);
+  const double enabled_med = vgbl::bench::percentile(enabled_s, 50);
+  const double overhead_pct =
+      disabled_med > 0 ? (enabled_med - disabled_med) / disabled_med * 100
+                       : 0;
+
+  // Determinism: instrumentation must not change a single student result.
+  const ClassroomSummary plain = run_classroom(bundle);
+  ClassroomSummary instrumented;
+  {
+    obs::ScopedEnable on;
+    instrumented = run_classroom(bundle);
+  }
+  const bool deterministic = students_match(plain, instrumented);
+
+  size_t subsystem_count = 0;
+  std::string subsystem_list;
+  size_t counter_count = 0;
+  {
+    obs::ScopedEnable on;
+    exercise_all_subsystems(bundle);
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().scrape();
+    counter_count = snap.counters.size();
+    for (const auto& s : snap.subsystems()) {
+      subsystem_list += (subsystem_list.empty() ? "" : ", ") + s;
+      ++subsystem_count;
+    }
+  }
+
+  std::printf("%10s  %10s  %9s\n", "idle med s", "on med s", "overhead");
+  std::printf("%10.4f  %10.4f  %8.2f%%\n", disabled_med, enabled_med,
+              overhead_pct);
+  std::printf("determinism with metrics enabled: %s\n",
+              deterministic ? "OK" : "MISMATCH");
+  std::printf("scrape: %zu counters across %zu subsystems (%s)\n",
+              counter_count, subsystem_count, subsystem_list.c_str());
+
+  std::ofstream out(out_path);
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"benchmark\": \"obs\",\n"
+                "  \"workload\": {\"students\": %d, "
+                "\"max_steps_per_student\": %d, \"bundle\": \"treasure\", "
+                "\"seed\": %llu, \"threads\": 2},\n"
+                "  \"reps_per_arm\": %d,\n"
+                "  \"disabled_median_s\": %.4f,\n"
+                "  \"enabled_median_s\": %.4f,\n"
+                "  \"overhead_pct\": %.2f,\n"
+                "  \"deterministic\": %s,\n"
+                "  \"scrape_counters\": %zu,\n"
+                "  \"scrape_subsystems\": %zu\n"
+                "}\n",
+                kStudents, kMaxSteps,
+                static_cast<unsigned long long>(kSeed), kReps, disabled_med,
+                enabled_med, overhead_pct, deterministic ? "true" : "false",
+                counter_count, subsystem_count);
+  out << buf;
+  std::printf("wrote %s\n", out_path);
+
+  if (!deterministic) return 1;
+  if (subsystem_count < 4) return 2;
+  return 0;
+}

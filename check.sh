@@ -16,11 +16,13 @@ MODE="${1:-all}"
 
 gate() {
   local preset="$1" dir="$2" labels="$3"
+  local started="${SECONDS}"
   echo "=== ${preset}: configure + build (${dir}) ==="
   cmake --preset "${preset}" >/dev/null
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== ${preset}: ctest -L '${labels}' ==="
   ctest --test-dir "${dir}" -L "${labels}" --output-on-failure -j "${JOBS}"
+  echo "=== ${preset}: passed in $((SECONDS - started))s ==="
 }
 
 gate default build tier1
@@ -28,4 +30,4 @@ if [ "${MODE}" != "fast" ]; then
   gate build-asan build-asan tier1
   gate build-tsan build-tsan "tier1|tsan"
 fi
-echo "all gates passed"
+echo "all gates passed in ${SECONDS}s"

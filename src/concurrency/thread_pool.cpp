@@ -2,9 +2,33 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 
+#include "obs/metrics.hpp"
+
 namespace vgbl {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Counter& tasks;
+  obs::Counter& idle_us;
+  obs::Gauge& queue_depth;
+
+  static PoolMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static PoolMetrics m{
+        reg.counter("pool_tasks_total", "tasks executed by pool workers"),
+        reg.counter("pool_idle_us_total",
+                    "wall time workers spent waiting for work"),
+        reg.gauge("pool_queue_depth",
+                  "tasks queued but not yet started (approximate)")};
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) : queue_(1024) {
   const unsigned n = std::max(1u, threads);
@@ -19,8 +43,30 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::note_submitted() {
+  if (!obs::enabled()) return;
+  PoolMetrics::get().queue_depth.add(1);
+}
+
 void ThreadPool::worker_loop() {
-  while (auto task = queue_.pop()) {
+  while (true) {
+    std::optional<std::function<void()>> task;
+    if (obs::enabled()) {
+      const auto idle_start = std::chrono::steady_clock::now();
+      task = queue_.pop();
+      auto& m = PoolMetrics::get();
+      m.idle_us.add(static_cast<u64>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - idle_start)
+              .count()));
+      if (task) {
+        m.queue_depth.add(-1);
+        m.tasks.increment();
+      }
+    } else {
+      task = queue_.pop();
+    }
+    if (!task) return;
     (*task)();
   }
 }
@@ -60,12 +106,13 @@ void ThreadPool::parallel_for_chunks(i64 begin, i64 end,
   const i64 helpers =
       std::min<i64>(static_cast<i64>(thread_count()), chunks - 1);
   for (i64 i = 0; i < helpers; ++i) {
-    queue_.try_push([run_chunks, &done_mutex, &done_cv] {
+    const bool accepted = queue_.try_push([run_chunks, &done_mutex, &done_cv] {
       if (run_chunks()) {
         std::lock_guard lock(done_mutex);
         done_cv.notify_all();
       }
     });
+    if (accepted) note_submitted();
   }
   if (run_chunks()) {
     done_cv.notify_all();

@@ -37,6 +37,8 @@ class ThreadPool {
     if (!accepted) {
       // Pool already shut down: run inline so the future is always satisfied.
       (*task)();
+    } else {
+      note_submitted();
     }
     return fut;
   }
@@ -55,6 +57,9 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Observability hooks (src/obs): queue-depth gauge and task counters.
+  /// No-ops while metrics are disabled.
+  void note_submitted();
 
   BoundedQueue<std::function<void()>> queue_;
   std::vector<std::thread> workers_;

@@ -4,9 +4,65 @@
 #include <optional>
 
 #include "concurrency/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/text.hpp"
 
 namespace vgbl {
+
+namespace {
+
+/// Classroom-subsystem metrics, including the LearningTracker aggregates
+/// (interactions, decisions, rewards) so the lecturer-facing §3.3 reward
+/// view and the ops view share one export path. All increments happen in
+/// the deterministic post-barrier aggregation loop — never on worker
+/// threads mid-run — so instrumentation cannot perturb scheduling.
+struct ClassroomMetrics {
+  obs::Counter& students;
+  obs::Counter& steps;
+  obs::Counter& completions;
+  obs::Counter& successes;
+  obs::Counter& resumed;
+  obs::Counter& interactions;
+  obs::Counter& decisions;
+  obs::Counter& rewards;
+  obs::Counter& items_collected;
+  obs::Histogram& student_wall_ms;
+  obs::Histogram& rewards_per_student;
+  obs::Gauge& steps_per_sec;
+
+  static ClassroomMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static ClassroomMetrics m{
+        reg.counter("classroom_students_total", "students simulated"),
+        reg.counter("classroom_steps_total", "bot steps executed"),
+        reg.counter("classroom_completions_total",
+                    "students who finished their game"),
+        reg.counter("classroom_successes_total",
+                    "students who finished successfully"),
+        reg.counter("classroom_resumed_total",
+                    "students whose run resumed from a session store"),
+        reg.counter("classroom_interactions_total",
+                    "LearningTracker interactions across students"),
+        reg.counter("classroom_decisions_total",
+                    "LearningTracker decisions across students"),
+        reg.counter("classroom_rewards_total",
+                    "LearningTracker rewards earned across students"),
+        reg.counter("classroom_items_collected_total",
+                    "LearningTracker items collected across students"),
+        reg.histogram("classroom_student_wall_ms",
+                      obs::exponential_buckets(0.25, 2.0, 14),
+                      "wall time to simulate one student"),
+        reg.histogram("classroom_rewards_per_student",
+                      obs::linear_buckets(0, 1, 16),
+                      "rewards earned by one student"),
+        reg.gauge("classroom_steps_per_sec",
+                  "bot-step throughput of the latest classroom run")};
+    return m;
+  }
+};
+
+}  // namespace
 
 u64 classroom_student_seed(u64 classroom_seed, int student_id) {
   // Pure (seed, id) mixing: one splitmix step decorrelates adjacent
@@ -65,6 +121,9 @@ std::optional<StudentResult> run_student(
 
   if (options.store == nullptr) {
     SimClock clock;
+    // The span stamps the student's own sim clock — observe-only, so the
+    // determinism contract is untouched (DESIGN.md §5d).
+    obs::SpanScope span("classroom.student", &clock);
     GameSession session(bundle, &clock);
     if (!session.start().ok()) return std::nullopt;
 
@@ -79,6 +138,7 @@ std::optional<StudentResult> run_student(
   // session continues from the snapshot exactly where the first half left
   // off — bots mutate sessions directly, so suspension rides the
   // snapshot path rather than the input journal.
+  obs::SpanScope span("classroom.student");
   const std::string student = "student-" + std::to_string(index + 1);
   (void)options.store->remove_session(student);
   const int first_half = options.max_steps_per_student / 2;
@@ -116,6 +176,7 @@ ClassroomSummary simulate_classroom(std::shared_ptr<const GameBundle> bundle,
   // happens after the parallel_for barrier, in index order. That plus the
   // pure per-student seeding makes the parallel path bit-identical to the
   // sequential one.
+  const auto run_started = std::chrono::steady_clock::now();
   std::vector<std::optional<StudentResult>> results(
       static_cast<size_t>(std::max(0, options.student_count)));
   auto run_one = [&](i64 i) {
@@ -134,10 +195,33 @@ ClassroomSummary simulate_classroom(std::shared_ptr<const GameBundle> bundle,
 
   ClassroomSummary summary;
   f64 interactions = 0;
+  ClassroomMetrics& metrics = ClassroomMetrics::get();
   for (auto& slot : results) {
     if (!slot.has_value()) continue;
     interactions += static_cast<f64>(slot->interactions);
+    metrics.students.increment();
+    metrics.steps.add(static_cast<u64>(std::max(0, slot->steps)));
+    if (slot->completed) metrics.completions.increment();
+    if (slot->succeeded) metrics.successes.increment();
+    if (slot->resumed) metrics.resumed.increment();
+    metrics.interactions.add(static_cast<u64>(slot->interactions));
+    metrics.decisions.add(static_cast<u64>(slot->decisions));
+    metrics.rewards.add(static_cast<u64>(slot->rewards));
+    metrics.items_collected.add(static_cast<u64>(slot->items_collected));
+    metrics.student_wall_ms.observe(slot->wall_ms);
+    metrics.rewards_per_student.observe(static_cast<f64>(slot->rewards));
     summary.students.push_back(std::move(*slot));
+  }
+  if (obs::enabled()) {
+    const f64 elapsed = std::chrono::duration<f64>(
+                            std::chrono::steady_clock::now() - run_started)
+                            .count();
+    u64 total_steps = 0;
+    for (const auto& s : summary.students) {
+      total_steps += static_cast<u64>(std::max(0, s.steps));
+    }
+    metrics.steps_per_sec.set(
+        elapsed > 0 ? static_cast<f64>(total_steps) / elapsed : 0);
   }
 
   const f64 n = static_cast<f64>(

@@ -6,7 +6,32 @@
 #include <set>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace vgbl {
+
+namespace {
+
+struct MediaMetrics {
+  obs::Counter& gops_decoded;
+  obs::Counter& frames_decoded;
+  obs::Histogram& gop_decode_ms;
+
+  static MediaMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static MediaMetrics m{
+        reg.counter("media_gops_decoded_total",
+                    "GOPs decoded (batch and pipeline paths)"),
+        reg.counter("media_frames_decoded_total", "frames decoded"),
+        reg.histogram("media_gop_decode_ms",
+                      obs::exponential_buckets(0.05, 2.0, 14),
+                      "wall time to decode one GOP")};
+    return m;
+  }
+};
+
+}  // namespace
 
 GopPlan plan_gops(const VideoContainer& container, int first, int count) {
   GopPlan plan;
@@ -30,6 +55,9 @@ GopPlan plan_gops(const VideoContainer& container, int first, int count) {
 Result<std::vector<Frame>> decode_gop(const VideoContainer& container,
                                       GopRange gop,
                                       const std::atomic<bool>* cancel = nullptr) {
+  MediaMetrics& metrics = MediaMetrics::get();
+  obs::SpanScope span("media.decode_gop");
+  obs::ScopedTimer timer(metrics.gop_decode_ms);
   Decoder decoder;
   std::vector<Frame> frames;
   frames.reserve(static_cast<size_t>(gop.count));
@@ -45,6 +73,8 @@ Result<std::vector<Frame>> decode_gop(const VideoContainer& container,
     if (!frame.ok()) return frame.error();
     frames.push_back(std::move(frame.value()));
   }
+  metrics.gops_decoded.increment();
+  metrics.frames_decoded.add(frames.size());
   return frames;
 }
 
@@ -152,8 +182,12 @@ std::optional<Frame> DecodePipeline::next_frame() {
     ++run->in_flight;
     auto container = container_;
     pool_.submit([run, container, g] {
+      MediaMetrics& metrics = MediaMetrics::get();
+      obs::SpanScope span("media.decode_gop");
+      obs::ScopedTimer timer(metrics.gop_decode_ms);
       Decoder decoder;
       const GopRange gop = run->plan.gops[g];
+      u64 decoded = 0;
       for (int i = gop.first; i < gop.first + gop.count; ++i) {
         if (run->cancelled.load(std::memory_order_relaxed)) break;
         auto data = container->frame_data(i);
@@ -166,8 +200,11 @@ std::optional<Frame> DecodePipeline::next_frame() {
           break;
         }
         run->partial[g].push_back(std::move(frame.value()));
+        ++decoded;
         run->cv.notify_all();
       }
+      metrics.gops_decoded.increment();
+      metrics.frames_decoded.add(decoded);
       std::lock_guard inner(run->mutex);
       run->done.insert(g);
       --run->in_flight;

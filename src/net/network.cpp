@@ -2,10 +2,43 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace vgbl {
+
+namespace {
+
+struct NetMetrics {
+  obs::Counter& packets_sent;
+  obs::Counter& packets_lost;
+  obs::Counter& bytes_sent;
+  obs::Histogram& queueing_delay_ms;
+
+  static NetMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static NetMetrics m{
+        reg.counter("net_packets_sent_total",
+                    "packets offered to the simulated link"),
+        reg.counter("net_packets_lost_total", "packets dropped by loss model"),
+        reg.counter("net_bytes_sent_total",
+                    "payload bytes offered to the simulated link"),
+        reg.histogram("net_queueing_delay_ms",
+                      obs::exponential_buckets(0.01, 2.0, 16),
+                      "sim time a packet waited for the shared link")};
+    return m;
+  }
+};
+
+}  // namespace
 
 std::optional<MicroTime> SimulatedNetwork::send(Packet packet, MicroTime now) {
   const MicroTime start = std::max(now, link_busy_until_);
+  if (obs::enabled()) {
+    NetMetrics& metrics = NetMetrics::get();
+    metrics.packets_sent.increment();
+    metrics.bytes_sent.add(packet.size);
+    metrics.queueing_delay_ms.observe(to_millis(start - now));
+  }
   // Serialization delay on the shared link: size / bandwidth.
   const MicroTime ser =
       static_cast<MicroTime>(static_cast<u64>(packet.size) * 8'000'000 /
@@ -17,6 +50,7 @@ std::optional<MicroTime> SimulatedNetwork::send(Packet packet, MicroTime now) {
 
   if (config_.loss_rate > 0 && rng_.chance(config_.loss_rate)) {
     ++stats_.packets_lost;
+    NetMetrics::get().packets_lost.increment();
     return std::nullopt;
   }
 

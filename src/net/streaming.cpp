@@ -3,7 +3,46 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace vgbl {
+
+namespace {
+
+struct StreamMetrics {
+  obs::Counter& frames_sent;
+  obs::Counter& segments_played;
+  obs::Counter& segment_switches;
+  obs::Counter& prefetch_hits;
+  obs::Counter& rebuffer_events;
+  obs::Histogram& startup_delay_ms;
+  obs::Histogram& segment_fetch_ms;
+
+  static StreamMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static StreamMetrics m{
+        reg.counter("stream_frames_sent_total",
+                    "video frames handed to the simulated link"),
+        reg.counter("stream_segments_played_total",
+                    "segments played to completion across clients"),
+        reg.counter("stream_segment_switches_total",
+                    "segment-to-segment transitions after startup"),
+        reg.counter("stream_prefetch_hits_total",
+                    "segment switches served entirely from buffer"),
+        reg.counter("stream_rebuffer_events_total",
+                    "times a client's buffer ran dry mid-segment"),
+        reg.histogram("stream_startup_delay_ms",
+                      obs::exponential_buckets(1.0, 2.0, 14),
+                      "sim time from first request to first frame"),
+        reg.histogram("stream_segment_fetch_ms",
+                      obs::exponential_buckets(0.5, 2.0, 14),
+                      "sim time from segment request to playable buffer")};
+    return m;
+  }
+};
+
+}  // namespace
 
 StreamClient::StreamClient(u32 id, const VideoContainer* container,
                            std::vector<SegmentId> path,
@@ -77,15 +116,31 @@ void StreamClient::tick(MicroTime now) {
           std::min(config_.startup_buffer_frames, seg->frame_count);
       if (received >= threshold) {
         // Buffer primed: start presenting.
+        StreamMetrics& metrics = StreamMetrics::get();
         if (!first_frame_presented_) {
           stats_.startup_delay = now - segment_requested_at_;
           first_frame_presented_ = true;
+          metrics.startup_delay_ms.observe(to_millis(stats_.startup_delay));
         } else {
           ++stats_.segment_switches;
+          metrics.segment_switches.increment();
           stats_.switch_delay_total += now - segment_requested_at_;
           if (now == segment_requested_at_) {
             ++stats_.prefetch_hits;  // switch served entirely from buffer
+            metrics.prefetch_hits.increment();
           }
+        }
+        metrics.segment_fetch_ms.observe(to_millis(now - segment_requested_at_));
+        if (obs::enabled()) {
+          // Segment fetch is not a lexical scope — it opens in
+          // start_segment() and closes here — so the span is recorded by
+          // hand rather than via SpanScope.
+          obs::TraceEvent fetch;
+          fetch.name = "stream.segment_fetch";
+          fetch.sim_start = segment_requested_at_;
+          fetch.sim_end = now;
+          fetch.wall_ms = 0;
+          obs::TraceLog::global().record(fetch);
         }
         state_ = PlayState::kPlaying;
         state_since_ = now;
@@ -107,11 +162,13 @@ void StreamClient::tick(MicroTime now) {
           state_ = PlayState::kStalled;
           state_since_ = now;
           ++stats_.rebuffer_events;
+          StreamMetrics::get().rebuffer_events.increment();
           return;
         }
       }
       if (presented_in_segment_ >= seg->frame_count) {
         ++stats_.segments_played;
+        StreamMetrics::get().segments_played.increment();
         ++path_pos_;
         if (path_pos_ >= path_.size()) {
           finished_ = true;
@@ -178,6 +235,7 @@ bool StreamServer::pump_client(StreamClient& client, MicroTime now) {
     const auto arrival = network_.send(p, now);
     if (arrival) {
       ++progress;  // lost packets are retransmitted (progress holds)
+      StreamMetrics::get().frames_sent.increment();
     }
     return true;
   }

@@ -1,0 +1,241 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace vgbl::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+i64 steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void atomic_add(std::atomic<f64>& target, f64 delta) {
+  f64 cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+size_t thread_shard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+  return shard;
+}
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::string help, std::vector<f64> bounds)
+    : name_(std::move(name)), help_(std::move(help)), bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  if (bounds_.empty()) bounds_.push_back(1.0);
+  buckets_ = std::make_unique<std::atomic<u64>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(f64 v) {
+  if (!enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t index = static_cast<size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+}
+
+std::vector<u64> Histogram::bucket_counts() const {
+  std::vector<u64> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::vector<f64> linear_buckets(f64 start, f64 width, int count) {
+  std::vector<f64> bounds;
+  bounds.reserve(static_cast<size_t>(std::max(0, count)));
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(start + width * static_cast<f64>(i));
+  }
+  return bounds;
+}
+
+std::vector<f64> exponential_buckets(f64 start, f64 factor, int count) {
+  std::vector<f64> bounds;
+  bounds.reserve(static_cast<size_t>(std::max(0, count)));
+  f64 bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+// --- snapshots --------------------------------------------------------------
+
+f64 HistogramSample::quantile(f64 q) const {
+  if (count == 0 || counts.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const f64 target = q * static_cast<f64>(count);
+  u64 cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const u64 in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<f64>(cumulative + in_bucket) < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) {
+      // Overflow bucket: no upper edge to interpolate toward.
+      return bounds.empty() ? 0 : bounds.back();
+    }
+    const f64 lo = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+    const f64 hi = bounds[i];
+    const f64 within =
+        (target - static_cast<f64>(cumulative)) / static_cast<f64>(in_bucket);
+    return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+namespace {
+
+template <typename Sample>
+const Sample* find_by_name(const std::vector<Sample>& samples,
+                           std::string_view name) {
+  for (const Sample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const CounterSample* MetricsSnapshot::find_counter(
+    std::string_view name) const {
+  return find_by_name(counters, name);
+}
+
+const GaugeSample* MetricsSnapshot::find_gauge(std::string_view name) const {
+  return find_by_name(gauges, name);
+}
+
+const HistogramSample* MetricsSnapshot::find_histogram(
+    std::string_view name) const {
+  return find_by_name(histograms, name);
+}
+
+std::vector<std::string> MetricsSnapshot::subsystems() const {
+  std::vector<std::string> out;
+  auto add = [&out](const std::string& name) {
+    const size_t underscore = name.find('_');
+    std::string prefix =
+        underscore == std::string::npos ? name : name.substr(0, underscore);
+    if (std::find(out.begin(), out.end(), prefix) == out.end()) {
+      out.push_back(std::move(prefix));
+    }
+  };
+  for (const auto& s : counters) add(s.name);
+  for (const auto& s : gauges) add(s.name);
+  for (const auto& s : histograms) add(s.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: pool workers and thread-local teardown may record
+  // metrics after main() returns; a destroyed registry would be a
+  // use-after-free lottery.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(
+                                     name, help)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name, help)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<f64> bounds,
+                                      const std::string& help) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(
+                                new Histogram(name, help, std::move(bounds))))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::scrape() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->help(), c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->help(), g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    s.help = h->help();
+    s.bounds = h->bounds();
+    s.counts = h->bucket_counts();
+    s.count = h->count();
+    s.sum = h->sum();
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+// --- ScopedTimer ------------------------------------------------------------
+
+ScopedTimer::ScopedTimer(Histogram& histogram) {
+  if (!enabled()) return;
+  histogram_ = &histogram;
+  start_ns_ = steady_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (histogram_ == nullptr) return;
+  histogram_->observe(static_cast<f64>(steady_ns() - start_ns_) / 1e6);
+}
+
+}  // namespace vgbl::obs

@@ -1,0 +1,267 @@
+// Low-overhead metrics for the whole platform: named counters, gauges and
+// fixed-bucket histograms owned by a MetricsRegistry and read out through
+// scrape snapshots (export.hpp renders those as Prometheus text or JSON).
+//
+// Hot-path design. Counters are sharded per thread: each counter owns a
+// small array of cache-line-aligned atomic slots and a thread picks its
+// slot once (thread-local), so concurrent increments from pool workers
+// never contend on one cache line. Scrapes sum the slots. Histograms and
+// gauges are single atomics — their call sites are orders of magnitude
+// colder than counter increments.
+//
+// Idle-by-default. The whole subsystem is gated on a global enabled flag
+// (`obs::set_enabled`): every add/observe/set is a relaxed load + branch
+// when metrics are off, so instrumentation can stay compiled into hot
+// paths permanently (bench_obs measures the enabled-vs-idle gap; the
+// budget is <2% classroom throughput, DESIGN.md §5d).
+//
+// Determinism. Metrics are observe-only: no instrumentation site feeds a
+// value back into simulation state, RNG, or the sim clock, so the PR 2
+// parallel == sequential contract is untouched with metrics enabled.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace vgbl::obs {
+
+/// Global instrumentation switch. Off by default: a disabled platform pays
+/// one relaxed atomic load per instrumentation site.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+/// RAII enable for tests and benchmarks; restores the previous state.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on = true) : previous_(enabled()) {
+    set_enabled(on);
+  }
+  ~ScopedEnable() { set_enabled(previous_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Shards per counter. A power of two around typical worker counts: enough
+/// that concurrent incrementers rarely share a line, small enough that
+/// scraping stays a trivial sum.
+inline constexpr size_t kCounterShards = 16;
+
+/// This thread's counter shard, assigned round-robin on first use.
+[[nodiscard]] size_t thread_shard();
+
+/// Monotonic counter. Increment-only by convention (scrape consumers treat
+/// decreases as a restart, Prometheus-style).
+class Counter {
+ public:
+  void add(u64 n) {
+    if (!enabled()) return;
+    slots_[thread_shard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+
+  /// Sum over all shards. Concurrent adds may or may not be included —
+  /// the value is always a valid monotone reading, never torn.
+  [[nodiscard]] u64 value() const {
+    u64 total = 0;
+    for (const Slot& s : slots_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& help() const { return help_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+
+  struct alignas(64) Slot {
+    std::atomic<u64> value{0};
+  };
+
+  std::string name_;
+  std::string help_;
+  std::array<Slot, kCounterShards> slots_{};
+};
+
+/// Point-in-time value (queue depth, buffered frames, ...). `add` takes a
+/// signed delta so paired increment/decrement sites can track a level.
+class Gauge {
+ public:
+  void set(f64 v) {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(f64 delta) {
+    if (!enabled()) return;
+    f64 cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] f64 value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& help() const { return help_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+
+  std::string name_;
+  std::string help_;
+  std::atomic<f64> value_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper edges (Prometheus
+/// `le` semantics) plus an implicit overflow bucket, so an observation
+/// lands in the first bucket whose bound is >= the value. Buckets are
+/// chosen at registration and never rebalanced — quantile error is bounded
+/// by the width of the bucket the quantile falls in.
+class Histogram {
+ public:
+  void observe(f64 v);
+
+  [[nodiscard]] u64 count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] f64 sum() const { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] const std::vector<f64>& bounds() const { return bounds_; }
+  /// Per-bucket counts, size bounds().size() + 1 (last = overflow).
+  [[nodiscard]] std::vector<u64> bucket_counts() const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& help() const { return help_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::string help, std::vector<f64> bounds);
+
+  std::string name_;
+  std::string help_;
+  std::vector<f64> bounds_;  // strictly increasing
+  std::unique_ptr<std::atomic<u64>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<u64> count_{0};
+  std::atomic<f64> sum_{0};
+};
+
+/// `count` upper bounds start, start+width, start+2*width, ...
+[[nodiscard]] std::vector<f64> linear_buckets(f64 start, f64 width, int count);
+/// `count` upper bounds start, start*factor, start*factor^2, ...
+[[nodiscard]] std::vector<f64> exponential_buckets(f64 start, f64 factor,
+                                                   int count);
+
+// --- scrape snapshots -------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  std::string help;
+  u64 value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::string help;
+  f64 value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::string help;
+  std::vector<f64> bounds;
+  std::vector<u64> counts;  // bounds.size() + 1, last = overflow
+  u64 count = 0;
+  f64 sum = 0;
+
+  /// Quantile estimate for q in [0, 1]: find the bucket holding the target
+  /// rank, interpolate linearly inside it. Exact to within one bucket
+  /// width; the overflow bucket reports its lower edge.
+  [[nodiscard]] f64 quantile(f64 q) const;
+  [[nodiscard]] f64 mean() const {
+    return count > 0 ? sum / static_cast<f64>(count) : 0.0;
+  }
+};
+
+/// One scrape of a registry. Samples are sorted by name within each kind.
+/// Not a consistent cut across metrics — each sample is individually
+/// coherent, but a scrape taken while writers run may see metric A ahead
+/// of metric B.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  [[nodiscard]] const CounterSample* find_counter(std::string_view name) const;
+  [[nodiscard]] const GaugeSample* find_gauge(std::string_view name) const;
+  [[nodiscard]] const HistogramSample* find_histogram(
+      std::string_view name) const;
+
+  /// Distinct metric-name prefixes up to the first '_' ("classroom_..."
+  /// -> "classroom"), sorted — the subsystems present in this scrape.
+  [[nodiscard]] std::vector<std::string> subsystems() const;
+};
+
+/// Owns metrics by name. Registration takes a mutex (call sites cache the
+/// returned reference, typically in a function-local static); reads and
+/// writes of registered metrics are lock-free. Metrics live as long as the
+/// registry; references stay valid forever.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry every built-in instrumentation site uses.
+  /// Never destroyed, so worker threads may touch it during teardown.
+  static MetricsRegistry& global();
+
+  /// Returns the metric registered under `name`, creating it on first
+  /// call. `help` (and for histograms, `bounds`) only matter on that first
+  /// call; later calls return the existing metric unchanged.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<f64> bounds,
+                       const std::string& help = "");
+
+  [[nodiscard]] MetricsSnapshot scrape() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map: stable addresses via unique_ptr, and scrape() comes out
+  // name-sorted for free. Registration is rare; lookups hit cached refs.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Times a block into a histogram of milliseconds; a no-op (no clock read)
+/// while metrics are disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_ = nullptr;  // null: disabled at construction
+  i64 start_ns_ = 0;
+};
+
+}  // namespace vgbl::obs

@@ -1,0 +1,141 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+
+#include "obs/metrics.hpp"
+
+namespace vgbl::obs {
+
+struct TraceLog::Ring {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;  // capacity kRingCapacity, circular
+  size_t next = 0;
+  bool wrapped = false;
+  u32 thread_index = 0;
+  std::atomic<bool> in_use{false};
+};
+
+namespace {
+
+/// Releases the thread's ring back to the log when the thread exits, so a
+/// later thread can recycle the storage instead of growing the ring list.
+struct ThreadRingCache {
+  TraceLog::Ring* ring = nullptr;
+  ~ThreadRingCache();
+};
+
+thread_local ThreadRingCache t_ring_cache;
+
+}  // namespace
+
+ThreadRingCache::~ThreadRingCache() {
+  if (ring != nullptr) {
+    ring->in_use.store(false, std::memory_order_release);
+  }
+}
+
+TraceLog& TraceLog::global() {
+  // Leaked on purpose, mirroring MetricsRegistry::global().
+  static TraceLog* log = new TraceLog();
+  return *log;
+}
+
+TraceLog::Ring& TraceLog::ring_for_this_thread() {
+  if (t_ring_cache.ring != nullptr) return *t_ring_cache.ring;
+
+  std::lock_guard lock(rings_mutex_);
+  for (auto& ring : rings_) {
+    bool expected = false;
+    if (ring->in_use.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+      // Recycled from a finished thread: the dead thread's history goes,
+      // keeping total memory bounded by peak concurrency.
+      std::lock_guard ring_lock(ring->mutex);
+      ring->events.clear();
+      ring->next = 0;
+      ring->wrapped = false;
+      t_ring_cache.ring = ring.get();
+      return *ring;
+    }
+  }
+  auto ring = std::make_unique<Ring>();
+  ring->events.reserve(kRingCapacity);
+  ring->thread_index = static_cast<u32>(rings_.size());
+  ring->in_use.store(true, std::memory_order_release);
+  rings_.push_back(std::move(ring));
+  t_ring_cache.ring = rings_.back().get();
+  return *rings_.back();
+}
+
+void TraceLog::record(TraceEvent event) {
+  if (!enabled()) return;
+  Ring& ring = ring_for_this_thread();
+  event.thread_index = ring.thread_index;
+  std::lock_guard lock(ring.mutex);
+  if (ring.events.size() < kRingCapacity) {
+    ring.events.push_back(event);
+  } else {
+    ring.events[ring.next] = event;
+    ring.wrapped = true;
+  }
+  ring.next = (ring.next + 1) % kRingCapacity;
+}
+
+std::vector<TraceEvent> TraceLog::snapshot() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard lock(rings_mutex_);
+  for (const auto& ring : rings_) {
+    std::lock_guard ring_lock(ring->mutex);
+    if (ring->wrapped) {
+      // Oldest-first: [next, end) then [0, next).
+      out.insert(out.end(), ring->events.begin() + static_cast<i64>(ring->next),
+                 ring->events.end());
+      out.insert(out.end(), ring->events.begin(),
+                 ring->events.begin() + static_cast<i64>(ring->next));
+    } else {
+      out.insert(out.end(), ring->events.begin(), ring->events.end());
+    }
+  }
+  return out;
+}
+
+void TraceLog::clear() {
+  std::lock_guard lock(rings_mutex_);
+  for (const auto& ring : rings_) {
+    std::lock_guard ring_lock(ring->mutex);
+    ring->events.clear();
+    ring->next = 0;
+    ring->wrapped = false;
+  }
+}
+
+size_t TraceLog::ring_count() const {
+  std::lock_guard lock(rings_mutex_);
+  return rings_.size();
+}
+
+SpanScope::SpanScope(const char* name, const Clock* sim_clock) {
+  if (!enabled()) return;
+  name_ = name;
+  sim_clock_ = sim_clock;
+  sim_start_ = sim_clock != nullptr ? sim_clock->now() : 0;
+  wall_start_ = std::chrono::steady_clock::now();
+}
+
+SpanScope::~SpanScope() {
+  if (name_ == nullptr) return;
+  TraceEvent event;
+  event.name = name_;
+  event.sim_start = sim_start_;
+  event.sim_end = sim_clock_ != nullptr ? sim_clock_->now() : 0;
+  event.wall_start_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          wall_start_.time_since_epoch())
+          .count();
+  event.wall_ms = std::chrono::duration<f64, std::milli>(
+                      std::chrono::steady_clock::now() - wall_start_)
+                      .count();
+  TraceLog::global().record(event);
+}
+
+}  // namespace vgbl::obs

@@ -1,0 +1,86 @@
+// Lightweight trace spans. A SpanScope stamps the sim clock (when the
+// instrumented code has one) at open and close and measures wall duration;
+// the finished span lands in a per-thread ring buffer, so memory stays
+// bounded (kRingCapacity events per thread, oldest overwritten) and a
+// span's hot-path cost is one uncontended mutex lock plus a slot write.
+// Rings are recycled when their thread exits, so long-lived processes that
+// churn thread pools stay bounded by the *peak concurrent* thread count.
+//
+// Like metrics (metrics.hpp), tracing is observe-only and gated on the
+// global `obs::enabled()` flag: a disabled span is a relaxed load and a
+// branch.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/sim_clock.hpp"
+#include "util/types.hpp"
+
+namespace vgbl::obs {
+
+struct TraceEvent {
+  /// Span name. Must be a string with static lifetime (a literal) — the
+  /// ring stores the pointer, not a copy.
+  const char* name = "";
+  MicroTime sim_start = 0;  ///< sim-clock stamp at open (0: no clock)
+  MicroTime sim_end = 0;    ///< sim-clock stamp at close
+  i64 wall_start_us = 0;    ///< steady_clock at open
+  f64 wall_ms = 0;          ///< wall duration of the span
+  u32 thread_index = 0;     ///< per-ring index, stable for a thread's life
+};
+
+class TraceLog {
+ public:
+  static constexpr size_t kRingCapacity = 4096;
+
+  /// Process-wide log every SpanScope writes to. Never destroyed (worker
+  /// threads may finish spans during teardown).
+  static TraceLog& global();
+
+  /// Appends one finished span to the calling thread's ring. Callers that
+  /// are not lexical scopes (e.g. a request→playing transition measured in
+  /// sim time) can build the event by hand and record it here.
+  void record(TraceEvent event);
+
+  /// Copies every ring, oldest-first within each thread. Safe to call
+  /// while other threads record; each ring is copied under its own lock.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Drops all recorded events (rings stay allocated for their threads).
+  void clear();
+
+  /// Rings ever allocated — bounded by peak concurrent recording threads.
+  [[nodiscard]] size_t ring_count() const;
+
+  /// One thread's circular buffer. Opaque outside trace.cpp; public only
+  /// so the thread-local cache that recycles rings can hold a pointer.
+  struct Ring;
+
+ private:
+  Ring& ring_for_this_thread();
+
+  mutable std::mutex rings_mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII span: open at construction, recorded at destruction. When metrics
+/// are disabled at construction, the whole scope is a no-op (no clock
+/// reads, nothing recorded).
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name, const Clock* sim_clock = nullptr);
+  ~SpanScope();
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // null: disabled at construction
+  const Clock* sim_clock_ = nullptr;
+  MicroTime sim_start_ = 0;
+  std::chrono::steady_clock::time_point wall_start_{};
+};
+
+}  // namespace vgbl::obs

@@ -5,10 +5,31 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/crc32.hpp"
 
 namespace vgbl {
 namespace {
+
+struct JournalMetrics {
+  obs::Counter& appends;
+  obs::Counter& bytes;
+  obs::Histogram& append_ms;
+
+  static JournalMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static JournalMetrics m{
+        reg.counter("persist_journal_appends_total",
+                    "records appended to write-ahead journals"),
+        reg.counter("persist_journal_bytes_total",
+                    "framed bytes appended to write-ahead journals"),
+        reg.histogram("persist_journal_append_ms",
+                      obs::exponential_buckets(0.01, 2.0, 14),
+                      "wall time of one journal append (write + flush)")};
+    return m;
+  }
+};
 
 Error file_error(const std::string& what, const std::string& path) {
   return io_error(what + " '" + path + "': " + std::strerror(errno));
@@ -136,6 +157,9 @@ Status JournalWriter::append_record(JournalRecord::Kind kind,
   if (file_ == nullptr) {
     return failed_precondition("journal writer was moved-from or closed");
   }
+  JournalMetrics& metrics = JournalMetrics::get();
+  obs::SpanScope span("persist.journal_append");
+  obs::ScopedTimer timer(metrics.append_ms);
   ByteWriter frame;
   frame.put_u8(static_cast<u8>(kind));
   frame.put_u32(static_cast<u32>(payload.size()));
@@ -147,6 +171,8 @@ Status JournalWriter::append_record(JournalRecord::Kind kind,
     return file_error("cannot append to journal", path_);
   }
   bytes_written_ += bytes.size();
+  metrics.appends.increment();
+  metrics.bytes.add(bytes.size());
   return {};
 }
 

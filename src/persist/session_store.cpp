@@ -3,11 +3,50 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace vgbl {
 
 namespace fs = std::filesystem;
 
 namespace {
+
+struct StoreMetrics {
+  obs::Counter& opens;
+  obs::Counter& recoveries;
+  obs::Counter& replayed_steps;
+  obs::Counter& applies;
+  obs::Counter& checkpoints;
+  obs::Counter& compactions;
+  obs::Counter& snapshot_bytes;
+  obs::Histogram& checkpoint_ms;
+  obs::Histogram& open_ms;
+
+  static StoreMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static StoreMetrics m{
+        reg.counter("persist_opens_total", "sessions opened via the store"),
+        reg.counter("persist_recoveries_total",
+                    "opens that restored state from disk"),
+        reg.counter("persist_replayed_steps_total",
+                    "journal steps replayed during recovery"),
+        reg.counter("persist_applies_total",
+                    "inputs applied through the write-ahead path"),
+        reg.counter("persist_checkpoints_total", "snapshots written"),
+        reg.counter("persist_compactions_total",
+                    "journal compactions after a checkpoint"),
+        reg.counter("persist_snapshot_bytes_total",
+                    "bytes of snapshot data written"),
+        reg.histogram("persist_checkpoint_ms",
+                      obs::exponential_buckets(0.05, 2.0, 14),
+                      "wall time of one checkpoint (snapshot + compaction)"),
+        reg.histogram("persist_open_ms",
+                      obs::exponential_buckets(0.05, 2.0, 14),
+                      "wall time of one store open (load + replay)")};
+    return m;
+  }
+};
 
 constexpr const char* kSnapshotSuffix = ".snap";
 constexpr const char* kJournalSuffix = ".journal";
@@ -49,6 +88,7 @@ Status PersistedSession::apply(const ScriptStep& step) {
 }
 
 Status PersistedSession::apply_locked(const ScriptStep& step) {
+  StoreMetrics::get().applies.increment();
   if (session_->game_over()) return {};  // mirrors ScriptRunner::run
   if (!journal_.has_value()) {
     return failed_precondition("session's journal is not open");
@@ -80,6 +120,9 @@ Status PersistedSession::checkpoint() {
 }
 
 Status PersistedSession::checkpoint_locked() {
+  StoreMetrics& metrics = StoreMetrics::get();
+  obs::SpanScope span("persist.checkpoint", &clock_);
+  obs::ScopedTimer timer(metrics.checkpoint_ms);
   SnapshotMeta meta;
   meta.sequence = sequence_ + 1;
   meta.step_count = step_count_;
@@ -92,10 +135,13 @@ Status PersistedSession::checkpoint_locked() {
   }
   sequence_ = meta.sequence;
   ++checkpoints_taken_;
+  metrics.checkpoints.increment();
+  metrics.snapshot_bytes.add(data.size());
   // Compact: everything journaled so far is in the snapshot now, so the
   // journal restarts as a lone barrier carrying the snapshot's sequence.
   auto writer = JournalWriter::create(journal_path_);
   if (!writer.ok()) return writer.error();
+  metrics.compactions.increment();
   journal_ = std::move(writer).value();
   if (auto st = journal_->append_barrier(sequence_, step_count_); !st.ok()) {
     return st;
@@ -178,6 +224,11 @@ Result<std::unique_ptr<PersistedSession>> SessionStore::open_session(
   if (!bundle) return invalid_argument("bundle must not be null");
   if (auto st = ensure_directory(); !st.ok()) return st.error();
 
+  StoreMetrics& metrics = StoreMetrics::get();
+  metrics.opens.increment();
+  obs::SpanScope span("persist.open");
+  obs::ScopedTimer timer(metrics.open_ms);
+
   std::unique_ptr<PersistedSession> ps(new PersistedSession(
       bundle, options_.session, options_.policy, student_id,
       snapshot_path(student_id), journal_path(student_id)));
@@ -235,6 +286,10 @@ Result<std::unique_ptr<PersistedSession>> SessionStore::open_session(
   }
 
   ps->resumed_ = have_snapshot || have_journal;
+  if (ps->resumed_) {
+    metrics.recoveries.increment();
+    metrics.replayed_steps.add(static_cast<u64>(ps->replayed_steps_));
+  }
   // 3. Fold any replayed tail into a fresh snapshot and compact (also
   // replaces a stale journal left by a crash between snapshot rename and
   // compaction). A brand-new session just gets its empty journal +

@@ -2,6 +2,7 @@
 // never perturbs measurements; tests capture records through a sink hook.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -19,9 +20,19 @@ class Logger {
 
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  // The level is atomic: `enabled()` runs unsynchronised on every logging
+  // thread while tests (and operators) flip `set_level()` concurrently. A
+  // relaxed load is all the gate needs — a racing change may affect the
+  // current statement either way, but never tears.
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
 
   /// Replaces the output sink (default writes to stderr). Pass nullptr to
   /// restore the default.
@@ -31,7 +42,7 @@ class Logger {
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
   Sink sink_;
 };
 

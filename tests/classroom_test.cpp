@@ -10,6 +10,7 @@
 #include "core/classroom.hpp"
 #include "core/demo_games.hpp"
 #include "core/platform.hpp"
+#include "obs/metrics.hpp"
 #include "persist/session_store.hpp"
 
 namespace vgbl {
@@ -160,6 +161,34 @@ TEST(ClassroomParallelTest, StudentSeedIsPureFunctionOfSeedAndId) {
     EXPECT_EQ(a.students[i].play_seconds, b.students[i].play_seconds)
         << "student " << i;
   }
+}
+
+TEST(ClassroomParallelTest, MetricsEnabledDoesNotPerturbDeterminism) {
+  // Instrumentation is observe-only (DESIGN.md §5d): the same classroom
+  // with metrics enabled — sequential and parallel — must be
+  // field-for-field identical to the uninstrumented sequential run, and
+  // the metrics themselves must reflect the cohort.
+  ClassroomOptions options = base_options();
+  const ClassroomSummary plain =
+      simulate_classroom(quickstart_bundle(), options);
+
+  obs::ScopedEnable on;
+  auto& steps = obs::MetricsRegistry::global().counter("classroom_steps_total");
+  const u64 steps_before = steps.value();
+  const ClassroomSummary instrumented_seq =
+      simulate_classroom(quickstart_bundle(), options);
+  options.worker_threads = 4;
+  const ClassroomSummary instrumented_par =
+      simulate_classroom(quickstart_bundle(), options);
+
+  expect_students_equal(plain, instrumented_seq);
+  expect_students_equal(plain, instrumented_par);
+
+  u64 expected_steps = 0;
+  for (const auto& s : plain.students) {
+    expected_steps += static_cast<u64>(s.steps);
+  }
+  EXPECT_EQ(steps.value() - steps_before, 2 * expected_steps);
 }
 
 TEST(ClassroomParallelTest, RepeatedParallelRunsAreIdentical) {

@@ -12,7 +12,9 @@
 //   vgbl resume <bundle.vgblb> <store_dir> <student> [max_steps] [policy]
 //   vgbl inspect-snapshot <file.snap>
 //   vgbl classroom <bundle.vgblb> [students] [max_steps] [--threads N]
-//                  [--seed S] [--store <dir>]
+//                  [--seed S] [--store <dir>] [--stream]
+//                  [--metrics-out <file.json|file.prom>]
+//   vgbl metrics <scrape.json>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -22,6 +24,10 @@
 
 #include "core/classroom.hpp"
 #include "core/platform.hpp"
+#include "net/streaming.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "persist/session_store.hpp"
 #include "runtime/compositor.hpp"
 #include "util/text.hpp"
@@ -269,12 +275,61 @@ int cmd_resume(const std::string& path, const std::string& dir,
   return result.succeeded ? 0 : 3;
 }
 
+/// Delivery half of the multi-client story: the same cohort streams its
+/// video over the simulated shared link, populating the net_* and
+/// stream_* metrics (gameplay alone never touches the link).
+void run_stream_cohort(const GameBundle& bundle, int clients, u64 seed) {
+  StreamingConfig config;
+  config.network.bandwidth_bps = 40'000'000;
+  config.network.base_latency = milliseconds(15);
+  config.network.jitter = milliseconds(5);
+  config.network.loss_rate = 0.002;
+  config.prefetch_enabled = true;
+
+  StreamServer server(bundle.video.get(), config, seed);
+  Rng rng(seed + 1);
+  for (int i = 0; i < clients; ++i) {
+    server.add_client(random_student_path(bundle.graph, 12, rng));
+  }
+  server.run(seconds(300));
+  const auto agg = server.aggregate();
+  std::printf(
+      "streamed to %d client(s): startup %.1fms (p95 %.1fms), "
+      "%d stall(s), %d prefetch hit(s), %s sent\n",
+      clients, agg.mean_startup_ms, agg.p95_startup_ms,
+      agg.total_rebuffer_events, agg.prefetch_hits,
+      format_bytes(agg.bytes_sent).c_str());
+}
+
+int write_metrics_scrape(const std::string& out) {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().scrape();
+  const std::string body = out.ends_with(".json")
+                               ? obs::to_json(snap).dump(2) + "\n"
+                               : obs::to_prometheus(snap);
+  if (auto st = write_file(out, body.data(), body.size()); !st.ok()) {
+    return fail(st.error());
+  }
+  std::string subsystems;
+  for (const auto& s : snap.subsystems()) {
+    subsystems += (subsystems.empty() ? "" : ", ") + s;
+  }
+  std::printf("wrote metrics scrape to %s (%zu counters, subsystems: %s)\n",
+              out.c_str(), snap.counters.size(), subsystems.c_str());
+  const auto spans = obs::TraceLog::global().snapshot();
+  if (!spans.empty()) {
+    std::printf("%s", obs::render_trace_summary(spans).c_str());
+  }
+  return 0;
+}
+
 int cmd_classroom(const std::string& path,
                   const std::vector<std::string>& rest) {
   ClassroomOptions options;
   options.student_count = 16;
   options.max_steps_per_student = 200;
   std::string store_dir;
+  std::string metrics_out;
+  bool stream = false;
   int positional = 0;
   for (size_t i = 0; i < rest.size(); ++i) {
     const std::string& a = rest[i];
@@ -284,6 +339,10 @@ int cmd_classroom(const std::string& path,
       options.seed = std::strtoull(rest[++i].c_str(), nullptr, 10);
     } else if (a == "--store" && i + 1 < rest.size()) {
       store_dir = rest[++i];
+    } else if (a == "--metrics-out" && i + 1 < rest.size()) {
+      metrics_out = rest[++i];
+    } else if (a == "--stream") {
+      stream = true;
     } else if (positional == 0) {
       options.student_count = std::atoi(a.c_str());
       ++positional;
@@ -310,6 +369,7 @@ int cmd_classroom(const std::string& path,
     store.emplace(SessionStoreOptions{.directory = store_dir});
     options.store = &*store;
   }
+  if (!metrics_out.empty()) obs::set_enabled(true);
 
   const auto t0 = std::chrono::steady_clock::now();
   const ClassroomSummary summary = simulate_classroom(shared, options);
@@ -324,6 +384,21 @@ int cmd_classroom(const std::string& path,
       store_dir.empty() ? "" : " via session store",
       elapsed > 0 ? static_cast<double>(summary.students.size()) / elapsed
                   : 0.0);
+  if (stream) {
+    run_stream_cohort(*shared, options.student_count, options.seed);
+  }
+  if (!metrics_out.empty()) return write_metrics_scrape(metrics_out);
+  return 0;
+}
+
+int cmd_metrics(const std::string& path) {
+  auto text = read_file(path);
+  if (!text.ok()) return fail(text.error());
+  auto json = Json::parse(text.value());
+  if (!json.ok()) return fail(json.error());
+  auto snap = obs::snapshot_from_json(json.value());
+  if (!snap.ok()) return fail(snap.error());
+  std::printf("%s", obs::render_snapshot(snap.value()).c_str());
   return 0;
 }
 
@@ -366,7 +441,9 @@ void usage() {
                "[policy]\n"
                "  inspect-snapshot <file.snap>\n"
                "  classroom <bundle.vgblb> [students] [max_steps] "
-               "[--threads N] [--seed S] [--store <dir>]\n");
+               "[--threads N] [--seed S] [--store <dir>] [--stream]\n"
+               "            [--metrics-out <file.json|file.prom>]\n"
+               "  metrics <scrape.json>\n");
 }
 
 }  // namespace
@@ -408,6 +485,7 @@ int main(int argc, char** argv) {
     return cmd_classroom(arg(2),
                          std::vector<std::string>(argv + 3, argv + argc));
   }
+  if (cmd == "metrics" && argc >= 3) return cmd_metrics(arg(2));
   usage();
   return 64;
 }
