@@ -4,8 +4,11 @@
 #pragma once
 
 #include <algorithm>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "author/bundle.hpp"
@@ -13,6 +16,46 @@
 #include "core/platform.hpp"
 
 namespace vgbl::bench {
+
+/// Minimal writer for the BENCH_*.json perf artifacts: a flat header of
+/// scalar fields plus one array of row objects (the shape the PR-over-PR
+/// trajectory tooling reads — see BENCH_classroom.json). Values and rows
+/// are passed as already-formatted JSON fragments, keeping the helper a
+/// dumb assembler instead of a JSON library.
+class JsonArtifact {
+ public:
+  JsonArtifact(std::string benchmark, std::string rows_key)
+      : benchmark_(std::move(benchmark)), rows_key_(std::move(rows_key)) {}
+
+  /// Adds a top-level field; `raw_value` must be valid JSON (quote strings
+  /// yourself).
+  void field(const std::string& key, const std::string& raw_value) {
+    fields_.emplace_back(key, raw_value);
+  }
+  /// Adds one row; `raw_object` must be a valid JSON object.
+  void row(const std::string& raw_object) { rows_.push_back(raw_object); }
+
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n  \"benchmark\": \"" << benchmark_ << "\",\n";
+    for (const auto& [key, value] : fields_) {
+      out << "  \"" << key << "\": " << value << ",\n";
+    }
+    out << "  \"" << rows_key_ << "\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out << "    " << rows_[i] << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.good();
+  }
+
+ private:
+  std::string benchmark_;
+  std::string rows_key_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+  std::vector<std::string> rows_;
+};
 
 /// Nearest-rank percentile, `p` in [0, 100]. Takes the sample by value and
 /// sorts it, so callers can pass their raw measurement vector directly.

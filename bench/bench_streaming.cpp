@@ -4,7 +4,13 @@
 // whole table prints directly. Expected shape: startup grows linearly with
 // clients sharing the link; prefetch drives switch latency to ~0 until the
 // link saturates; rebuffering appears only past saturation.
+//
+// Emits BENCH_streaming.json with loss-profile arms (clean / 2% iid /
+// bursty) so the ARQ layer's delivery overhead — retransmits, skips,
+// bytes on the wire — is tracked PR-over-PR, and gates on the per-seed
+// determinism contract (a rerun of the bursty arm must be bit-identical).
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "net/streaming.hpp"
@@ -14,47 +20,144 @@ namespace {
 
 using namespace vgbl;
 
-void run_row(const GameBundle& bundle, int clients, bool prefetch) {
+struct RunResult {
+  StreamServer::Aggregate agg;
+  StreamServer::ArqStats arq;
+  MicroTime end = 0;
+  u64 packets_sent = 0;
+  u64 packets_lost = 0;
+};
+
+RunResult run_cohort(const GameBundle& bundle, int clients, bool prefetch,
+                     const std::string& profile) {
   StreamingConfig config;
   config.network.bandwidth_bps = 40'000'000;
   config.network.base_latency = milliseconds(15);
   config.network.jitter = milliseconds(5);
-  config.network.loss_rate = 0.002;
+  config.network.loss_rate = profile == "iid2" ? 0.02 : 0.002;
   config.prefetch_enabled = prefetch;
+  config.faults = FaultSchedule::profile(profile);
 
   StreamServer server(bundle.video.get(), config, /*seed=*/5);
   Rng rng(123);
   for (int i = 0; i < clients; ++i) {
     server.add_client(random_student_path(bundle.graph, 12, rng));
   }
-  const MicroTime end = server.run(seconds(600));
-  const auto agg = server.aggregate();
-  std::printf("%8d  %-8s  %11.1f  %11.1f  %10.3f  %7d  %8d  %9.1f MiB  %7.1fs\n",
-              clients, prefetch ? "yes" : "no", agg.mean_startup_ms,
-              agg.mean_switch_ms, agg.mean_rebuffer_ratio,
-              agg.total_rebuffer_events, agg.prefetch_hits,
-              static_cast<double>(agg.bytes_sent) / (1024.0 * 1024.0),
-              to_seconds(end));
+  RunResult r;
+  r.end = server.run(seconds(600));
+  r.agg = server.aggregate();
+  r.arq = server.arq_stats();
+  r.packets_sent = server.network().stats().packets_sent;
+  r.packets_lost = server.network().stats().packets_lost;
+  return r;
+}
+
+void print_row(const RunResult& r, int clients, bool prefetch,
+               const char* profile) {
+  std::printf(
+      "%8d  %-8s  %-7s  %11.1f  %11.1f  %10.3f  %7d  %7llu  %5d  %9.1f MiB\n",
+      clients, prefetch ? "yes" : "no", profile, r.agg.mean_startup_ms,
+      r.agg.mean_switch_ms, r.agg.mean_rebuffer_ratio,
+      r.agg.total_rebuffer_events,
+      static_cast<unsigned long long>(r.agg.retransmits),
+      r.agg.frames_skipped,
+      static_cast<double>(r.agg.bytes_sent) / (1024.0 * 1024.0));
+}
+
+std::string arm_json(const RunResult& r, int clients, const char* profile) {
+  char line[512];
+  std::snprintf(
+      line, sizeof line,
+      "{\"profile\": \"%s\", \"clients\": %d, \"mean_startup_ms\": %.1f, "
+      "\"p95_startup_ms\": %.1f, \"mean_rebuffer_ratio\": %.4f, "
+      "\"rebuffer_events\": %d, \"frames_skipped\": %d, "
+      "\"unfinished_clients\": %d, \"retransmits\": %llu, "
+      "\"nacks_sent\": %llu, \"packets_lost\": %llu, "
+      "\"bytes_sent\": %llu, \"sim_seconds\": %.1f}",
+      profile, clients, r.agg.mean_startup_ms, r.agg.p95_startup_ms,
+      r.agg.mean_rebuffer_ratio, r.agg.total_rebuffer_events,
+      r.agg.frames_skipped, r.agg.unfinished_clients,
+      static_cast<unsigned long long>(r.agg.retransmits),
+      static_cast<unsigned long long>(r.agg.nacks_sent),
+      static_cast<unsigned long long>(r.packets_lost),
+      static_cast<unsigned long long>(r.agg.bytes_sent),
+      to_seconds(r.end));
+  return line;
+}
+
+bool same_result(const RunResult& a, const RunResult& b) {
+  return a.end == b.end && a.packets_sent == b.packets_sent &&
+         a.packets_lost == b.packets_lost &&
+         a.agg.retransmits == b.agg.retransmits &&
+         a.agg.nacks_sent == b.agg.nacks_sent &&
+         a.agg.bytes_sent == b.agg.bytes_sent &&
+         a.agg.frames_skipped == b.agg.frames_skipped &&
+         a.agg.total_rebuffer_events == b.agg.total_rebuffer_events &&
+         a.arq.timeouts == b.arq.timeouts &&
+         a.arq.abandoned == b.arq.abandoned;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_streaming.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
   auto bundle = vgbl::bench::cached_bundle("treasure");
   std::printf(
-      "E9 streaming: 40 Mbit shared link, 15ms latency, 0.2%% loss,\n"
-      "treasure-hunt bundle (%s video), weighted random student paths\n\n",
+      "E9 streaming: 40 Mbit shared link, 15ms latency, ARQ over feedback\n"
+      "uplink, treasure-hunt bundle (%s video), weighted random paths\n\n",
       format_bytes(bundle->video->total_bytes()).c_str());
-  std::printf("%8s  %-8s  %11s  %11s  %10s  %7s  %8s  %12s  %8s\n", "clients",
-              "prefetch", "startup ms", "switch ms", "rebuf rate", "stalls",
-              "pf hits", "bytes sent", "sim time");
+  std::printf("%8s  %-8s  %-7s  %11s  %11s  %10s  %7s  %7s  %5s  %13s\n",
+              "clients", "prefetch", "faults", "startup ms", "switch ms",
+              "rebuf rate", "stalls", "rexmit", "skips", "bytes sent");
+
+  // The classic E9 sweep (clean link, 0.2% iid loss).
   for (int clients : {1, 2, 4, 8, 16, 32, 64}) {
-    run_row(*bundle, clients, false);
-    run_row(*bundle, clients, true);
+    print_row(run_cohort(*bundle, clients, false, "clean"), clients, false,
+              "clean");
+    print_row(run_cohort(*bundle, clients, true, "clean"), clients, true,
+              "clean");
+  }
+
+  // Loss-profile arms: ARQ overhead under iid vs bursty loss at a fixed
+  // cohort size. These are the rows the JSON artifact tracks PR-over-PR.
+  vgbl::bench::JsonArtifact artifact("streaming", "arms");
+  artifact.field("workload",
+                 "{\"bundle\": \"treasure\", \"clients\": 16, "
+                 "\"bandwidth_mbps\": 40, \"seed\": 5}");
+  std::printf("\nloss-profile arms (16 clients, prefetch on):\n");
+  RunResult bursty_first;
+  for (const char* profile : {"clean", "iid2", "bursty"}) {
+    const RunResult r = run_cohort(*bundle, 16, true, profile);
+    print_row(r, 16, true, profile);
+    artifact.row(arm_json(r, 16, profile));
+    if (std::string(profile) == "bursty") bursty_first = r;
+  }
+
+  // Determinism gate: the bursty arm rerun with the same seed must be
+  // bit-identical — the fault schedule may not leak nondeterminism.
+  const RunResult bursty_again = run_cohort(*bundle, 16, true, "bursty");
+  if (!same_result(bursty_first, bursty_again)) {
+    std::fprintf(stderr,
+                 "DETERMINISM VIOLATION: bursty arm diverged across reruns "
+                 "of the same seed\n");
+    return 1;
+  }
+
+  if (!artifact.write(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path);
+    return 1;
   }
   std::printf(
-      "\nshape check: startup grows ~linearly with clients; prefetch pushes\n"
-      "switch latency to ~0 off-saturation and loses its edge once the link\n"
-      "saturates (>=32 clients); rebuffering only appears past saturation.\n");
+      "\nwrote %s; determinism gate passed (bursty arm rerun identical)\n"
+      "shape check: startup grows ~linearly with clients; prefetch pushes\n"
+      "switch latency to ~0 off-saturation; lossy arms recover via ARQ\n"
+      "retransmits (never sender-side oracles) with few or no skips.\n",
+      out_path);
   return 0;
 }

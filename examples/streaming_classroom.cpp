@@ -44,27 +44,23 @@ void run_gameplay_cohort(std::shared_ptr<const GameBundle> bundle,
               summary.mean_play_seconds);
 }
 
-void run_cohort(const GameBundle& bundle, int clients, bool prefetch) {
-  StreamingConfig config;
-  config.network.bandwidth_bps = 40'000'000;  // 40 Mbit school downlink
-  config.network.base_latency = milliseconds(15);
-  config.network.jitter = milliseconds(5);
-  config.network.loss_rate = 0.002;
-  config.prefetch_enabled = prefetch;
+void run_cohort(const GameBundle& bundle, int clients, bool prefetch,
+                const char* fault_profile) {
+  StreamReplayOptions options;
+  options.client_count = clients;
+  options.seed = 5;
+  options.fault_profile = fault_profile;
+  options.streaming.prefetch_enabled = prefetch;
+  options.deadline = seconds(300);
+  const StreamReplaySummary s = replay_classroom_stream(bundle, options);
 
-  StreamServer server(bundle.video.get(), config, /*seed=*/5);
-  Rng rng(123);
-  for (int i = 0; i < clients; ++i) {
-    server.add_client(random_student_path(bundle.graph, 12, rng));
-  }
-  server.run(seconds(300));
-
-  const auto agg = server.aggregate();
-  std::printf("%8d  %-8s  %10.1f  %11.1f  %10.3f  %8d  %9d  %8.2f MiB\n",
-              clients, prefetch ? "yes" : "no", agg.mean_startup_ms,
-              agg.mean_switch_ms, agg.mean_rebuffer_ratio,
-              agg.total_rebuffer_events, agg.prefetch_hits,
-              static_cast<double>(agg.bytes_sent) / (1024.0 * 1024.0));
+  const auto& agg = s.aggregate;
+  std::printf(
+      "%8d  %-8s  %-8s  %10.1f  %11.1f  %10.3f  %8d  %6llu  %5d  %8.2f MiB\n",
+      clients, prefetch ? "yes" : "no", fault_profile, agg.mean_startup_ms,
+      agg.mean_switch_ms, agg.mean_rebuffer_ratio, agg.total_rebuffer_events,
+      static_cast<unsigned long long>(agg.retransmits), agg.frames_skipped,
+      static_cast<double>(agg.bytes_sent) / (1024.0 * 1024.0));
 }
 
 }  // namespace
@@ -95,12 +91,19 @@ int main(int argc, char** argv) {
   std::printf("\nstreaming '%s' (%s of video)\n",
               bundle.value()->meta.title.c_str(),
               format_bytes(bundle.value()->video->total_bytes()).c_str());
-  std::printf("%8s  %-8s  %10s  %11s  %10s  %8s  %9s  %8s\n", "clients",
-              "prefetch", "startup ms", "switch ms", "rebuf rate", "stalls",
-              "pf hits", "sent");
+  std::printf("%8s  %-8s  %-8s  %10s  %11s  %10s  %8s  %6s  %5s  %8s\n",
+              "clients", "prefetch", "faults", "startup ms", "switch ms",
+              "rebuf rate", "stalls", "rexmit", "skips", "sent");
   for (int clients : {4, 16, 32}) {
-    run_cohort(*bundle.value(), clients, false);
-    run_cohort(*bundle.value(), clients, true);
+    run_cohort(*bundle.value(), clients, false, "clean");
+    run_cohort(*bundle.value(), clients, true, "clean");
+  }
+  // Delivery robustness: the same cohort under injected faults — bursty
+  // loss, then the full stress profile (burst loss + link flap + mid-run
+  // bandwidth degradation). Recovery is ARQ retransmits; unrecoverable
+  // frames become counted skips, never permanent stalls.
+  for (const char* profile : {"bursty", "stress"}) {
+    run_cohort(*bundle.value(), 16, true, profile);
   }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "core/classroom.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 
@@ -253,6 +254,57 @@ const char* policy_name(BotPolicy p) {
 }
 
 }  // namespace
+
+StreamingConfig StreamReplayOptions::classroom_link_defaults() {
+  StreamingConfig config;
+  config.network.bandwidth_bps = 40'000'000;  // 40 Mbit school downlink
+  config.network.base_latency = milliseconds(15);
+  config.network.jitter = milliseconds(5);
+  config.network.loss_rate = 0.002;
+  config.prefetch_enabled = true;
+  return config;
+}
+
+StreamReplaySummary replay_classroom_stream(
+    const GameBundle& bundle, const StreamReplayOptions& options) {
+  StreamingConfig config = options.streaming;
+  config.faults = FaultSchedule::profile(options.fault_profile);
+  if (options.fault_profile == "iid2") {
+    config.network.loss_rate = std::max(config.network.loss_rate, 0.02);
+  }
+  StreamServer server(bundle.video.get(), config, options.seed);
+  for (int i = 0; i < options.client_count; ++i) {
+    // Path derivation reuses the gameplay engine's per-student seed scheme
+    // so the delivery cohort walks the same kind of scenario paths.
+    Rng rng(classroom_student_seed(options.seed, i + 1));
+    server.add_client(random_student_path(bundle.graph, options.max_hops, rng));
+  }
+  StreamReplaySummary out;
+  out.end_time = server.run(options.deadline);
+  out.aggregate = server.aggregate();
+  out.arq = server.arq_stats();
+  out.packets_sent = server.network().stats().packets_sent;
+  out.packets_lost = server.network().stats().packets_lost;
+  return out;
+}
+
+std::string StreamReplaySummary::report() const {
+  std::string out;
+  out += "startup " + format_double(aggregate.mean_startup_ms, 1) + " ms (p95 " +
+         format_double(aggregate.p95_startup_ms, 1) + "), rebuffer ratio " +
+         format_double(aggregate.mean_rebuffer_ratio, 3) + ", " +
+         std::to_string(aggregate.total_rebuffer_events) + " stall(s), " +
+         std::to_string(aggregate.prefetch_hits) + " prefetch hit(s)\n";
+  out += "delivery: " + std::to_string(packets_sent) + " packet(s) sent, " +
+         std::to_string(packets_lost) + " lost, " +
+         std::to_string(aggregate.retransmits) + " retransmit(s), " +
+         std::to_string(aggregate.nacks_sent) + " nack(s), " +
+         std::to_string(arq.abandoned) + " abandoned, " +
+         std::to_string(aggregate.frames_skipped) + " frame(s) skipped, " +
+         std::to_string(aggregate.unfinished_clients) +
+         " unfinished client(s)\n";
+  return out;
+}
 
 std::string ClassroomSummary::report() const {
   std::string out;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "author/bundle.hpp"
+#include "net/streaming.hpp"
 #include "persist/session_store.hpp"
 #include "runtime/script.hpp"
 
@@ -75,5 +76,40 @@ u64 classroom_student_seed(u64 classroom_seed, int student_id);
 /// across `options.worker_threads` workers with bit-identical results.
 ClassroomSummary simulate_classroom(std::shared_ptr<const GameBundle> bundle,
                                     const ClassroomOptions& options);
+
+/// Delivery half of the classroom story: the cohort streams its scenario
+/// walks over the simulated shared link, under an injectable fault profile.
+struct StreamReplayOptions {
+  int client_count = 16;
+  u64 seed = 99;
+  /// Scenario-walk length cap per student (see random_student_path).
+  int max_hops = 12;
+  /// FaultSchedule::profile name: "clean", "iid2", "bursty", "flap",
+  /// "degraded" or "stress". "iid2" also raises the iid loss rate to 2%.
+  std::string fault_profile = "clean";
+  /// Base delivery config (link shape, ARQ knobs); the fault profile is
+  /// applied on top. Defaults to the 40 Mbit school downlink.
+  StreamingConfig streaming = classroom_link_defaults();
+  MicroTime deadline = seconds(600);
+
+  static StreamingConfig classroom_link_defaults();
+};
+
+struct StreamReplaySummary {
+  StreamServer::Aggregate aggregate;
+  StreamServer::ArqStats arq;
+  MicroTime end_time = 0;   // sim time when the last client finished
+  u64 packets_sent = 0;
+  u64 packets_lost = 0;
+
+  [[nodiscard]] std::string report() const;
+};
+
+/// Streams the cohort over the simulated link. Each client's path is
+/// derived from classroom_student_seed(seed, id) — the same seed that
+/// drives the gameplay cohort drives the delivery cohort, and results are
+/// bit-identical across reruns of a seed.
+StreamReplaySummary replay_classroom_stream(const GameBundle& bundle,
+                                            const StreamReplayOptions& options);
 
 }  // namespace vgbl

@@ -4,10 +4,20 @@
 // system in (§2: PC-based systems "integrating network, video encoding and
 // transmission technologies") — simulated because this environment has no
 // real network (DESIGN.md §2).
+//
+// Honesty contract: loss is only observable at the receiver. `send` never
+// tells the caller whether a packet survived — a lost packet simply never
+// comes out of `poll`. Senders that need reliability must run an ARQ loop
+// over the `FeedbackLink` reverse channel (see net/streaming.hpp).
+//
+// Fault injection: a `FaultSchedule` layers deterministic, seedable fault
+// scenarios on top of the base iid loss rate — Gilbert–Elliott burst loss,
+// hard outage windows (link flap) and mid-run bandwidth degradation — so
+// tests, benches and the CLI can select delivery-robustness profiles.
 #pragma once
 
 #include <deque>
-#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -25,12 +35,79 @@ struct NetworkConfig {
   u32 mtu_bytes = 1400;
 };
 
+/// Injectable fault scenarios, evaluated per packet at serialization start.
+/// All randomness comes from the owning link's seeded Rng, so a schedule is
+/// bit-identical across reruns of the same seed.
+struct FaultSchedule {
+  /// Gilbert–Elliott burst loss: a two-state Markov chain advanced once per
+  /// packet. The Good state loses packets with `ge_loss_good`, the Bad
+  /// state with `ge_loss_bad`; the transition probabilities shape how long
+  /// loss bursts last.
+  f64 ge_loss_good = 0.0;
+  f64 ge_loss_bad = 0.0;
+  f64 ge_good_to_bad = 0.0;  // per-packet P(Good -> Bad)
+  f64 ge_bad_to_good = 0.0;  // per-packet P(Bad -> Good)
+
+  struct Window {
+    MicroTime start = 0;
+    MicroTime end = 0;  // half-open: [start, end)
+  };
+  /// Link flap: hard outage windows. Every packet whose serialization
+  /// starts inside a window is lost (the bytes go into a dead link).
+  std::vector<Window> outages;
+
+  struct Degradation {
+    Window window;
+    f64 bandwidth_scale = 1.0;  // effective = bandwidth_bps * scale
+  };
+  /// Mid-run bandwidth degradation windows (congestion, throttling).
+  std::vector<Degradation> degradations;
+
+  [[nodiscard]] bool ge_enabled() const {
+    return ge_good_to_bad > 0 || ge_loss_good > 0;
+  }
+  [[nodiscard]] bool empty() const {
+    return !ge_enabled() && outages.empty() && degradations.empty();
+  }
+  [[nodiscard]] bool in_outage(MicroTime now) const;
+  /// Smallest bandwidth scale among active degradation windows (1.0 when
+  /// none are active).
+  [[nodiscard]] f64 bandwidth_scale(MicroTime now) const;
+
+  /// Named fault profiles for tests/benches/CLI:
+  ///   "clean"    — no faults
+  ///   "iid2"     — (no schedule faults; pair with loss_rate 0.02)
+  ///   "bursty"   — Gilbert–Elliott, ~2% average loss in bursts
+  ///   "flap"     — one hard 1.5s outage at t=10s
+  ///   "degraded" — bandwidth drops to 35% over t=[15s, 45s)
+  ///   "stress"   — bursty + flap + degradation combined
+  /// Unknown names return the clean schedule.
+  static FaultSchedule profile(std::string_view name);
+};
+
+/// Per-link loss decision: hard outages, the Gilbert–Elliott chain, then
+/// the base iid rate. Owns the chain state; draws from the caller's Rng so
+/// loss stays deterministic per link seed.
+class LossProcess {
+ public:
+  LossProcess(f64 iid_loss, FaultSchedule schedule)
+      : iid_(iid_loss), schedule_(std::move(schedule)) {}
+
+  [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
+  bool lost(MicroTime at, Rng& rng);
+
+ private:
+  f64 iid_;
+  FaultSchedule schedule_;
+  bool ge_bad_ = false;
+};
+
 /// One in-flight transfer unit. Payloads are modelled by size only — the
 /// receiver validates against the container, so carrying real bytes would
 /// only slow the simulation down.
 struct Packet {
   u32 flow = 0;        // client id
-  u64 sequence = 0;    // per-flow sequence number
+  u64 sequence = 0;    // per-flow sequence number (reused on retransmit)
   u32 size = 0;        // bytes on the wire
   u32 segment = 0;     // video segment this chunk belongs to
   int frame_index = -1;  // frame index *within* the segment
@@ -44,9 +121,16 @@ struct Packet {
 class SimulatedNetwork {
  public:
   SimulatedNetwork(NetworkConfig config, u64 seed = 7)
-      : config_(config), rng_(seed) {}
+      : SimulatedNetwork(config, FaultSchedule{}, seed) {}
+  SimulatedNetwork(NetworkConfig config, FaultSchedule faults, u64 seed = 7)
+      : config_(config),
+        loss_(config.loss_rate, std::move(faults)),
+        rng_(seed) {}
 
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
+  [[nodiscard]] const FaultSchedule& faults() const {
+    return loss_.schedule();
+  }
 
   /// True when the link can start serialising another packet at `now`
   /// (i.e. the sender is not blocked by backpressure).
@@ -56,10 +140,11 @@ class SimulatedNetwork {
   [[nodiscard]] MicroTime busy_until() const { return link_busy_until_; }
 
   /// Enqueues a packet at `now`. Serialization occupies the shared link;
-  /// the packet arrives after latency+jitter unless lost. Returns the
-  /// arrival time (lost packets return nullopt but still consumed link
-  /// time — the bytes were transmitted, just corrupted en route).
-  std::optional<MicroTime> send(Packet packet, MicroTime now);
+  /// the packet arrives after latency+jitter. Returns the arrival time
+  /// unconditionally — the sender cannot observe loss. A lost packet still
+  /// consumed link time (the bytes were transmitted, just corrupted or
+  /// flapped en route); it just never comes out of `poll`.
+  MicroTime send(Packet packet, MicroTime now);
 
   /// All packets that have arrived by `now`, in arrival order.
   std::vector<Packet> poll(MicroTime now);
@@ -73,9 +158,62 @@ class SimulatedNetwork {
 
  private:
   NetworkConfig config_;
+  LossProcess loss_;
   Rng rng_;
   MicroTime link_busy_until_ = 0;
   std::deque<Packet> in_flight_;  // sorted by arrival (jitter is bounded)
+  Stats stats_;
+};
+
+/// Client -> server control message on the reverse link: a cumulative ACK
+/// ("I have every sequence <= this") plus the specific gaps the client
+/// still wants retransmitted.
+struct FeedbackPacket {
+  u32 flow = 0;
+  u64 cumulative_ack = 0;
+  std::vector<u64> nacks;
+  MicroTime sent_at = 0;
+  MicroTime arrives_at = 0;
+
+  [[nodiscard]] u32 wire_size() const {
+    return 16 + 8 * static_cast<u32>(nacks.size());
+  }
+};
+
+/// The small reverse link carrying client feedback. Same physics as the
+/// downlink — serialization on a (much smaller) shared pipe, latency,
+/// jitter, loss, and the same fault schedule shape (a flapped link is dead
+/// in both directions) — so the ARQ loop has to survive lost and delayed
+/// feedback, not just lost data.
+class FeedbackLink {
+ public:
+  FeedbackLink(NetworkConfig config, FaultSchedule faults, u64 seed)
+      : config_(config),
+        loss_(config.loss_rate, std::move(faults)),
+        rng_(seed) {}
+
+  [[nodiscard]] bool can_send(MicroTime now) const {
+    return link_busy_until_ <= now;
+  }
+
+  /// Same honesty contract as the downlink: returns the arrival time, the
+  /// sender cannot observe loss.
+  MicroTime send(FeedbackPacket packet, MicroTime now);
+  std::vector<FeedbackPacket> poll(MicroTime now);
+
+  struct Stats {
+    u64 packets_sent = 0;
+    u64 packets_lost = 0;
+    u64 bytes_sent = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  NetworkConfig config_;
+  LossProcess loss_;
+  Rng rng_;
+  MicroTime link_busy_until_ = 0;
+  std::deque<FeedbackPacket> in_flight_;
   Stats stats_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -10,20 +11,28 @@ namespace vgbl {
 
 namespace {
 
+constexpr MicroTime kNever = std::numeric_limits<MicroTime>::max();
+
 struct StreamMetrics {
   obs::Counter& frames_sent;
+  obs::Counter& frames_skipped;
   obs::Counter& segments_played;
   obs::Counter& segment_switches;
   obs::Counter& prefetch_hits;
   obs::Counter& rebuffer_events;
+  obs::Counter& retransmits;
+  obs::Counter& nacks_sent;
   obs::Histogram& startup_delay_ms;
   obs::Histogram& segment_fetch_ms;
+  obs::Histogram& rtt_ms;
 
   static StreamMetrics& get() {
     auto& reg = obs::MetricsRegistry::global();
     static StreamMetrics m{
         reg.counter("stream_frames_sent_total",
                     "video frames handed to the simulated link"),
+        reg.counter("stream_frames_skipped_total",
+                    "frames given up past their retransmission deadline"),
         reg.counter("stream_segments_played_total",
                     "segments played to completion across clients"),
         reg.counter("stream_segment_switches_total",
@@ -32,12 +41,18 @@ struct StreamMetrics {
                     "segment switches served entirely from buffer"),
         reg.counter("stream_rebuffer_events_total",
                     "times a client's buffer ran dry mid-segment"),
+        reg.counter("net_retransmits_total",
+                    "packets re-sent by the ARQ layer (NACK or timeout)"),
+        reg.counter("net_nack_sent_total",
+                    "NACK entries clients put on the feedback uplink"),
         reg.histogram("stream_startup_delay_ms",
                       obs::exponential_buckets(1.0, 2.0, 14),
                       "sim time from first request to first frame"),
         reg.histogram("stream_segment_fetch_ms",
                       obs::exponential_buckets(0.5, 2.0, 14),
-                      "sim time from segment request to playable buffer")};
+                      "sim time from segment request to playable buffer"),
+        reg.histogram("net_rtt_ms", obs::exponential_buckets(1.0, 2.0, 14),
+                      "ARQ round-trip time (send -> cumulative ack)")};
     return m;
   }
 };
@@ -70,27 +85,91 @@ std::vector<SegmentId> StreamClient::upcoming_segments(int max_count) const {
 }
 
 int StreamClient::next_needed_frame(SegmentId segment) const {
-  auto it = received_frames_.find(segment.value);
-  return it == received_frames_.end() ? 0 : it->second;
+  auto it = buffers_.find(segment.value);
+  return it == buffers_.end() ? 0 : it->second.prefix;
+}
+
+void StreamClient::advance_prefix(SegmentBuffer& buf) {
+  while (!buf.pending.empty() && *buf.pending.begin() == buf.prefix) {
+    buf.pending.erase(buf.pending.begin());
+    ++buf.prefix;
+  }
 }
 
 void StreamClient::on_packet(const Packet& packet, MicroTime now) {
   stats_.bytes_received += packet.size;
-  if (!packet.frame_complete) return;
-  int& received = received_frames_[packet.segment];
-  if (packet.frame_index < received) return;  // duplicate
-  if (packet.frame_index == received) {
-    ++received;
-    // Stitch in any out-of-order frames that are now contiguous.
-    auto& pending = out_of_order_[packet.segment];
-    while (!pending.empty() && *pending.begin() == received) {
-      pending.erase(pending.begin());
-      ++received;
+
+  // ARQ receive state. Retransmissions reuse the original sequence number,
+  // so the sequence space directly identifies what is still missing.
+  if (packet.sequence == rx_cum_ + 1) {
+    ++rx_cum_;
+    while (!rx_above_cum_.empty() && *rx_above_cum_.begin() == rx_cum_ + 1) {
+      rx_above_cum_.erase(rx_above_cum_.begin());
+      ++rx_cum_;
     }
+  } else if (packet.sequence > rx_cum_) {
+    rx_above_cum_.insert(packet.sequence);
+  }
+  rx_highest_ = std::max(rx_highest_, packet.sequence);
+  missing_since_.erase(packet.sequence);
+  missing_since_.erase(missing_since_.begin(),
+                       missing_since_.upper_bound(rx_cum_));
+
+  if (!packet.frame_complete) return;
+  SegmentBuffer& buf = buffers_[packet.segment];
+  if (packet.frame_index < buf.prefix ||
+      buf.pending.count(packet.frame_index)) {
+    return;  // duplicate (or a retransmission that lost the race to a skip)
+  }
+  if (packet.frame_index == buf.prefix) {
+    ++buf.prefix;
+    advance_prefix(buf);
   } else {
-    out_of_order_[packet.segment].insert(packet.frame_index);
+    buf.pending.insert(packet.frame_index);
   }
   (void)now;
+}
+
+std::optional<FeedbackPacket> StreamClient::make_feedback(MicroTime now) {
+  if (now < next_feedback_at_) return std::nullopt;
+
+  // Register newly observed sequence gaps so NACKs can be aged: a gap must
+  // outlive the jitter-reordering window before the client asks for it.
+  if (!rx_above_cum_.empty()) {
+    u64 expect = rx_cum_ + 1;
+    for (u64 seq : rx_above_cum_) {
+      for (u64 gap = expect; gap < seq; ++gap) {
+        missing_since_.try_emplace(gap, now);
+      }
+      expect = seq + 1;
+    }
+  }
+
+  const MicroTime grace =
+      config_.nack_grace > 0
+          ? config_.nack_grace
+          : std::max<MicroTime>(2 * config_.network.jitter, milliseconds(4));
+  FeedbackPacket fb;
+  fb.flow = id_;
+  fb.cumulative_ack = rx_cum_;
+  for (const auto& [seq, since] : missing_since_) {
+    if (static_cast<int>(fb.nacks.size()) >= config_.max_nacks_per_feedback) {
+      break;
+    }
+    if (now - since >= grace) fb.nacks.push_back(seq);
+  }
+
+  // Change-driven: silence when there is nothing new to report keeps the
+  // thin uplink from drowning in keepalives.
+  if (rx_cum_ == last_fed_back_cum_ && fb.nacks.empty()) return std::nullopt;
+  last_fed_back_cum_ = rx_cum_;
+  next_feedback_at_ = now + config_.feedback_interval;
+  ++stats_.feedback_packets;
+  stats_.nacks_sent += static_cast<int>(fb.nacks.size());
+  if (obs::enabled() && !fb.nacks.empty()) {
+    StreamMetrics::get().nacks_sent.add(fb.nacks.size());
+  }
+  return fb;
 }
 
 void StreamClient::start_segment(MicroTime now) {
@@ -98,6 +177,21 @@ void StreamClient::start_segment(MicroTime now) {
   state_ = PlayState::kBuffering;
   state_since_ = now;
   presented_in_segment_ = 0;
+  blocked_frame_ = -1;
+  blocked_since_ = now;
+}
+
+void StreamClient::skip_blocked_frames(SegmentBuffer& buf) {
+  // Give up on the whole missing run: everything up to the next frame that
+  // actually arrived (or just the head frame when nothing has). The skip
+  // is charged to `frames_skipped` when presentation passes the frame.
+  const int until =
+      buf.pending.empty() ? buf.prefix + 1 : *buf.pending.begin();
+  while (buf.prefix < until) {
+    buf.skipped.insert(buf.prefix);
+    ++buf.prefix;
+  }
+  advance_prefix(buf);
 }
 
 void StreamClient::tick(MicroTime now) {
@@ -107,31 +201,54 @@ void StreamClient::tick(MicroTime now) {
     finished_ = true;
     return;
   }
-  const int received = next_needed_frame(current_segment());
+  SegmentBuffer& buf = buffers_[current_segment().value];
   const MicroTime frame_period = 1'000'000 / std::max(1, container_->fps());
+
+  if (state_ == PlayState::kStalled) {
+    stats_.rebuffer_time += now - state_since_;
+    state_since_ = now;
+  }
+
+  // Graceful degradation: while blocked (buffering or stalled), a gap that
+  // has pinned the buffer prefix past the skip deadline is given up rather
+  // than letting its retransmission deadline blow the playback budget.
+  // Progress (the prefix advancing) resets the timer, so a slow-but-alive
+  // link never triggers skips.
+  if (state_ != PlayState::kPlaying && buf.prefix < seg->frame_count) {
+    if (buf.prefix != blocked_frame_) {
+      blocked_frame_ = buf.prefix;
+      blocked_since_ = now;
+    } else if (now - blocked_since_ >= config_.frame_skip_deadline) {
+      skip_blocked_frames(buf);
+      blocked_frame_ = buf.prefix;
+      blocked_since_ = now;
+      if (state_ == PlayState::kStalled) {
+        // The deadline is blown: resume immediately and present the skip
+        // instead of waiting out the resume threshold.
+        state_ = PlayState::kPlaying;
+        state_since_ = now;
+        next_frame_due_ = now;
+      }
+    }
+  }
 
   switch (state_) {
     case PlayState::kBuffering: {
       const int threshold =
           std::min(config_.startup_buffer_frames, seg->frame_count);
-      if (received >= threshold) {
+      if (buf.prefix >= threshold) {
         // Buffer primed: start presenting.
-        StreamMetrics& metrics = StreamMetrics::get();
-        if (!first_frame_presented_) {
-          stats_.startup_delay = now - segment_requested_at_;
-          first_frame_presented_ = true;
-          metrics.startup_delay_ms.observe(to_millis(stats_.startup_delay));
-        } else {
-          ++stats_.segment_switches;
-          metrics.segment_switches.increment();
-          stats_.switch_delay_total += now - segment_requested_at_;
-          if (now == segment_requested_at_) {
-            ++stats_.prefetch_hits;  // switch served entirely from buffer
-            metrics.prefetch_hits.increment();
-          }
-        }
-        metrics.segment_fetch_ms.observe(to_millis(now - segment_requested_at_));
         if (obs::enabled()) {
+          StreamMetrics& metrics = StreamMetrics::get();
+          if (!stats_.started) {
+            metrics.startup_delay_ms.observe(
+                to_millis(now - segment_requested_at_));
+          } else {
+            metrics.segment_switches.increment();
+            if (now == segment_requested_at_) metrics.prefetch_hits.increment();
+          }
+          metrics.segment_fetch_ms.observe(
+              to_millis(now - segment_requested_at_));
           // Segment fetch is not a lexical scope — it opens in
           // start_segment() and closes here — so the span is recorded by
           // hand rather than via SpanScope.
@@ -142,6 +259,16 @@ void StreamClient::tick(MicroTime now) {
           fetch.wall_ms = 0;
           obs::TraceLog::global().record(fetch);
         }
+        if (!stats_.started) {
+          stats_.startup_delay = now - segment_requested_at_;
+          stats_.started = true;
+        } else {
+          ++stats_.segment_switches;
+          stats_.switch_delay_total += now - segment_requested_at_;
+          if (now == segment_requested_at_) {
+            ++stats_.prefetch_hits;  // switch served entirely from buffer
+          }
+        }
         state_ = PlayState::kPlaying;
         state_since_ = now;
         next_frame_due_ = now;
@@ -149,26 +276,38 @@ void StreamClient::tick(MicroTime now) {
       break;
     }
     case PlayState::kPlaying: {
-      stats_.play_time += now - state_since_;
-      state_since_ = now;
       while (next_frame_due_ <= now &&
              presented_in_segment_ < seg->frame_count) {
-        if (presented_in_segment_ < received) {
+        if (presented_in_segment_ < buf.prefix) {
+          if (buf.skipped.count(presented_in_segment_)) {
+            ++stats_.frames_skipped;
+            if (obs::enabled()) StreamMetrics::get().frames_skipped.increment();
+          } else {
+            ++stats_.frames_presented;
+          }
           ++presented_in_segment_;
-          ++stats_.frames_presented;
           next_frame_due_ += frame_period;
         } else {
-          // Buffer ran dry mid-segment.
+          // Buffer ran dry mid-segment — at the missing frame's due time,
+          // not at this tick: only the interval up to the last presentable
+          // frame counts as play time, the rest is rebuffering.
+          const MicroTime stall_start =
+              std::max(state_since_, next_frame_due_);
+          stats_.play_time += stall_start - state_since_;
           state_ = PlayState::kStalled;
-          state_since_ = now;
+          state_since_ = stall_start;
           ++stats_.rebuffer_events;
-          StreamMetrics::get().rebuffer_events.increment();
+          if (obs::enabled()) StreamMetrics::get().rebuffer_events.increment();
+          blocked_frame_ = buf.prefix;
+          blocked_since_ = stall_start;
           return;
         }
       }
+      stats_.play_time += now - state_since_;
+      state_since_ = now;
       if (presented_in_segment_ >= seg->frame_count) {
         ++stats_.segments_played;
-        StreamMetrics::get().segments_played.increment();
+        if (obs::enabled()) StreamMetrics::get().segments_played.increment();
         ++path_pos_;
         if (path_pos_ >= path_.size()) {
           finished_ = true;
@@ -180,12 +319,11 @@ void StreamClient::tick(MicroTime now) {
       break;
     }
     case PlayState::kStalled: {
-      stats_.rebuffer_time += now - state_since_;
-      state_since_ = now;
-      if (received - presented_in_segment_ >=
+      if (buf.prefix - presented_in_segment_ >=
           std::min(config_.resume_buffer_frames,
                    seg->frame_count - presented_in_segment_)) {
         state_ = PlayState::kPlaying;
+        state_since_ = now;
         next_frame_due_ = now;
       }
       break;
@@ -197,7 +335,17 @@ StreamServer::StreamServer(const VideoContainer* container,
                            StreamingConfig config, u64 seed)
     : container_(container),
       config_(config),
-      network_(config.network, seed) {}
+      network_(config.network, config.faults, seed),
+      feedback_(
+          NetworkConfig{.bandwidth_bps = config.feedback_bandwidth_bps,
+                        .base_latency = config.network.base_latency,
+                        .jitter = config.network.jitter,
+                        .loss_rate = config.feedback_loss_rate,
+                        .mtu_bytes = config.network.mtu_bytes},
+          config.faults, [seed] {
+            u64 s = seed + 1;
+            return splitmix64(s);
+          }()) {}
 
 StreamClient& StreamServer::add_client(std::vector<SegmentId> path) {
   const u32 id = static_cast<u32>(clients_.size()) + 1;
@@ -206,8 +354,139 @@ StreamClient& StreamServer::add_client(std::vector<SegmentId> path) {
   return *clients_.back();
 }
 
+MicroTime StreamServer::rto(const FlowArq& arq) const {
+  if (!arq.rtt_valid) return config_.initial_rto;
+  const auto estimate = static_cast<MicroTime>(arq.srtt + 4.0 * arq.rttvar);
+  return std::clamp(estimate, config_.min_rto, config_.max_rto);
+}
+
+void StreamServer::on_feedback(const FeedbackPacket& fb, MicroTime now) {
+  ++arq_stats_.feedback_received;
+  FlowArq& arq = arq_[fb.flow];
+
+  // The cumulative ACK clears the unacked window. RTT sample from the
+  // newest acked first-transmission (Karn's rule: a retransmitted packet's
+  // ack is ambiguous, so it never feeds the estimator).
+  bool have_sample = false;
+  MicroTime sample = 0;
+  auto it = arq.unacked.begin();
+  while (it != arq.unacked.end() && it->first <= fb.cumulative_ack) {
+    if (it->second.retries == 0) {
+      have_sample = true;
+      sample = now - it->second.last_sent;
+    }
+    it = arq.unacked.erase(it);
+  }
+  if (have_sample) {
+    const f64 s = static_cast<f64>(sample);
+    if (!arq.rtt_valid) {
+      arq.srtt = s;
+      arq.rttvar = s / 2;
+      arq.rtt_valid = true;
+    } else {
+      arq.rttvar = 0.75 * arq.rttvar + 0.25 * std::abs(arq.srtt - s);
+      arq.srtt = 0.875 * arq.srtt + 0.125 * s;
+    }
+    if (obs::enabled()) {
+      StreamMetrics::get().rtt_ms.observe(to_millis(sample));
+    }
+  }
+
+  for (u64 seq : fb.nacks) {
+    auto entry = arq.unacked.find(seq);
+    if (entry == arq.unacked.end()) continue;  // acked or abandoned already
+    ++arq_stats_.nacks_received;
+    UnackedPacket& u = entry->second;
+    // A retransmission may already be in flight; only re-raise once the
+    // previous attempt has had half an RTO to land.
+    if (u.queued || now - u.last_sent < rto(arq) / 2) continue;
+    if (static_cast<int>(retransmit_queue_.size()) >=
+        config_.max_retransmit_queue) {
+      ++arq_stats_.queue_overflow;
+      continue;
+    }
+    u.queued = true;
+    retransmit_queue_.emplace_back(fb.flow, seq);
+  }
+}
+
+void StreamServer::check_timeouts(MicroTime now) {
+  for (auto& [flow, arq] : arq_) {
+    if (arq.unacked.empty() || now < arq.next_timeout_at) continue;
+    const MicroTime base = rto(arq);
+    MicroTime next = kNever;
+    auto it = arq.unacked.begin();
+    while (it != arq.unacked.end()) {
+      UnackedPacket& u = it->second;
+      if (u.queued) {
+        ++it;  // awaiting resend; its deadline restarts then
+        continue;
+      }
+      const MicroTime backoff = std::min(
+          static_cast<MicroTime>(base << std::min(u.retries, 6)),
+          config_.max_rto);
+      const MicroTime deadline = u.last_sent + backoff;
+      if (now < deadline) {
+        next = std::min(next, deadline);
+        ++it;
+        continue;
+      }
+      ++arq_stats_.timeouts;
+      if (u.retries >= config_.max_retries) {
+        // Unrecoverable within budget: the client's frame-skip path takes
+        // over from here.
+        ++arq_stats_.abandoned;
+        it = arq.unacked.erase(it);
+        continue;
+      }
+      if (static_cast<int>(retransmit_queue_.size()) >=
+          config_.max_retransmit_queue) {
+        ++arq_stats_.queue_overflow;
+        next = std::min(next, now + config_.min_rto);  // retry the enqueue
+        ++it;
+        continue;
+      }
+      u.queued = true;
+      retransmit_queue_.emplace_back(flow, it->first);
+      ++it;
+    }
+    arq.next_timeout_at = next;
+  }
+}
+
+bool StreamServer::send_one_retransmit(MicroTime now) {
+  while (!retransmit_queue_.empty()) {
+    const auto [flow, seq] = retransmit_queue_.front();
+    retransmit_queue_.pop_front();
+    auto fit = arq_.find(flow);
+    if (fit == arq_.end()) continue;
+    auto it = fit->second.unacked.find(seq);
+    if (it == fit->second.unacked.end()) continue;  // acked in the meantime
+    UnackedPacket& u = it->second;
+    u.queued = false;
+    network_.send(u.packet, now);
+    u.last_sent = now;
+    ++u.retries;
+    ++arq_stats_.retransmits;
+    if (obs::enabled()) StreamMetrics::get().retransmits.increment();
+    const MicroTime backoff = std::min(
+        static_cast<MicroTime>(rto(fit->second) << std::min(u.retries, 6)),
+        config_.max_rto);
+    fit->second.next_timeout_at =
+        std::min(fit->second.next_timeout_at, now + backoff);
+    return true;
+  }
+  return false;
+}
+
 bool StreamServer::pump_client(StreamClient& client, MicroTime now) {
   if (client.finished()) return false;
+  FlowArq& arq = arq_[client.id()];
+  // ARQ flow control: a full window means the link (or the client) is not
+  // keeping up — pushing more new frames would only grow server state.
+  if (static_cast<int>(arq.unacked.size()) >= config_.max_unacked_per_flow) {
+    return false;
+  }
 
   // Service order: current segment first, then prefetch candidates.
   std::vector<SegmentId> wanted{client.current_segment()};
@@ -232,11 +511,16 @@ bool StreamServer::pump_client(StreamClient& client, MicroTime now) {
     p.frame_index = progress;
     p.frame_complete = true;
     p.size = static_cast<u32>(data.value().size());
-    const auto arrival = network_.send(p, now);
-    if (arrival) {
-      ++progress;  // lost packets are retransmitted (progress holds)
-      StreamMetrics::get().frames_sent.increment();
-    }
+    network_.send(p, now);
+    // The sender cannot see loss: progress always advances, and recovery
+    // is the ARQ loop's job (NACK or timeout -> retransmit).
+    ++progress;
+    if (obs::enabled()) StreamMetrics::get().frames_sent.increment();
+    UnackedPacket u;
+    u.packet = p;
+    u.last_sent = now;
+    arq.next_timeout_at = std::min(arq.next_timeout_at, now + rto(arq));
+    arq.unacked.emplace(p.sequence, u);
     return true;
   }
   return false;
@@ -245,7 +529,8 @@ bool StreamServer::pump_client(StreamClient& client, MicroTime now) {
 MicroTime StreamServer::run(MicroTime deadline) {
   MicroTime now = 0;
   const MicroTime step = milliseconds(2);
-  size_t rr = 0;  // round-robin cursor
+  size_t rr = 0;     // round-robin cursor: new frames
+  size_t fb_rr = 0;  // round-robin cursor: feedback uplink access
 
   while (now < deadline) {
     // Deliver arrived packets.
@@ -254,6 +539,12 @@ MicroTime StreamServer::run(MicroTime deadline) {
         clients_[p.flow - 1]->on_packet(p, now);
       }
     }
+    // Process client feedback and fire retransmission timeouts.
+    for (const FeedbackPacket& fb : feedback_.poll(now)) {
+      on_feedback(fb, now);
+    }
+    check_timeouts(now);
+
     // Advance playback models.
     bool all_finished = true;
     for (auto& c : clients_) {
@@ -262,8 +553,21 @@ MicroTime StreamServer::run(MicroTime deadline) {
     }
     if (all_finished) return now;
 
-    // Fill the link fairly: round-robin one frame per client while the
-    // link has capacity at this instant.
+    // Clients put feedback on the uplink — self-paced, change-driven, and
+    // subject to the thin reverse link's backpressure.
+    for (size_t i = 0; i < clients_.size() && feedback_.can_send(now); ++i) {
+      StreamClient& c = *clients_[fb_rr % clients_.size()];
+      ++fb_rr;
+      if (auto fb = c.make_feedback(now)) {
+        feedback_.send(std::move(*fb), now);
+      }
+    }
+
+    // Fill the link: pending retransmissions first (they are blocking
+    // someone's playback right now), then new frames round-robin while
+    // capacity remains at this instant.
+    while (network_.can_send(now) && send_one_retransmit(now)) {
+    }
     size_t idle_count = 0;
     while (network_.can_send(now) && idle_count < clients_.size()) {
       StreamClient& c = *clients_[rr % clients_.size()];
@@ -282,22 +586,31 @@ MicroTime StreamServer::run(MicroTime deadline) {
 StreamServer::Aggregate StreamServer::aggregate() const {
   Aggregate agg;
   if (clients_.empty()) return agg;
+  // Startup percentiles cover only clients that actually presented a
+  // frame; averaging a zero for clients the deadline cut off would drag
+  // the startup numbers down exactly when the network is worst.
   std::vector<f64> startups;
   for (const auto& c : clients_) {
     const ClientStats& s = c->stats();
-    startups.push_back(to_millis(s.startup_delay));
-    agg.mean_startup_ms += to_millis(s.startup_delay);
+    if (s.started) startups.push_back(to_millis(s.startup_delay));
+    if (!c->finished()) ++agg.unfinished_clients;
     agg.mean_rebuffer_ratio += s.rebuffer_ratio();
     agg.total_rebuffer_events += s.rebuffer_events;
     agg.mean_switch_ms += s.mean_switch_ms();
     agg.prefetch_hits += s.prefetch_hits;
+    agg.frames_skipped += s.frames_skipped;
+    agg.nacks_sent += static_cast<u64>(s.nacks_sent);
   }
-  agg.mean_startup_ms /= static_cast<f64>(clients_.size());
   agg.mean_rebuffer_ratio /= static_cast<f64>(clients_.size());
   agg.mean_switch_ms /= static_cast<f64>(clients_.size());
-  std::sort(startups.begin(), startups.end());
-  agg.p95_startup_ms =
-      startups[static_cast<size_t>(std::ceil(0.95 * startups.size())) - 1];
+  if (!startups.empty()) {
+    for (f64 s : startups) agg.mean_startup_ms += s;
+    agg.mean_startup_ms /= static_cast<f64>(startups.size());
+    std::sort(startups.begin(), startups.end());
+    agg.p95_startup_ms =
+        startups[static_cast<size_t>(std::ceil(0.95 * startups.size())) - 1];
+  }
+  agg.retransmits = arq_stats_.retransmits;
   agg.bytes_sent = network_.stats().bytes_sent;
   return agg;
 }
@@ -306,7 +619,7 @@ std::vector<SegmentId> random_student_path(const ScenarioGraph& graph,
                                            int max_hops, Rng& rng) {
   std::vector<SegmentId> path;
   ScenarioId current = graph.start();
-  for (int hop = 0; hop <= max_hops; ++hop) {
+  for (int hop = 0; hop < max_hops; ++hop) {
     const Scenario* s = graph.find(current);
     if (!s) break;
     path.push_back(s->segment);

@@ -2,10 +2,21 @@
 // student clients over the simulated network, with optional branch-aware
 // prefetch (the server pre-pushes the segments reachable from the client's
 // current scenario, ordered by transition weight). Evaluated in E9.
+//
+// Reliable delivery (DESIGN.md §5e): the sender cannot observe loss, so
+// the server runs per-flow ARQ driven by client feedback on a small
+// reverse link — cumulative ACKs clear the unacked window, NACKs trigger
+// fast retransmits, and an RTT-derived timeout with exponential backoff
+// catches the cases feedback loss hides. Retransmissions sit in a bounded
+// queue that gets link priority over new frames and prefetch. When a frame
+// cannot be recovered inside the playback budget the client skips it
+// (counted in `frames_skipped`) instead of stalling forever.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -17,6 +28,11 @@ namespace vgbl {
 
 struct StreamingConfig {
   NetworkConfig network;
+  /// Injectable downlink fault scenario (see FaultSchedule::profile). The
+  /// feedback link shares the outage/degradation windows — a flapped link
+  /// is dead in both directions.
+  FaultSchedule faults;
+
   /// Client starts playback once this many frames are buffered.
   int startup_buffer_frames = 8;
   /// After a stall, resume once this many frames are buffered.
@@ -25,20 +41,62 @@ struct StreamingConfig {
   bool prefetch_enabled = true;
   /// Cap on prefetch: only this many candidate segments per scenario.
   int prefetch_fanout = 2;
+
+  // --- feedback uplink (client -> server) ---
+  /// Reverse-link capacity. Small by design: feedback competes for a thin
+  /// shared uplink, so ACK/NACK delivery is neither free nor instant.
+  u64 feedback_bandwidth_bps = 2'000'000;
+  /// Feedback loss rate (the ARQ loop must survive lost ACKs/NACKs too).
+  f64 feedback_loss_rate = 0.0;
+  /// Minimum spacing between feedback packets per client; feedback is also
+  /// change-driven (nothing new to report -> nothing sent).
+  MicroTime feedback_interval = milliseconds(15);
+  /// A gap must stay missing this long before it is NACKed, so jitter
+  /// reordering does not trigger spurious retransmits. Defaulted from
+  /// jitter when 0.
+  MicroTime nack_grace = 0;
+  /// NACK entries per feedback packet (keeps the uplink packet small).
+  int max_nacks_per_feedback = 32;
+
+  // --- server ARQ ---
+  /// Pending-retransmission queue bound, across all flows. When full, new
+  /// retransmit requests are dropped (a later NACK or timeout re-raises
+  /// them) — the queue can never grow without bound during an outage.
+  int max_retransmit_queue = 256;
+  /// Retransmissions per packet before the server abandons it (the client
+  /// recovers via frame skip).
+  int max_retries = 10;
+  /// Per-flow cap on sent-but-unacked packets; new frames wait (ARQ flow
+  /// control) when the window is full, so server state stays bounded even
+  /// when the link is dead.
+  int max_unacked_per_flow = 256;
+  MicroTime min_rto = milliseconds(40);
+  MicroTime max_rto = seconds(3);
+  /// Retransmission timeout before the first RTT sample arrives.
+  MicroTime initial_rto = milliseconds(250);
+
+  // --- graceful degradation ---
+  /// When the client has been blocked on the same missing frame this long,
+  /// it gives the frame up and skips it rather than stalling forever.
+  MicroTime frame_skip_deadline = milliseconds(400);
 };
 
 /// Per-client playback statistics.
 struct ClientStats {
   MicroTime startup_delay = 0;     // request -> first frame presented
+  bool started = false;            // presented at least one frame
   int rebuffer_events = 0;
   MicroTime rebuffer_time = 0;     // total stalled time
   MicroTime play_time = 0;         // time spent actually presenting
   int frames_presented = 0;
+  int frames_skipped = 0;  // unrecoverable frames skipped to keep playing
   int segments_played = 0;
   u64 bytes_received = 0;
   int prefetch_hits = 0;   // segment switches served entirely from buffer
   int segment_switches = 0;        // switches after the first segment
   MicroTime switch_delay_total = 0;  // request -> playing, summed over switches
+  int nacks_sent = 0;              // NACK entries put on the uplink
+  int feedback_packets = 0;        // feedback packets put on the uplink
 
   [[nodiscard]] f64 mean_switch_ms() const {
     return segment_switches
@@ -69,16 +127,32 @@ class StreamClient {
   /// Segments after the current one on the client's path (for prefetch).
   [[nodiscard]] std::vector<SegmentId> upcoming_segments(int max_count) const;
 
-  /// Frames of `segment` the client still needs (server-side pull model:
-  /// the server asks each client what to send next).
+  /// First frame of `segment` not yet available to the player (arrived
+  /// frames and skip decisions both count as available).
   [[nodiscard]] int next_needed_frame(SegmentId segment) const;
 
   void on_packet(const Packet& packet, MicroTime now);
   /// Advances the playback model to `now`.
   void tick(MicroTime now);
 
+  /// Builds the next feedback packet (cumulative ACK + aged NACKs) when
+  /// the pacing interval has elapsed and there is something new to report.
+  [[nodiscard]] std::optional<FeedbackPacket> make_feedback(MicroTime now);
+
  private:
   void start_segment(MicroTime now);
+  /// Receive state of one segment: `prefix` frames from the start are
+  /// available (arrived or skipped); `pending` holds available frames past
+  /// the first gap; `skipped` marks the give-up decisions.
+  struct SegmentBuffer {
+    int prefix = 0;
+    std::set<int> pending;
+    std::set<int> skipped;
+  };
+  void advance_prefix(SegmentBuffer& buf);
+  /// Gives up on the blocking gap of the current segment: marks the run of
+  /// missing frames up to the next arrived frame (at least one) skipped.
+  void skip_blocked_frames(SegmentBuffer& buf);
 
   u32 id_;
   const VideoContainer* container_;
@@ -88,11 +162,15 @@ class StreamClient {
   size_t path_pos_ = 0;
   bool finished_ = false;
 
-  // Receive state per segment: count of *contiguous* frames from the
-  // segment start, plus out-of-order arrivals waiting to be stitched in
-  // (network jitter can reorder packets).
-  std::map<u32, int> received_frames_;
-  std::map<u32, std::set<int>> out_of_order_;
+  std::map<u32, SegmentBuffer> buffers_;
+
+  // ARQ receive state (per-flow sequence space).
+  u64 rx_cum_ = 0;                 // every sequence <= this has arrived
+  u64 rx_highest_ = 0;             // highest sequence seen
+  std::set<u64> rx_above_cum_;     // arrived sequences past the first gap
+  std::map<u64, MicroTime> missing_since_;  // gap -> first observed missing
+  u64 last_fed_back_cum_ = 0;
+  MicroTime next_feedback_at_ = 0;
 
   // Playback state for the current segment.
   enum class PlayState { kBuffering, kPlaying, kStalled };
@@ -101,14 +179,18 @@ class StreamClient {
   MicroTime state_since_ = 0;
   MicroTime next_frame_due_ = 0;
   int presented_in_segment_ = 0;
-  bool first_frame_presented_ = false;
+  // Frame-skip deadline tracking: how long the head of the current
+  // segment's gap has been blocking us.
+  int blocked_frame_ = -1;
+  MicroTime blocked_since_ = 0;
 
   ClientStats stats_;
 };
 
 /// The streaming server: walks all clients round-robin, pushing the next
 /// needed frame of each client's current segment, then (if idle capacity
-/// remains and prefetch is on) frames of upcoming segments.
+/// remains and prefetch is on) frames of upcoming segments. Pending
+/// retransmissions always go first.
 class StreamServer {
  public:
   StreamServer(const VideoContainer* container, StreamingConfig config,
@@ -125,34 +207,78 @@ class StreamServer {
     return clients_;
   }
   [[nodiscard]] const SimulatedNetwork& network() const { return network_; }
+  [[nodiscard]] const FeedbackLink& feedback_link() const { return feedback_; }
+
+  struct ArqStats {
+    u64 retransmits = 0;       // packets re-sent (NACK or timeout)
+    u64 nacks_received = 0;    // NACK entries processed
+    u64 feedback_received = 0; // feedback packets processed
+    u64 timeouts = 0;          // RTO expirations
+    u64 abandoned = 0;         // packets dropped after max_retries
+    u64 queue_overflow = 0;    // retransmit requests dropped (queue full)
+  };
+  [[nodiscard]] const ArqStats& arq_stats() const { return arq_stats_; }
 
   struct Aggregate {
+    /// Startup stats cover clients that presented at least one frame;
+    /// clients the deadline cut off before first light are counted in
+    /// `unfinished_clients`, not averaged in as zero.
     f64 mean_startup_ms = 0;
-    f64 mean_rebuffer_ratio = 0;
     f64 p95_startup_ms = 0;
+    f64 mean_rebuffer_ratio = 0;
     f64 mean_switch_ms = 0;   // scenario-switch latency (prefetch target)
     int prefetch_hits = 0;
     int total_rebuffer_events = 0;
+    int frames_skipped = 0;
+    int unfinished_clients = 0;  // clients not finished when run() returned
+    u64 retransmits = 0;
+    u64 nacks_sent = 0;
     u64 bytes_sent = 0;
   };
   [[nodiscard]] Aggregate aggregate() const;
 
  private:
+  struct UnackedPacket {
+    Packet packet;
+    MicroTime last_sent = 0;
+    int retries = 0;
+    bool queued = false;  // sitting in the retransmit queue
+  };
+  struct FlowArq {
+    std::map<u64, UnackedPacket> unacked;
+    // Jacobson/Karn RTT estimation (microseconds).
+    f64 srtt = 0;
+    f64 rttvar = 0;
+    bool rtt_valid = false;
+    MicroTime next_timeout_at = 0;  // earliest RTO among unacked entries
+  };
+
   /// Sends one pending frame-chunk for `client`; returns false when the
-  /// client needs nothing (fully buffered / finished).
+  /// client needs nothing (fully buffered / finished / window full).
   bool pump_client(StreamClient& client, MicroTime now);
+  void on_feedback(const FeedbackPacket& fb, MicroTime now);
+  void check_timeouts(MicroTime now);
+  /// Current retransmission timeout for one flow (before backoff).
+  [[nodiscard]] MicroTime rto(const FlowArq& arq) const;
+  /// Re-sends one queued retransmission; false when the queue is empty.
+  bool send_one_retransmit(MicroTime now);
 
   const VideoContainer* container_;
   StreamingConfig config_;
   SimulatedNetwork network_;
+  FeedbackLink feedback_;
   std::vector<std::unique_ptr<StreamClient>> clients_;
   std::map<u32, u64> flow_sequence_;
+  std::map<u32, FlowArq> arq_;
+  std::deque<std::pair<u32, u64>> retransmit_queue_;  // (flow, sequence)
+  ArqStats arq_stats_;
   // Per (client, segment) send progress: next frame index to transmit.
   std::map<std::pair<u32, u32>, int> send_progress_;
 };
 
 /// Builds a plausible student path: a weighted random walk over the graph
-/// from the start scenario until a terminal scenario (or `max_hops`).
+/// from the start scenario, at most `max_hops` segments long (shorter when
+/// a terminal scenario or dead end is reached first).
 std::vector<SegmentId> random_student_path(const ScenarioGraph& graph,
                                            int max_hops, Rng& rng);
 

@@ -1,0 +1,270 @@
+// Fault-injection layer unit tests: the FaultSchedule profiles, the
+// Gilbert–Elliott/outage/degradation loss process, the honest `send`
+// contract (loss is only observable at the receiver), and the feedback
+// reverse link. Pure network layer — no video bundle — so this suite
+// stays in tier1.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace vgbl {
+namespace {
+
+Packet make_packet(u32 size, u64 sequence = 0) {
+  Packet p;
+  p.flow = 1;
+  p.sequence = sequence;
+  p.size = size;
+  p.frame_complete = true;
+  return p;
+}
+
+NetworkConfig quiet_config() {
+  NetworkConfig config;
+  config.bandwidth_bps = 8'000'000;
+  config.base_latency = 0;
+  config.jitter = 0;
+  config.loss_rate = 0.0;
+  return config;
+}
+
+TEST(FaultScheduleTest, ProfileNamesResolve) {
+  EXPECT_TRUE(FaultSchedule::profile("clean").empty());
+  EXPECT_TRUE(FaultSchedule::profile("iid2").empty());  // pairs with loss_rate
+  EXPECT_TRUE(FaultSchedule::profile("nonsense").empty());
+
+  const FaultSchedule bursty = FaultSchedule::profile("bursty");
+  EXPECT_TRUE(bursty.ge_enabled());
+  EXPECT_TRUE(bursty.outages.empty());
+
+  const FaultSchedule flap = FaultSchedule::profile("flap");
+  ASSERT_EQ(flap.outages.size(), 1u);
+  EXPECT_FALSE(flap.ge_enabled());
+
+  const FaultSchedule degraded = FaultSchedule::profile("degraded");
+  ASSERT_EQ(degraded.degradations.size(), 1u);
+  EXPECT_LT(degraded.degradations[0].bandwidth_scale, 1.0);
+
+  const FaultSchedule stress = FaultSchedule::profile("stress");
+  EXPECT_TRUE(stress.ge_enabled());
+  EXPECT_EQ(stress.outages.size(), 1u);
+  EXPECT_EQ(stress.degradations.size(), 1u);
+}
+
+TEST(FaultScheduleTest, OutageWindowIsHalfOpen) {
+  FaultSchedule s;
+  s.outages.push_back({milliseconds(10), milliseconds(20)});
+  EXPECT_FALSE(s.in_outage(milliseconds(9)));
+  EXPECT_TRUE(s.in_outage(milliseconds(10)));
+  EXPECT_TRUE(s.in_outage(milliseconds(19)));
+  EXPECT_FALSE(s.in_outage(milliseconds(20)));
+}
+
+TEST(FaultScheduleTest, BandwidthScaleTakesMinimumOfActiveWindows) {
+  FaultSchedule s;
+  s.degradations.push_back({{seconds(1), seconds(10)}, 0.5});
+  s.degradations.push_back({{seconds(5), seconds(8)}, 0.25});
+  EXPECT_DOUBLE_EQ(s.bandwidth_scale(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.bandwidth_scale(seconds(2)), 0.5);
+  EXPECT_DOUBLE_EQ(s.bandwidth_scale(seconds(6)), 0.25);
+  EXPECT_DOUBLE_EQ(s.bandwidth_scale(seconds(9)), 0.5);
+  EXPECT_DOUBLE_EQ(s.bandwidth_scale(seconds(11)), 1.0);
+}
+
+TEST(FaultInjectionTest, SendReturnsArrivalEvenWhenEveryPacketIsLost) {
+  // The honesty contract: with guaranteed loss the sender still gets a
+  // well-formed arrival time and can never branch on delivery.
+  NetworkConfig config = quiet_config();
+  config.loss_rate = 1.0;
+  SimulatedNetwork net(config, 3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_GT(net.send(make_packet(1000), 0), 0);
+  }
+  EXPECT_TRUE(net.poll(seconds(3600)).empty());
+  EXPECT_EQ(net.stats().packets_sent, 50u);
+  EXPECT_EQ(net.stats().packets_lost, 50u);
+  EXPECT_EQ(net.stats().bytes_sent, 50'000u);  // lost bytes still burned link
+}
+
+TEST(FaultInjectionTest, OutagePacketsNeverArrive) {
+  FaultSchedule s;
+  s.outages.push_back({milliseconds(10), milliseconds(20)});
+  SimulatedNetwork net(quiet_config(), s, 5);
+  // 1000-byte packets serialise in 1ms on 8 Mbit; each send lands fully
+  // inside or outside the window.
+  const MicroTime before = net.send(make_packet(1000), milliseconds(5));
+  const MicroTime inside = net.send(make_packet(1000), milliseconds(15));
+  const MicroTime after = net.send(make_packet(1000), milliseconds(25));
+  EXPECT_GT(inside, 0);  // arrival time returned regardless
+  const auto delivered = net.poll(seconds(1));
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].arrives_at, before);
+  EXPECT_EQ(delivered[1].arrives_at, after);
+  EXPECT_EQ(net.stats().packets_lost, 1u);
+}
+
+TEST(FaultInjectionTest, GilbertElliottWithDegenerateParamsAlternates) {
+  // P(Good->Bad) = P(Bad->Good) = 1 with loss 1 in Bad and 0 in Good makes
+  // the chain strictly alternate: the first packet flips into Bad (lost),
+  // the second flips back to Good (delivered), and so on.
+  FaultSchedule s;
+  s.ge_loss_good = 0.0;
+  s.ge_loss_bad = 1.0;
+  s.ge_good_to_bad = 1.0;
+  s.ge_bad_to_good = 1.0;
+  SimulatedNetwork net(quiet_config(), s, 9);
+  for (int i = 0; i < 10; ++i) {
+    (void)net.send(make_packet(100, static_cast<u64>(i)), 0);
+  }
+  const auto delivered = net.poll(seconds(1));
+  ASSERT_EQ(delivered.size(), 5u);
+  for (size_t i = 0; i < delivered.size(); ++i) {
+    EXPECT_EQ(delivered[i].sequence, 2 * i + 1) << "even packets are lost";
+  }
+}
+
+TEST(FaultInjectionTest, BurstyProfileClustersLoss) {
+  // The bursty profile's whole point: similar average loss to iid, but
+  // clustered. Measure the conditional P(loss | previous lost) — it must
+  // be far above the unconditional rate.
+  SimulatedNetwork net(quiet_config(), FaultSchedule::profile("bursty"), 21);
+  const int count = 20000;
+  for (int i = 0; i < count; ++i) {
+    (void)net.send(make_packet(100, static_cast<u64>(i)), 0);
+  }
+  std::vector<bool> lost(count, true);
+  for (const Packet& p : net.poll(seconds(36000))) {
+    lost[static_cast<size_t>(p.sequence)] = false;
+  }
+  int losses = 0;
+  int pairs = 0;  // consecutive loss pairs
+  for (int i = 0; i < count; ++i) {
+    if (!lost[static_cast<size_t>(i)]) continue;
+    ++losses;
+    if (i > 0 && lost[static_cast<size_t>(i - 1)]) ++pairs;
+  }
+  const f64 rate = static_cast<f64>(losses) / count;
+  EXPECT_GT(rate, 0.005);
+  EXPECT_LT(rate, 0.06);  // "~2% average" with slack
+  const f64 conditional = static_cast<f64>(pairs) / losses;
+  EXPECT_GT(conditional, 3.0 * rate) << "loss is not clustered";
+}
+
+TEST(FaultInjectionTest, DegradationStretchesServiceTime) {
+  FaultSchedule s;
+  s.degradations.push_back({{0, seconds(10)}, 0.5});
+  SimulatedNetwork net(quiet_config(), s, 11);
+  // 1000 bytes at 8 Mbit is 1ms; at 50% effective bandwidth it is 2ms.
+  EXPECT_EQ(net.send(make_packet(1000), 0), milliseconds(2));
+  // Outside the window the full pipe is back.
+  EXPECT_EQ(net.send(make_packet(1000), seconds(20)),
+            seconds(20) + milliseconds(1));
+}
+
+TEST(FaultInjectionTest, PropertySentEqualsDeliveredPlusLostUnderAnySchedule) {
+  // Conservation + determinism over random fault schedules: every packet
+  // is either delivered or counted lost, and the same seed reproduces the
+  // same deliveries bit for bit.
+  Rng meta(808);
+  for (int trial = 0; trial < 25; ++trial) {
+    NetworkConfig config;
+    config.bandwidth_bps = 1'000'000 + meta.below(60'000'000);
+    config.base_latency = milliseconds(meta.range(0, 60));
+    config.jitter = milliseconds(meta.range(0, 10));
+    config.loss_rate = meta.uniform() * 0.2;
+    FaultSchedule s;
+    if (meta.chance(0.6)) {
+      s.ge_loss_good = meta.uniform() * 0.02;
+      s.ge_loss_bad = meta.uniform();
+      s.ge_good_to_bad = meta.uniform() * 0.1;
+      s.ge_bad_to_good = 0.05 + meta.uniform() * 0.5;
+    }
+    if (meta.chance(0.5)) {
+      const MicroTime start = milliseconds(meta.range(0, 400));
+      s.outages.push_back({start, start + milliseconds(meta.range(1, 300))});
+    }
+    if (meta.chance(0.5)) {
+      s.degradations.push_back(
+          {{0, milliseconds(meta.range(1, 1000))},
+           0.2 + meta.uniform() * 0.8});
+    }
+    const u64 seed = meta.next();
+    const int count = static_cast<int>(50 + meta.below(300));
+
+    auto run_once = [&] {
+      SimulatedNetwork net(config, s, seed);
+      MicroTime now = 0;
+      u64 bytes = 0;
+      for (int i = 0; i < count; ++i) {
+        Packet p = make_packet(static_cast<u32>(40 + (i * 137) % 6000),
+                               static_cast<u64>(i));
+        bytes += p.size;
+        (void)net.send(p, now);
+        now += milliseconds(1);
+      }
+      const auto delivered = net.poll(now + seconds(3600));
+      EXPECT_EQ(net.stats().packets_sent, static_cast<u64>(count))
+          << "trial " << trial;
+      EXPECT_EQ(net.stats().packets_sent,
+                delivered.size() + net.stats().packets_lost)
+          << "trial " << trial;
+      EXPECT_EQ(net.stats().bytes_sent, bytes) << "trial " << trial;
+      std::vector<std::pair<u64, MicroTime>> trace;
+      for (const Packet& p : delivered) {
+        trace.emplace_back(p.sequence, p.arrives_at);
+      }
+      return trace;
+    };
+    EXPECT_EQ(run_once(), run_once()) << "trial " << trial;
+  }
+}
+
+TEST(FeedbackLinkTest, CarriesAckAndNacksWithLinkPhysics) {
+  NetworkConfig config = quiet_config();
+  config.bandwidth_bps = 1'000'000;
+  config.base_latency = milliseconds(10);
+  FeedbackLink link(config, FaultSchedule{}, 3);
+
+  FeedbackPacket fb;
+  fb.flow = 7;
+  fb.cumulative_ack = 41;
+  fb.nacks = {43, 44, 47};
+  EXPECT_EQ(fb.wire_size(), 16u + 3 * 8u);
+
+  const MicroTime arrives = link.send(fb, 0);
+  // 40 bytes at 1 Mbit = 320us serialization, plus 10ms latency.
+  EXPECT_EQ(arrives, 320 + milliseconds(10));
+  EXPECT_TRUE(link.poll(milliseconds(5)).empty());
+  const auto delivered = link.poll(milliseconds(20));
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].flow, 7u);
+  EXPECT_EQ(delivered[0].cumulative_ack, 41u);
+  EXPECT_EQ(delivered[0].nacks, (std::vector<u64>{43, 44, 47}));
+  EXPECT_EQ(link.stats().packets_sent, 1u);
+  EXPECT_EQ(link.stats().bytes_sent, 40u);
+}
+
+TEST(FeedbackLinkTest, SharesTheFaultScheduleShape) {
+  // A flapped link is dead in both directions: the same outage window
+  // kills feedback too (the ARQ timeout path must cover this).
+  NetworkConfig config = quiet_config();
+  FaultSchedule s;
+  s.outages.push_back({milliseconds(10), milliseconds(20)});
+  FeedbackLink link(config, s, 3);
+  FeedbackPacket fb;
+  fb.flow = 1;
+  (void)link.send(fb, milliseconds(15));  // inside the outage
+  FeedbackPacket fb2;
+  fb2.flow = 2;
+  (void)link.send(fb2, milliseconds(25));  // after it
+  const auto delivered = link.poll(seconds(1));
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].flow, 2u);
+  EXPECT_EQ(link.stats().packets_lost, 1u);
+}
+
+}  // namespace
+}  // namespace vgbl

@@ -2,6 +2,8 @@
 // client playback invariants, prefetch, and path generation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "author/bundle.hpp"
 #include "core/demo_games.hpp"
 #include "net/streaming.hpp"
@@ -25,9 +27,8 @@ TEST(NetworkTest, SerializationDelayMatchesBandwidth) {
   config.base_latency = 0;
   config.jitter = 0;
   SimulatedNetwork net(config);
-  auto arrival = net.send(make_packet(1'000'000), 0);  // 1 MB
-  ASSERT_TRUE(arrival.has_value());
-  EXPECT_EQ(*arrival, seconds(1));
+  const MicroTime arrival = net.send(make_packet(1'000'000), 0);  // 1 MB
+  EXPECT_EQ(arrival, seconds(1));
   EXPECT_EQ(net.busy_until(), seconds(1));
 }
 
@@ -37,9 +38,8 @@ TEST(NetworkTest, LatencyAdds) {
   config.base_latency = milliseconds(50);
   config.jitter = 0;
   SimulatedNetwork net(config);
-  auto arrival = net.send(make_packet(1000), 0);  // 1ms serialization
-  ASSERT_TRUE(arrival.has_value());
-  EXPECT_EQ(*arrival, milliseconds(51));
+  const MicroTime arrival = net.send(make_packet(1000), 0);  // 1ms serialization
+  EXPECT_EQ(arrival, milliseconds(51));
 }
 
 TEST(NetworkTest, SharedLinkSerializesBackToBack) {
@@ -48,10 +48,10 @@ TEST(NetworkTest, SharedLinkSerializesBackToBack) {
   config.base_latency = 0;
   config.jitter = 0;
   SimulatedNetwork net(config);
-  auto first = net.send(make_packet(8000), 0);   // 8ms
-  auto second = net.send(make_packet(8000), 0);  // queued behind
-  EXPECT_EQ(*first, milliseconds(8));
-  EXPECT_EQ(*second, milliseconds(16));
+  const MicroTime first = net.send(make_packet(8000), 0);   // 8ms
+  const MicroTime second = net.send(make_packet(8000), 0);  // queued behind
+  EXPECT_EQ(first, milliseconds(8));
+  EXPECT_EQ(second, milliseconds(16));
   EXPECT_FALSE(net.can_send(milliseconds(10)));
   EXPECT_TRUE(net.can_send(milliseconds(16)));
 }
@@ -82,16 +82,19 @@ TEST(NetworkTest, PollRespectsTime) {
 }
 
 TEST(NetworkTest, LossRateDropsSome) {
+  // Loss is only observable at the receiver: `send` returns an arrival
+  // time unconditionally, and lost packets simply never come out of poll.
   NetworkConfig config;
   config.loss_rate = 0.3;
   SimulatedNetwork net(config, 7);
-  int lost = 0;
   for (int i = 0; i < 1000; ++i) {
-    if (!net.send(make_packet(100), 0)) ++lost;
+    EXPECT_GT(net.send(make_packet(100), 0), 0);
   }
-  EXPECT_GT(lost, 200);
-  EXPECT_LT(lost, 400);
-  EXPECT_EQ(net.stats().packets_lost, static_cast<u64>(lost));
+  const auto delivered = net.poll(seconds(3600));
+  const u64 lost = 1000 - delivered.size();
+  EXPECT_GT(lost, 200u);
+  EXPECT_LT(lost, 400u);
+  EXPECT_EQ(net.stats().packets_lost, lost);
   EXPECT_EQ(net.stats().packets_sent, 1000u);
 }
 
@@ -140,7 +143,6 @@ TEST(NetworkTest, PropertyInvariantsHoldAcrossRandomConfigs) {
     const int count = static_cast<int>(16 + rng.below(120));
     std::vector<MicroTime> send_calls(static_cast<size_t>(count));
     u64 bytes = 0;
-    u64 delivered_expected = 0;
     MicroTime now = 0;
     for (int i = 0; i < count; ++i) {
       Packet p;
@@ -149,18 +151,16 @@ TEST(NetworkTest, PropertyInvariantsHoldAcrossRandomConfigs) {
       p.size = static_cast<u32>(40 + rng.below(8000));
       bytes += p.size;
       send_calls[static_cast<size_t>(i)] = now;
-      const auto arrival = net.send(p, now);
-      if (arrival.has_value()) {
-        ++delivered_expected;
-        EXPECT_GE(*arrival, now) << "trial " << trial << " packet " << i;
-      }
+      // The honest contract: an arrival time comes back whether or not
+      // the packet survives — the sender cannot branch on loss.
+      const MicroTime arrival = net.send(p, now);
+      EXPECT_GE(arrival, now) << "trial " << trial << " packet " << i;
       // Sometimes fire while the link is still busy (queueing), sometimes
       // after it drained.
       now += static_cast<MicroTime>(rng.below(12'000));
     }
 
     const auto delivered = net.poll(now + seconds(3600));
-    EXPECT_EQ(delivered.size(), delivered_expected) << "trial " << trial;
     EXPECT_EQ(net.stats().packets_sent, static_cast<u64>(count))
         << "trial " << trial;
     EXPECT_EQ(net.stats().packets_sent,
@@ -229,12 +229,21 @@ TEST(StreamingTest, SurvivesPacketLoss) {
   StreamFixture fx = make_stream_fixture();
   StreamingConfig config;
   config.network.bandwidth_bps = 100'000'000;
-  config.network.loss_rate = 0.05;  // retransmission path must cover this
+  config.network.loss_rate = 0.05;  // the ARQ loop must cover this
   StreamServer server(fx.bundle->video.get(), config, 13);
   StreamClient& client = server.add_client(fx.straight_path);
   server.run(seconds(300));
   EXPECT_TRUE(client.finished());
   EXPECT_GT(server.network().stats().packets_lost, 0u);
+  // The sender cannot see loss, so recovery must have been feedback-driven.
+  EXPECT_GT(server.arq_stats().retransmits, 0u);
+  EXPECT_GT(server.arq_stats().feedback_received, 0u);
+  int total_frames = 0;
+  for (const auto& seg : fx.bundle->video->segments()) {
+    total_frames += seg.frame_count;
+  }
+  EXPECT_EQ(client.stats().frames_presented + client.stats().frames_skipped,
+            total_frames);
 }
 
 TEST(StreamingTest, SurvivesJitterReordering) {
@@ -302,6 +311,210 @@ TEST(StreamingTest, RevisitedSegmentServedFromBuffer) {
   EXPECT_GE(client.stats().prefetch_hits, 1);  // the revisit was instant
 }
 
+// --- ARQ + fault injection ----------------------------------------------------------
+
+int total_path_frames(const StreamFixture& fx,
+                      const std::vector<SegmentId>& path) {
+  int total = 0;
+  for (SegmentId id : path) {
+    total += fx.bundle->video->segment_by_id(id)->frame_count;
+  }
+  return total;
+}
+
+/// Everything the determinism contract covers for one client, as a
+/// comparable value (wall time is deliberately absent — it's measurement).
+std::vector<i64> client_fingerprint(const StreamClient& c) {
+  const ClientStats& s = c.stats();
+  return {s.startup_delay,
+          s.started,
+          s.rebuffer_events,
+          s.rebuffer_time,
+          s.play_time,
+          s.frames_presented,
+          s.frames_skipped,
+          s.segments_played,
+          static_cast<i64>(s.bytes_received),
+          s.prefetch_hits,
+          s.segment_switches,
+          s.switch_delay_total,
+          s.nacks_sent,
+          s.feedback_packets,
+          c.finished()};
+}
+
+TEST(ArqTest, NacksDriveFastRetransmitUnderLoss) {
+  StreamFixture fx = make_stream_fixture();
+  StreamingConfig config;
+  config.network.bandwidth_bps = 100'000'000;
+  config.network.loss_rate = 0.1;
+  StreamServer server(fx.bundle->video.get(), config, 29);
+  StreamClient& client = server.add_client(fx.straight_path);
+  server.run(seconds(300));
+  ASSERT_TRUE(client.finished());
+  const auto& arq = server.arq_stats();
+  EXPECT_GT(arq.nacks_received, 0u);   // gaps were reported...
+  EXPECT_GT(arq.retransmits, 0u);      // ...and answered
+  EXPECT_GT(client.stats().nacks_sent, 0);
+  EXPECT_GT(client.stats().feedback_packets, 0);
+}
+
+TEST(ArqTest, SurvivesLossyFeedbackLink) {
+  // The ARQ loop itself runs over an unreliable channel: with a third of
+  // the feedback gone, the RTO path must cover what NACK loss hides.
+  StreamFixture fx = make_stream_fixture();
+  StreamingConfig config;
+  config.network.bandwidth_bps = 100'000'000;
+  config.network.loss_rate = 0.05;
+  config.feedback_loss_rate = 0.3;
+  StreamServer server(fx.bundle->video.get(), config, 31);
+  StreamClient& client = server.add_client(fx.straight_path);
+  server.run(seconds(300));
+  EXPECT_TRUE(client.finished());
+  EXPECT_GT(server.feedback_link().stats().packets_lost, 0u);
+  EXPECT_GT(server.arq_stats().retransmits, 0u);
+}
+
+TEST(ArqTest, HardOutageForcesCountedSkipsNotPermanentStalls) {
+  // A long dead window (both directions — the schedule is shared) early in
+  // the run: retransmission cannot help while the link is down, so the
+  // client must make progress by skipping frames, and every skip must be
+  // counted. Nothing may stall forever.
+  StreamFixture fx = make_stream_fixture();
+  StreamingConfig config;
+  config.network.bandwidth_bps = 100'000'000;
+  config.faults.outages.push_back({milliseconds(500), seconds(12)});
+  StreamServer server(fx.bundle->video.get(), config, 37);
+  StreamClient& client = server.add_client(fx.straight_path);
+  const MicroTime end = server.run(seconds(600));
+  ASSERT_TRUE(client.finished()) << "client permanently stalled";
+  EXPECT_GT(end, seconds(12));  // the outage really was mid-run
+  const ClientStats& s = client.stats();
+  EXPECT_GT(s.frames_skipped, 0);
+  EXPECT_EQ(s.frames_presented + s.frames_skipped,
+            total_path_frames(fx, fx.straight_path));
+}
+
+TEST(ArqTest, AcceptanceBurstyLossPlusMidRunFlap) {
+  // The ISSUE acceptance scenario: bursty loss up to ~5% average plus one
+  // mid-run hard flap. Every client must finish before the deadline — via
+  // retransmission or counted frame-skips, zero permanent stalls — and a
+  // rerun of the same seed must be bit-identical.
+  StreamFixture fx = make_stream_fixture();
+  StreamingConfig config;
+  config.network.bandwidth_bps = 40'000'000;
+  config.network.base_latency = milliseconds(15);
+  config.network.jitter = milliseconds(5);
+  // Stationary Bad fraction 0.03/(0.03+0.25) ~= 10.7%; avg loss ~= 4.6%.
+  config.faults.ge_loss_good = 0.002;
+  config.faults.ge_loss_bad = 0.4;
+  config.faults.ge_good_to_bad = 0.03;
+  config.faults.ge_bad_to_good = 0.25;
+  config.faults.outages.push_back({seconds(5), seconds(5) + milliseconds(1500)});
+
+  const int total = total_path_frames(fx, fx.straight_path);
+  const MicroTime frame_period =
+      1'000'000 / std::max(1, fx.bundle->video->fps());
+
+  auto run_once = [&] {
+    StreamServer server(fx.bundle->video.get(), config, 41);
+    for (int i = 0; i < 8; ++i) server.add_client(fx.straight_path);
+    const MicroTime end = server.run(seconds(600));
+    EXPECT_GT(end, seconds(5));  // the flap landed mid-run
+    EXPECT_GT(server.network().stats().packets_lost, 0u);
+    EXPECT_GT(server.arq_stats().retransmits, 0u);
+    EXPECT_EQ(server.aggregate().unfinished_clients, 0);
+    std::vector<std::vector<i64>> prints;
+    for (const auto& c : server.clients()) {
+      EXPECT_TRUE(c->finished()) << "client " << c->id() << " stalled";
+      const ClientStats& s = c->stats();
+      EXPECT_EQ(s.frames_presented + s.frames_skipped, total)
+          << "client " << c->id();
+      // The play_time fix: stall periods must not be credited as play
+      // time. Presented/skipped frames bound it from above.
+      EXPECT_LE(s.play_time,
+                static_cast<MicroTime>(total) * frame_period +
+                    static_cast<MicroTime>(fx.straight_path.size() + 1) *
+                        milliseconds(2))
+          << "client " << c->id();
+      prints.push_back(client_fingerprint(*c));
+    }
+    return prints;
+  };
+
+  const auto first = run_once();
+  const auto second = run_once();  // bit-identical rerun, same seed
+  EXPECT_EQ(first, second);
+}
+
+TEST(ArqTest, DeadlineCutoffReportsUnfinishedNotZeroStartups) {
+  // A run cut off before any client presents a frame must say so, instead
+  // of averaging phantom zero startup delays into the aggregate.
+  StreamFixture fx = make_stream_fixture();
+  StreamingConfig config;  // default 20ms base latency
+  StreamServer server(fx.bundle->video.get(), config, 43);
+  for (int i = 0; i < 4; ++i) server.add_client(fx.straight_path);
+  server.run(milliseconds(4));  // nothing can arrive in 4ms
+  const auto agg = server.aggregate();
+  EXPECT_EQ(agg.unfinished_clients, 4);
+  EXPECT_EQ(agg.mean_startup_ms, 0.0);
+  EXPECT_EQ(agg.p95_startup_ms, 0.0);
+  for (const auto& c : server.clients()) {
+    EXPECT_FALSE(c->stats().started);
+  }
+}
+
+TEST(ArqTest, PropertyRandomFaultSchedulesDegradeGracefully) {
+  // Property sweep: whatever the fault schedule, every client either
+  // finishes cleanly or degrades via counted skips — never a permanent
+  // stall — and the presented+skipped invariant and per-seed determinism
+  // hold throughout.
+  StreamFixture fx = make_stream_fixture();
+  const int total = total_path_frames(fx, fx.straight_path);
+  Rng meta(20260805);
+  for (int trial = 0; trial < 5; ++trial) {
+    StreamingConfig config;
+    config.network.bandwidth_bps = 30'000'000 + meta.below(70'000'000);
+    config.network.loss_rate = meta.uniform() * 0.05;
+    config.feedback_loss_rate = meta.uniform() * 0.2;
+    if (meta.chance(0.7)) {
+      config.faults.ge_loss_good = meta.uniform() * 0.01;
+      config.faults.ge_loss_bad = 0.1 + meta.uniform() * 0.4;
+      config.faults.ge_good_to_bad = 0.005 + meta.uniform() * 0.03;
+      config.faults.ge_bad_to_good = 0.1 + meta.uniform() * 0.3;
+    }
+    if (meta.chance(0.5)) {
+      const MicroTime start = milliseconds(meta.range(200, 8000));
+      config.faults.outages.push_back(
+          {start, start + milliseconds(meta.range(100, 2000))});
+    }
+    if (meta.chance(0.5)) {
+      config.faults.degradations.push_back(
+          {{milliseconds(meta.range(0, 5000)),
+            milliseconds(meta.range(6000, 30000))},
+           0.3 + meta.uniform() * 0.6});
+    }
+    const u64 seed = meta.next();
+
+    auto run_once = [&] {
+      StreamServer server(fx.bundle->video.get(), config, seed);
+      for (int i = 0; i < 3; ++i) server.add_client(fx.straight_path);
+      server.run(seconds(600));
+      std::vector<std::vector<i64>> prints;
+      for (const auto& c : server.clients()) {
+        EXPECT_TRUE(c->finished())
+            << "trial " << trial << " client " << c->id() << " stalled";
+        EXPECT_EQ(c->stats().frames_presented + c->stats().frames_skipped,
+                  total)
+            << "trial " << trial << " client " << c->id();
+        prints.push_back(client_fingerprint(*c));
+      }
+      return prints;
+    };
+    EXPECT_EQ(run_once(), run_once()) << "trial " << trial;
+  }
+}
+
 // --- Path generation ----------------------------------------------------------------
 
 TEST(StudentPathTest, StartsAtStartScenarioSegment) {
@@ -318,7 +531,7 @@ TEST(StudentPathTest, EndsAtTerminalOrHopLimit) {
   Rng rng(4);
   for (int trial = 0; trial < 20; ++trial) {
     const auto path = random_student_path(project.graph, 8, rng);
-    EXPECT_LE(path.size(), 9u);
+    EXPECT_LE(path.size(), 8u);  // "at most max_hops segments"
     ASSERT_FALSE(path.empty());
   }
 }

@@ -12,7 +12,7 @@
 //   vgbl resume <bundle.vgblb> <store_dir> <student> [max_steps] [policy]
 //   vgbl inspect-snapshot <file.snap>
 //   vgbl classroom <bundle.vgblb> [students] [max_steps] [--threads N]
-//                  [--seed S] [--store <dir>] [--stream]
+//                  [--seed S] [--store <dir>] [--stream] [--fault <profile>]
 //                  [--metrics-out <file.json|file.prom>]
 //   vgbl metrics <scrape.json>
 #include <chrono>
@@ -276,29 +276,21 @@ int cmd_resume(const std::string& path, const std::string& dir,
 }
 
 /// Delivery half of the multi-client story: the same cohort streams its
-/// video over the simulated shared link, populating the net_* and
-/// stream_* metrics (gameplay alone never touches the link).
-void run_stream_cohort(const GameBundle& bundle, int clients, u64 seed) {
-  StreamingConfig config;
-  config.network.bandwidth_bps = 40'000'000;
-  config.network.base_latency = milliseconds(15);
-  config.network.jitter = milliseconds(5);
-  config.network.loss_rate = 0.002;
-  config.prefetch_enabled = true;
-
-  StreamServer server(bundle.video.get(), config, seed);
-  Rng rng(seed + 1);
-  for (int i = 0; i < clients; ++i) {
-    server.add_client(random_student_path(bundle.graph, 12, rng));
-  }
-  server.run(seconds(300));
-  const auto agg = server.aggregate();
-  std::printf(
-      "streamed to %d client(s): startup %.1fms (p95 %.1fms), "
-      "%d stall(s), %d prefetch hit(s), %s sent\n",
-      clients, agg.mean_startup_ms, agg.p95_startup_ms,
-      agg.total_rebuffer_events, agg.prefetch_hits,
-      format_bytes(agg.bytes_sent).c_str());
+/// video over the simulated shared link (populating the net_* and
+/// stream_* metrics — gameplay alone never touches the link), under the
+/// selected fault profile.
+void run_stream_cohort(const GameBundle& bundle, int clients, u64 seed,
+                       const std::string& fault_profile) {
+  StreamReplayOptions options;
+  options.client_count = clients;
+  options.seed = seed;
+  options.fault_profile = fault_profile;
+  options.deadline = seconds(300);
+  const StreamReplaySummary summary = replay_classroom_stream(bundle, options);
+  std::printf("streamed to %d client(s) under '%s' profile: %s sent\n%s",
+              clients, fault_profile.c_str(),
+              format_bytes(summary.aggregate.bytes_sent).c_str(),
+              summary.report().c_str());
 }
 
 int write_metrics_scrape(const std::string& out) {
@@ -329,6 +321,7 @@ int cmd_classroom(const std::string& path,
   options.max_steps_per_student = 200;
   std::string store_dir;
   std::string metrics_out;
+  std::string fault_profile = "clean";
   bool stream = false;
   int positional = 0;
   for (size_t i = 0; i < rest.size(); ++i) {
@@ -343,6 +336,9 @@ int cmd_classroom(const std::string& path,
       metrics_out = rest[++i];
     } else if (a == "--stream") {
       stream = true;
+    } else if (a == "--fault" && i + 1 < rest.size()) {
+      fault_profile = rest[++i];
+      stream = true;  // a fault profile only makes sense when streaming
     } else if (positional == 0) {
       options.student_count = std::atoi(a.c_str());
       ++positional;
@@ -385,7 +381,8 @@ int cmd_classroom(const std::string& path,
       elapsed > 0 ? static_cast<double>(summary.students.size()) / elapsed
                   : 0.0);
   if (stream) {
-    run_stream_cohort(*shared, options.student_count, options.seed);
+    run_stream_cohort(*shared, options.student_count, options.seed,
+                      fault_profile);
   }
   if (!metrics_out.empty()) return write_metrics_scrape(metrics_out);
   return 0;
@@ -442,6 +439,7 @@ void usage() {
                "  inspect-snapshot <file.snap>\n"
                "  classroom <bundle.vgblb> [students] [max_steps] "
                "[--threads N] [--seed S] [--store <dir>] [--stream]\n"
+               "            [--fault clean|iid2|bursty|flap|degraded|stress]\n"
                "            [--metrics-out <file.json|file.prom>]\n"
                "  metrics <scrape.json>\n");
 }
