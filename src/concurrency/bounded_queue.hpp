@@ -5,9 +5,10 @@
 
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/thread_annotations.hpp"
 
 namespace vgbl {
 
@@ -21,9 +22,11 @@ class BoundedQueue {
 
   /// Blocks until space is available. Returns false if the queue was closed
   /// before the element could be enqueued.
-  bool push(T item) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+  bool push(T item) VGBL_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
+    while (!closed_ && items_.size() >= capacity_) {
+      not_full_.wait(lock);
+    }
     if (closed_) return false;
     items_.push_back(std::move(item));
     lock.unlock();
@@ -32,9 +35,9 @@ class BoundedQueue {
   }
 
   /// Non-blocking push; false when full or closed.
-  bool try_push(T item) {
+  bool try_push(T item) VGBL_EXCLUDES(mutex_) {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -44,9 +47,11 @@ class BoundedQueue {
 
   /// Blocks until an element is available or the queue is closed and
   /// drained; nullopt signals end-of-stream.
-  std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> pop() VGBL_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
+    while (!closed_ && items_.empty()) {
+      not_empty_.wait(lock);
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -56,8 +61,8 @@ class BoundedQueue {
   }
 
   /// Non-blocking pop.
-  std::optional<T> try_pop() {
-    std::unique_lock lock(mutex_);
+  std::optional<T> try_pop() VGBL_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -68,22 +73,22 @@ class BoundedQueue {
 
   /// Marks the queue closed: producers fail fast, consumers drain remaining
   /// elements then observe end-of-stream.
-  void close() {
+  void close() VGBL_EXCLUDES(mutex_) {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mutex_);
+  [[nodiscard]] bool closed() const VGBL_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
-  [[nodiscard]] size_t size() const {
-    std::lock_guard lock(mutex_);
+  [[nodiscard]] size_t size() const VGBL_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
@@ -91,11 +96,14 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  // condition_variable_any: takes any BasicLockable, so it waits on the
+  // annotated UniqueLock directly (libstdc++'s condition_variable would
+  // force std::unique_lock<std::mutex> and lose the capability tracking).
+  std::condition_variable_any not_empty_;
+  std::condition_variable_any not_full_;
+  std::deque<T> items_ VGBL_GUARDED_BY(mutex_);
+  bool closed_ VGBL_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace vgbl

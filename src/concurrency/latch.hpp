@@ -3,9 +3,9 @@
 #pragma once
 
 #include <condition_variable>
-#include <mutex>
 #include <utility>
 
+#include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
 namespace vgbl {
@@ -16,26 +16,28 @@ class CountdownLatch {
  public:
   explicit CountdownLatch(i64 count) : count_(count) {}
 
-  void count_down(i64 n = 1) {
-    std::lock_guard lock(mutex_);
+  void count_down(i64 n = 1) VGBL_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     count_ -= n;
     if (count_ <= 0) cv_.notify_all();
   }
 
-  void wait() {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [&] { return count_ <= 0; });
+  void wait() VGBL_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
+    while (count_ > 0) {
+      cv_.wait(lock);
+    }
   }
 
-  void reset(i64 count) {
-    std::lock_guard lock(mutex_);
+  void reset(i64 count) VGBL_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     count_ = count;
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  i64 count_;
+  Mutex mutex_;
+  std::condition_variable_any cv_;
+  i64 count_ VGBL_GUARDED_BY(mutex_);
 };
 
 /// Two-slot swap buffer: the producer publishes a complete value, the
@@ -44,28 +46,28 @@ class CountdownLatch {
 template <typename T>
 class DoubleBuffer {
  public:
-  void publish(T value) {
-    std::lock_guard lock(mutex_);
+  void publish(T value) VGBL_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     back_ = std::move(value);
     ++version_;
   }
 
   /// Returns the newest value and its version. Version 0 means nothing has
   /// been published yet (value is default-constructed).
-  [[nodiscard]] std::pair<T, u64> snapshot() const {
-    std::lock_guard lock(mutex_);
+  [[nodiscard]] std::pair<T, u64> snapshot() const VGBL_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return {back_, version_};
   }
 
-  [[nodiscard]] u64 version() const {
-    std::lock_guard lock(mutex_);
+  [[nodiscard]] u64 version() const VGBL_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return version_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  T back_{};
-  u64 version_ = 0;
+  mutable Mutex mutex_;
+  T back_ VGBL_GUARDED_BY(mutex_){};
+  u64 version_ VGBL_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace vgbl

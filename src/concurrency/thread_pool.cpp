@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <condition_variable>
 
+#include "obs/macros.hpp"
 #include "obs/metrics.hpp"
+#include "obs/wall_clock.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace vgbl {
 
@@ -44,24 +46,21 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::note_submitted() {
-  if (!obs::enabled()) return;
-  PoolMetrics::get().queue_depth.add(1);
+  VGBL_GAUGE_ADD(PoolMetrics::get().queue_depth, 1);
 }
 
 void ThreadPool::worker_loop() {
   while (true) {
     std::optional<std::function<void()>> task;
     if (obs::enabled()) {
-      const auto idle_start = std::chrono::steady_clock::now();
+      const i64 idle_start_us = obs::wall_now_us();
       task = queue_.pop();
       auto& m = PoolMetrics::get();
-      m.idle_us.add(static_cast<u64>(
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now() - idle_start)
-              .count()));
+      VGBL_COUNT(m.idle_us,
+                 static_cast<u64>(obs::wall_now_us() - idle_start_us));
       if (task) {
-        m.queue_depth.add(-1);
-        m.tasks.increment();
+        VGBL_GAUGE_ADD(m.queue_depth, -1);
+        VGBL_COUNT(m.tasks);
       }
     } else {
       task = queue_.pop();
@@ -89,8 +88,8 @@ void ThreadPool::parallel_for_chunks(i64 begin, i64 end,
   // if all workers are busy with unrelated tasks.
   auto next = std::make_shared<std::atomic<i64>>(0);
   auto remaining = std::make_shared<std::atomic<i64>>(chunks);
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Mutex done_mutex;
+  std::condition_variable_any done_cv;
 
   auto run_chunks = [=, &fn]() {
     while (true) {
@@ -108,7 +107,7 @@ void ThreadPool::parallel_for_chunks(i64 begin, i64 end,
   for (i64 i = 0; i < helpers; ++i) {
     const bool accepted = queue_.try_push([run_chunks, &done_mutex, &done_cv] {
       if (run_chunks()) {
-        std::lock_guard lock(done_mutex);
+        MutexLock lock(done_mutex);
         done_cv.notify_all();
       }
     });
@@ -118,8 +117,10 @@ void ThreadPool::parallel_for_chunks(i64 begin, i64 end,
     done_cv.notify_all();
   }
 
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining->load(std::memory_order_acquire) == 0; });
+  UniqueLock lock(done_mutex);
+  while (remaining->load(std::memory_order_acquire) != 0) {
+    done_cv.wait(lock);
+  }
 }
 
 void ThreadPool::parallel_for(i64 begin, i64 end,

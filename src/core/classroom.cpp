@@ -1,12 +1,13 @@
 #include "core/classroom.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <optional>
 
 #include "concurrency/thread_pool.hpp"
+#include "obs/macros.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/wall_clock.hpp"
 #include "util/text.hpp"
 
 namespace vgbl {
@@ -101,7 +102,7 @@ void fill_from_session(StudentResult& r, const GameSession& session,
 std::optional<StudentResult> run_student(
     const std::shared_ptr<const GameBundle>& bundle,
     const ClassroomOptions& options, int index) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const i64 t0_us = obs::wall_now_us();
   const BotPolicy policy =
       options.policies.empty()
           ? BotPolicy::kExplorer
@@ -113,10 +114,7 @@ std::optional<StudentResult> run_student(
   r.student_id = index + 1;
   r.policy = policy;
   auto finish = [&](StudentResult result) {
-    result.wall_ms =
-        std::chrono::duration<f64, std::milli>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
+    result.wall_ms = static_cast<f64>(obs::wall_now_us() - t0_us) / 1000.0;
     return result;
   };
 
@@ -124,7 +122,7 @@ std::optional<StudentResult> run_student(
     SimClock clock;
     // The span stamps the student's own sim clock — observe-only, so the
     // determinism contract is untouched (DESIGN.md §5d).
-    obs::SpanScope span("classroom.student", &clock);
+    VGBL_SPAN("classroom.student", &clock);
     GameSession session(bundle, &clock);
     if (!session.start().ok()) return std::nullopt;
 
@@ -139,7 +137,7 @@ std::optional<StudentResult> run_student(
   // session continues from the snapshot exactly where the first half left
   // off — bots mutate sessions directly, so suspension rides the
   // snapshot path rather than the input journal.
-  obs::SpanScope span("classroom.student");
+  VGBL_SPAN("classroom.student");
   const std::string student = "student-" + std::to_string(index + 1);
   (void)options.store->remove_session(student);
   const int first_half = options.max_steps_per_student / 2;
@@ -177,7 +175,7 @@ ClassroomSummary simulate_classroom(std::shared_ptr<const GameBundle> bundle,
   // happens after the parallel_for barrier, in index order. That plus the
   // pure per-student seeding makes the parallel path bit-identical to the
   // sequential one.
-  const auto run_started = std::chrono::steady_clock::now();
+  const i64 run_started_us = obs::wall_now_us();
   std::vector<std::optional<StudentResult>> results(
       static_cast<size_t>(std::max(0, options.student_count)));
   auto run_one = [&](i64 i) {
@@ -200,29 +198,29 @@ ClassroomSummary simulate_classroom(std::shared_ptr<const GameBundle> bundle,
   for (auto& slot : results) {
     if (!slot.has_value()) continue;
     interactions += static_cast<f64>(slot->interactions);
-    metrics.students.increment();
-    metrics.steps.add(static_cast<u64>(std::max(0, slot->steps)));
-    if (slot->completed) metrics.completions.increment();
-    if (slot->succeeded) metrics.successes.increment();
-    if (slot->resumed) metrics.resumed.increment();
-    metrics.interactions.add(static_cast<u64>(slot->interactions));
-    metrics.decisions.add(static_cast<u64>(slot->decisions));
-    metrics.rewards.add(static_cast<u64>(slot->rewards));
-    metrics.items_collected.add(static_cast<u64>(slot->items_collected));
-    metrics.student_wall_ms.observe(slot->wall_ms);
-    metrics.rewards_per_student.observe(static_cast<f64>(slot->rewards));
+    VGBL_COUNT(metrics.students);
+    VGBL_COUNT(metrics.steps, static_cast<u64>(std::max(0, slot->steps)));
+    if (slot->completed) VGBL_COUNT(metrics.completions);
+    if (slot->succeeded) VGBL_COUNT(metrics.successes);
+    if (slot->resumed) VGBL_COUNT(metrics.resumed);
+    VGBL_COUNT(metrics.interactions, static_cast<u64>(slot->interactions));
+    VGBL_COUNT(metrics.decisions, static_cast<u64>(slot->decisions));
+    VGBL_COUNT(metrics.rewards, static_cast<u64>(slot->rewards));
+    VGBL_COUNT(metrics.items_collected,
+               static_cast<u64>(slot->items_collected));
+    VGBL_OBSERVE(metrics.student_wall_ms, slot->wall_ms);
+    VGBL_OBSERVE(metrics.rewards_per_student, static_cast<f64>(slot->rewards));
     summary.students.push_back(std::move(*slot));
   }
   if (obs::enabled()) {
-    const f64 elapsed = std::chrono::duration<f64>(
-                            std::chrono::steady_clock::now() - run_started)
-                            .count();
+    const f64 elapsed =
+        static_cast<f64>(obs::wall_now_us() - run_started_us) / 1e6;
     u64 total_steps = 0;
     for (const auto& s : summary.students) {
       total_steps += static_cast<u64>(std::max(0, s.steps));
     }
-    metrics.steps_per_sec.set(
-        elapsed > 0 ? static_cast<f64>(total_steps) / elapsed : 0);
+    VGBL_GAUGE_SET(metrics.steps_per_sec,
+                   elapsed > 0 ? static_cast<f64>(total_steps) / elapsed : 0);
   }
 
   const f64 n = static_cast<f64>(

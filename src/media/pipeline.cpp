@@ -4,10 +4,11 @@
 #include <condition_variable>
 #include <map>
 #include <set>
-#include <mutex>
 
+#include "obs/macros.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace vgbl {
 
@@ -56,8 +57,8 @@ Result<std::vector<Frame>> decode_gop(const VideoContainer& container,
                                       GopRange gop,
                                       const std::atomic<bool>* cancel = nullptr) {
   MediaMetrics& metrics = MediaMetrics::get();
-  obs::SpanScope span("media.decode_gop");
-  obs::ScopedTimer timer(metrics.gop_decode_ms);
+  VGBL_SPAN("media.decode_gop");
+  VGBL_TIMER(metrics.gop_decode_ms);
   Decoder decoder;
   std::vector<Frame> frames;
   frames.reserve(static_cast<size_t>(gop.count));
@@ -73,8 +74,8 @@ Result<std::vector<Frame>> decode_gop(const VideoContainer& container,
     if (!frame.ok()) return frame.error();
     frames.push_back(std::move(frame.value()));
   }
-  metrics.gops_decoded.increment();
-  metrics.frames_decoded.add(frames.size());
+  VGBL_COUNT(metrics.gops_decoded);
+  VGBL_COUNT(metrics.frames_decoded, frames.size());
   return frames;
 }
 
@@ -112,23 +113,24 @@ Result<std::vector<Frame>> decode_range_parallel(const VideoContainer& container
 }
 
 struct DecodePipeline::Run {
-  std::mutex mutex;
-  std::condition_variable cv;
-  GopPlan plan;
+  Mutex mutex;
+  std::condition_variable_any cv;
+  GopPlan plan;  // immutable once start() publishes the run
   // Workers publish frames one at a time so the consumer can present the
   // first frame of a GOP while the rest is still decoding — this bounds
   // scenario-switch latency by one frame decode instead of one GOP.
-  std::map<size_t, std::vector<Frame>> partial;   // gop -> frames so far
-  std::set<size_t> done;                          // fully decoded gops
-  std::set<size_t> failed;                        // decode error in gop
-  size_t next_submit = 0;
-  size_t in_flight = 0;
+  std::map<size_t, std::vector<Frame>> partial
+      VGBL_GUARDED_BY(mutex);                      // gop -> frames so far
+  std::set<size_t> done VGBL_GUARDED_BY(mutex);    // fully decoded gops
+  std::set<size_t> failed VGBL_GUARDED_BY(mutex);  // decode error in gop
+  size_t next_submit VGBL_GUARDED_BY(mutex) = 0;
+  size_t in_flight VGBL_GUARDED_BY(mutex) = 0;
   std::atomic<bool> cancelled{false};
 
   // Consumer cursor.
-  size_t current_gop = 0;
-  size_t offset_in_gop = 0;
-  int remaining = 0;  // frames still owed to the consumer
+  size_t current_gop VGBL_GUARDED_BY(mutex) = 0;
+  size_t offset_in_gop VGBL_GUARDED_BY(mutex) = 0;
+  int remaining VGBL_GUARDED_BY(mutex) = 0;  // frames owed to the consumer
 };
 
 DecodePipeline::DecodePipeline(std::shared_ptr<const VideoContainer> container,
@@ -143,9 +145,15 @@ void DecodePipeline::start(int first, int count) {
   stop();
   auto run = std::make_shared<Run>();
   run->plan = plan_gops(*container_, first, count);
-  run->remaining = std::min(count, std::max(0, container_->frame_count() - first));
-  if (first < 0 || first >= container_->frame_count()) run->remaining = 0;
-  run->offset_in_gop = static_cast<size_t>(run->plan.lead_in);
+  {
+    // No worker can see the run before run_ is set, but the annotations
+    // (correctly) have no way to know that — take the lock.
+    MutexLock lock(run->mutex);
+    run->remaining =
+        std::min(count, std::max(0, container_->frame_count() - first));
+    if (first < 0 || first >= container_->frame_count()) run->remaining = 0;
+    run->offset_in_gop = static_cast<size_t>(run->plan.lead_in);
+  }
   run_ = std::move(run);
 }
 
@@ -154,15 +162,19 @@ void DecodePipeline::stop() {
   auto run = run_;
   run->cancelled.store(true);
   // Wait for in-flight decodes so their container reference stays valid.
-  std::unique_lock lock(run->mutex);
-  run->cv.wait(lock, [&] { return run->in_flight == 0; });
+  {
+    UniqueLock lock(run->mutex);
+    while (run->in_flight != 0) {
+      run->cv.wait(lock);
+    }
+  }
   run_.reset();
 }
 
 std::optional<Frame> DecodePipeline::next_frame() {
   if (!run_) return std::nullopt;
   auto run = run_;
-  std::unique_lock lock(run->mutex);
+  UniqueLock lock(run->mutex);
   if (run->remaining <= 0 || run->current_gop >= run->plan.gops.size()) {
     return std::nullopt;
   }
@@ -183,8 +195,8 @@ std::optional<Frame> DecodePipeline::next_frame() {
     auto container = container_;
     pool_.submit([run, container, g] {
       MediaMetrics& metrics = MediaMetrics::get();
-      obs::SpanScope span("media.decode_gop");
-      obs::ScopedTimer timer(metrics.gop_decode_ms);
+      VGBL_SPAN("media.decode_gop");
+      VGBL_TIMER(metrics.gop_decode_ms);
       Decoder decoder;
       const GopRange gop = run->plan.gops[g];
       u64 decoded = 0;
@@ -193,7 +205,7 @@ std::optional<Frame> DecodePipeline::next_frame() {
         auto data = container->frame_data(i);
         Result<Frame> frame = data.ok() ? decoder.decode(data.value())
                                         : Result<Frame>(data.error());
-        std::lock_guard inner(run->mutex);
+        MutexLock inner(run->mutex);
         if (!frame.ok()) {
           run->failed.insert(g);
           run->cv.notify_all();
@@ -203,23 +215,28 @@ std::optional<Frame> DecodePipeline::next_frame() {
         ++decoded;
         run->cv.notify_all();
       }
-      metrics.gops_decoded.increment();
-      metrics.frames_decoded.add(decoded);
-      std::lock_guard inner(run->mutex);
+      VGBL_COUNT(metrics.gops_decoded);
+      VGBL_COUNT(metrics.frames_decoded, decoded);
+      MutexLock inner(run->mutex);
       run->done.insert(g);
       --run->in_flight;
       run->cv.notify_all();
     });
   }
 
-  // Wait for the next frame of the current GOP (not the whole GOP).
+  // Wait for the next frame of the current GOP (not the whole GOP). An
+  // explicit predicate loop instead of the lambda overload: the thread
+  // safety analysis cannot see through the wait(lock, pred) indirection,
+  // while a plain loop keeps every guarded access lexically under the lock.
   const size_t cur = run->current_gop;
-  run->cv.wait(lock, [&] {
-    if (run->cancelled.load() || run->failed.count(cur)) return true;
-    auto it = run->partial.find(cur);
-    const size_t have = it == run->partial.end() ? 0 : it->second.size();
-    return have > run->offset_in_gop || run->done.count(cur) > 0;
-  });
+  while (true) {
+    if (run->cancelled.load() || run->failed.count(cur) > 0) break;
+    auto probe = run->partial.find(cur);
+    const size_t have =
+        probe == run->partial.end() ? 0 : probe->second.size();
+    if (have > run->offset_in_gop || run->done.count(cur) > 0) break;
+    run->cv.wait(lock);
+  }
   if (run->cancelled.load() || run->failed.count(cur)) return std::nullopt;
   auto it = run->partial.find(cur);
   const size_t have = it == run->partial.end() ? 0 : it->second.size();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/macros.hpp"
 #include "obs/metrics.hpp"
 
 namespace vgbl {
@@ -85,9 +86,9 @@ MicroTime SimulatedNetwork::send(Packet packet, MicroTime now) {
   const MicroTime start = std::max(now, link_busy_until_);
   if (obs::enabled()) {
     NetMetrics& metrics = NetMetrics::get();
-    metrics.packets_sent.increment();
-    metrics.bytes_sent.add(packet.size);
-    metrics.queueing_delay_ms.observe(to_millis(start - now));
+    VGBL_COUNT(metrics.packets_sent);
+    VGBL_COUNT(metrics.bytes_sent, packet.size);
+    VGBL_OBSERVE(metrics.queueing_delay_ms, to_millis(start - now));
   }
   // Serialization delay on the shared link: size / effective bandwidth
   // (degradation windows shrink the pipe mid-run).
@@ -117,7 +118,7 @@ MicroTime SimulatedNetwork::send(Packet packet, MicroTime now) {
     // packet just never reaches `poll`. Only the receiver's silence (and
     // its feedback, if any) reveals the loss.
     ++stats_.packets_lost;
-    if (obs::enabled()) NetMetrics::get().packets_lost.increment();
+    VGBL_COUNT(NetMetrics::get().packets_lost);
     return packet.arrives_at;
   }
 

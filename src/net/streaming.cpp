@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/macros.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -166,8 +167,8 @@ std::optional<FeedbackPacket> StreamClient::make_feedback(MicroTime now) {
   next_feedback_at_ = now + config_.feedback_interval;
   ++stats_.feedback_packets;
   stats_.nacks_sent += static_cast<int>(fb.nacks.size());
-  if (obs::enabled() && !fb.nacks.empty()) {
-    StreamMetrics::get().nacks_sent.add(fb.nacks.size());
+  if (!fb.nacks.empty()) {
+    VGBL_COUNT(StreamMetrics::get().nacks_sent, fb.nacks.size());
   }
   return fb;
 }
@@ -241,23 +242,20 @@ void StreamClient::tick(MicroTime now) {
         if (obs::enabled()) {
           StreamMetrics& metrics = StreamMetrics::get();
           if (!stats_.started) {
-            metrics.startup_delay_ms.observe(
-                to_millis(now - segment_requested_at_));
+            VGBL_OBSERVE(metrics.startup_delay_ms,
+                         to_millis(now - segment_requested_at_));
           } else {
-            metrics.segment_switches.increment();
-            if (now == segment_requested_at_) metrics.prefetch_hits.increment();
+            VGBL_COUNT(metrics.segment_switches);
+            if (now == segment_requested_at_) {
+              VGBL_COUNT(metrics.prefetch_hits);
+            }
           }
-          metrics.segment_fetch_ms.observe(
-              to_millis(now - segment_requested_at_));
+          VGBL_OBSERVE(metrics.segment_fetch_ms,
+                       to_millis(now - segment_requested_at_));
           // Segment fetch is not a lexical scope — it opens in
           // start_segment() and closes here — so the span is recorded by
-          // hand rather than via SpanScope.
-          obs::TraceEvent fetch;
-          fetch.name = "stream.segment_fetch";
-          fetch.sim_start = segment_requested_at_;
-          fetch.sim_end = now;
-          fetch.wall_ms = 0;
-          obs::TraceLog::global().record(fetch);
+          // hand through obs::record_span rather than via VGBL_SPAN.
+          obs::record_span("stream.segment_fetch", segment_requested_at_, now);
         }
         if (!stats_.started) {
           stats_.startup_delay = now - segment_requested_at_;
@@ -281,7 +279,7 @@ void StreamClient::tick(MicroTime now) {
         if (presented_in_segment_ < buf.prefix) {
           if (buf.skipped.count(presented_in_segment_)) {
             ++stats_.frames_skipped;
-            if (obs::enabled()) StreamMetrics::get().frames_skipped.increment();
+            VGBL_COUNT(StreamMetrics::get().frames_skipped);
           } else {
             ++stats_.frames_presented;
           }
@@ -297,7 +295,7 @@ void StreamClient::tick(MicroTime now) {
           state_ = PlayState::kStalled;
           state_since_ = stall_start;
           ++stats_.rebuffer_events;
-          if (obs::enabled()) StreamMetrics::get().rebuffer_events.increment();
+          VGBL_COUNT(StreamMetrics::get().rebuffer_events);
           blocked_frame_ = buf.prefix;
           blocked_since_ = stall_start;
           return;
@@ -307,7 +305,7 @@ void StreamClient::tick(MicroTime now) {
       state_since_ = now;
       if (presented_in_segment_ >= seg->frame_count) {
         ++stats_.segments_played;
-        if (obs::enabled()) StreamMetrics::get().segments_played.increment();
+        VGBL_COUNT(StreamMetrics::get().segments_played);
         ++path_pos_;
         if (path_pos_ >= path_.size()) {
           finished_ = true;
@@ -387,9 +385,7 @@ void StreamServer::on_feedback(const FeedbackPacket& fb, MicroTime now) {
       arq.rttvar = 0.75 * arq.rttvar + 0.25 * std::abs(arq.srtt - s);
       arq.srtt = 0.875 * arq.srtt + 0.125 * s;
     }
-    if (obs::enabled()) {
-      StreamMetrics::get().rtt_ms.observe(to_millis(sample));
-    }
+    VGBL_OBSERVE(StreamMetrics::get().rtt_ms, to_millis(sample));
   }
 
   for (u64 seq : fb.nacks) {
@@ -468,7 +464,7 @@ bool StreamServer::send_one_retransmit(MicroTime now) {
     u.last_sent = now;
     ++u.retries;
     ++arq_stats_.retransmits;
-    if (obs::enabled()) StreamMetrics::get().retransmits.increment();
+    VGBL_COUNT(StreamMetrics::get().retransmits);
     const MicroTime backoff = std::min(
         static_cast<MicroTime>(rto(fit->second) << std::min(u.retries, 6)),
         config_.max_rto);
@@ -515,7 +511,7 @@ bool StreamServer::pump_client(StreamClient& client, MicroTime now) {
     // The sender cannot see loss: progress always advances, and recovery
     // is the ARQ loop's job (NACK or timeout -> retransmit).
     ++progress;
-    if (obs::enabled()) StreamMetrics::get().frames_sent.increment();
+    VGBL_COUNT(StreamMetrics::get().frames_sent);
     UnackedPacket u;
     u.packet = p;
     u.last_sent = now;

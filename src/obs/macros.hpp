@@ -1,0 +1,81 @@
+#pragma once
+
+// Guard-baking instrumentation macros (DESIGN.md §5f). Every metric/trace
+// call site outside src/obs/ must go through these — vgbl-lint's
+// `obs-guarded-metric` rule rejects raw Counter/Histogram mutations and raw
+// SpanScope/ScopedTimer spellings elsewhere — so the `obs::enabled()` guard
+// is structural: it cannot be forgotten the way the PR 4
+// `net_packets_lost_total` site forgot it.
+//
+// The guard does double duty. Counter/Gauge/Histogram already check
+// `enabled()` internally (so correctness never depended on call-site
+// guards), but the *expression computing the metric reference* — typically
+// `XxxMetrics::get()`, a function-local static behind an init-guard — and
+// any argument computation run before that internal check. Baking the
+// branch into the macro keeps the disabled cost of a site at one relaxed
+// load, arguments unevaluated.
+//
+// Batching is still allowed: a block under a raw `if (obs::enabled())` may
+// cache `XxxMetrics& m = XxxMetrics::get();` once and use these macros on
+// `m.field` inside — the inner check is a second relaxed load, not a
+// second registry lookup.
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace vgbl::obs::detail {
+
+inline void count(Counter& counter) { counter.increment(); }
+inline void count(Counter& counter, u64 n) { counter.add(n); }
+
+}  // namespace vgbl::obs::detail
+
+/// Increment a counter: VGBL_COUNT(m.steps) or VGBL_COUNT(m.bytes, n).
+#define VGBL_COUNT(...)                       \
+  do {                                        \
+    if (::vgbl::obs::enabled()) {             \
+      ::vgbl::obs::detail::count(__VA_ARGS__); \
+    }                                         \
+  } while (0)
+
+/// Record one histogram observation.
+#define VGBL_OBSERVE(histogram, value)           \
+  do {                                           \
+    if (::vgbl::obs::enabled()) {                \
+      (histogram).observe(value);                \
+    }                                            \
+  } while (0)
+
+/// Set a gauge to an absolute value.
+#define VGBL_GAUGE_SET(gauge, value)             \
+  do {                                           \
+    if (::vgbl::obs::enabled()) {                \
+      (gauge).set(value);                        \
+    }                                            \
+  } while (0)
+
+/// Apply a signed delta to a gauge (paired enter/exit sites).
+#define VGBL_GAUGE_ADD(gauge, delta)             \
+  do {                                           \
+    if (::vgbl::obs::enabled()) {                \
+      (gauge).add(delta);                        \
+    }                                            \
+  } while (0)
+
+#define VGBL_OBS_CONCAT_INNER(a, b) a##b
+#define VGBL_OBS_CONCAT(a, b) VGBL_OBS_CONCAT_INNER(a, b)
+
+/// Open a RAII trace span for the rest of the enclosing scope:
+/// VGBL_SPAN("persist.checkpoint") or VGBL_SPAN("core.student", &clock).
+/// SpanScope is itself a no-op when disabled; the macro exists so the
+/// spelling is lintable and uniform with the other sites.
+#define VGBL_SPAN(...)                                       \
+  ::vgbl::obs::SpanScope VGBL_OBS_CONCAT(vgbl_span_, __LINE__) { \
+    __VA_ARGS__                                              \
+  }
+
+/// Time the rest of the enclosing scope into a histogram (milliseconds).
+#define VGBL_TIMER(histogram)                                     \
+  ::vgbl::obs::ScopedTimer VGBL_OBS_CONCAT(vgbl_timer_, __LINE__) { \
+    histogram                                                     \
+  }

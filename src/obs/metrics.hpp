@@ -24,11 +24,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
 namespace vgbl::obs {
@@ -234,20 +234,25 @@ class MetricsRegistry {
   /// Returns the metric registered under `name`, creating it on first
   /// call. `help` (and for histograms, `bounds`) only matter on that first
   /// call; later calls return the existing metric unchanged.
-  Counter& counter(const std::string& name, const std::string& help = "");
-  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Counter& counter(const std::string& name, const std::string& help = "")
+      VGBL_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name, const std::string& help = "")
+      VGBL_EXCLUDES(mutex_);
   Histogram& histogram(const std::string& name, std::vector<f64> bounds,
-                       const std::string& help = "");
+                       const std::string& help = "") VGBL_EXCLUDES(mutex_);
 
-  [[nodiscard]] MetricsSnapshot scrape() const;
+  [[nodiscard]] MetricsSnapshot scrape() const VGBL_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // std::map: stable addresses via unique_ptr, and scrape() comes out
   // name-sorted for free. Registration is rare; lookups hit cached refs.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      VGBL_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      VGBL_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      VGBL_GUARDED_BY(mutex_);
 };
 
 /// Times a block into a histogram of milliseconds; a no-op (no clock read)

@@ -7,11 +7,11 @@
 namespace vgbl::obs {
 
 struct TraceLog::Ring {
-  std::mutex mutex;
-  std::vector<TraceEvent> events;  // capacity kRingCapacity, circular
-  size_t next = 0;
-  bool wrapped = false;
-  u32 thread_index = 0;
+  Mutex mutex;
+  std::vector<TraceEvent> events VGBL_GUARDED_BY(mutex);  // circular
+  size_t next VGBL_GUARDED_BY(mutex) = 0;
+  bool wrapped VGBL_GUARDED_BY(mutex) = false;
+  u32 thread_index = 0;  // immutable after construction
   std::atomic<bool> in_use{false};
 };
 
@@ -43,14 +43,14 @@ TraceLog& TraceLog::global() {
 TraceLog::Ring& TraceLog::ring_for_this_thread() {
   if (t_ring_cache.ring != nullptr) return *t_ring_cache.ring;
 
-  std::lock_guard lock(rings_mutex_);
+  MutexLock lock(rings_mutex_);
   for (auto& ring : rings_) {
     bool expected = false;
     if (ring->in_use.compare_exchange_strong(expected, true,
                                              std::memory_order_acq_rel)) {
       // Recycled from a finished thread: the dead thread's history goes,
       // keeping total memory bounded by peak concurrency.
-      std::lock_guard ring_lock(ring->mutex);
+      MutexLock ring_lock(ring->mutex);
       ring->events.clear();
       ring->next = 0;
       ring->wrapped = false;
@@ -71,7 +71,7 @@ void TraceLog::record(TraceEvent event) {
   if (!enabled()) return;
   Ring& ring = ring_for_this_thread();
   event.thread_index = ring.thread_index;
-  std::lock_guard lock(ring.mutex);
+  MutexLock lock(ring.mutex);
   if (ring.events.size() < kRingCapacity) {
     ring.events.push_back(event);
   } else {
@@ -83,9 +83,9 @@ void TraceLog::record(TraceEvent event) {
 
 std::vector<TraceEvent> TraceLog::snapshot() const {
   std::vector<TraceEvent> out;
-  std::lock_guard lock(rings_mutex_);
+  MutexLock lock(rings_mutex_);
   for (const auto& ring : rings_) {
-    std::lock_guard ring_lock(ring->mutex);
+    MutexLock ring_lock(ring->mutex);
     if (ring->wrapped) {
       // Oldest-first: [next, end) then [0, next).
       out.insert(out.end(), ring->events.begin() + static_cast<i64>(ring->next),
@@ -100,9 +100,9 @@ std::vector<TraceEvent> TraceLog::snapshot() const {
 }
 
 void TraceLog::clear() {
-  std::lock_guard lock(rings_mutex_);
+  MutexLock lock(rings_mutex_);
   for (const auto& ring : rings_) {
-    std::lock_guard ring_lock(ring->mutex);
+    MutexLock ring_lock(ring->mutex);
     ring->events.clear();
     ring->next = 0;
     ring->wrapped = false;
@@ -110,8 +110,17 @@ void TraceLog::clear() {
 }
 
 size_t TraceLog::ring_count() const {
-  std::lock_guard lock(rings_mutex_);
+  MutexLock lock(rings_mutex_);
   return rings_.size();
+}
+
+void record_span(const char* name, MicroTime sim_start, MicroTime sim_end) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.sim_start = sim_start;
+  event.sim_end = sim_end;
+  TraceLog::global().record(event);
 }
 
 SpanScope::SpanScope(const char* name, const Clock* sim_clock) {

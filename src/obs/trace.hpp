@@ -13,10 +13,10 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "util/sim_clock.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
 namespace vgbl::obs {
@@ -47,24 +47,31 @@ class TraceLog {
 
   /// Copies every ring, oldest-first within each thread. Safe to call
   /// while other threads record; each ring is copied under its own lock.
-  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const
+      VGBL_EXCLUDES(rings_mutex_);
 
   /// Drops all recorded events (rings stay allocated for their threads).
-  void clear();
+  void clear() VGBL_EXCLUDES(rings_mutex_);
 
   /// Rings ever allocated — bounded by peak concurrent recording threads.
-  [[nodiscard]] size_t ring_count() const;
+  [[nodiscard]] size_t ring_count() const VGBL_EXCLUDES(rings_mutex_);
 
   /// One thread's circular buffer. Opaque outside trace.cpp; public only
   /// so the thread-local cache that recycles rings can hold a pointer.
   struct Ring;
 
  private:
-  Ring& ring_for_this_thread();
+  Ring& ring_for_this_thread() VGBL_EXCLUDES(rings_mutex_);
 
-  mutable std::mutex rings_mutex_;
-  std::vector<std::unique_ptr<Ring>> rings_;
+  mutable Mutex rings_mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_ VGBL_GUARDED_BY(rings_mutex_);
 };
+
+/// Records a hand-built sim-time span (a non-lexical interval such as
+/// segment request → arrival) into the global log. Guard-baked like the
+/// VGBL_* macros: when observability is disabled this is one relaxed load,
+/// and no event is built. `name` must have static lifetime.
+void record_span(const char* name, MicroTime sim_start, MicroTime sim_end);
 
 /// RAII span: open at construction, recorded at destruction. When metrics
 /// are disabled at construction, the whole scope is a no-op (no clock

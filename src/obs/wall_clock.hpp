@@ -1,0 +1,24 @@
+#pragma once
+
+#include <chrono>
+
+#include "util/types.hpp"
+
+namespace vgbl::obs {
+
+// The single sanctioned wall-clock read for observe-only timing (DESIGN.md
+// §5f). Deterministic layers must never branch on wall time — vgbl-lint's
+// `determinism-wallclock` rule bans the std::chrono clocks there — but
+// metrics like student wall_ms or thread-pool idle time legitimately measure
+// it. Those sites call this helper so every wall-clock read in the tree is
+// greppable and the lint allowlist stays one entry long.
+//
+// steady_clock, not system_clock: the values are only ever subtracted, and
+// a monotonic source can't go backwards under NTP adjustment.
+[[nodiscard]] inline i64 wall_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace vgbl::obs

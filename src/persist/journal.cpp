@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/macros.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/crc32.hpp"
@@ -158,8 +159,8 @@ Status JournalWriter::append_record(JournalRecord::Kind kind,
     return failed_precondition("journal writer was moved-from or closed");
   }
   JournalMetrics& metrics = JournalMetrics::get();
-  obs::SpanScope span("persist.journal_append");
-  obs::ScopedTimer timer(metrics.append_ms);
+  VGBL_SPAN("persist.journal_append");
+  VGBL_TIMER(metrics.append_ms);
   ByteWriter frame;
   frame.put_u8(static_cast<u8>(kind));
   frame.put_u32(static_cast<u32>(payload.size()));
@@ -171,8 +172,8 @@ Status JournalWriter::append_record(JournalRecord::Kind kind,
     return file_error("cannot append to journal", path_);
   }
   bytes_written_ += bytes.size();
-  metrics.appends.increment();
-  metrics.bytes.add(bytes.size());
+  VGBL_COUNT(metrics.appends);
+  VGBL_COUNT(metrics.bytes, bytes.size());
   return {};
 }
 

@@ -37,6 +37,12 @@ struct JournalRecord {
 
 /// Appends records to a journal file, flushing after every write so the
 /// log-before-apply ordering survives a crash of the process.
+///
+/// Not internally synchronised, deliberately: a writer is always owned by
+/// one PersistedSession and every append runs under that student's store
+/// shard (apply_locked/checkpoint_locked, see thread_annotations.hpp), or
+/// by a single-threaded caller (tests, CLI). Adding a mutex here would
+/// hide lock-discipline bugs the shard annotations now catch.
 class JournalWriter {
  public:
   /// Creates (or truncates) `path` and writes a fresh file header.

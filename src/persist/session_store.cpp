@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "obs/macros.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -70,25 +71,24 @@ PersistedSession::PersistedSession(std::shared_ptr<const GameBundle> bundle,
                                    CheckpointPolicy policy,
                                    std::string student_id,
                                    std::string snapshot_path,
-                                   std::string journal_path)
+                                   std::string journal_path,
+                                   Mutex* store_mutex)
     : bundle_(std::move(bundle)),
       session_(std::make_unique<GameSession>(bundle_, &clock_, options)),
       runner_(session_.get(), &clock_),
       policy_(policy),
       student_id_(std::move(student_id)),
       snapshot_path_(std::move(snapshot_path)),
-      journal_path_(std::move(journal_path)) {}
+      journal_path_(std::move(journal_path)),
+      store_mutex_(store_mutex) {}
 
 Status PersistedSession::apply(const ScriptStep& step) {
-  if (store_mutex_ != nullptr) {
-    std::lock_guard lock(*store_mutex_);
-    return apply_locked(step);
-  }
+  MutexLock lock(*store_mutex_);
   return apply_locked(step);
 }
 
 Status PersistedSession::apply_locked(const ScriptStep& step) {
-  StoreMetrics::get().applies.increment();
+  VGBL_COUNT(StoreMetrics::get().applies);
   if (session_->game_over()) return {};  // mirrors ScriptRunner::run
   if (!journal_.has_value()) {
     return failed_precondition("session's journal is not open");
@@ -112,17 +112,14 @@ Status PersistedSession::apply_locked(const ScriptStep& step) {
 }
 
 Status PersistedSession::checkpoint() {
-  if (store_mutex_ != nullptr) {
-    std::lock_guard lock(*store_mutex_);
-    return checkpoint_locked();
-  }
+  MutexLock lock(*store_mutex_);
   return checkpoint_locked();
 }
 
 Status PersistedSession::checkpoint_locked() {
   StoreMetrics& metrics = StoreMetrics::get();
-  obs::SpanScope span("persist.checkpoint", &clock_);
-  obs::ScopedTimer timer(metrics.checkpoint_ms);
+  VGBL_SPAN("persist.checkpoint", &clock_);
+  VGBL_TIMER(metrics.checkpoint_ms);
   SnapshotMeta meta;
   meta.sequence = sequence_ + 1;
   meta.step_count = step_count_;
@@ -135,13 +132,13 @@ Status PersistedSession::checkpoint_locked() {
   }
   sequence_ = meta.sequence;
   ++checkpoints_taken_;
-  metrics.checkpoints.increment();
-  metrics.snapshot_bytes.add(data.size());
+  VGBL_COUNT(metrics.checkpoints);
+  VGBL_COUNT(metrics.snapshot_bytes, data.size());
   // Compact: everything journaled so far is in the snapshot now, so the
   // journal restarts as a lone barrier carrying the snapshot's sequence.
   auto writer = JournalWriter::create(journal_path_);
   if (!writer.ok()) return writer.error();
-  metrics.compactions.increment();
+  VGBL_COUNT(metrics.compactions);
   journal_ = std::move(writer).value();
   if (auto st = journal_->append_barrier(sequence_, step_count_); !st.ok()) {
     return st;
@@ -156,12 +153,12 @@ Status PersistedSession::checkpoint_locked() {
 SessionStore::SessionStore(SessionStoreOptions options)
     : options_(std::move(options)) {}
 
-std::mutex& SessionStore::student_mutex(const std::string& student_id) const {
+Mutex& SessionStore::student_mutex(const std::string& student_id) const {
   return shards_[std::hash<std::string>{}(student_id) % kLockShards];
 }
 
 Status SessionStore::ensure_directory() {
-  std::lock_guard lock(directory_mutex_);
+  MutexLock lock(directory_mutex_);
   if (directory_ready_) return {};
   std::error_code ec;
   fs::create_directories(options_.directory, ec);
@@ -209,7 +206,7 @@ std::vector<std::string> SessionStore::list_students() const {
 
 Status SessionStore::remove_session(const std::string& student_id) {
   if (auto st = validate_student_id(student_id); !st.ok()) return st;
-  std::lock_guard lock(student_mutex(student_id));
+  MutexLock lock(student_mutex(student_id));
   std::error_code ec;
   fs::remove(snapshot_path(student_id), ec);
   if (ec) return io_error("cannot remove snapshot: " + ec.message());
@@ -225,18 +222,18 @@ Result<std::unique_ptr<PersistedSession>> SessionStore::open_session(
   if (auto st = ensure_directory(); !st.ok()) return st.error();
 
   StoreMetrics& metrics = StoreMetrics::get();
-  metrics.opens.increment();
-  obs::SpanScope span("persist.open");
-  obs::ScopedTimer timer(metrics.open_ms);
+  VGBL_COUNT(metrics.opens);
+  VGBL_SPAN("persist.open");
+  VGBL_TIMER(metrics.open_ms);
 
   std::unique_ptr<PersistedSession> ps(new PersistedSession(
       bundle, options_.session, options_.policy, student_id,
-      snapshot_path(student_id), journal_path(student_id)));
-  ps->store_mutex_ = &student_mutex(student_id);
+      snapshot_path(student_id), journal_path(student_id),
+      &student_mutex(student_id)));
   // Hold the student's shard for the whole open: read snapshot, replay
   // journal, rewrite both. A concurrent open/checkpoint for the same
   // student serialises here; other students use different shards.
-  std::lock_guard lock(*ps->store_mutex_);
+  MutexLock lock(*ps->store_mutex_);
 
   // 1. Latest snapshot, when one exists.
   bool have_snapshot = false;
@@ -287,8 +284,8 @@ Result<std::unique_ptr<PersistedSession>> SessionStore::open_session(
 
   ps->resumed_ = have_snapshot || have_journal;
   if (ps->resumed_) {
-    metrics.recoveries.increment();
-    metrics.replayed_steps.add(static_cast<u64>(ps->replayed_steps_));
+    VGBL_COUNT(metrics.recoveries);
+    VGBL_COUNT(metrics.replayed_steps, static_cast<u64>(ps->replayed_steps_));
   }
   // 3. Fold any replayed tail into a fresh snapshot and compact (also
   // replaces a stale journal left by a crash between snapshot rename and

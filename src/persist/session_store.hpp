@@ -30,7 +30,6 @@
 
 #include <array>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,6 +39,7 @@
 #include "runtime/script.hpp"
 #include "runtime/session.hpp"
 #include "util/sim_clock.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace vgbl {
 
@@ -90,22 +90,24 @@ class PersistedSession {
   /// stay input-for-input identical: a no-op once the game is over, and a
   /// step that fails leaves the state unchanged (the journaled copy
   /// re-fails identically on recovery replay).
-  Status apply(const ScriptStep& step);
+  Status apply(const ScriptStep& step) VGBL_EXCLUDES(*store_mutex_);
 
   /// Snapshots the current state and compacts the journal.
-  Status checkpoint();
+  Status checkpoint() VGBL_EXCLUDES(*store_mutex_);
 
  private:
   friend class SessionStore;
   PersistedSession(std::shared_ptr<const GameBundle> bundle,
                    SessionOptions options, CheckpointPolicy policy,
                    std::string student_id, std::string snapshot_path,
-                   std::string journal_path);
+                   std::string journal_path, Mutex* store_mutex);
 
-  /// Bodies of apply/checkpoint, run with the student's store shard lock
-  /// already held (or with no store lock at all during open_session).
-  Status apply_locked(const ScriptStep& step);
-  Status checkpoint_locked();
+  /// Bodies of apply/checkpoint. VGBL_REQUIRES makes the "public method
+  /// locks, `_locked` body requires the lock" convention compiler-checked:
+  /// clang rejects any call path that can reach these without holding the
+  /// student's shard.
+  Status apply_locked(const ScriptStep& step) VGBL_REQUIRES(*store_mutex_);
+  Status checkpoint_locked() VGBL_REQUIRES(*store_mutex_);
 
   std::shared_ptr<const GameBundle> bundle_;
   SimClock clock_;
@@ -119,8 +121,9 @@ class PersistedSession {
   std::optional<JournalWriter> journal_;
   /// The owning store's shard mutex for this student; file writes
   /// (journal appends, checkpoints) lock it so two sessions for the same
-  /// student never interleave on-disk writes.
-  std::mutex* store_mutex_ = nullptr;
+  /// student never interleave on-disk writes. Always non-null: the store
+  /// passes it at construction, before any apply/checkpoint can run.
+  Mutex* const store_mutex_;
 
   bool resumed_ = false;
   u64 replayed_steps_ = 0;
@@ -161,15 +164,15 @@ class SessionStore {
   /// stays cache-friendly.
   static constexpr size_t kLockShards = 32;
 
-  [[nodiscard]] std::mutex& student_mutex(const std::string& student_id) const;
+  [[nodiscard]] Mutex& student_mutex(const std::string& student_id) const;
   /// Creates the store directory once (idempotent, mutex-guarded so
   /// concurrent first opens do not race the existence check).
   Status ensure_directory();
 
   SessionStoreOptions options_;
-  mutable std::array<std::mutex, kLockShards> shards_;
-  std::mutex directory_mutex_;
-  bool directory_ready_ = false;
+  mutable std::array<Mutex, kLockShards> shards_;
+  Mutex directory_mutex_;
+  bool directory_ready_ VGBL_GUARDED_BY(directory_mutex_) = false;
 };
 
 }  // namespace vgbl

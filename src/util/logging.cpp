@@ -1,12 +1,8 @@
 #include "util/logging.hpp"
 
 #include <cstdio>
-#include <mutex>
 
 namespace vgbl {
-namespace {
-std::mutex g_log_mutex;
-}
 
 const char* log_level_name(LogLevel level) {
   switch (level) {
@@ -32,13 +28,13 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_sink(Sink sink) {
-  std::lock_guard lock(g_log_mutex);
+  MutexLock lock(sink_mutex_);
   sink_ = std::move(sink);
 }
 
 void Logger::log(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
-  std::lock_guard lock(g_log_mutex);
+  MutexLock lock(sink_mutex_);
   if (sink_) {
     sink_(level, message);
   } else {

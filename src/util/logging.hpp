@@ -7,6 +7,8 @@
 #include <sstream>
 #include <string>
 
+#include "util/thread_annotations.hpp"
+
 namespace vgbl {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
@@ -36,14 +38,19 @@ class Logger {
 
   /// Replaces the output sink (default writes to stderr). Pass nullptr to
   /// restore the default.
-  void set_sink(Sink sink);
+  void set_sink(Sink sink) VGBL_EXCLUDES(sink_mutex_);
 
-  void log(LogLevel level, const std::string& message);
+  void log(LogLevel level, const std::string& message)
+      VGBL_EXCLUDES(sink_mutex_);
 
  private:
   Logger() = default;
   std::atomic<LogLevel> level_{LogLevel::kWarn};
-  Sink sink_;
+  // The sink was previously guarded by a file-static mutex in logging.cpp;
+  // holding it as a member lets the guarded_by relationship be stated (and
+  // checked under clang -Wthread-safety).
+  Mutex sink_mutex_;
+  Sink sink_ VGBL_GUARDED_BY(sink_mutex_);
 };
 
 /// Stream-style log statement builder: LOG(kInfo) << "x=" << x;

@@ -44,6 +44,14 @@ class SimClock final : public Clock {
 };
 
 /// Monotonic wall clock for benchmarks and interactive runs.
+///
+/// lint_rules allowlists this file for `determinism-wallclock`: SystemClock
+/// is the one sanctioned wall-clock *implementation* in the deterministic
+/// layers, and it is safe precisely because it is injected — deterministic
+/// code paths receive a SimClock through the same Clock interface and never
+/// construct a SystemClock themselves (vgbl-lint would reject the
+/// steady_clock read at any such site). Keep every other wall-clock read
+/// behind obs::wall_now_us() (src/obs/wall_clock.hpp).
 class SystemClock final : public Clock {
  public:
   [[nodiscard]] MicroTime now() const override {

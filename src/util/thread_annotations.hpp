@@ -1,0 +1,125 @@
+#pragma once
+
+// Clang Thread Safety Analysis support (DESIGN.md §5f).
+//
+// The macros below expand to clang's capability attributes when the tree is
+// compiled with clang (`-Wthread-safety`, promoted to an error by the
+// `build-clang-tsa` preset) and to nothing everywhere else, so gcc builds are
+// unaffected. libstdc++'s std::mutex carries no annotations, so the analysis
+// only works through the annotated wrappers at the bottom of this header:
+// vgbl::Mutex plus the scoped lockers MutexLock / UniqueLock. Every
+// mutex-holding class in the tree uses these wrappers; the "public method
+// locks, `_locked` body requires the lock" convention is expressed with
+// VGBL_REQUIRES on the `_locked` delegate.
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define VGBL_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef VGBL_THREAD_ANNOTATION
+#define VGBL_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+// A type that acts as a lock: vgbl::Mutex below, or any future capability.
+#define VGBL_CAPABILITY(x) VGBL_THREAD_ANNOTATION(capability(x))
+
+// RAII types whose lifetime equals the period the capability is held.
+#define VGBL_SCOPED_CAPABILITY VGBL_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members that may only be touched while the named capability is held.
+#define VGBL_GUARDED_BY(x) VGBL_THREAD_ANNOTATION(guarded_by(x))
+#define VGBL_PT_GUARDED_BY(x) VGBL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Functions that must be called with the capability already held — this is
+// the `_locked` contract: the public wrapper acquires, the `_locked` body
+// declares VGBL_REQUIRES and the compiler rejects any unlocked call path.
+#define VGBL_REQUIRES(...) \
+  VGBL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define VGBL_REQUIRES_SHARED(...) \
+  VGBL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Functions that acquire / release the capability themselves.
+#define VGBL_ACQUIRE(...) VGBL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define VGBL_RELEASE(...) VGBL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define VGBL_TRY_ACQUIRE(...) \
+  VGBL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Functions that must NOT be called while holding the capability
+// (self-deadlock guard for public methods that lock internally).
+#define VGBL_EXCLUDES(...) VGBL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define VGBL_ASSERT_CAPABILITY(x) \
+  VGBL_THREAD_ANNOTATION(assert_capability(x))
+#define VGBL_RETURN_CAPABILITY(x) VGBL_THREAD_ANNOTATION(lock_returned(x))
+#define VGBL_NO_THREAD_SAFETY_ANALYSIS \
+  VGBL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace vgbl {
+
+// Annotated drop-in for std::mutex. Same cost (it IS a std::mutex), but the
+// capability attribute lets clang track acquire/release through it.
+class VGBL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() VGBL_ACQUIRE() { inner_.lock(); }
+  void unlock() VGBL_RELEASE() { inner_.unlock(); }
+  bool try_lock() VGBL_TRY_ACQUIRE(true) { return inner_.try_lock(); }
+
+ private:
+  std::mutex inner_;
+};
+
+// lock_guard-style scoped locker: held for the full scope, never released
+// early. Use for plain critical sections.
+class VGBL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) VGBL_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() VGBL_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+// unique_lock-style scoped locker: relockable, so it satisfies BasicLockable
+// for std::condition_variable_any::wait and supports the unlock-before-notify
+// pattern in BoundedQueue. The destructor releases only if still owned.
+class VGBL_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) VGBL_ACQUIRE(mutex)
+      : mutex_(mutex), owned_(true) {
+    mutex_.lock();
+  }
+  ~UniqueLock() VGBL_RELEASE() {
+    if (owned_) mutex_.unlock();
+  }
+
+  void lock() VGBL_ACQUIRE() {
+    mutex_.lock();
+    owned_ = true;
+  }
+  void unlock() VGBL_RELEASE() {
+    mutex_.unlock();
+    owned_ = false;
+  }
+  [[nodiscard]] bool owns_lock() const { return owned_; }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+  bool owned_;
+};
+
+}  // namespace vgbl

@@ -1,0 +1,22 @@
+// Fixture: every banned spelling appears only inside comments, string
+// literals, char sequences or raw strings — must produce zero findings.
+//
+// steady_clock, std::mt19937, rand(), sleep_for — all prose here.
+
+namespace vgbl {
+
+/* block comment mentioning std::random_device and system_clock */
+inline const char* doc() {
+  return "call steady_clock::now() and srand() and sleep_for() at will";
+}
+
+inline const char* raw_doc() {
+  return R"lint(high_resolution_clock rand( using namespace std)lint";
+}
+
+inline const char* tricky() {
+  // The escaped quote must not end the literal early: "…\"…".
+  return "escaped \" then rand( still inside the string";
+}
+
+}  // namespace vgbl

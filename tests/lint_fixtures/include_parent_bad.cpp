@@ -1,0 +1,7 @@
+// Fixture: parent-relative include escaping the include root — must fire
+// include-hygiene.
+#include "../util/types.hpp"
+
+namespace vgbl {
+int parent_include() { return 1; }
+}  // namespace vgbl

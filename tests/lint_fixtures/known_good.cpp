@@ -1,0 +1,21 @@
+// Fixture: representative clean code — must produce zero findings when
+// linted under a deterministic-layer virtual path like src/core/good.cpp.
+#include "obs/macros.hpp"
+#include "util/sim_clock.hpp"
+
+namespace vgbl {
+
+struct GoodMetrics {
+  obs::Counter& steps;
+  obs::Histogram& step_ms;
+};
+
+inline i64 run(const Clock& clock, GoodMetrics& m) {
+  const MicroTime started = clock.now();
+  VGBL_COUNT(m.steps);
+  VGBL_OBSERVE(m.step_ms, to_millis(clock.now() - started));
+  VGBL_SPAN("core.step");
+  return clock.now();
+}
+
+}  // namespace vgbl

@@ -1,0 +1,21 @@
+// Fixture: raw metric mutations bypassing the VGBL_* guard macros — must
+// fire obs-guarded-metric (both the named-field and chained forms).
+#include "obs/metrics.hpp"
+
+namespace vgbl {
+
+struct RawMetrics {
+  obs::Counter& steps;
+  obs::Gauge& depth;
+  obs::Histogram& step_ms;
+};
+
+void bad(RawMetrics& m) {
+  m.steps.increment();
+  m.steps.add(3);
+  m.depth.set(9);
+  m.step_ms.observe(1.5);
+  obs::MetricsRegistry::global().counter("x", "help").increment();
+}
+
+}  // namespace vgbl

@@ -1,0 +1,6 @@
+// Fixture: header without '#pragma once' — must fire include-hygiene at
+// line 1. Otherwise clean.
+
+namespace vgbl {
+inline int no_guard() { return 2; }
+}  // namespace vgbl

@@ -1,0 +1,8 @@
+// Fixture: style bans — must fire banned-pattern on both lines.
+#include <iostream>
+
+using   namespace	std;
+
+namespace vgbl {
+void shout() { std::cout << "hi" << std::endl; }
+}  // namespace vgbl

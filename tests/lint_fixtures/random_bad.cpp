@@ -1,0 +1,14 @@
+// Fixture: ambient randomness — must fire determinism-random.
+#include <cstdlib>
+#include <random>
+
+namespace vgbl {
+
+int bad_roll() {
+  std::random_device rd;
+  std::mt19937 rng(rd());
+  srand(7);
+  return rand() + static_cast<int>(rng());
+}
+
+}  // namespace vgbl

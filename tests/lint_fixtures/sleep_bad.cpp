@@ -1,0 +1,11 @@
+// Fixture: real-time waiting — must fire determinism-sleep.
+#include <chrono>
+#include <thread>
+
+namespace vgbl {
+
+void bad_wait() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+}  // namespace vgbl

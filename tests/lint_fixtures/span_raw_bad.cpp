@@ -1,0 +1,13 @@
+// Fixture: hand-rolled trace scopes instead of VGBL_SPAN / VGBL_TIMER —
+// must fire obs-guarded-metric on the banned trace spellings.
+#include "obs/trace.hpp"
+
+namespace vgbl {
+
+void bad() {
+  obs::SpanScope span("net.send");
+  obs::TraceEvent ev;
+  obs::TraceLog::global().record(ev);
+}
+
+}  // namespace vgbl

@@ -1,0 +1,15 @@
+// Fixture: direct wall-clock reads — must fire determinism-wallclock.
+#include <chrono>
+
+namespace vgbl {
+
+long long bad_now() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::microseconds>(t).count();
+}
+
+long long worse_now() {
+  return std::chrono::high_resolution_clock::now().time_since_epoch().count();
+}
+
+}  // namespace vgbl

@@ -1,0 +1,248 @@
+// Tier-1 coverage for the vgbl-lint rule engine (tools/lint) and the
+// checked-in lint_rules config. The bad fixtures under tests/lint_fixtures/
+// are linted against the *real* config under virtual deterministic-layer
+// paths, proving each rule still fires after any config edit; the CLI smoke
+// test runs the built binary over the actual src/ + tools/ trees and
+// requires a clean pass — the same gate check.sh enforces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+#ifndef VGBL_LINT_FIXTURE_DIR
+#error "VGBL_LINT_FIXTURE_DIR must be defined by the build"
+#endif
+#ifndef VGBL_LINT_RULES_PATH
+#error "VGBL_LINT_RULES_PATH must be defined by the build"
+#endif
+#ifndef VGBL_LINT_REPO_ROOT
+#error "VGBL_LINT_REPO_ROOT must be defined by the build"
+#endif
+#ifndef VGBL_LINT_BINARY
+#error "VGBL_LINT_BINARY must be defined by the build"
+#endif
+
+namespace vgbl::lint {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::string fixture(const std::string& name) {
+  return read_file(std::string(VGBL_LINT_FIXTURE_DIR) + "/" + name);
+}
+
+/// The checked-in repo-root config, parsed once. Tests run fixtures
+/// against this (not a synthetic RuleSet) so the assertions break if the
+/// shipped config stops encoding a rule.
+const RuleSet& repo_rules() {
+  static const RuleSet rules = [] {
+    std::string error;
+    auto parsed = parse_rules(read_file(VGBL_LINT_RULES_PATH), &error);
+    EXPECT_TRUE(parsed.has_value()) << error;
+    return parsed.value_or(RuleSet{});
+  }();
+  return rules;
+}
+
+std::vector<std::string> rule_ids(const std::vector<Finding>& findings) {
+  std::vector<std::string> ids;
+  ids.reserve(findings.size());
+  for (const Finding& f : findings) ids.push_back(f.rule);
+  return ids;
+}
+
+bool fires(const std::vector<Finding>& findings, const std::string& rule) {
+  const auto ids = rule_ids(findings);
+  return std::count(ids.begin(), ids.end(), rule) > 0;
+}
+
+/// Every bad fixture must fire exactly its own rule — collateral findings
+/// from another rule mean the fixture (or a rule's scope) drifted.
+void expect_only(const std::vector<Finding>& findings,
+                 const std::string& rule) {
+  EXPECT_TRUE(fires(findings, rule)) << "rule did not fire";
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, rule) << format_finding(f);
+  }
+}
+
+TEST(LintConfig, RepoRulesParse) {
+  const RuleSet& rules = repo_rules();
+  ASSERT_FALSE(rules.rules.empty());
+  std::vector<std::string> ids;
+  for (const Rule& rule : rules.rules) ids.push_back(rule.id);
+  for (const char* expected :
+       {"determinism-wallclock", "determinism-random", "determinism-sleep",
+        "obs-guarded-metric", "include-hygiene", "banned-pattern"}) {
+    EXPECT_TRUE(std::count(ids.begin(), ids.end(), expected) == 1)
+        << "missing rule " << expected;
+  }
+}
+
+TEST(LintConfig, ParseErrorsAreLineNumbered) {
+  std::string error;
+  EXPECT_FALSE(parse_rules("ban foo\n", &error).has_value());
+  EXPECT_NE(error.find("lint_rules:1"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(parse_rules("rule x\nbogus y\n", &error).has_value());
+  EXPECT_NE(error.find("lint_rules:2"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(parse_rules("rule x\nban y\n", &error).has_value())
+      << "rule without message must be rejected";
+}
+
+TEST(LintFixtures, KnownGoodIsClean) {
+  const auto findings =
+      lint_file("src/core/known_good.cpp", fixture("known_good.cpp"),
+                repo_rules());
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : format_finding(findings.front()));
+}
+
+TEST(LintFixtures, WallclockBadFires) {
+  const auto findings =
+      lint_file("src/core/wallclock_bad.cpp", fixture("wallclock_bad.cpp"),
+                repo_rules());
+  expect_only(findings, "determinism-wallclock");
+  EXPECT_GE(findings.size(), 2u);  // steady_clock + high_resolution_clock
+}
+
+TEST(LintFixtures, RandomBadFires) {
+  const auto findings = lint_file(
+      "src/net/random_bad.cpp", fixture("random_bad.cpp"), repo_rules());
+  expect_only(findings, "determinism-random");
+  EXPECT_GE(findings.size(), 4u);  // random_device, mt19937, srand, rand
+}
+
+TEST(LintFixtures, SleepBadFires) {
+  const auto findings = lint_file(
+      "src/persist/sleep_bad.cpp", fixture("sleep_bad.cpp"), repo_rules());
+  expect_only(findings, "determinism-sleep");
+}
+
+TEST(LintFixtures, MetricRawBadFires) {
+  const auto findings =
+      lint_file("src/core/metric_raw_bad.cpp", fixture("metric_raw_bad.cpp"),
+                repo_rules());
+  expect_only(findings, "obs-guarded-metric");
+  // increment, add, set, observe on named fields + the chained
+  // registry-call mutation.
+  EXPECT_EQ(findings.size(), 5u);
+}
+
+TEST(LintFixtures, SpanRawBadFires) {
+  const auto findings = lint_file(
+      "src/net/span_raw_bad.cpp", fixture("span_raw_bad.cpp"), repo_rules());
+  expect_only(findings, "obs-guarded-metric");
+  EXPECT_GE(findings.size(), 3u);  // SpanScope, TraceEvent, TraceLog
+}
+
+TEST(LintFixtures, ParentIncludeFires) {
+  const auto findings = lint_file("src/core/include_parent_bad.cpp",
+                                  fixture("include_parent_bad.cpp"),
+                                  repo_rules());
+  expect_only(findings, "include-hygiene");
+}
+
+TEST(LintFixtures, MissingPragmaOnceFires) {
+  const auto findings = lint_file("src/util/missing_pragma_bad.hpp",
+                                  fixture("missing_pragma_bad.hpp"),
+                                  repo_rules());
+  expect_only(findings, "include-hygiene");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().line, 1);
+}
+
+TEST(LintFixtures, NamespaceBadFires) {
+  const auto findings = lint_file(
+      "src/core/namespace_bad.cpp", fixture("namespace_bad.cpp"),
+      repo_rules());
+  expect_only(findings, "banned-pattern");
+  EXPECT_EQ(findings.size(), 2u);  // using namespace std + std::endl
+}
+
+TEST(LintFixtures, CommentsAndStringsNeverFire) {
+  const auto findings = lint_file(
+      "src/core/comment_ok.cpp", fixture("comment_ok.cpp"), repo_rules());
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : format_finding(findings.front()));
+}
+
+TEST(LintScoping, AllowlistExemptsSimClock) {
+  // The same wall-clock content is a violation in src/core but exempt at
+  // the allowlisted sim_clock.hpp path (which carries the justification).
+  const std::string source = fixture("wallclock_bad.cpp");
+  EXPECT_TRUE(fires(lint_file("src/core/x.cpp", source, repo_rules()),
+                    "determinism-wallclock"));
+  // (include-hygiene still applies at the .hpp path; only the wall-clock
+  // rule carries the allow entry.)
+  EXPECT_FALSE(
+      fires(lint_file("src/util/sim_clock.hpp", source, repo_rules()),
+            "determinism-wallclock"));
+}
+
+TEST(LintScoping, DeterminismRulesStopAtLayerBoundary) {
+  // src/media is outside the deterministic layers: wall-clock reads are
+  // legal there (the decode pipeline times real work).
+  const std::string source = fixture("wallclock_bad.cpp");
+  const auto findings = lint_file("src/media/x.cpp", source, repo_rules());
+  EXPECT_FALSE(fires(findings, "determinism-wallclock"));
+}
+
+TEST(LintScoping, ObsLayerMayTouchMetricsRaw) {
+  // src/obs implements the metric types; the guard rule must skip it.
+  const std::string source = fixture("metric_raw_bad.cpp");
+  const auto findings = lint_file("src/obs/x.cpp", source, repo_rules());
+  EXPECT_FALSE(fires(findings, "obs-guarded-metric"));
+}
+
+TEST(LintEngine, StripPreservesLineStructure) {
+  const std::string source =
+      "int a; // rand()\n/* steady_clock\n   spans lines */ int b;\n";
+  const std::string stripped = strip_code(source);
+  EXPECT_EQ(std::count(source.begin(), source.end(), '\n'),
+            std::count(stripped.begin(), stripped.end(), '\n'));
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("steady_clock"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+}
+
+TEST(LintEngine, BoundaryMatchingAvoidsSubstrings) {
+  Rule rule;
+  rule.id = "r";
+  rule.message = "m";
+  rule.ban = {"rand("};
+  RuleSet set;
+  set.rules.push_back(rule);
+  EXPECT_TRUE(lint_file("src/x.cpp", "int y = operand(1);", set).empty());
+  EXPECT_TRUE(lint_file("src/x.cpp", "srand(1);", set).empty());
+  EXPECT_FALSE(lint_file("src/x.cpp", "int y = rand();", set).empty());
+}
+
+// The acceptance gate itself: the built binary over the real tree must be
+// clean. Run from the repo root so config prefixes match.
+TEST(LintCli, RealTreeIsClean) {
+  const std::string cmd = std::string("cd \"") + VGBL_LINT_REPO_ROOT +
+                          "\" && \"" + VGBL_LINT_BINARY +
+                          "\" --rules lint_rules src tools";
+  const int status = std::system(cmd.c_str());
+  ASSERT_NE(status, -1);
+  EXPECT_EQ(status, 0) << "vgbl-lint found violations in src/ or tools/";
+}
+
+}  // namespace
+}  // namespace vgbl::lint

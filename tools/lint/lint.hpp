@@ -1,0 +1,78 @@
+// vgbl-lint: a fast token-level checker for project invariants the compiler
+// cannot see (DESIGN.md §5f). No libclang — rules work on comment- and
+// string-stripped source text, so a full src/ + tools/ sweep is a few
+// milliseconds and runs on every check.sh invocation.
+//
+// Rules live in the checked-in `lint_rules` config at the repo root. Each
+// rule combines:
+//   - a directory scope (`dirs` path prefixes, minus `skip` prefixes),
+//   - banned token patterns (`ban`, matched on identifier boundaries with
+//     flexible whitespace, so "using namespace std" matches any spacing),
+//   - per-file allowlist entries (`allow` path suffixes, each requiring a
+//     justification comment at the allowed site),
+//   - optional built-in analyses (`builtin metric-guard`,
+//     `builtin include-hygiene`) for checks that need more than substring
+//     matching.
+//
+// The library half (this header + lint.cpp) is linked by both the
+// `vgbl-lint` binary and tests/lint_test.cpp, which lints fixture content
+// under virtual paths to prove each rule fires.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vgbl::lint {
+
+struct Finding {
+  std::string file;     // repo-relative path, '/'-separated
+  int line = 0;         // 1-based
+  std::string rule;     // rule id, e.g. "determinism-wallclock"
+  std::string message;  // human-readable explanation
+};
+
+struct Rule {
+  std::string id;
+  std::string message;
+  std::vector<std::string> dirs;   // path prefixes; empty = everywhere
+  std::vector<std::string> skip;   // path prefixes exempt from this rule
+  std::vector<std::string> ban;    // boundary-aware token patterns
+  std::vector<std::string> allow;  // path suffixes fully exempt
+  bool metric_guard = false;       // builtin: unguarded metric mutations
+  bool include_hygiene = false;    // builtin: pragma once + parent includes
+
+  [[nodiscard]] bool applies_to(const std::string& path) const;
+};
+
+struct RuleSet {
+  std::vector<Rule> rules;
+};
+
+/// Parses the `lint_rules` config text. On failure returns nullopt and
+/// fills `error` with a line-numbered message.
+std::optional<RuleSet> parse_rules(const std::string& text,
+                                   std::string* error);
+
+/// Replaces comments, string literals and char literals with spaces while
+/// preserving line structure, so token matching never fires inside prose.
+/// Handles //, /* */, escapes, and R"delim(...)delim" raw strings.
+std::string strip_code(const std::string& source);
+
+/// Lints one file's content as if it lived at `path` (repo-relative).
+/// `path` drives rule scoping, which is what lets tests lint fixture
+/// content under virtual paths like "src/core/bad.cpp".
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& source,
+                               const RuleSet& rules);
+
+/// Walks `roots` (files or directories, repo-relative) collecting C++
+/// sources and lints each. Returns nullopt on I/O failure (error filled).
+std::optional<std::vector<Finding>> lint_paths(
+    const std::vector<std::string>& roots, const RuleSet& rules,
+    std::string* error);
+
+/// Renders one finding as "file:line: [rule] message".
+std::string format_finding(const Finding& finding);
+
+}  // namespace vgbl::lint

@@ -1,0 +1,70 @@
+// vgbl-lint CLI: `vgbl-lint --rules lint_rules src tools`. Exit 0 when the
+// tree is clean, 1 with one "file:line: [rule] message" diagnostic per
+// violation otherwise, 2 on usage/config errors. Run from the repo root so
+// rule directory prefixes (src/core, ...) match the walked paths.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vgbl-lint --rules <lint_rules> <path>...\n"
+               "  Lints C++ sources under each path (file or directory)\n"
+               "  against the rules config. Run from the repo root.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string rules_path;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rules") {
+      if (i + 1 >= argc) return usage();
+      rules_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (rules_path.empty() || roots.empty()) return usage();
+
+  std::ifstream in(rules_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "vgbl-lint: cannot open rules file '%s'\n",
+                 rules_path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string error;
+  const auto rules = vgbl::lint::parse_rules(text.str(), &error);
+  if (!rules.has_value()) {
+    std::fprintf(stderr, "vgbl-lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  const auto findings = vgbl::lint::lint_paths(roots, *rules, &error);
+  if (!findings.has_value()) {
+    std::fprintf(stderr, "vgbl-lint: %s\n", error.c_str());
+    return 2;
+  }
+  for (const auto& finding : *findings) {
+    std::fprintf(stderr, "%s\n",
+                 vgbl::lint::format_finding(finding).c_str());
+  }
+  if (!findings->empty()) {
+    std::fprintf(stderr, "vgbl-lint: %zu violation(s)\n", findings->size());
+    return 1;
+  }
+  return 0;
+}
