@@ -8,7 +8,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -73,30 +72,26 @@ bool students_match(const ClassroomSummary& a, const ClassroomSummary& b) {
   return true;
 }
 
-void write_json(const std::vector<ConfigResult>& configs,
-                const char* path) {
-  std::ofstream out(path);
-  out << "{\n"
-      << "  \"benchmark\": \"classroom\",\n"
-      << "  \"workload\": {\"students\": " << kStudents
-      << ", \"max_steps_per_student\": " << kMaxSteps
-      << ", \"bundle\": \"treasure\", \"seed\": " << kSeed << "},\n"
-      << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
-      << ",\n"
-      << "  \"configs\": [\n";
-  for (size_t i = 0; i < configs.size(); ++i) {
-    const ConfigResult& c = configs[i];
+bool write_json(const std::vector<ConfigResult>& configs, const char* path) {
+  vgbl::bench::JsonArtifact artifact("classroom", "configs");
+  artifact.field("workload",
+                 "{\"students\": " + std::to_string(kStudents) +
+                     ", \"max_steps_per_student\": " + std::to_string(kMaxSteps) +
+                     ", \"bundle\": \"treasure\", \"seed\": " +
+                     std::to_string(kSeed) + "}");
+  artifact.field("hardware_threads",
+                 std::to_string(std::thread::hardware_concurrency()));
+  for (const ConfigResult& c : configs) {
     char line[320];
     std::snprintf(line, sizeof line,
-                  "    {\"threads\": %d, \"seconds\": %.4f, "
+                  "{\"threads\": %d, \"seconds\": %.4f, "
                   "\"students_per_sec\": %.1f, \"speedup\": %.2f, "
-                  "\"p50_student_ms\": %.2f, \"p99_student_ms\": %.2f}%s\n",
+                  "\"p50_student_ms\": %.2f, \"p99_student_ms\": %.2f}",
                   c.threads, c.seconds, c.students_per_sec, c.speedup,
-                  c.p50_student_ms, c.p99_student_ms,
-                  i + 1 < configs.size() ? "," : "");
-    out << line;
+                  c.p50_student_ms, c.p99_student_ms);
+    artifact.row(line);
   }
-  out << "  ]\n}\n";
+  return artifact.write(path);
 }
 
 }  // namespace
@@ -136,7 +131,10 @@ int main(int argc, char** argv) {
               deterministic ? "OK" : "MISMATCH",
               std::thread::hardware_concurrency());
 
-  write_json(configs, out_path);
+  if (!write_json(configs, out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path);
+    return 1;
+  }
   std::printf("wrote %s\n", out_path);
   return deterministic ? 0 : 1;
 }

@@ -13,7 +13,6 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -155,27 +154,29 @@ int main(int argc, char** argv) {
   std::printf("scrape: %zu counters across %zu subsystems (%s)\n",
               counter_count, subsystem_count, subsystem_list.c_str());
 
-  std::ofstream out(out_path);
-  char buf[512];
+  vgbl::bench::JsonArtifact artifact("obs", "arms");
+  char buf[160];
   std::snprintf(buf, sizeof buf,
-                "{\n"
-                "  \"benchmark\": \"obs\",\n"
-                "  \"workload\": {\"students\": %d, "
-                "\"max_steps_per_student\": %d, \"bundle\": \"treasure\", "
-                "\"seed\": %llu, \"threads\": 2},\n"
-                "  \"reps_per_arm\": %d,\n"
-                "  \"disabled_median_s\": %.4f,\n"
-                "  \"enabled_median_s\": %.4f,\n"
-                "  \"overhead_pct\": %.2f,\n"
-                "  \"deterministic\": %s,\n"
-                "  \"scrape_counters\": %zu,\n"
-                "  \"scrape_subsystems\": %zu\n"
-                "}\n",
-                kStudents, kMaxSteps,
-                static_cast<unsigned long long>(kSeed), kReps, disabled_med,
-                enabled_med, overhead_pct, deterministic ? "true" : "false",
-                counter_count, subsystem_count);
-  out << buf;
+                "{\"students\": %d, \"max_steps_per_student\": %d, "
+                "\"bundle\": \"treasure\", \"seed\": %llu, \"threads\": 2}",
+                kStudents, kMaxSteps, static_cast<unsigned long long>(kSeed));
+  artifact.field("workload", buf);
+  artifact.field("reps_per_arm", std::to_string(kReps));
+  std::snprintf(buf, sizeof buf, "%.2f", overhead_pct);
+  artifact.field("overhead_pct", buf);
+  artifact.field("deterministic", deterministic ? "true" : "false");
+  artifact.field("scrape_counters", std::to_string(counter_count));
+  artifact.field("scrape_subsystems", std::to_string(subsystem_count));
+  std::snprintf(buf, sizeof buf,
+                "{\"arm\": \"disabled\", \"median_s\": %.4f}", disabled_med);
+  artifact.row(buf);
+  std::snprintf(buf, sizeof buf, "{\"arm\": \"enabled\", \"median_s\": %.4f}",
+                enabled_med);
+  artifact.row(buf);
+  if (!artifact.write(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path);
+    return 1;
+  }
   std::printf("wrote %s\n", out_path);
 
   if (!deterministic) return 1;

@@ -1,0 +1,217 @@
+// E15 — rewards service hot path and durability: rule evaluations/sec on
+// the inline evaluator, BadgeStore commit latency (p50/p99), and the
+// determinism gate — the per-student unlock stream for a fixed classroom
+// seed must be byte-identical across {1, 2, 8} worker threads, or the
+// binary exits non-zero. Emits BENCH_rewards.json.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/classroom.hpp"
+#include "rewards/badge_store.hpp"
+#include "rewards/evaluator.hpp"
+#include "rewards/rules.hpp"
+
+namespace {
+
+using namespace vgbl;
+namespace fs = std::filesystem;
+
+constexpr u64 kSeed = 2024;
+constexpr int kStudents = 32;
+constexpr int kMaxSteps = 120;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Evaluator hot path: a synthetic event stream over the standard rule
+/// set. Most rules are unlocked early, so the steady state measures the
+/// O(1) skip path the design promises.
+struct EvalResult {
+  u64 events = 0;
+  u64 rule_evals = 0;
+  double events_per_sec = 0;
+  double rule_evals_per_sec = 0;
+};
+
+/// Rules walked for one event kind — mirrors the evaluator's dispatch
+/// (interaction events also drive streak rules; scenario entries also
+/// drive distinct-exploration rules).
+u64 rules_walked(const rewards::RewardRuleSet& rules,
+                 rewards::RewardEvent::Kind kind) {
+  using EK = rewards::RewardEvent::Kind;
+  using TK = rewards::TriggerKind;
+  switch (kind) {
+    case EK::kInteraction:
+      return rules.subscribed(TK::kObjectInteracted).size() +
+             rules.subscribed(TK::kInteractionStreak).size();
+    case EK::kScenarioEntered:
+      return rules.subscribed(TK::kScenarioEntered).size() +
+             rules.subscribed(TK::kScenariosExplored).size();
+    case EK::kItemCollected:
+      return rules.subscribed(TK::kItemCollected).size();
+    case EK::kItemUsed:
+      return rules.subscribed(TK::kItemUsed).size();
+    case EK::kDialogueDecision:
+      return rules.subscribed(TK::kDialogueDecision).size();
+    case EK::kQuizOutcome:
+      return rules.subscribed(TK::kQuizPassed).size();
+    case EK::kGameCompleted:
+      return rules.subscribed(TK::kGameCompleted).size();
+  }
+  return 0;
+}
+
+EvalResult bench_evaluator(u64 event_count) {
+  const rewards::RewardRuleSet& rules = rewards::RewardRuleSet::standard();
+  rewards::RewardEvaluator evaluator(&rules);
+
+  const rewards::RewardEvent::Kind kinds[] = {
+      rewards::RewardEvent::Kind::kInteraction,
+      rewards::RewardEvent::Kind::kItemCollected,
+      rewards::RewardEvent::Kind::kScenarioEntered,
+      rewards::RewardEvent::Kind::kDialogueDecision,
+  };
+
+  EvalResult r;
+  const double t0 = now_seconds();
+  for (u64 i = 0; i < event_count; ++i) {
+    rewards::RewardEvent event;
+    event.kind = kinds[i % (sizeof kinds / sizeof kinds[0])];
+    event.name = "object";
+    event.when = static_cast<MicroTime>(i) * 1000;
+    evaluator.feed(event);
+    r.rule_evals += rules_walked(rules, event.kind);
+  }
+  const double elapsed = now_seconds() - t0;
+  r.events = event_count;
+  r.events_per_sec = elapsed > 0 ? static_cast<double>(event_count) / elapsed : 0;
+  r.rule_evals_per_sec =
+      elapsed > 0 ? static_cast<double>(r.rule_evals) / elapsed : 0;
+  return r;
+}
+
+/// Commit latency: many small unlock batches against one store, the
+/// classroom's write pattern. Returns per-commit wall milliseconds.
+std::vector<double> bench_commits(int commit_count) {
+  const std::string dir =
+      (fs::temp_directory_path() / "vgbl_bench_rewards_store").string();
+  fs::remove_all(dir);
+
+  auto store = rewards::BadgeStore::open({.directory = dir}).value();
+  std::vector<rewards::Unlock> batch;
+  for (u32 rule = 1; rule <= 4; ++rule) {
+    batch.push_back({seconds(static_cast<i64>(rule)), rule,
+                     "badge-" + std::to_string(rule),
+                     static_cast<i64>(rule) * 5});
+  }
+
+  std::vector<double> wall_ms;
+  wall_ms.reserve(static_cast<size_t>(commit_count));
+  for (int i = 0; i < commit_count; ++i) {
+    const std::string student = "student-" + std::to_string(i);
+    const double t0 = now_seconds();
+    auto committed = store->commit(student, batch);
+    wall_ms.push_back((now_seconds() - t0) * 1e3);
+    if (!committed.ok() || committed.value() != batch.size()) {
+      std::fprintf(stderr, "commit failed: %s\n",
+                   committed.ok() ? "wrong grant count"
+                                  : committed.error().message.c_str());
+      std::exit(1);
+    }
+  }
+  fs::remove_all(dir);
+  return wall_ms;
+}
+
+/// One classroom run with rewards on; returns the concatenated canonical
+/// unlock-stream bytes (per student, in student order).
+Bytes unlock_stream_bytes(const std::shared_ptr<const GameBundle>& bundle,
+                          int threads) {
+  ClassroomOptions options;
+  options.student_count = kStudents;
+  options.max_steps_per_student = kMaxSteps;
+  options.seed = kSeed;
+  options.worker_threads = threads;
+  options.reward_rules = &rewards::RewardRuleSet::standard();
+  const ClassroomSummary summary = simulate_classroom(bundle, options);
+  Bytes all;
+  for (const auto& s : summary.students) {
+    const Bytes encoded = rewards::encode_unlock_log(s.unlocks);
+    all.insert(all.end(), encoded.begin(), encoded.end());
+  }
+  return all;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_rewards.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  std::printf("E15 rewards: standard rule set (%zu rules)\n\n",
+              rewards::RewardRuleSet::standard().size());
+
+  // Warm-up, then the measured evaluator run.
+  (void)bench_evaluator(100'000);
+  const EvalResult eval = bench_evaluator(2'000'000);
+  std::printf("evaluator: %.2fM events/sec, %.2fM rule evals/sec\n",
+              eval.events_per_sec / 1e6, eval.rule_evals_per_sec / 1e6);
+
+  const std::vector<double> wall_ms = bench_commits(512);
+  const double commit_p50 = vgbl::bench::percentile(wall_ms, 50);
+  const double commit_p99 = vgbl::bench::percentile(wall_ms, 99);
+  std::printf("badge store commit: p50 %.3f ms, p99 %.3f ms (512 commits)\n",
+              commit_p50, commit_p99);
+
+  // Determinism gate: the same seed must produce byte-identical unlock
+  // streams on every worker-thread count.
+  auto bundle = vgbl::bench::cached_bundle("quickstart");
+  const Bytes baseline = unlock_stream_bytes(bundle, 1);
+  bool deterministic = !baseline.empty();
+  if (baseline.empty()) {
+    std::fprintf(stderr, "workload produced no unlocks — gate is vacuous\n");
+  }
+  for (int threads : {2, 8}) {
+    if (unlock_stream_bytes(bundle, threads) != baseline) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: unlock stream diverged at %d "
+                   "worker threads for seed %llu\n",
+                   threads, static_cast<unsigned long long>(kSeed));
+      deterministic = false;
+    }
+  }
+  std::printf("determinism across {1,2,8} threads: %s\n",
+              deterministic ? "OK" : "MISMATCH");
+
+  vgbl::bench::JsonArtifact artifact("rewards", "configs");
+  artifact.field("workload",
+                 "{\"bundle\": \"quickstart\", \"students\": " +
+                     std::to_string(kStudents) + ", \"max_steps_per_student\": " +
+                     std::to_string(kMaxSteps) + ", \"seed\": " +
+                     std::to_string(kSeed) + "}");
+  char row[256];
+  std::snprintf(row, sizeof row,
+                "{\"rule_evals_per_sec\": %.0f, \"events_per_sec\": %.0f, "
+                "\"commit_p50_ms\": %.4f, \"commit_p99_ms\": %.4f, "
+                "\"deterministic\": %s}",
+                eval.rule_evals_per_sec, eval.events_per_sec, commit_p50,
+                commit_p99, deterministic ? "true" : "false");
+  artifact.row(row);
+  if (!artifact.write(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
+  return deterministic ? 0 : 1;
+}

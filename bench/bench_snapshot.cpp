@@ -1,15 +1,17 @@
 // E11 — session persistence benchmark: snapshot encode/decode/restore
 // throughput and write-ahead journal append rate on the classroom-repair
 // game, mid-walkthrough (the state a real checkpoint would capture).
-// Emits machine-readable results to BENCH_persist.json alongside the
-// console table. Expected shape: encode/decode are tens of microseconds
-// (the state is a few KiB), journal appends are fflush-bound, and a full
-// store checkpoint is dominated by the atomic file write.
+// Emits machine-readable results to BENCH_persist.json (the shared
+// bench::JsonArtifact shape) alongside the console table. Expected shape:
+// encode/decode are tens of microseconds (the state is a few KiB),
+// journal appends are fflush-bound, and a full store checkpoint is
+// dominated by the atomic file write.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "persist/journal.hpp"
@@ -160,25 +162,56 @@ BENCHMARK(BM_SessionRestore)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_JournalAppendStep)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_StoreCheckpoint)->Unit(benchmark::kMicrosecond);
 
+/// Console reporter that also collects one JsonArtifact row per benchmark,
+/// so BENCH_persist.json carries the same flat (benchmark, rows) shape as
+/// the other BENCH_*.json artifacts instead of the raw library dump.
+class ArtifactReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      char row[320];
+      std::snprintf(row, sizeof row,
+                    "{\"case\": \"%s\", \"real_us\": %.3f, \"cpu_us\": %.3f, "
+                    "\"iterations\": %lld}",
+                    run.benchmark_name().c_str(), run.GetAdjustedRealTime(),
+                    run.GetAdjustedCPUTime(),
+                    static_cast<long long>(run.iterations));
+      rows.push_back(row);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<std::string> rows;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Default the machine-readable output to BENCH_persist.json (callers can
-  // still override with their own --benchmark_out=...).
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = "--benchmark_out=BENCH_persist.json";
-  std::string fmt_flag = "--benchmark_out_format=json";
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).starts_with("--benchmark_out=")) has_out = true;
-  }
-  if (!has_out) {
-    args.push_back(out_flag.data());
-    args.push_back(fmt_flag.data());
+  const char* out_path = "BENCH_persist.json";
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
   }
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());
-  benchmark::RunSpecifiedBenchmarks();
-  if (!has_out) std::printf("wrote BENCH_persist.json\n");
+
+  ArtifactReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  vgbl::bench::JsonArtifact artifact("persist", "cases");
+  artifact.field("workload",
+                 "{\"bundle\": \"classroom\", \"state\": \"mid-walkthrough\"}");
+  artifact.field("time_unit", "\"us\"");
+  for (const std::string& row : reporter.rows) artifact.row(row);
+  if (!artifact.write(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
   return 0;
 }

@@ -93,6 +93,20 @@ void fill_from_session(StudentResult& r, const GameSession& session,
       static_cast<int>(session.tracker().items_collected().size());
   r.rewards = static_cast<int>(session.tracker().rewards_earned().size());
   r.interactions = static_cast<int>(session.tracker().interactions().size());
+  r.unlocks = session.rewards().unlock_log();
+  r.badge_points = session.rewards().total_bonus_points();
+}
+
+/// Commits a finished student's unlock log to the shared badge store from
+/// the worker thread that ran it (the concurrency the store's sharded
+/// locks exist for). Durable-store failures do not fail the simulation —
+/// the in-memory summary is already complete.
+void commit_to_badge_store(const ClassroomOptions& options,
+                           const std::string& student,
+                           const StudentResult& r) {
+  if (options.badge_store == nullptr || r.unlocks.empty()) return;
+  auto committed = options.badge_store->commit(student, r.unlocks);
+  (void)committed;
 }
 
 /// Simulates one student, start to finish. Reads only immutable shared
@@ -123,12 +137,15 @@ std::optional<StudentResult> run_student(
     // The span stamps the student's own sim clock — observe-only, so the
     // determinism contract is untouched (DESIGN.md §5d).
     VGBL_SPAN("classroom.student", &clock);
-    GameSession session(bundle, &clock);
+    SessionOptions session_options;
+    session_options.reward_rules = options.reward_rules;
+    GameSession session(bundle, &clock, session_options);
     if (!session.start().ok()) return std::nullopt;
 
     const BotResult bot = run_bot(session, clock, policy,
                                   options.max_steps_per_student, bot_seed);
     fill_from_session(r, session, clock, bot);
+    commit_to_badge_store(options, "student-" + std::to_string(index + 1), r);
     return finish(r);
   }
 
@@ -164,6 +181,7 @@ std::optional<StudentResult> run_student(
 
   r.resumed = ps.resumed();
   fill_from_session(r, ps.session(), ps.clock(), bot);
+  commit_to_badge_store(options, student, r);
   return finish(r);
 }
 
@@ -234,6 +252,23 @@ ClassroomSummary simulate_classroom(std::shared_ptr<const GameBundle> bundle,
   summary.mean_score /= n;
   summary.mean_play_seconds /= n;
   summary.mean_interactions = interactions / n;
+
+  if (options.reward_rules != nullptr) {
+    std::vector<rewards::LeaderboardRow> rows;
+    for (const auto& s : summary.students) {
+      rewards::LeaderboardRow row;
+      row.student_id = "student-" + std::to_string(s.student_id);
+      row.badges = static_cast<int>(s.unlocks.size());
+      row.badge_points = s.badge_points;
+      // Ledger totals already include badge bonuses; the row keeps the
+      // gameplay score separate so total_points() counts bonuses once.
+      row.score = s.score - s.badge_points;
+      for (const auto& u : s.unlocks) row.badge_names.push_back(u.badge);
+      rows.push_back(std::move(row));
+    }
+    summary.leaderboard = rewards::build_leaderboard(std::move(rows));
+    rewards::export_leaderboard_metrics(summary.leaderboard);
+  }
   return summary;
 }
 
@@ -324,6 +359,10 @@ std::string ClassroomSummary::report() const {
            pad_right(std::to_string(s.items_collected), 7) +
            pad_right(std::to_string(s.rewards), 8) +
            std::to_string(s.decisions) + "\n";
+  }
+  if (!leaderboard.rows.empty()) {
+    out += "=== Leaderboard ===\n";
+    out += leaderboard.report();
   }
   return out;
 }

@@ -11,6 +11,10 @@
 #include "author/bundle.hpp"
 #include "net/streaming.hpp"
 #include "persist/session_store.hpp"
+#include "rewards/badge_store.hpp"
+#include "rewards/evaluator.hpp"
+#include "rewards/leaderboard.hpp"
+#include "rewards/rules.hpp"
 #include "runtime/script.hpp"
 
 namespace vgbl {
@@ -30,6 +34,12 @@ struct StudentResult {
   /// True when the student's run was suspended to a SessionStore mid-way
   /// and finished in a second, resumed session.
   bool resumed = false;
+  /// Badges unlocked during the run (empty unless ClassroomOptions
+  /// carried a reward rule set). The ordered unlock log is the student's
+  /// canonical badge stream — encode_unlock_log() bytes over it are the
+  /// determinism-contract artifact.
+  std::vector<rewards::Unlock> unlocks;
+  i64 badge_points = 0;  ///< bonus points across `unlocks`
   /// Wall-clock time spent simulating this student. Measurement only —
   /// every other field is covered by the determinism contract, this one
   /// varies run to run by construction.
@@ -42,6 +52,10 @@ struct ClassroomSummary {
   f64 mean_score = 0;
   f64 mean_play_seconds = 0;
   f64 mean_interactions = 0;
+  /// Ranked standings over the cohort (empty without reward rules).
+  /// Built post-barrier in student-id order, so it is bit-identical
+  /// across worker-thread counts like every other summary field.
+  rewards::Leaderboard leaderboard;
 
   [[nodiscard]] std::string report() const;
 };
@@ -65,6 +79,15 @@ struct ClassroomOptions {
   /// no thread count, scheduling order or interleaving can leak into the
   /// results.
   int worker_threads = 0;
+  /// Reward rules evaluated inline in every student's session. Null keeps
+  /// rewards off (empty leaderboard, exactly the pre-rewards behaviour).
+  /// For store-backed runs the SessionStore's own SessionOptions must
+  /// carry the same rule set — the store constructs the sessions.
+  const rewards::RewardRuleSet* reward_rules = nullptr;
+  /// Durable badge store; when set, each worker commits its student's
+  /// unlock log as the run finishes (commits are idempotent per rule, so
+  /// re-running a classroom over the same store does not double-grant).
+  rewards::BadgeStore* badge_store = nullptr;
 };
 
 /// Derives the bot seed for one student purely from the classroom seed and

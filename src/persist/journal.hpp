@@ -20,6 +20,7 @@
 
 #include "runtime/script.hpp"
 #include "util/bytes.hpp"
+#include "util/fileio.hpp"
 #include "util/result.hpp"
 
 namespace vgbl {
@@ -97,14 +98,8 @@ Result<JournalContents> read_journal_file(const std::string& path);
 std::vector<ScriptStep> steps_after_barrier(const JournalContents& journal,
                                             u64 snapshot_sequence);
 
-// --- shared file helpers (used by the session store as well) ---------------
-
-/// Reads a whole file. kNotFound when absent, kIoError on read failure.
-Result<Bytes> read_binary_file(const std::string& path);
-
-/// Writes `data` atomically: to `path + ".tmp"`, then rename over `path`.
-/// Readers therefore never observe a half-written file.
-Status write_binary_file_atomic(const std::string& path,
-                                std::span<const u8> data);
+// The shared file helpers (read_binary_file / write_binary_file_atomic)
+// moved to util/fileio.hpp so non-persist stores (src/rewards) can share
+// them; the include above keeps existing callers compiling.
 
 }  // namespace vgbl

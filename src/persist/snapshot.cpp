@@ -18,6 +18,7 @@ constexpr u32 kSectionCore = tag4('C', 'O', 'R', 'E');
 constexpr u32 kSectionActive = tag4('A', 'C', 'T', 'V');
 constexpr u32 kSectionTracker = tag4('T', 'R', 'C', 'K');
 constexpr u32 kSectionLog = tag4('E', 'L', 'O', 'G');
+constexpr u32 kSectionRewards = tag4('R', 'E', 'W', 'D');
 
 std::string tag_name(u32 tag) {
   std::string s(4, '?');
@@ -193,6 +194,32 @@ void write_log(ByteWriter& w, const std::vector<SessionLogEntry>& log) {
   for (const auto& e : log) {
     w.put_i64(e.when);
     w.put_string(e.text);
+  }
+}
+
+void write_rewards(ByteWriter& w, const rewards::EvaluatorState& s) {
+  w.put_varint(s.interactions_seen);
+  w.put_varint(s.items_seen);
+  w.put_varint(s.decisions_seen);
+  w.put_varint(s.visits_seen);
+  w.put_svarint(s.streak_length);
+  w.put_i64(s.streak_last);
+  w.put_u8(static_cast<u8>((s.streak_active ? 1 : 0) |
+                           (s.completion_seen ? 2 : 0)));
+  w.put_varint(s.scenarios_explored.size());
+  for (const auto& name : s.scenarios_explored) w.put_string(name);
+  w.put_varint(s.progress.size());
+  for (i64 p : s.progress) w.put_svarint(p);
+  w.put_varint(s.unlocked.size());
+  for (u8 u : s.unlocked) w.put_u8(u);
+  // Same per-unlock layout as rewards::encode_unlock_log, so the stream
+  // embedded in a snapshot stays byte-comparable with live logs.
+  w.put_varint(s.unlocks.size());
+  for (const auto& u : s.unlocks) {
+    w.put_i64(u.sim_time);
+    w.put_u32(u.rule_id);
+    w.put_string(u.badge);
+    w.put_svarint(u.points);
   }
 }
 
@@ -404,6 +431,48 @@ Status read_log(ByteReader& r, std::vector<SessionLogEntry>& log) {
   return {};
 }
 
+Status read_rewards(ByteReader& r, rewards::EvaluatorState& s) {
+  VGBL_READ(interactions_seen, r.varint());
+  VGBL_READ(items_seen, r.varint());
+  VGBL_READ(decisions_seen, r.varint());
+  VGBL_READ(visits_seen, r.varint());
+  VGBL_READ(streak_length, r.svarint());
+  VGBL_READ(streak_last, r.i64_());
+  VGBL_READ(bits, r.u8_());
+  s.interactions_seen = static_cast<u32>(interactions_seen);
+  s.items_seen = static_cast<u32>(items_seen);
+  s.decisions_seen = static_cast<u32>(decisions_seen);
+  s.visits_seen = static_cast<u32>(visits_seen);
+  s.streak_length = streak_length;
+  s.streak_last = streak_last;
+  s.streak_active = bits & 1;
+  s.completion_seen = bits & 2;
+  VGBL_READ(scenario_count, read_count(r, 1));
+  for (u64 i = 0; i < scenario_count; ++i) {
+    VGBL_READ(name, r.string());
+    s.scenarios_explored.push_back(std::move(name));
+  }
+  VGBL_READ(progress_count, read_count(r, 1));
+  for (u64 i = 0; i < progress_count; ++i) {
+    VGBL_READ(p, r.svarint());
+    s.progress.push_back(p);
+  }
+  VGBL_READ(unlocked_count, read_count(r, 1));
+  for (u64 i = 0; i < unlocked_count; ++i) {
+    VGBL_READ(u, r.u8_());
+    s.unlocked.push_back(u);
+  }
+  VGBL_READ(unlock_count, read_count(r, 14));
+  for (u64 i = 0; i < unlock_count; ++i) {
+    VGBL_READ(when, r.i64_());
+    VGBL_READ(rule, r.u32_());
+    VGBL_READ(badge, r.string());
+    VGBL_READ(points, r.svarint());
+    s.unlocks.push_back({when, rule, std::move(badge), points});
+  }
+  return {};
+}
+
 #undef VGBL_READ
 
 template <typename Fn>
@@ -471,7 +540,7 @@ Bytes encode_snapshot(const SessionState& state, const SnapshotMeta& meta) {
   ByteWriter header;
   header.put_u32(kSnapshotMagic);
   header.put_u16(kSnapshotVersion);
-  header.put_u16(5);  // section count
+  header.put_u16(6);  // section count
   ByteWriter out;
   const Bytes head = std::move(header).take();
   out.put_raw(head.data(), head.size());
@@ -487,6 +556,8 @@ Bytes encode_snapshot(const SessionState& state, const SnapshotMeta& meta) {
                [&](ByteWriter& w) { write_tracker(w, state.tracker); });
   emit_section(out, kSectionLog,
                [&](ByteWriter& w) { write_log(w, state.log); });
+  emit_section(out, kSectionRewards,
+               [&](ByteWriter& w) { write_rewards(w, state.rewards); });
   return std::move(out).take();
 }
 
@@ -512,6 +583,8 @@ Result<DecodedSnapshot> decode_snapshot(std::span<const u8> data) {
       st = read_tracker(r, out.state.tracker);
     } else if (tag == kSectionLog) {
       st = read_log(r, out.state.log);
+    } else if (tag == kSectionRewards) {
+      st = read_rewards(r, out.state.rewards);
     }  // unknown tags: skipped for forward compatibility
     if (!st.ok()) {
       return corrupt_data("section '" + tag_name(tag) +

@@ -1,0 +1,573 @@
+#include "rewards/badge_store.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <utility>
+
+#include "obs/macros.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/crc32.hpp"
+#include "util/fileio.hpp"
+
+namespace vgbl::rewards {
+namespace {
+
+struct StoreMetrics {
+  obs::Counter& commits;
+  obs::Counter& grants;
+  obs::Counter& duplicates;
+  obs::Counter& checkpoints;
+  obs::Histogram& commit_ms;
+
+  static StoreMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static StoreMetrics m{
+        reg.counter("rewards_store_commits_total",
+                    "unlock batches committed to badge stores"),
+        reg.counter("rewards_store_grants_total",
+                    "new badge grants applied to badge stores"),
+        reg.counter("rewards_store_duplicates_total",
+                    "already-granted unlocks skipped by badge stores"),
+        reg.counter("rewards_store_checkpoints_total",
+                    "badge store snapshot + journal compactions"),
+        reg.histogram("rewards_store_commit_ms",
+                      obs::exponential_buckets(0.01, 2.0, 14),
+                      "wall time of one unlock batch commit (journal + "
+                      "apply)")};
+    return m;
+  }
+};
+
+Error file_error(const std::string& what, const std::string& path) {
+  return io_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+enum class RecordKind : u8 { kGrant = 1, kBarrier = 2 };
+
+Bytes file_header(u32 magic) {
+  ByteWriter w;
+  w.put_u32(magic);
+  w.put_u16(kBadgeFormatVersion);
+  w.put_u16(0);  // reserved
+  w.put_u32(crc32(w.bytes()));
+  return std::move(w).take();
+}
+
+void write_grant_payload(ByteWriter& w, const std::string& student_id,
+                         const BadgeGrant& grant) {
+  w.put_string(student_id);
+  w.put_u32(grant.rule_id);
+  w.put_string(grant.badge);
+  w.put_svarint(grant.points);
+  w.put_i64(grant.sim_time);
+}
+
+struct JournalGrant {
+  std::string student_id;
+  BadgeGrant grant;
+};
+
+struct JournalRecord {
+  RecordKind kind = RecordKind::kGrant;
+  JournalGrant grant;       ///< when kind == kGrant
+  u64 barrier_sequence = 0; ///< when kind == kBarrier
+};
+
+struct JournalContents {
+  std::vector<JournalRecord> records;
+  size_t valid_bytes = 0;
+  bool torn_tail = false;
+};
+
+Result<JournalGrant> read_grant_payload(std::span<const u8> payload) {
+  ByteReader r(payload);
+  auto student = r.string();
+  auto rule = r.u32_();
+  auto badge = r.string();
+  auto points = r.svarint();
+  auto sim_time = r.i64_();
+  if (!student.ok()) return student.error();
+  if (!rule.ok()) return rule.error();
+  if (!badge.ok()) return badge.error();
+  if (!points.ok()) return points.error();
+  if (!sim_time.ok()) return sim_time.error();
+  JournalGrant out;
+  out.student_id = std::move(student).value();
+  out.grant = {rule.value(), std::move(badge).value(), points.value(),
+               sim_time.value()};
+  return out;
+}
+
+/// Parses badge-journal bytes with the persist-layer failure semantics:
+/// torn tails are trimmed, anything else that fails a check is corruption.
+Result<JournalContents> parse_badge_journal(std::span<const u8> data) {
+  ByteReader r(data);
+  auto magic = r.u32_();
+  if (!magic.ok() || magic.value() != kBadgeJournalMagic) {
+    return corrupt_data("not a VGBJ badge journal (bad magic)");
+  }
+  auto version = r.u16_();
+  auto reserved = r.u16_();
+  auto header_crc = r.u32_();
+  if (!version.ok() || !reserved.ok() || !header_crc.ok()) {
+    return corrupt_data("truncated badge journal header");
+  }
+  if (header_crc.value() != crc32(data.subspan(0, 8))) {
+    return corrupt_data("badge journal header crc mismatch");
+  }
+  if (version.value() != kBadgeFormatVersion) {
+    return unsupported("badge journal version " +
+                       std::to_string(version.value()) +
+                       " (reader supports " +
+                       std::to_string(kBadgeFormatVersion) + ")");
+  }
+  JournalContents out;
+  out.valid_bytes = r.position();
+  while (!r.at_end()) {
+    const size_t record_start = r.position();
+    auto kind = r.u8_();
+    auto size = r.u32_();
+    if (!kind.ok() || !size.ok()) {
+      out.torn_tail = true;
+      break;
+    }
+    auto payload = r.view(size.value());
+    auto stored_crc = r.u32_();
+    if (!payload.ok() || !stored_crc.ok()) {
+      out.torn_tail = true;
+      break;
+    }
+    if (stored_crc.value() != crc32(payload.value())) {
+      return corrupt_data("badge journal record at byte " +
+                          std::to_string(record_start) + " crc mismatch");
+    }
+    JournalRecord record;
+    if (kind.value() == static_cast<u8>(RecordKind::kGrant)) {
+      auto grant = read_grant_payload(payload.value());
+      if (!grant.ok()) {
+        return corrupt_data("badge journal grant at byte " +
+                            std::to_string(record_start) + ": " +
+                            grant.error().message);
+      }
+      record.kind = RecordKind::kGrant;
+      record.grant = std::move(grant).value();
+    } else if (kind.value() == static_cast<u8>(RecordKind::kBarrier)) {
+      ByteReader pr(payload.value());
+      auto sequence = pr.varint();
+      if (!sequence.ok()) {
+        return corrupt_data("badge journal barrier at byte " +
+                            std::to_string(record_start) + " is malformed");
+      }
+      record.kind = RecordKind::kBarrier;
+      record.barrier_sequence = sequence.value();
+    } else {
+      return corrupt_data("badge journal record at byte " +
+                          std::to_string(record_start) +
+                          " has unknown kind " +
+                          std::to_string(kind.value()));
+    }
+    out.records.push_back(std::move(record));
+    out.valid_bytes = r.position();
+  }
+  return out;
+}
+
+/// One framed record appended to `file` and flushed (WAL discipline).
+Status append_record(std::FILE* file, const std::string& path,
+                     RecordKind kind, const Bytes& payload) {
+  ByteWriter frame;
+  frame.put_u8(static_cast<u8>(kind));
+  frame.put_u32(static_cast<u32>(payload.size()));
+  frame.put_raw(payload.data(), payload.size());
+  frame.put_u32(crc32(payload));
+  const Bytes bytes = std::move(frame).take();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file) != bytes.size() ||
+      std::fflush(file) != 0) {
+    return file_error("cannot append to badge journal", path);
+  }
+  return {};
+}
+
+/// Creates (truncating) a fresh journal: header plus one barrier marking
+/// everything up to snapshot `sequence` as folded in.
+Result<std::FILE*> create_journal(const std::string& path, u64 sequence) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return file_error("cannot create badge journal", path);
+  const Bytes header = file_header(kBadgeJournalMagic);
+  if (std::fwrite(header.data(), 1, header.size(), f) != header.size() ||
+      std::fflush(f) != 0) {
+    std::fclose(f);
+    return file_error("cannot write badge journal header", path);
+  }
+  ByteWriter payload;
+  payload.put_varint(sequence);
+  if (auto st = append_record(f, path, RecordKind::kBarrier, payload.bytes());
+      !st.ok()) {
+    std::fclose(f);
+    return st.error();
+  }
+  // Reopen in append mode so a stale buffered offset can never punch a
+  // hole in the log (same rationale as JournalWriter::create).
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return file_error("cannot open badge journal", path);
+  return f;
+}
+
+Bytes encode_store_snapshot(u64 sequence,
+                            const std::vector<StudentBadges>& students) {
+  ByteWriter body;
+  body.put_varint(sequence);
+  body.put_varint(students.size());
+  for (const StudentBadges& s : students) {
+    body.put_string(s.student_id);
+    body.put_svarint(s.total_points);
+    body.put_varint(s.commits);
+    body.put_varint(s.grants.size());
+    for (const BadgeGrant& g : s.grants) {
+      body.put_u32(g.rule_id);
+      body.put_string(g.badge);
+      body.put_svarint(g.points);
+      body.put_i64(g.sim_time);
+    }
+  }
+  ByteWriter out;
+  const Bytes header = file_header(kBadgeSnapshotMagic);
+  out.put_raw(header.data(), header.size());
+  const Bytes payload = std::move(body).take();
+  out.put_raw(payload.data(), payload.size());
+  out.put_u32(crc32(payload));
+  return std::move(out).take();
+}
+
+struct DecodedStoreSnapshot {
+  u64 sequence = 0;
+  std::vector<StudentBadges> students;
+};
+
+Result<DecodedStoreSnapshot> decode_store_snapshot(std::span<const u8> data) {
+  ByteReader r(data);
+  auto magic = r.u32_();
+  if (!magic.ok() || magic.value() != kBadgeSnapshotMagic) {
+    return corrupt_data("not a VGBS badge snapshot (bad magic)");
+  }
+  auto version = r.u16_();
+  auto reserved = r.u16_();
+  auto header_crc = r.u32_();
+  if (!version.ok() || !reserved.ok() || !header_crc.ok()) {
+    return corrupt_data("truncated badge snapshot header");
+  }
+  if (header_crc.value() != crc32(data.subspan(0, 8))) {
+    return corrupt_data("badge snapshot header crc mismatch");
+  }
+  if (version.value() != kBadgeFormatVersion) {
+    return unsupported("badge snapshot version " +
+                       std::to_string(version.value()) +
+                       " (reader supports " +
+                       std::to_string(kBadgeFormatVersion) + ")");
+  }
+  const size_t body_start = r.position();
+  if (data.size() < body_start + 4) {
+    return corrupt_data("truncated badge snapshot body");
+  }
+  auto body = data.subspan(body_start, data.size() - body_start - 4);
+  ByteReader crc_reader(data);
+  if (!crc_reader.seek(data.size() - 4).ok()) {
+    return corrupt_data("truncated badge snapshot body");
+  }
+  auto stored_crc = crc_reader.u32_();
+  if (!stored_crc.ok() || stored_crc.value() != crc32(body)) {
+    return corrupt_data("badge snapshot body crc mismatch");
+  }
+
+  ByteReader br(body);
+  auto sequence = br.varint();
+  auto student_count = br.varint();
+  if (!sequence.ok()) return sequence.error();
+  if (!student_count.ok()) return student_count.error();
+  if (student_count.value() > body.size()) {
+    return corrupt_data("badge snapshot student count exceeds payload");
+  }
+  DecodedStoreSnapshot out;
+  out.sequence = sequence.value();
+  out.students.reserve(student_count.value());
+  for (u64 i = 0; i < student_count.value(); ++i) {
+    StudentBadges s;
+    auto id = br.string();
+    auto total = br.svarint();
+    auto commits = br.varint();
+    auto grant_count = br.varint();
+    if (!id.ok()) return id.error();
+    if (!total.ok()) return total.error();
+    if (!commits.ok()) return commits.error();
+    if (!grant_count.ok()) return grant_count.error();
+    if (grant_count.value() > body.size()) {
+      return corrupt_data("badge snapshot grant count exceeds payload");
+    }
+    s.student_id = std::move(id).value();
+    s.total_points = total.value();
+    s.commits = commits.value();
+    s.grants.reserve(grant_count.value());
+    for (u64 g = 0; g < grant_count.value(); ++g) {
+      auto rule = br.u32_();
+      auto badge = br.string();
+      auto points = br.svarint();
+      auto sim_time = br.i64_();
+      if (!rule.ok()) return rule.error();
+      if (!badge.ok()) return badge.error();
+      if (!points.ok()) return points.error();
+      if (!sim_time.ok()) return sim_time.error();
+      s.grants.push_back({rule.value(), std::move(badge).value(),
+                          points.value(), sim_time.value()});
+    }
+    out.students.push_back(std::move(s));
+  }
+  return out;
+}
+
+bool has_rule(const StudentBadges& record, u32 rule_id) {
+  return std::any_of(
+      record.grants.begin(), record.grants.end(),
+      [rule_id](const BadgeGrant& g) { return g.rule_id == rule_id; });
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BadgeStore>> BadgeStore::open(
+    BadgeStoreOptions options) {
+  if (options.directory.empty()) {
+    return invalid_argument("badge store needs a directory");
+  }
+  std::unique_ptr<BadgeStore> store(new BadgeStore(std::move(options)));
+  if (auto st = store->load(); !st.ok()) return st.error();
+  return store;
+}
+
+BadgeStore::~BadgeStore() {
+  MutexLock lock(journal_mutex_);
+  if (journal_file_ != nullptr) std::fclose(journal_file_);
+}
+
+std::string BadgeStore::snapshot_path() const {
+  return (std::filesystem::path(options_.directory) / "badges.snap").string();
+}
+
+std::string BadgeStore::journal_path() const {
+  return (std::filesystem::path(options_.directory) / "badges.journal")
+      .string();
+}
+
+BadgeStore::Shard& BadgeStore::shard_for(const std::string& student_id) {
+  return shards_[std::hash<std::string>{}(student_id) % kShards];
+}
+
+const BadgeStore::Shard& BadgeStore::shard_for(
+    const std::string& student_id) const {
+  return shards_[std::hash<std::string>{}(student_id) % kShards];
+}
+
+bool BadgeStore::apply_grant(const std::string& student_id,
+                             const BadgeGrant& grant) {
+  Shard& shard = shard_for(student_id);
+  MutexLock lock(shard.mutex);
+  StudentBadges& record = shard.students[student_id];
+  if (record.student_id.empty()) record.student_id = student_id;
+  if (has_rule(record, grant.rule_id)) return false;
+  record.total_points += grant.points;
+  record.grants.push_back(grant);
+  return true;
+}
+
+Status BadgeStore::load() {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.directory, ec);
+  if (ec) {
+    return io_error("cannot create badge store directory '" +
+                    options_.directory + "': " + ec.message());
+  }
+
+  MutexLock lock(journal_mutex_);
+  sequence_ = 0;
+  auto snap_data = read_binary_file(snapshot_path());
+  if (snap_data.ok()) {
+    auto snap = decode_store_snapshot(snap_data.value());
+    if (!snap.ok()) return snap.error();
+    sequence_ = snap.value().sequence;
+    for (StudentBadges& s : snap.value().students) {
+      Shard& shard = shard_for(s.student_id);
+      MutexLock shard_lock(shard.mutex);
+      std::string id = s.student_id;
+      shard.students[std::move(id)] = std::move(s);
+    }
+  } else if (snap_data.error().code != ErrorCode::kNotFound) {
+    return snap_data.error();
+  }
+
+  auto journal_data = read_binary_file(journal_path());
+  if (journal_data.ok()) {
+    auto journal = parse_badge_journal(journal_data.value());
+    if (!journal.ok()) return journal.error();
+    if (journal.value().torn_tail) {
+      std::filesystem::resize_file(journal_path(),
+                                   journal.value().valid_bytes, ec);
+      if (ec) {
+        return io_error("cannot trim torn badge journal tail '" +
+                        journal_path() + "': " + ec.message());
+      }
+    }
+    // Replay the grants after the last barrier matching the snapshot; with
+    // no matching barrier the journal predates the snapshot compaction and
+    // every grant is either folded in already or (for a fresh store)
+    // simply everything — per-rule dedup in apply_grant makes both safe.
+    std::ptrdiff_t barrier = -1;
+    const auto& records = journal.value().records;
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (records[i].kind == RecordKind::kBarrier &&
+          records[i].barrier_sequence == sequence_) {
+        barrier = static_cast<std::ptrdiff_t>(i);
+      }
+    }
+    for (size_t i = barrier >= 0 ? static_cast<size_t>(barrier) + 1 : 0;
+         i < records.size(); ++i) {
+      if (records[i].kind == RecordKind::kGrant) {
+        (void)apply_grant(records[i].grant.student_id,
+                          records[i].grant.grant);
+      }
+    }
+    journal_file_ = std::fopen(journal_path().c_str(), "ab");
+    if (journal_file_ == nullptr) {
+      return file_error("cannot open badge journal", journal_path());
+    }
+  } else if (journal_data.error().code == ErrorCode::kNotFound) {
+    auto created = create_journal(journal_path(), sequence_);
+    if (!created.ok()) return created.error();
+    journal_file_ = created.value();
+  } else {
+    return journal_data.error();
+  }
+  return {};
+}
+
+Result<u32> BadgeStore::commit(const std::string& student_id,
+                               std::span<const Unlock> unlocks) {
+  StoreMetrics& metrics = StoreMetrics::get();
+  VGBL_SPAN("rewards.store_commit");
+  VGBL_TIMER(metrics.commit_ms);
+
+  MutexLock journal_lock(journal_mutex_);
+  if (journal_file_ == nullptr) {
+    return failed_precondition("badge store journal is not open");
+  }
+  u32 fresh = 0;
+  u32 duplicates = 0;
+  {
+    Shard& shard = shard_for(student_id);
+    MutexLock shard_lock(shard.mutex);
+    StudentBadges& record = shard.students[student_id];
+    if (record.student_id.empty()) record.student_id = student_id;
+    for (const Unlock& unlock : unlocks) {
+      if (has_rule(record, unlock.rule_id)) {
+        ++duplicates;
+        continue;
+      }
+      const BadgeGrant grant{unlock.rule_id, unlock.badge, unlock.points,
+                             unlock.sim_time};
+      // WAL: the grant reaches the journal before the in-memory record.
+      ByteWriter payload;
+      write_grant_payload(payload, student_id, grant);
+      if (auto st = append_record(journal_file_, journal_path(),
+                                  RecordKind::kGrant, payload.bytes());
+          !st.ok()) {
+        return st.error();
+      }
+      record.total_points += grant.points;
+      record.grants.push_back(grant);
+      ++fresh;
+    }
+    record.commits += 1;
+  }
+  commits_since_checkpoint_ += 1;
+  VGBL_COUNT(metrics.commits);
+  VGBL_COUNT(metrics.grants, fresh);
+  VGBL_COUNT(metrics.duplicates, duplicates);
+
+  if (options_.checkpoint_every_commits > 0 &&
+      commits_since_checkpoint_ >= options_.checkpoint_every_commits) {
+    if (auto st = checkpoint_locked(); !st.ok()) return st.error();
+  }
+  return fresh;
+}
+
+StudentBadges BadgeStore::student(const std::string& student_id) const {
+  const Shard& shard = shard_for(student_id);
+  MutexLock lock(shard.mutex);
+  const auto it = shard.students.find(student_id);
+  if (it == shard.students.end()) {
+    StudentBadges empty;
+    empty.student_id = student_id;
+    return empty;
+  }
+  return it->second;
+}
+
+std::vector<StudentBadges> BadgeStore::all() const {
+  std::vector<StudentBadges> out;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    for (const auto& [id, record] : shard.students) {
+      out.push_back(record);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StudentBadges& a, const StudentBadges& b) {
+              return a.student_id < b.student_id;
+            });
+  return out;
+}
+
+size_t BadgeStore::student_count() const {
+  size_t count = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    count += shard.students.size();
+  }
+  return count;
+}
+
+u64 BadgeStore::sequence() const {
+  MutexLock lock(journal_mutex_);
+  return sequence_;
+}
+
+Status BadgeStore::checkpoint() {
+  MutexLock lock(journal_mutex_);
+  return checkpoint_locked();
+}
+
+Status BadgeStore::checkpoint_locked() {
+  // Holding the journal mutex excludes every writer (commit requires it),
+  // so copying shard by shard still yields a consistent cut.
+  const std::vector<StudentBadges> students = all();
+  const u64 next_sequence = sequence_ + 1;
+  const Bytes snapshot = encode_store_snapshot(next_sequence, students);
+  if (auto st = write_binary_file_atomic(snapshot_path(), snapshot);
+      !st.ok()) {
+    return st;
+  }
+  sequence_ = next_sequence;
+  // Compact: a fresh journal whose barrier marks everything as folded in.
+  if (journal_file_ != nullptr) std::fclose(journal_file_);
+  journal_file_ = nullptr;
+  auto created = create_journal(journal_path(), sequence_);
+  if (!created.ok()) return created.error();
+  journal_file_ = created.value();
+  commits_since_checkpoint_ = 0;
+  VGBL_COUNT(StoreMetrics::get().checkpoints);
+  return {};
+}
+
+}  // namespace vgbl::rewards

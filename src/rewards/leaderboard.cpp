@@ -1,0 +1,127 @@
+#include "rewards/leaderboard.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "obs/macros.hpp"
+#include "obs/metrics.hpp"
+
+namespace vgbl::rewards {
+namespace {
+
+struct LeaderboardMetrics {
+  obs::Gauge& students;
+  obs::Gauge& top_points;
+  obs::Gauge& total_badges;
+
+  static LeaderboardMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static LeaderboardMetrics m{
+        reg.gauge("rewards_leaderboard_students",
+                  "students on the latest classroom leaderboard"),
+        reg.gauge("rewards_leaderboard_top_points",
+                  "total points of the leaderboard leader"),
+        reg.gauge("rewards_leaderboard_badges",
+                  "badges held across the latest leaderboard")};
+    return m;
+  }
+};
+
+}  // namespace
+
+Leaderboard build_leaderboard(std::vector<LeaderboardRow> rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const LeaderboardRow& a, const LeaderboardRow& b) {
+              if (a.total_points() != b.total_points()) {
+                return a.total_points() > b.total_points();
+              }
+              if (a.badges != b.badges) return a.badges > b.badges;
+              return a.student_id < b.student_id;
+            });
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0 && rows[i].total_points() == rows[i - 1].total_points() &&
+        rows[i].badges == rows[i - 1].badges) {
+      rows[i].rank = rows[i - 1].rank;
+    } else {
+      rows[i].rank = static_cast<int>(i) + 1;
+    }
+  }
+  Leaderboard board;
+  board.rows = std::move(rows);
+  return board;
+}
+
+Leaderboard leaderboard_from_store(const BadgeStore& store) {
+  std::vector<LeaderboardRow> rows;
+  for (const StudentBadges& record : store.all()) {
+    LeaderboardRow row;
+    row.student_id = record.student_id;
+    row.badges = static_cast<int>(record.grants.size());
+    row.badge_points = record.total_points;
+    for (const BadgeGrant& grant : record.grants) {
+      row.badge_names.push_back(grant.badge);
+    }
+    rows.push_back(std::move(row));
+  }
+  return build_leaderboard(std::move(rows));
+}
+
+std::string Leaderboard::report() const {
+  std::string out;
+  out += "rank  student           points  badges\n";
+  char line[160];
+  for (const LeaderboardRow& row : rows) {
+    std::snprintf(line, sizeof line, "%4d  %-16s  %6lld  %6d",
+                  row.rank, row.student_id.c_str(),
+                  static_cast<long long>(row.total_points()), row.badges);
+    out += line;
+    if (!row.badge_names.empty()) {
+      out += "  [";
+      for (size_t i = 0; i < row.badge_names.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += row.badge_names[i];
+      }
+      out += "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Json Leaderboard::to_json() const {
+  JsonArray entries;
+  for (const LeaderboardRow& row : rows) {
+    JsonObject o;
+    o.set("rank", Json(row.rank));
+    o.set("student", Json(row.student_id));
+    o.set("total_points", Json(row.total_points()));
+    o.set("badge_points", Json(row.badge_points));
+    o.set("score", Json(row.score));
+    o.set("badges", Json(row.badges));
+    JsonArray names;
+    for (const std::string& name : row.badge_names) {
+      names.emplace_back(name);
+    }
+    o.set("badge_names", Json(std::move(names)));
+    entries.push_back(Json(std::move(o)));
+  }
+  JsonObject root;
+  root.set("students", Json(static_cast<i64>(rows.size())));
+  root.set("leaderboard", Json(std::move(entries)));
+  return Json(std::move(root));
+}
+
+void export_leaderboard_metrics(const Leaderboard& board) {
+  LeaderboardMetrics& metrics = LeaderboardMetrics::get();
+  i64 total_badges = 0;
+  for (const LeaderboardRow& row : board.rows) total_badges += row.badges;
+  VGBL_GAUGE_SET(metrics.students, static_cast<f64>(board.rows.size()));
+  VGBL_GAUGE_SET(metrics.top_points,
+                 board.rows.empty()
+                     ? 0.0
+                     : static_cast<f64>(board.rows.front().total_points()));
+  VGBL_GAUGE_SET(metrics.total_badges, static_cast<f64>(total_badges));
+}
+
+}  // namespace vgbl::rewards

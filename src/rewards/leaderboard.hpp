@@ -1,0 +1,54 @@
+// Classroom-wide leaderboards: deterministic ranking over per-student
+// badge/score totals, built by simulate_classroom (live session results)
+// or from a BadgeStore (durable cross-session totals), and exported
+// through the obs gauges so a Prometheus/JSON scrape carries the current
+// standings (PAPERS.md: the EViE-m platform motivates classroom-wide
+// score aggregation).
+//
+// Determinism: ranking orders by (total points desc, badges desc,
+// student id asc) — every tie is broken by the student id, so the same
+// inputs always produce the same row order regardless of how the rows
+// were gathered.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rewards/badge_store.hpp"
+#include "util/json.hpp"
+#include "util/types.hpp"
+
+namespace vgbl::rewards {
+
+struct LeaderboardRow {
+  int rank = 0;  ///< 1-based; rows with equal points and badges share rank
+  std::string student_id;
+  int badges = 0;
+  i64 badge_points = 0;  ///< bonus points from unlocks
+  i64 score = 0;         ///< gameplay score, excluding badge bonuses
+  std::vector<std::string> badge_names;  ///< in unlock order
+
+  [[nodiscard]] i64 total_points() const { return score + badge_points; }
+};
+
+struct Leaderboard {
+  std::vector<LeaderboardRow> rows;  ///< rank order
+
+  /// Teacher-facing plain-text table.
+  [[nodiscard]] std::string report() const;
+  /// Machine-readable form (CLI --rewards output, gradebook export).
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Sorts and ranks `rows` (rank fields are overwritten).
+[[nodiscard]] Leaderboard build_leaderboard(std::vector<LeaderboardRow> rows);
+
+/// Leaderboard over a badge store's durable totals. Scores are the
+/// stores' badge points (the store does not persist session ledgers).
+[[nodiscard]] Leaderboard leaderboard_from_store(const BadgeStore& store);
+
+/// Publishes the standings as obs gauges (rewards_leaderboard_*): ranked
+/// student count, top total points, and total badges granted.
+void export_leaderboard_metrics(const Leaderboard& board);
+
+}  // namespace vgbl::rewards

@@ -1,0 +1,141 @@
+#include "rewards/rules.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace vgbl::rewards {
+
+const char* trigger_kind_name(TriggerKind kind) {
+  switch (kind) {
+    case TriggerKind::kScenarioEntered: return "scenario-entered";
+    case TriggerKind::kScenariosExplored: return "scenarios-explored";
+    case TriggerKind::kGameCompleted: return "game-completed";
+    case TriggerKind::kObjectInteracted: return "object-interacted";
+    case TriggerKind::kItemCollected: return "item-collected";
+    case TriggerKind::kItemUsed: return "item-used";
+    case TriggerKind::kDialogueDecision: return "dialogue-decision";
+    case TriggerKind::kQuizPassed: return "quiz-passed";
+    case TriggerKind::kScoreReached: return "score-reached";
+    case TriggerKind::kInteractionStreak: return "interaction-streak";
+  }
+  return "unknown";
+}
+
+Result<RewardRuleSet> RewardRuleSet::create(std::vector<RewardRule> rules) {
+  std::sort(rules.begin(), rules.end(),
+            [](const RewardRule& a, const RewardRule& b) { return a.id < b.id; });
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const RewardRule& rule = rules[i];
+    const std::string where = "reward rule #" + std::to_string(rule.id);
+    if (rule.id == 0) {
+      return invalid_argument("reward rule ids must be nonzero");
+    }
+    if (i > 0 && rules[i - 1].id == rule.id) {
+      return invalid_argument(where + ": duplicate id");
+    }
+    if (rule.badge.empty()) {
+      return invalid_argument(where + ": badge name is empty");
+    }
+    if (rule.threshold < 1) {
+      return invalid_argument(where + ": threshold must be >= 1");
+    }
+    if (rule.window < 0) {
+      return invalid_argument(where + ": window must be >= 0");
+    }
+    if (rule.trigger == TriggerKind::kInteractionStreak) {
+      if (rule.threshold < 2) {
+        return invalid_argument(where + ": a streak needs threshold >= 2");
+      }
+      if (rule.window <= 0) {
+        return invalid_argument(where + ": a streak needs a positive window");
+      }
+    }
+  }
+  RewardRuleSet set;
+  set.rules_ = std::move(rules);
+  for (size_t i = 0; i < set.rules_.size(); ++i) {
+    set.by_kind_[static_cast<size_t>(set.rules_[i].trigger)].push_back(
+        static_cast<u32>(i));
+  }
+  return set;
+}
+
+const RewardRule* RewardRuleSet::find(u32 rule_id) const {
+  const auto it = std::lower_bound(
+      rules_.begin(), rules_.end(), rule_id,
+      [](const RewardRule& r, u32 id) { return r.id < id; });
+  if (it == rules_.end() || it->id != rule_id) return nullptr;
+  return &*it;
+}
+
+const RewardRuleSet& RewardRuleSet::standard() {
+  static const RewardRuleSet set = [] {
+    std::vector<RewardRule> rules;
+    rules.push_back({.id = 1,
+                     .badge = "first-steps",
+                     .trigger = TriggerKind::kObjectInteracted,
+                     .threshold = 1,
+                     .bonus_points = 5,
+                     .description = "interact with anything in the scene"});
+    rules.push_back({.id = 2,
+                     .badge = "busy-hands",
+                     .trigger = TriggerKind::kObjectInteracted,
+                     .threshold = 15,
+                     .bonus_points = 10,
+                     .description = "fifteen interactions in one session"});
+    rules.push_back({.id = 3,
+                     .badge = "explorer",
+                     .trigger = TriggerKind::kScenariosExplored,
+                     .threshold = 3,
+                     .bonus_points = 10,
+                     .description = "visit three distinct scenarios"});
+    rules.push_back({.id = 4,
+                     .badge = "collector",
+                     .trigger = TriggerKind::kItemCollected,
+                     .threshold = 2,
+                     .bonus_points = 10,
+                     .description = "pick up two items"});
+    rules.push_back({.id = 5,
+                     .badge = "handy",
+                     .trigger = TriggerKind::kItemUsed,
+                     .threshold = 1,
+                     .bonus_points = 5,
+                     .description = "use an inventory item on the scene"});
+    rules.push_back({.id = 6,
+                     .badge = "decisive",
+                     .trigger = TriggerKind::kDialogueDecision,
+                     .threshold = 3,
+                     .bonus_points = 10,
+                     .description = "make three dialogue decisions"});
+    rules.push_back({.id = 7,
+                     .badge = "quiz-whiz",
+                     .trigger = TriggerKind::kQuizPassed,
+                     .threshold = 1,
+                     .bonus_points = 15,
+                     .description = "pass any quiz"});
+    rules.push_back({.id = 8,
+                     .badge = "finisher",
+                     .trigger = TriggerKind::kGameCompleted,
+                     .threshold = 1,
+                     .bonus_points = 25,
+                     .description = "complete the game successfully"});
+    rules.push_back({.id = 9,
+                     .badge = "high-scorer",
+                     .trigger = TriggerKind::kScoreReached,
+                     .threshold = 100,
+                     .bonus_points = 20,
+                     .description = "reach a score of 100"});
+    rules.push_back({.id = 10,
+                     .badge = "on-a-roll",
+                     .trigger = TriggerKind::kInteractionStreak,
+                     .threshold = 5,
+                     .window = seconds(30),
+                     .bonus_points = 10,
+                     .description = "five interactions, none more than "
+                                    "thirty seconds apart"});
+    return RewardRuleSet::create(std::move(rules)).value();
+  }();
+  return set;
+}
+
+}  // namespace vgbl::rewards

@@ -65,6 +65,8 @@ class LearningTracker {
   [[nodiscard]] i64 total_score() const { return score_; }
   [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] bool succeeded() const { return success_; }
+  /// Sim-time of on_game_over, or -1 while the game is still running.
+  [[nodiscard]] MicroTime finished_at() const { return finished_at_; }
 
   /// Full mutable state as plain data — what the session-persistence
   /// snapshot serialises ("analytics counters" survive suspend/resume).

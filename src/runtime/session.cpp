@@ -35,7 +35,8 @@ GameSession::GameSession(std::shared_ptr<const GameBundle> bundle,
       ui_(UiLayout::standard(
           {bundle_->video->width(), bundle_->video->height()})),
       inventory_(&bundle_->items, options.inventory_capacity),
-      avatar_(options.avatar) {}
+      avatar_(options.avatar),
+      rewards_(options.reward_rules) {}
 
 Status GameSession::start() {
   if (started_) return failed_precondition("session already started");
@@ -45,6 +46,7 @@ Status GameSession::start() {
   }
   started_ = true;
   enter_scenario(start);
+  drain_rewards();
   return {};
 }
 
@@ -121,6 +123,105 @@ std::optional<Frame> GameSession::current_video_frame() {
 
 void GameSession::log(std::string text) {
   log_.push_back({clock_->now(), std::move(text)});
+}
+
+// --- Rewards -----------------------------------------------------------------------
+
+void GameSession::sync_rewards_from_tracker() {
+  using rewards::RewardEvent;
+  // Snapshot the consumed offsets first: feed() mutates evaluator state,
+  // and mark_consumed below records the new high-water marks.
+  const u32 visits_from = rewards_.state().visits_seen;
+  const u32 interactions_from = rewards_.state().interactions_seen;
+  const u32 items_from = rewards_.state().items_seen;
+  const u32 decisions_from = rewards_.state().decisions_seen;
+
+  const auto& visits = tracker_.visits();
+  for (size_t i = visits_from; i < visits.size(); ++i) {
+    RewardEvent ev;
+    ev.kind = RewardEvent::Kind::kScenarioEntered;
+    ev.name = visits[i].name;
+    ev.when = visits[i].entered;
+    rewards_.feed(ev);
+  }
+
+  const auto& interactions = tracker_.interactions();
+  for (size_t i = interactions_from; i < interactions.size(); ++i) {
+    const auto& rec = interactions[i];
+    RewardEvent ev;
+    ev.kind = RewardEvent::Kind::kInteraction;
+    ev.name = rec.target;
+    ev.detail = rec.kind;
+    ev.when = rec.when;
+    rewards_.feed(ev);
+    if (rec.kind == "use_item") {
+      // The same record doubles as an item-used event for rules keyed on
+      // TriggerKind::kItemUsed.
+      RewardEvent used;
+      used.kind = RewardEvent::Kind::kItemUsed;
+      used.name = rec.target;
+      used.when = rec.when;
+      rewards_.feed(used);
+    }
+  }
+
+  // Item records carry no timestamp; they are drained within the entry
+  // point that collected them, so the clock still reads that moment.
+  const auto& items = tracker_.items_collected();
+  for (size_t i = items_from; i < items.size(); ++i) {
+    RewardEvent ev;
+    ev.kind = RewardEvent::Kind::kItemCollected;
+    ev.name = items[i];
+    ev.when = clock_->now();
+    rewards_.feed(ev);
+  }
+
+  const auto& decisions = tracker_.decisions();
+  for (size_t i = decisions_from; i < decisions.size(); ++i) {
+    RewardEvent ev;
+    ev.kind = RewardEvent::Kind::kDialogueDecision;
+    ev.name = decisions[i].context;
+    ev.detail = decisions[i].choice;
+    ev.when = decisions[i].when;
+    rewards_.feed(ev);
+  }
+
+  if (tracker_.finished() && !rewards_.state().completion_seen) {
+    RewardEvent ev;
+    ev.kind = RewardEvent::Kind::kGameCompleted;
+    ev.success = tracker_.succeeded();
+    ev.when = tracker_.finished_at() >= 0 ? tracker_.finished_at()
+                                          : clock_->now();
+    rewards_.feed(ev);
+  }
+
+  rewards_.mark_consumed(static_cast<u32>(interactions.size()),
+                         static_cast<u32>(items.size()),
+                         static_cast<u32>(decisions.size()),
+                         static_cast<u32>(visits.size()));
+}
+
+void GameSession::drain_rewards() {
+  if (!rewards_.active()) return;
+  // Badge bonus points feed the ledger, and the new total can itself
+  // unlock a score badge — so loop until a pass produces nothing. Each
+  // rule fires at most once, so the cascade terminates.
+  for (;;) {
+    sync_rewards_from_tracker();
+    rewards_.observe_score(ledger_.total(), clock_->now());
+    const std::vector<rewards::Unlock> fresh = rewards_.take_pending();
+    if (fresh.empty()) break;
+    for (const rewards::Unlock& u : fresh) {
+      if (u.points != 0) {
+        ledger_.award(u.points, "badge '" + u.badge + "'", clock_->now());
+        tracker_.on_score(u.points, "badge '" + u.badge + "'", clock_->now());
+      }
+      tracker_.on_reward("badge:" + u.badge, clock_->now());
+      ui_.show_message("Badge unlocked: " + u.badge + "!", clock_->now(),
+                       seconds(4));
+      log("badge '" + u.badge + "' unlocked");
+    }
+  }
 }
 
 void GameSession::enter_scenario(ScenarioId id) {
@@ -431,6 +532,7 @@ void GameSession::perform_object_interaction(TriggerType type, ObjectId id,
   ev.scenario = current_;
   ev.when = clock_->now();
   dispatch(ev);
+  drain_rewards();
 }
 
 Status GameSession::examine(Point canvas_point) {
@@ -461,6 +563,7 @@ Status GameSession::drag(Point canvas_from, Point canvas_to) {
   ev.scenario = current_;
   ev.when = clock_->now();
   dispatch(ev);
+  drain_rewards();
   return {};
 }
 
@@ -487,6 +590,7 @@ Status GameSession::use_item_on(ItemId item, Point canvas_point) {
   ev.scenario = current_;
   ev.when = clock_->now();
   dispatch(ev);
+  drain_rewards();
   return {};
 }
 
@@ -505,6 +609,7 @@ Status GameSession::combine_items(ItemId a, ItemId b) {
   const auto fired = rule_book_.match(ev, view, disarmed_);
   if (!fired.empty()) {
     dispatch(ev);
+    drain_rewards();
     return {};
   }
 
@@ -516,6 +621,7 @@ Status GameSession::combine_items(ItemId a, ItemId b) {
   tracker_.on_interaction("combine", name, clock_->now());
   ui_.show_message("Created " + name + ".", clock_->now(), seconds(3));
   log("combined items into '" + name + "'");
+  drain_rewards();
   return {};
 }
 
@@ -563,6 +669,7 @@ Status GameSession::advance_dialogue() {
   dialogue_->path.push_back(kDialogueAdvance);
   drain_dialogue_tags();
   refresh_dialogue_view();
+  drain_rewards();
   return {};
 }
 
@@ -581,6 +688,7 @@ Status GameSession::choose_dialogue(size_t index) {
   tracker_.on_decision(context, chosen, clock_->now());
   drain_dialogue_tags();
   refresh_dialogue_view();
+  drain_rewards();
   return {};
 }
 
@@ -644,6 +752,14 @@ Status GameSession::answer_quiz(size_t option) {
         std::to_string(outcome.correct_count) + "/" +
         std::to_string(outcome.total));
     quiz_.reset();
+    // Quiz outcomes never surface as tracker records with a pass bit, so
+    // the reward evaluator hears about them directly.
+    rewards::RewardEvent reward_ev;
+    reward_ev.kind = rewards::RewardEvent::Kind::kQuizOutcome;
+    reward_ev.name = quiz->name();
+    reward_ev.success = outcome.passed;
+    reward_ev.when = clock_->now();
+    rewards_.feed(reward_ev);
     // Completing a quiz may unlock rules gated on the pass flag; give
     // dialogue-tag-style rules a chance to react.
     TriggerEvent ev;
@@ -654,6 +770,7 @@ Status GameSession::answer_quiz(size_t option) {
     dispatch(ev);
   }
   refresh_quiz_view();
+  drain_rewards();
   return {};
 }
 
@@ -678,7 +795,10 @@ void GameSession::tick() {
       } else {
         log("pending interaction dropped (target gone)");
       }
-      if (game_over_) return;
+      if (game_over_) {
+        drain_rewards();
+        return;
+      }
     }
   }
 
@@ -713,7 +833,10 @@ void GameSession::tick() {
     for (const Action& action : rule->actions) {
       if (apply_action(action, rule)) break;
     }
-    if (game_over_) return;
+    if (game_over_) {
+      drain_rewards();
+      return;
+    }
   }
 
   // Segment end (fires once per scenario entry).
@@ -725,6 +848,7 @@ void GameSession::tick() {
     ev.when = now;
     dispatch(ev);
   }
+  drain_rewards();
 }
 
 // --- Save games --------------------------------------------------------------------
@@ -909,6 +1033,7 @@ SessionState GameSession::capture_state() const {
   }
 
   s.tracker = tracker_.state();
+  s.rewards = rewards_.state();
   for (const auto& e : log_) s.log.push_back({e.when, e.text});
   return s;
 }
@@ -986,6 +1111,18 @@ Status GameSession::restore_state(const SessionState& state) {
     quiz->answers = state.quiz_answers;
   }
 
+  // An empty per-rule vector means the snapshot carries no rewards state
+  // (captured by an older build, or with rewards disabled); a populated
+  // one must match this session's rule set exactly.
+  rewards::RewardEvaluator restored_rewards(options_.reward_rules);
+  const bool rewards_state_present =
+      !state.rewards.progress.empty() || !state.rewards.unlocks.empty();
+  if (restored_rewards.active() && rewards_state_present) {
+    if (auto st = restored_rewards.restore_state(state.rewards); !st.ok()) {
+      return st;
+    }
+  }
+
   // Commit.
   inventory_ = std::move(inventory);
   ledger_ = ScoreLedger{};
@@ -1042,6 +1179,15 @@ Status GameSession::restore_state(const SessionState& state) {
   refresh_quiz_view();
 
   tracker_.restore(state.tracker);
+  rewards_ = std::move(restored_rewards);
+  if (rewards_.active() && !rewards_state_present) {
+    // No rewards state to resume: skip the replayed tracker history so the
+    // restored session does not retroactively unlock badges for it.
+    rewards_.mark_consumed(static_cast<u32>(tracker_.interactions().size()),
+                           static_cast<u32>(tracker_.items_collected().size()),
+                           static_cast<u32>(tracker_.decisions().size()),
+                           static_cast<u32>(tracker_.visits().size()));
+  }
   log_.clear();
   for (const auto& e : state.log) log_.push_back({e.when, e.text});
 

@@ -22,6 +22,8 @@
 #include "event/rule.hpp"
 #include "inventory/inventory.hpp"
 #include "media/player.hpp"
+#include "rewards/evaluator.hpp"
+#include "rewards/rules.hpp"
 #include "runtime/analytics.hpp"
 #include "runtime/avatar.hpp"
 #include "runtime/resource_catalog.hpp"
@@ -44,6 +46,12 @@ struct SessionOptions {
   /// pointer-style games behave like Fig.2's direct manipulation.
   bool enable_avatar = false;
   Avatar::Options avatar;
+  /// Reward rules evaluated inline against the session's event stream
+  /// (src/rewards). Null disables rewards entirely — the evaluator is
+  /// inert and the session behaves exactly as before. The rule set must
+  /// outlive the session (typically RewardRuleSet::standard() or a set
+  /// owned by the classroom/test driving it).
+  const rewards::RewardRuleSet* reward_rules = nullptr;
 };
 
 /// One entry of the session's human-readable event log (tests and the
@@ -118,6 +126,11 @@ class GameSession {
   }
   [[nodiscard]] const LearningTracker& tracker() const { return tracker_; }
   [[nodiscard]] LearningTracker& tracker_mutable() { return tracker_; }
+  /// Reward evaluator (inert unless options().reward_rules was set). The
+  /// unlock log it holds is the session's canonical badge stream.
+  [[nodiscard]] const rewards::RewardEvaluator& rewards() const {
+    return rewards_;
+  }
   [[nodiscard]] const std::vector<SessionEvent>& event_log() const {
     return log_;
   }
@@ -167,6 +180,12 @@ class GameSession {
   /// Applies one action; returns true if the action ended the scenario
   /// (switch/replay/end) so callers stop applying the remainder.
   bool apply_action(const Action& action, const EventRule* source);
+  /// Feeds tracker records accumulated since the last drain into the
+  /// reward evaluator, then turns any fresh unlocks into score awards and
+  /// log lines. Called at the end of every state-mutating entry point.
+  void drain_rewards();
+  /// One sync pass: feed unconsumed tracker records to the evaluator.
+  void sync_rewards_from_tracker();
   void enter_scenario(ScenarioId id);
   void arm_timers();
   void drain_dialogue_tags();
@@ -242,6 +261,7 @@ class GameSession {
   std::optional<ActiveQuiz> quiz_;
 
   LearningTracker tracker_;
+  rewards::RewardEvaluator rewards_;
   std::vector<SessionEvent> log_;
 
   // Hit testing (rebuilt lazily when the frame index or object set moved).

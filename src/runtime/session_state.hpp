@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "rewards/evaluator.hpp"
 #include "runtime/analytics.hpp"
 #include "util/geometry.hpp"
 #include "util/sim_clock.hpp"
@@ -114,6 +115,11 @@ struct SessionState {
   // --- Analytics and event log -----------------------------------------------
   LearningTracker::State tracker;
   std::vector<SessionLogEntry> log;
+
+  // --- Rewards ---------------------------------------------------------------
+  /// Reward-evaluator state (empty when the session has no rule set, or
+  /// the snapshot predates rewards — restore then skips replayed history).
+  rewards::EvaluatorState rewards;
 };
 
 }  // namespace vgbl

@@ -1,5 +1,9 @@
 #include "scenario/scenario_graph.hpp"
 
+// lint allow replay-state-unordered: the unordered sets/maps below are
+// traversal-local visited/parent tables used only for membership tests;
+// every returned ordering comes from the BFS queue or the stable edge
+// sort, never from hash-table iteration.
 #include <algorithm>
 #include <deque>
 #include <unordered_set>

@@ -90,6 +90,9 @@ class ScenarioGraph {
  private:
   std::vector<Scenario> scenarios_;
   std::vector<ScenarioTransition> transitions_;
+  // lint allow replay-state-unordered: lookup index over immutable
+  // authored data; iteration never feeds an encoding (canonical order
+  // comes from scenarios_, which preserves authoring order).
   std::unordered_map<ScenarioId, size_t> by_id_;
   ScenarioId start_;
 };

@@ -68,7 +68,7 @@ class BitReader {
   explicit BitReader(std::span<const u8> data) : data_(data) {}
 
   /// Reads `count` bits (MSB-first); fails on stream exhaustion.
-  Result<u64> bits(int count) {
+  [[nodiscard]] Result<u64> bits(int count) {
     u64 v = 0;
     for (int i = 0; i < count; ++i) {
       auto b = bit();
@@ -78,7 +78,7 @@ class BitReader {
     return v;
   }
 
-  Result<bool> bit() {
+  [[nodiscard]] Result<bool> bit() {
     const size_t byte = pos_ >> 3;
     if (byte >= data_.size()) return corrupt_data("bitstream exhausted");
     const bool v = (data_[byte] >> (7 - (pos_ & 7))) & 1;
@@ -86,7 +86,7 @@ class BitReader {
     return v;
   }
 
-  Result<u32> ue() {
+  [[nodiscard]] Result<u32> ue() {
     int zeros = 0;
     while (true) {
       auto b = bit();
@@ -100,7 +100,7 @@ class BitReader {
     return static_cast<u32>(x - 1);
   }
 
-  Result<i32> se() {
+  [[nodiscard]] Result<i32> se() {
     auto z = ue();
     if (!z.ok()) return z.error();
     const u32 u = z.value();

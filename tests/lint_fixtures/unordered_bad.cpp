@@ -1,0 +1,16 @@
+// Fixture: unordered containers in replay state — must fire
+// replay-state-unordered. Iteration order of std::unordered_* depends on
+// hash seeds and allocation history, so any encoding derived from it is
+// not canonical.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace vgbl {
+
+struct BadReplayState {
+  std::unordered_map<std::string, int> progress;
+  std::unordered_set<int> unlocked;
+};
+
+}  // namespace vgbl

@@ -85,7 +85,8 @@ TEST(LintConfig, RepoRulesParse) {
   for (const Rule& rule : rules.rules) ids.push_back(rule.id);
   for (const char* expected :
        {"determinism-wallclock", "determinism-random", "determinism-sleep",
-        "obs-guarded-metric", "include-hygiene", "banned-pattern"}) {
+        "replay-state-unordered", "obs-guarded-metric", "include-hygiene",
+        "banned-pattern"}) {
     EXPECT_TRUE(std::count(ids.begin(), ids.end(), expected) == 1)
         << "missing rule " << expected;
   }
@@ -149,6 +150,32 @@ TEST(LintFixtures, SpanRawBadFires) {
       "src/net/span_raw_bad.cpp", fixture("span_raw_bad.cpp"), repo_rules());
   expect_only(findings, "obs-guarded-metric");
   EXPECT_GE(findings.size(), 3u);  // SpanScope, TraceEvent, TraceLog
+}
+
+TEST(LintFixtures, UnorderedBadFires) {
+  const auto findings = lint_file("src/persist/unordered_bad.cpp",
+                                  fixture("unordered_bad.cpp"), repo_rules());
+  expect_only(findings, "replay-state-unordered");
+  EXPECT_GE(findings.size(), 2u);  // unordered_map + unordered_set
+}
+
+TEST(LintScoping, UnorderedAllowedInScenarioGraph) {
+  // The allowlisted scenario_graph.hpp path carries the in-file
+  // justification; the same content fires anywhere else in scope.
+  const std::string source = fixture("unordered_bad.cpp");
+  EXPECT_TRUE(fires(lint_file("src/rewards/x.cpp", source, repo_rules()),
+                    "replay-state-unordered"));
+  EXPECT_FALSE(
+      fires(lint_file("src/scenario/scenario_graph.hpp", source, repo_rules()),
+            "replay-state-unordered"));
+}
+
+TEST(LintScoping, UnorderedRuleStopsAtReplayBoundary) {
+  // src/core session logic is replayed but not byte-encoded; unordered
+  // containers are fine outside the snapshot/encoding scope.
+  const std::string source = fixture("unordered_bad.cpp");
+  EXPECT_FALSE(fires(lint_file("src/core/x.cpp", source, repo_rules()),
+                     "replay-state-unordered"));
 }
 
 TEST(LintFixtures, ParentIncludeFires) {

@@ -232,7 +232,7 @@ TEST(SnapshotTest, InspectReportsMetaAndSections) {
   EXPECT_EQ(info.value().meta.student_id, "tester");
   EXPECT_EQ(info.value().meta.bundle_title, bundle->meta.title);
   EXPECT_EQ(info.value().total_bytes, snap.size());
-  ASSERT_EQ(info.value().sections.size(), 5u);
+  ASSERT_EQ(info.value().sections.size(), 6u);
   EXPECT_EQ(info.value().sections[0].name, "META");
   EXPECT_EQ(info.value().sections[1].name, "CORE");
 }
@@ -272,9 +272,10 @@ TEST(SnapshotTest, ByteFlipsAreRejectedWithTypedErrors) {
           << "byte " << i << ": " << decoded.error().to_string();
     }
   }
-  // Only flips inside the 4-byte tags of *optional* sections can survive
-  // (the section is skipped as unknown); everything else must be caught.
-  EXPECT_GE(rejected + 12, snap.size());
+  // Only flips inside the 4-byte tags of *optional* sections (ACTV, TRCK,
+  // ELOG, REWD) can survive — the section is skipped as unknown;
+  // everything else must be caught.
+  EXPECT_GE(rejected + 16, snap.size());
   EXPECT_GT(rejected, snap.size() * 9 / 10);
 }
 

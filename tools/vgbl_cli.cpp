@@ -14,6 +14,8 @@
 //   vgbl classroom <bundle.vgblb> [students] [max_steps] [--threads N]
 //                  [--seed S] [--store <dir>] [--stream] [--fault <profile>]
 //                  [--metrics-out <file.json|file.prom>]
+//                  [--rewards] [--badge-store <dir>]
+//   vgbl rewards inspect <store_dir>
 //   vgbl metrics <scrape.json>
 #include <chrono>
 #include <cstdio>
@@ -29,6 +31,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "persist/session_store.hpp"
+#include "rewards/badge_store.hpp"
+#include "rewards/leaderboard.hpp"
+#include "rewards/rules.hpp"
 #include "runtime/compositor.hpp"
 #include "util/text.hpp"
 
@@ -320,9 +325,11 @@ int cmd_classroom(const std::string& path,
   options.student_count = 16;
   options.max_steps_per_student = 200;
   std::string store_dir;
+  std::string badge_store_dir;
   std::string metrics_out;
   std::string fault_profile = "clean";
   bool stream = false;
+  bool with_rewards = false;
   int positional = 0;
   for (size_t i = 0; i < rest.size(); ++i) {
     const std::string& a = rest[i];
@@ -332,6 +339,11 @@ int cmd_classroom(const std::string& path,
       options.seed = std::strtoull(rest[++i].c_str(), nullptr, 10);
     } else if (a == "--store" && i + 1 < rest.size()) {
       store_dir = rest[++i];
+    } else if (a == "--rewards") {
+      with_rewards = true;
+    } else if (a == "--badge-store" && i + 1 < rest.size()) {
+      badge_store_dir = rest[++i];
+      with_rewards = true;  // a badge store implies rewards
     } else if (a == "--metrics-out" && i + 1 < rest.size()) {
       metrics_out = rest[++i];
     } else if (a == "--stream") {
@@ -360,10 +372,25 @@ int cmd_classroom(const std::string& path,
   if (!bundle.ok()) return fail(bundle.error());
   auto shared = std::make_shared<GameBundle>(std::move(bundle.value()));
 
+  if (with_rewards) {
+    options.reward_rules = &rewards::RewardRuleSet::standard();
+  }
   std::optional<SessionStore> store;
   if (!store_dir.empty()) {
-    store.emplace(SessionStoreOptions{.directory = store_dir});
+    SessionStoreOptions store_options;
+    store_options.directory = store_dir;
+    // Store-backed sessions are constructed by the store, so the rule set
+    // rides its session options.
+    store_options.session.reward_rules = options.reward_rules;
+    store.emplace(store_options);
     options.store = &*store;
+  }
+  std::unique_ptr<rewards::BadgeStore> badge_store;
+  if (!badge_store_dir.empty()) {
+    auto opened = rewards::BadgeStore::open({.directory = badge_store_dir});
+    if (!opened.ok()) return fail(opened.error());
+    badge_store = std::move(opened.value());
+    options.badge_store = badge_store.get();
   }
   if (!metrics_out.empty()) obs::set_enabled(true);
 
@@ -380,6 +407,12 @@ int cmd_classroom(const std::string& path,
       store_dir.empty() ? "" : " via session store",
       elapsed > 0 ? static_cast<double>(summary.students.size()) / elapsed
                   : 0.0);
+  if (badge_store) {
+    if (auto st = badge_store->checkpoint(); !st.ok()) return fail(st.error());
+    std::printf("badge store: %s (%zu student(s), sequence %llu)\n",
+                badge_store->directory().c_str(), badge_store->student_count(),
+                static_cast<unsigned long long>(badge_store->sequence()));
+  }
   if (stream) {
     run_stream_cohort(*shared, options.student_count, options.seed,
                       fault_profile);
@@ -421,6 +454,30 @@ int cmd_inspect_snapshot(const std::string& path) {
   return 0;
 }
 
+int cmd_rewards_inspect(const std::string& dir) {
+  auto opened = rewards::BadgeStore::open({.directory = dir});
+  if (!opened.ok()) return fail(opened.error());
+  const rewards::BadgeStore& store = *opened.value();
+  std::printf("badge store: %s (sequence %llu, %zu student(s))\n",
+              store.directory().c_str(),
+              static_cast<unsigned long long>(store.sequence()),
+              store.student_count());
+  for (const auto& record : store.all()) {
+    std::printf("%s: %zu badge(s), %lld bonus point(s), %llu commit(s)\n",
+                record.student_id.c_str(), record.grants.size(),
+                static_cast<long long>(record.total_points),
+                static_cast<unsigned long long>(record.commits));
+    for (const auto& grant : record.grants) {
+      std::printf("  %-20s rule %-3u %+5lld pts  t=%.1fs\n",
+                  grant.badge.c_str(), grant.rule_id,
+                  static_cast<long long>(grant.points),
+                  to_seconds(grant.sim_time));
+    }
+  }
+  std::printf("%s", rewards::leaderboard_from_store(store).report().c_str());
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: vgbl <command> ...\n"
@@ -441,6 +498,8 @@ void usage() {
                "[--threads N] [--seed S] [--store <dir>] [--stream]\n"
                "            [--fault clean|iid2|bursty|flap|degraded|stress]\n"
                "            [--metrics-out <file.json|file.prom>]\n"
+               "            [--rewards] [--badge-store <dir>]\n"
+               "  rewards inspect <store_dir>\n"
                "  metrics <scrape.json>\n");
 }
 
@@ -482,6 +541,9 @@ int main(int argc, char** argv) {
   if (cmd == "classroom" && argc >= 3) {
     return cmd_classroom(arg(2),
                          std::vector<std::string>(argv + 3, argv + argc));
+  }
+  if (cmd == "rewards" && argc >= 4 && arg(2) == "inspect") {
+    return cmd_rewards_inspect(arg(3));
   }
   if (cmd == "metrics" && argc >= 3) return cmd_metrics(arg(2));
   usage();
