@@ -1,0 +1,199 @@
+// E16 — procedural course generator: corpus generation throughput
+// (sequential vs thread-pool fan-out), classroom heterogeneity (a mixed
+// generated corpus vs the homogeneous quickstart demo under the same
+// student budget), and the determinism gate — the generated corpus must be
+// bit-identical across {0, 2, 8} worker threads or the binary exits
+// non-zero. Emits BENCH_gen.json.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "author/bundle.hpp"
+#include "bench_common.hpp"
+#include "core/classroom.hpp"
+#include "core/platform.hpp"
+#include "gen/generator.hpp"
+
+namespace {
+
+using namespace vgbl;
+
+constexpr u64 kCorpusSeed = 7031;
+constexpr int kCorpusSize = 12;
+constexpr int kStudents = 16;
+constexpr int kMaxSteps = 80;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Canonical corpus fingerprint: concatenated bundle bytes in slot order.
+/// Bundle building is deterministic, so byte equality here is exactly the
+/// "bit-identical across worker threads" contract.
+Bytes corpus_bytes(const std::vector<gen::GeneratedCourse>& corpus) {
+  Bytes all;
+  for (const auto& course : corpus) {
+    auto bytes = build_bundle(course.project);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "bundle failed: %s\n",
+                   bytes.error().to_string().c_str());
+      std::exit(1);
+    }
+    all.insert(all.end(), bytes.value().begin(), bytes.value().end());
+  }
+  return all;
+}
+
+struct ClassroomArm {
+  std::string name;
+  int courses = 0;
+  double completion_rate = 0;
+  double mean_score = 0;
+  double mean_interactions = 0;
+  double students_per_sec = 0;
+};
+
+ClassroomArm run_arm(const std::string& name,
+                     const std::vector<std::shared_ptr<const GameBundle>>&
+                         bundles,
+                     const rewards::RewardRuleSet* rules_per_bundle) {
+  ClassroomArm arm;
+  arm.name = name;
+  arm.courses = static_cast<int>(bundles.size());
+  double completion = 0;
+  double score = 0;
+  double interactions = 0;
+  const double t0 = now_seconds();
+  for (size_t i = 0; i < bundles.size(); ++i) {
+    ClassroomOptions options;
+    options.student_count = kStudents;
+    options.max_steps_per_student = kMaxSteps;
+    options.seed = kCorpusSeed + i;
+    options.worker_threads = 4;
+    options.reward_rules = rules_per_bundle ? rules_per_bundle + i : nullptr;
+    const ClassroomSummary summary = simulate_classroom(bundles[i], options);
+    completion += summary.completion_rate;
+    score += summary.mean_score;
+    interactions += summary.mean_interactions;
+  }
+  const double elapsed = now_seconds() - t0;
+  const double runs = static_cast<double>(bundles.size());
+  arm.completion_rate = completion / runs;
+  arm.mean_score = score / runs;
+  arm.mean_interactions = interactions / runs;
+  arm.students_per_sec =
+      elapsed > 0 ? runs * kStudents / elapsed : 0;
+  return arm;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_gen.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  // Generation throughput, sequential vs fan-out. The corpus is the same
+  // either way (that is the point); only wall time may differ.
+  const double t_seq0 = now_seconds();
+  auto sequential = gen::generate_corpus(kCorpusSeed, kCorpusSize, 0);
+  const double seq_elapsed = now_seconds() - t_seq0;
+  if (!sequential.ok()) {
+    std::fprintf(stderr, "generate_corpus failed: %s\n",
+                 sequential.error().to_string().c_str());
+    return 1;
+  }
+  const double t_par0 = now_seconds();
+  auto parallel = gen::generate_corpus(kCorpusSeed, kCorpusSize, 4);
+  const double par_elapsed = now_seconds() - t_par0;
+  if (!parallel.ok()) {
+    std::fprintf(stderr, "generate_corpus failed: %s\n",
+                 parallel.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("generated %d courses: %.2fs sequential, %.2fs @4 threads\n",
+              kCorpusSize, seq_elapsed, par_elapsed);
+
+  // Determinism gate: bit-identical corpus across worker-thread counts.
+  const Bytes baseline = corpus_bytes(sequential.value());
+  bool deterministic = baseline == corpus_bytes(parallel.value());
+  for (int threads : {2, 8}) {
+    auto again = gen::generate_corpus(kCorpusSeed, kCorpusSize, threads);
+    if (!again.ok() || corpus_bytes(again.value()) != baseline) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: corpus diverged at %d worker "
+                   "threads for seed %llu\n",
+                   threads, static_cast<unsigned long long>(kCorpusSeed));
+      deterministic = false;
+    }
+  }
+  std::printf("corpus determinism across {0,2,4,8} threads: %s\n",
+              deterministic ? "OK" : "MISMATCH");
+
+  // Heterogeneity arms: the generated corpus (every bundle a different
+  // shape, every rule set generated) vs the same student budget spent on
+  // the homogeneous quickstart demo.
+  std::vector<std::shared_ptr<const GameBundle>> generated;
+  std::vector<rewards::RewardRuleSet> rules;
+  rules.reserve(sequential.value().size());
+  for (const auto& course : sequential.value()) {
+    auto bundle = publish(course.project);
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "publish failed: %s\n",
+                   bundle.error().to_string().c_str());
+      return 1;
+    }
+    generated.push_back(bundle.value());
+    rules.push_back(course.reward_rules);
+  }
+  const ClassroomArm mixed = run_arm("generated-corpus", generated,
+                                     rules.data());
+  std::vector<std::shared_ptr<const GameBundle>> homogeneous(
+      generated.size(), vgbl::bench::cached_bundle("quickstart"));
+  const ClassroomArm demo = run_arm("quickstart-x" +
+                                        std::to_string(kCorpusSize),
+                                    homogeneous, nullptr);
+  for (const ClassroomArm* arm : {&mixed, &demo}) {
+    std::printf("%-20s completion %.2f, mean score %.1f, "
+                "mean interactions %.1f, %.0f students/sec\n",
+                arm->name.c_str(), arm->completion_rate, arm->mean_score,
+                arm->mean_interactions, arm->students_per_sec);
+  }
+
+  vgbl::bench::JsonArtifact artifact("gen", "configs");
+  artifact.field("workload",
+                 "{\"corpus_seed\": " + std::to_string(kCorpusSeed) +
+                     ", \"corpus_size\": " + std::to_string(kCorpusSize) +
+                     ", \"students\": " + std::to_string(kStudents) +
+                     ", \"max_steps_per_student\": " +
+                     std::to_string(kMaxSteps) + "}");
+  char row[320];
+  std::snprintf(row, sizeof row,
+                "{\"name\": \"generation\", \"courses_per_sec_seq\": %.3f, "
+                "\"courses_per_sec_4t\": %.3f, \"deterministic\": %s}",
+                seq_elapsed > 0 ? kCorpusSize / seq_elapsed : 0,
+                par_elapsed > 0 ? kCorpusSize / par_elapsed : 0,
+                deterministic ? "true" : "false");
+  artifact.row(row);
+  for (const ClassroomArm* arm : {&mixed, &demo}) {
+    std::snprintf(row, sizeof row,
+                  "{\"name\": \"%s\", \"completion_rate\": %.4f, "
+                  "\"mean_score\": %.2f, \"mean_interactions\": %.2f, "
+                  "\"students_per_sec\": %.1f}",
+                  arm->name.c_str(), arm->completion_rate, arm->mean_score,
+                  arm->mean_interactions, arm->students_per_sec);
+    artifact.row(row);
+  }
+  if (!artifact.write(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
+  return deterministic ? 0 : 1;
+}

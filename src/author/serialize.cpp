@@ -452,10 +452,11 @@ Json project_to_json(const Project& project) {
     io.set("name", Json(def.name));
     if (!def.description.empty()) io.set("description", Json(def.description));
     if (!def.icon.empty()) io.set("icon", Json(def.icon));
-    if (def.stackable) {
-      io.set("stackable", Json(true));
-      io.set("max_stack", Json(def.max_stack));
-    }
+    if (def.stackable) io.set("stackable", Json(true));
+    // max_stack is meaningful independently of stackable (an importer may
+    // flip stackable later); write it whenever it differs from the default
+    // so the field round-trips for every combination.
+    if (def.max_stack != 1) io.set("max_stack", Json(def.max_stack));
     if (def.is_reward) io.set("is_reward", Json(true));
     if (def.bonus_points != 0) io.set("bonus_points", Json(def.bonus_points));
     items.push_back(std::move(ij));

@@ -308,6 +308,12 @@ void append_number(std::string& out, f64 v) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     out += buf;
+    // %.17g prints whole values without a fraction ("2", not "2.0"), which
+    // the parser would re-type as kInt and break typed round-trips (e.g.
+    // PropertyBag doubles). Force a marker that keeps the token a double.
+    if (std::string_view(buf).find_first_of(".eE") == std::string_view::npos) {
+      out += ".0";
+    }
   } else {
     out += "null";  // JSON cannot represent inf/nan
   }

@@ -410,6 +410,77 @@ TEST(SerializeTest, QuickstartRoundTrip) {
   EXPECT_EQ(p.clip_spec->scenes.size(), 2u);
 }
 
+TEST(SerializeTest, PropertyBagRoundTripPreservesTypes) {
+  // Regression: whole-valued doubles used to dump as "2", which the parser
+  // re-typed as an integer, so a double-typed property came back as i64 and
+  // PropertyBag equality (and byte-stable re-save) broke. Surfaced by the
+  // generated corpus (gen decorate_properties emits whole-valued doubles).
+  Project p = imported_project();
+  Editor edit(&p);
+  InteractiveObject proto;
+  proto.name = "typed";
+  proto.kind = ObjectKind::kImage;
+  proto.scenario = p.graph.scenarios()[0].id;
+  proto.placement.rect = {10, 10, 30, 30};
+  proto.sprite_spec = "icon:coin:30";
+  proto.properties.set_double("shine", 2.0);   // whole-valued double
+  proto.properties.set_double("minus", -0.0);  // also printed without '.'
+  proto.properties.set_int("weight", 7);
+  proto.properties.set_bool("fragile", true);
+  proto.properties.set_string("note", "n");
+  auto id = edit.place_object(proto);
+  ASSERT_TRUE(id.ok());
+
+  const std::string text = save_project_text(p);
+  auto reloaded = load_project_text(text);
+  ASSERT_TRUE(reloaded.ok());
+  const InteractiveObject* placed = reloaded.value().find_object(id.value());
+  ASSERT_NE(placed, nullptr);
+  EXPECT_EQ(placed->properties, p.find_object(id.value())->properties);
+  auto shine = placed->properties.get("shine");
+  ASSERT_TRUE(shine.has_value());
+  EXPECT_TRUE(std::holds_alternative<f64>(*shine));
+  auto weight = placed->properties.get("weight");
+  ASSERT_TRUE(weight.has_value());
+  EXPECT_TRUE(std::holds_alternative<i64>(*weight));
+  EXPECT_EQ(save_project_text(reloaded.value()), text);
+}
+
+TEST(SerializeTest, ItemMaxStackRoundTripsForEveryStackableCombination) {
+  // The generated corpus emits non-default max_stack on both stackable and
+  // non-stackable items. ItemCatalog::add canonicalises (non-stackable ->
+  // max_stack 1, stackable without a real max -> 99); the serializer must
+  // round-trip the canonical form exactly, with max_stack written
+  // independently of the stackable flag.
+  Project p = imported_project();
+  Editor edit(&p);
+  ItemDef stacked;
+  stacked.name = "coins";
+  stacked.stackable = true;
+  stacked.max_stack = 4;
+  auto stacked_id = edit.add_item(stacked);
+  ASSERT_TRUE(stacked_id.ok());
+  ItemDef single;
+  single.name = "bundle-of-sticks";
+  single.stackable = false;
+  single.max_stack = 3;  // canonicalised to 1 by the catalog
+  auto single_id = edit.add_item(single);
+  ASSERT_TRUE(single_id.ok());
+
+  const std::string text = save_project_text(p);
+  auto reloaded = load_project_text(text);
+  ASSERT_TRUE(reloaded.ok());
+  const ItemDef* coins = reloaded.value().items.find(stacked_id.value());
+  ASSERT_NE(coins, nullptr);
+  EXPECT_TRUE(coins->stackable);
+  EXPECT_EQ(coins->max_stack, 4);
+  const ItemDef* sticks = reloaded.value().items.find(single_id.value());
+  ASSERT_NE(sticks, nullptr);
+  EXPECT_FALSE(sticks->stackable);
+  EXPECT_EQ(sticks->max_stack, 1);
+  EXPECT_EQ(save_project_text(reloaded.value()), text);
+}
+
 TEST(SerializeTest, IdAllocatorsSurviveReload) {
   auto project = build_quickstart_project();
   auto reloaded = load_project_text(save_project_text(project.value()));

@@ -1,0 +1,438 @@
+// Property-fuzz harness over the procedural course generator (DESIGN.md
+// §5h): every generated course must (1) round-trip losslessly through the
+// text format and the binary bundle, (2) be completable by its own solver
+// script, (3) survive save/resume at a random split point with a
+// byte-identical snapshot and unlock stream, and (4) produce bit-identical
+// classroom summaries across worker-thread counts. On any failure the
+// harness shrinks the generator params to a minimal reproduction and dumps
+// it under the build tree for `vgbl gen --repro`.
+//
+// Depth knob: VGBL_GEN_DEPTH (env) overrides the per-corpus course count —
+// tier1 runs a small fixed-seed corpus, the nightly tier2 registration
+// raises it (see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "gen/generator.hpp"
+#include "persist/snapshot.hpp"
+#include "rewards/evaluator.hpp"
+
+namespace vgbl::gen {
+namespace {
+
+std::vector<u64> corpus_seeds() {
+  std::vector<u64> seeds;
+  std::ifstream in(VGBL_GEN_SEEDS_PATH);
+  EXPECT_TRUE(in.good()) << "missing " << VGBL_GEN_SEEDS_PATH;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream row(line);
+    u64 seed = 0;
+    if (row >> seed) seeds.push_back(seed);
+  }
+  EXPECT_GE(seeds.size(), 8u);
+  return seeds;
+}
+
+/// Course count per corpus seed: small in tier1, raised by the nightly
+/// depth job (VGBL_GEN_DEPTH is the TOTAL corpus size across all seeds).
+int depth_per_seed(size_t seed_count) {
+  if (const char* depth = std::getenv("VGBL_GEN_DEPTH")) {
+    const int total = std::atoi(depth);
+    if (total > 0) {
+      return std::max(1, (total + static_cast<int>(seed_count) - 1) /
+                             static_cast<int>(seed_count));
+    }
+  }
+  return 1;
+}
+
+/// Drives solver steps [from, to) with ScriptRunner pacing (same cadence
+/// as persist_test so split-resume comparisons line up step for step).
+Status drive(GameSession& session, SimClock& clock, const InputScript& script,
+             size_t from, size_t to) {
+  ScriptRunner runner(&session, &clock);
+  for (size_t i = from; i < to; ++i) {
+    if (session.game_over()) return {};
+    if (auto st = runner.run_step(script[i]); !st.ok()) {
+      return Error(st.error().code,
+                   "solver step " + std::to_string(i) + ": " +
+                       st.error().message);
+    }
+    clock.advance(ScriptRunner::Options{}.step_pause);
+    session.tick();
+  }
+  return {};
+}
+
+Bytes snapshot_of(GameSession& session, SimClock& clock) {
+  SnapshotMeta meta;
+  meta.sequence = 1;
+  meta.sim_time = clock.now();
+  meta.student_id = "fuzz";
+  meta.bundle_title = "fuzz";
+  return encode_snapshot(session.capture_state(), meta);
+}
+
+// --- the four properties (Status-returning so the shrinker can re-run) ---
+
+/// Property 1: author -> serialize -> import round-trips losslessly, for
+/// both the text project format and the binary bundle container.
+Status prop_round_trip(const GeneratedCourse& course) {
+  const std::string text = save_project_text(course.project);
+  auto reloaded = load_project_text(text);
+  if (!reloaded.ok()) {
+    return Error(reloaded.error().code,
+                 "reload: " + reloaded.error().message);
+  }
+  if (save_project_text(reloaded.value()) != text) {
+    return corrupt_data("re-saved project text differs from original");
+  }
+  // Byte-stable text is necessary but not sufficient: a type drift (e.g. a
+  // whole-valued double reloaded as an integer) re-saves to the same bytes
+  // while the in-memory value changed type. Compare the typed structures.
+  if (reloaded.value().objects.size() != course.project.objects.size()) {
+    return corrupt_data("object count changed across reload");
+  }
+  for (size_t i = 0; i < course.project.objects.size(); ++i) {
+    const InteractiveObject& original = course.project.objects[i];
+    const InteractiveObject& loaded = reloaded.value().objects[i];
+    if (!(loaded.properties == original.properties)) {
+      return corrupt_data("typed property bag drifted across reload for '" +
+                          original.name + "'");
+    }
+  }
+  auto original_bundle = build_bundle(course.project);
+  if (!original_bundle.ok()) return original_bundle.error();
+  auto reloaded_bundle = build_bundle(reloaded.value());
+  if (!reloaded_bundle.ok()) return reloaded_bundle.error();
+  if (original_bundle.value() != reloaded_bundle.value()) {
+    return corrupt_data("bundle bytes differ after text round-trip");
+  }
+  return {};
+}
+
+/// Property 2: the generated solver script completes the course.
+Status prop_completable(const GeneratedCourse& course) {
+  auto bundle = publish(course.project);
+  if (!bundle.ok()) return bundle.error();
+  SessionOptions options;
+  options.reward_rules = &course.reward_rules;
+  SimClock clock;
+  GameSession session(bundle.value(), &clock, options);
+  if (auto st = session.start(); !st.ok()) return st;
+  if (auto st = drive(session, clock, course.solver, 0, course.solver.size());
+      !st.ok()) {
+    return st;
+  }
+  if (!session.game_over()) {
+    return failed_precondition("solver finished but game not over");
+  }
+  if (!session.succeeded()) {
+    return failed_precondition("solver completed course without success");
+  }
+  return {};
+}
+
+/// Property 3: resuming from a snapshot taken at a seed-derived split point
+/// finishes with a byte-identical final snapshot (which embeds the REWD
+/// evaluator section) and unlock stream vs the straight-through run.
+Status prop_split_resume(const GeneratedCourse& course) {
+  auto bundle = publish(course.project);
+  if (!bundle.ok()) return bundle.error();
+  SessionOptions options;
+  options.reward_rules = &course.reward_rules;
+
+  SimClock straight_clock;
+  GameSession straight(bundle.value(), &straight_clock, options);
+  if (auto st = straight.start(); !st.ok()) return st;
+  if (auto st = drive(straight, straight_clock, course.solver, 0,
+                      course.solver.size());
+      !st.ok()) {
+    return st;
+  }
+
+  if (course.solver.size() < 2) return {};
+  Rng split_rng(course.seed ^ 0x5117F00DULL);
+  const size_t split =
+      1 + split_rng.below(static_cast<u64>(course.solver.size() - 1));
+
+  SimClock first_clock;
+  GameSession first(bundle.value(), &first_clock, options);
+  if (auto st = first.start(); !st.ok()) return st;
+  if (auto st = drive(first, first_clock, course.solver, 0, split); !st.ok()) {
+    return st;
+  }
+  auto decoded = decode_snapshot(snapshot_of(first, first_clock));
+  if (!decoded.ok()) {
+    return Error(decoded.error().code,
+                 "split " + std::to_string(split) + ": " +
+                     decoded.error().message);
+  }
+
+  SimClock resumed_clock;
+  GameSession resumed(bundle.value(), &resumed_clock, options);
+  resumed_clock.advance_to(decoded.value().state.now);
+  if (auto st = resumed.restore_state(decoded.value().state); !st.ok()) {
+    return Error(st.error().code, "restore at split " + std::to_string(split) +
+                                      ": " + st.error().message);
+  }
+  if (auto st = drive(resumed, resumed_clock, course.solver, split,
+                      course.solver.size());
+      !st.ok()) {
+    return st;
+  }
+
+  if (snapshot_of(resumed, resumed_clock) !=
+      snapshot_of(straight, straight_clock)) {
+    return corrupt_data("final snapshot differs after split-resume at step " +
+                        std::to_string(split));
+  }
+  if (rewards::encode_unlock_log(resumed.rewards().unlock_log()) !=
+      rewards::encode_unlock_log(straight.rewards().unlock_log())) {
+    return corrupt_data("unlock stream differs after split-resume at step " +
+                        std::to_string(split));
+  }
+  return {};
+}
+
+Status check_course(const GeneratedCourse& course) {
+  if (auto st = prop_round_trip(course); !st.ok()) return st;
+  if (auto st = prop_completable(course); !st.ok()) return st;
+  if (auto st = prop_split_resume(course); !st.ok()) return st;
+  return {};
+}
+
+/// Runs all per-course properties; on failure shrinks to a minimal failing
+/// parameter set and dumps a `vgbl gen --repro` file before failing the
+/// test.
+void expect_course_properties(const GenParams& params, u64 seed) {
+  auto course = generate_course(params, seed);
+  ASSERT_TRUE(course.ok()) << course.error().to_string();
+  const Status st = check_course(course.value());
+  if (st.ok()) return;
+
+  const GenParams shrunk =
+      shrink_params(params, seed, [](const GenParams& p, u64 s) {
+        auto candidate = generate_course(p, s);
+        return candidate.ok() && !check_course(candidate.value()).ok();
+      });
+  std::string dump = "<dump failed>";
+  if (auto small = generate_course(shrunk, seed); small.ok()) {
+    if (auto path = write_failure_dump(VGBL_FUZZ_FAILURE_DIR, small.value(),
+                                       "course-properties");
+        path.ok()) {
+      dump = path.value();
+    }
+  }
+  FAIL() << st.error().to_string()
+         << "\nminimal repro (params shrunk): " << shrunk.to_json().dump(-1)
+         << "\ndump: " << dump << "\nrepro: vgbl gen --repro " << dump;
+}
+
+/// Deterministic fingerprint of everything a ClassroomSummary promises to
+/// keep bit-identical across worker-thread counts (wall_ms excluded by
+/// contract).
+std::string classroom_fingerprint(const ClassroomSummary& summary) {
+  std::ostringstream out;
+  for (const auto& s : summary.students) {
+    out << s.student_id << '|' << static_cast<int>(s.policy) << '|'
+        << s.completed << s.succeeded << s.resumed << '|' << s.steps << '|'
+        << s.score << '|' << s.decisions << '|' << s.items_collected << '|'
+        << s.rewards << '|' << s.interactions << '|' << s.badge_points << '|';
+    const Bytes unlocks = rewards::encode_unlock_log(s.unlocks);
+    for (u8 byte : unlocks) out << static_cast<int>(byte) << ',';
+    out << '\n';
+  }
+  out << summary.completion_rate << '|' << summary.mean_score << '|'
+      << summary.mean_interactions << '\n';
+  return out.str();
+}
+
+// --- params ---------------------------------------------------------------
+
+TEST(GenParamsTest, ValidateRejectsImpossibleShapes) {
+  GenParams p;
+  EXPECT_TRUE(p.validate().ok());
+  GenParams tiny = p;
+  tiny.scenario_count = 1;
+  EXPECT_FALSE(tiny.validate().ok());
+  GenParams all_branches = p;
+  all_branches.scenario_count = 4;
+  all_branches.branch_count = 3;  // path would be a single node
+  EXPECT_FALSE(all_branches.validate().ok());
+  GenParams too_many_gates = p;
+  too_many_gates.scenario_count = 3;
+  too_many_gates.branch_count = 0;
+  too_many_gates.puzzle_chain = 2;  // only one interior edge exists
+  EXPECT_FALSE(too_many_gates.validate().ok());
+  GenParams bad_frame = p;
+  bad_frame.frame_width = 10;
+  EXPECT_FALSE(bad_frame.validate().ok());
+}
+
+TEST(GenParamsTest, JsonRoundTrip) {
+  Rng rng(0xfeedULL);
+  for (int i = 0; i < 20; ++i) {
+    const GenParams p = random_params(rng);
+    ASSERT_TRUE(p.validate().ok());
+    auto back = GenParams::from_json(p.to_json());
+    ASSERT_TRUE(back.ok()) << back.error().to_string();
+    EXPECT_EQ(back.value(), p);
+  }
+}
+
+// --- generator determinism ------------------------------------------------
+
+TEST(GenDeterminismTest, SameSeedSameParamsBitIdentical) {
+  const GenParams params;  // defaults exercise every subsystem
+  auto a = generate_course(params, 0xABCDEF12345ULL);
+  auto b = generate_course(params, 0xABCDEF12345ULL);
+  ASSERT_TRUE(a.ok()) << a.error().to_string();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(save_project_text(a.value().project),
+            save_project_text(b.value().project));
+  auto bundle_a = build_bundle(a.value().project);
+  auto bundle_b = build_bundle(b.value().project);
+  ASSERT_TRUE(bundle_a.ok());
+  ASSERT_TRUE(bundle_b.ok());
+  EXPECT_EQ(bundle_a.value(), bundle_b.value());
+  ASSERT_EQ(a.value().solver.size(), b.value().solver.size());
+  for (size_t i = 0; i < a.value().solver.size(); ++i) {
+    EXPECT_EQ(a.value().solver[i].op, b.value().solver[i].op) << i;
+    EXPECT_EQ(a.value().solver[i].object_name, b.value().solver[i].object_name)
+        << i;
+  }
+}
+
+TEST(GenDeterminismTest, CorpusBitIdenticalAcrossWorkerThreads) {
+  constexpr u64 kSeed = 0xC0FFEEULL;
+  constexpr int kCount = 10;
+  auto sequential = generate_corpus(kSeed, kCount, 0);
+  ASSERT_TRUE(sequential.ok()) << sequential.error().to_string();
+  for (int threads : {2, 5}) {
+    auto parallel = generate_corpus(kSeed, kCount, threads);
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_EQ(parallel.value().size(), sequential.value().size());
+    for (int i = 0; i < kCount; ++i) {
+      EXPECT_EQ(save_project_text(parallel.value()[i].project),
+                save_project_text(sequential.value()[i].project))
+          << "course " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(GenDeterminismTest, CorpusEntriesRegenerateIndependently) {
+  constexpr u64 kSeed = 31337;
+  auto corpus = generate_corpus(kSeed, 4, 0);
+  ASSERT_TRUE(corpus.ok());
+  // Entry 2 regenerated alone matches entry 2 of the full corpus — the
+  // contract seeds-file fixtures rely on.
+  auto alone = generate_course(corpus_course_params(kSeed, 2),
+                               corpus_course_seed(kSeed, 2));
+  ASSERT_TRUE(alone.ok());
+  EXPECT_EQ(save_project_text(alone.value().project),
+            save_project_text(corpus.value()[2].project));
+}
+
+// --- the fuzz corpus ------------------------------------------------------
+
+TEST(GenFuzzTest, CorpusSatisfiesAllProperties) {
+  const std::vector<u64> seeds = corpus_seeds();
+  const int per_seed = depth_per_seed(seeds.size());
+  for (u64 seed : seeds) {
+    for (int i = 0; i < per_seed; ++i) {
+      SCOPED_TRACE("corpus seed " + std::to_string(seed) + " index " +
+                   std::to_string(i));
+      expect_course_properties(corpus_course_params(seed, i),
+                               corpus_course_seed(seed, i));
+      if (HasFatalFailure() || HasNonfatalFailure()) return;
+    }
+  }
+}
+
+/// Property 4: parallel classroom runs over a mixed generated corpus
+/// fingerprint-match the sequential run.
+TEST(GenFuzzTest, ParallelClassroomFingerprintMatchesSequential) {
+  const std::vector<u64> seeds = corpus_seeds();
+  ASSERT_GE(seeds.size(), 3u);
+  for (size_t n = 0; n < 3; ++n) {
+    SCOPED_TRACE("corpus seed " + std::to_string(seeds[n]));
+    auto course = generate_course(corpus_course_params(seeds[n], 0),
+                                  corpus_course_seed(seeds[n], 0));
+    ASSERT_TRUE(course.ok()) << course.error().to_string();
+    auto bundle = publish(course.value().project);
+    ASSERT_TRUE(bundle.ok()) << bundle.error().to_string();
+
+    ClassroomOptions options;
+    options.student_count = 6;
+    options.max_steps_per_student = 220;
+    options.seed = seeds[n];
+    options.reward_rules = &course.value().reward_rules;
+    options.worker_threads = 0;
+    const std::string sequential =
+        classroom_fingerprint(simulate_classroom(bundle.value(), options));
+    for (int threads : {2, 4}) {
+      options.worker_threads = threads;
+      EXPECT_EQ(classroom_fingerprint(
+                    simulate_classroom(bundle.value(), options)),
+                sequential)
+          << threads << " worker threads diverged";
+    }
+  }
+}
+
+// --- shrinking + failure dumps --------------------------------------------
+
+TEST(GenShrinkTest, ShrinksToMinimalFailingParams) {
+  // Synthetic monotone failure: "fails" whenever the course has at least 5
+  // scenarios and any dialogue. The shrinker must land exactly on the
+  // boundary and floor every other knob.
+  const GenParams start;  // scenario_count 6, dialogue_count 1, ...
+  int evaluations = 0;
+  const GenParams shrunk = shrink_params(
+      start, 1, [&evaluations](const GenParams& p, u64) {
+        ++evaluations;
+        return p.scenario_count >= 5 && p.dialogue_count >= 1;
+      });
+  EXPECT_EQ(shrunk.scenario_count, 5);
+  EXPECT_EQ(shrunk.dialogue_count, 1);
+  EXPECT_EQ(shrunk.branch_count, 0);
+  EXPECT_EQ(shrunk.puzzle_chain, 0);
+  EXPECT_EQ(shrunk.quiz_count, 0);
+  EXPECT_EQ(shrunk.decoy_objects, 0);
+  EXPECT_EQ(shrunk.frames_per_scene, 2);
+  EXPECT_EQ(shrunk.frame_width, 96);
+  EXPECT_EQ(shrunk.frame_height, 72);
+  EXPECT_GT(evaluations, 0);
+  EXPECT_TRUE(shrunk.validate().ok());
+}
+
+TEST(GenShrinkTest, FailureDumpRoundTrips) {
+  auto course = generate_course(GenParams{}, 0xD00DULL);
+  ASSERT_TRUE(course.ok());
+  const std::string dir =
+      testing::TempDir() + "vgbl_gen_fuzz_dumps";
+  auto path = write_failure_dump(dir, course.value(), "unit-test");
+  ASSERT_TRUE(path.ok()) << path.error().to_string();
+  auto dump = read_failure_dump(path.value());
+  ASSERT_TRUE(dump.ok()) << dump.error().to_string();
+  EXPECT_EQ(dump.value().property, "unit-test");
+  EXPECT_EQ(dump.value().seed, 0xD00DULL);
+  EXPECT_EQ(dump.value().params, course.value().params);
+  EXPECT_EQ(dump.value().project_text,
+            save_project_text(course.value().project));
+  // The dumped text reloads into a working project.
+  EXPECT_TRUE(load_project_text(dump.value().project_text).ok());
+}
+
+}  // namespace
+}  // namespace vgbl::gen

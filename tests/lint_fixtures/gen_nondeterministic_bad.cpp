@@ -1,0 +1,19 @@
+// Fixture: ambient randomness + wall-clock inside the course generator —
+// must fire gen-generator-determinism (and only it; the plain determinism
+// rules do not cover src/gen).
+#include <chrono>
+#include <random>
+
+namespace vgbl::gen {
+
+unsigned bad_course_seed() {
+  std::random_device entropy;
+  std::mt19937 twister(entropy());
+  return twister();
+}
+
+long long bad_generation_stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace vgbl::gen

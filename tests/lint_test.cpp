@@ -85,8 +85,8 @@ TEST(LintConfig, RepoRulesParse) {
   for (const Rule& rule : rules.rules) ids.push_back(rule.id);
   for (const char* expected :
        {"determinism-wallclock", "determinism-random", "determinism-sleep",
-        "replay-state-unordered", "obs-guarded-metric", "include-hygiene",
-        "banned-pattern"}) {
+        "gen-generator-determinism", "replay-state-unordered",
+        "obs-guarded-metric", "include-hygiene", "banned-pattern"}) {
     EXPECT_TRUE(std::count(ids.begin(), ids.end(), expected) == 1)
         << "missing rule " << expected;
   }
@@ -127,6 +127,26 @@ TEST(LintFixtures, RandomBadFires) {
       "src/net/random_bad.cpp", fixture("random_bad.cpp"), repo_rules());
   expect_only(findings, "determinism-random");
   EXPECT_GE(findings.size(), 4u);  // random_device, mt19937, srand, rand
+}
+
+TEST(LintFixtures, GenNondeterministicBadFires) {
+  const auto findings = lint_file("src/gen/gen_nondeterministic_bad.cpp",
+                                  fixture("gen_nondeterministic_bad.cpp"),
+                                  repo_rules());
+  expect_only(findings, "gen-generator-determinism");
+  // random_device, mt19937 (x2: declaration + call), system_clock.
+  EXPECT_GE(findings.size(), 3u);
+}
+
+TEST(LintFixtures, GenRuleIsScopedToGenTree) {
+  // The same source outside src/gen must not trip the gen rule — its
+  // tokens fall back to whichever determinism rule owns that directory.
+  const auto findings = lint_file("src/core/gen_nondeterministic_bad.cpp",
+                                  fixture("gen_nondeterministic_bad.cpp"),
+                                  repo_rules());
+  EXPECT_FALSE(fires(findings, "gen-generator-determinism"));
+  EXPECT_TRUE(fires(findings, "determinism-random"));
+  EXPECT_TRUE(fires(findings, "determinism-wallclock"));
 }
 
 TEST(LintFixtures, SleepBadFires) {

@@ -4,13 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "core/classroom.hpp"
 #include "core/demo_games.hpp"
 #include "core/platform.hpp"
+#include "gen/generator.hpp"
 #include "persist/journal.hpp"
 #include "persist/session_store.hpp"
 #include "persist/snapshot.hpp"
+#include "rewards/evaluator.hpp"
 #include "util/crc32.hpp"
 
 namespace vgbl {
@@ -122,16 +125,22 @@ Bytes snapshot_of(GameSession& session, SimClock& clock,
 /// session* with the remaining inputs produces a SessionEvent log
 /// identical to the uninterrupted run.
 void check_every_split(std::shared_ptr<const GameBundle> bundle,
-                       const InputScript& script) {
+                       const InputScript& script,
+                       const rewards::RewardRuleSet* rules = nullptr) {
+  const auto make_session = [&](SimClock* clock) {
+    SessionOptions options;
+    options.reward_rules = rules;
+    return GameSession(bundle, clock, options);
+  };
   SimClock ref_clock;
-  GameSession reference(bundle, &ref_clock);
+  GameSession reference = make_session(&ref_clock);
   ASSERT_TRUE(reference.start().ok());
   drive(reference, ref_clock, script, 0, script.size());
   ASSERT_FALSE(reference.event_log().empty());
 
   for (size_t split = 1; split < script.size(); ++split) {
     SimClock clock_a;
-    GameSession first_half(bundle, &clock_a);
+    GameSession first_half = make_session(&clock_a);
     ASSERT_TRUE(first_half.start().ok());
     drive(first_half, clock_a, script, 0, split);
 
@@ -141,7 +150,7 @@ void check_every_split(std::shared_ptr<const GameBundle> bundle,
     ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
 
     SimClock clock_b;
-    GameSession second_half(bundle, &clock_b);
+    GameSession second_half = make_session(&clock_b);
     clock_b.advance_to(decoded.value().state.now);
     auto restored = second_half.restore_state(decoded.value().state);
     ASSERT_TRUE(restored.ok())
@@ -158,7 +167,27 @@ void check_every_split(std::shared_ptr<const GameBundle> bundle,
               second_half.current_scenario().value);
     EXPECT_EQ(reference.tracker().interactions().size(),
               second_half.tracker().interactions().size());
+    if (rules != nullptr) {
+      // The resumed session's unlock stream (REWD section feed) must be
+      // byte-identical to the uninterrupted run's.
+      EXPECT_EQ(rewards::encode_unlock_log(reference.rewards().unlock_log()),
+                rewards::encode_unlock_log(second_half.rewards().unlock_log()));
+    }
   }
+}
+
+std::vector<u64> checked_in_corpus_seeds() {
+  std::vector<u64> seeds;
+  std::ifstream in(VGBL_GEN_SEEDS_PATH);
+  EXPECT_TRUE(in.good()) << "missing " << VGBL_GEN_SEEDS_PATH;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    seeds.push_back(std::strtoull(line.c_str(), nullptr, 10));
+  }
+  return seeds;
 }
 
 TEST(SnapshotTest, EverySplitPointMatchesUninterruptedRun_Classroom) {
@@ -171,6 +200,25 @@ TEST(SnapshotTest, EverySplitPointMatchesUninterruptedRun_Treasure) {
 
 TEST(SnapshotTest, EverySplitPointMatchesUninterruptedRun_Quiz) {
   check_every_split(quiz_bundle(), quiz_script());
+}
+
+// Same property over the procedurally generated corpus (src/gen): one
+// course per checked-in seed, driven by its completability witness with
+// the course's own reward rules live, so REWD state and the unlock stream
+// ride through every split point — not just the 3 hand-authored demos.
+TEST(SnapshotTest, EverySplitPointMatchesUninterruptedRun_GeneratedCorpus) {
+  for (u64 seed : checked_in_corpus_seeds()) {
+    SCOPED_TRACE("corpus seed " + std::to_string(seed));
+    auto course =
+        gen::generate_course(gen::corpus_course_params(seed, 0),
+                             gen::corpus_course_seed(seed, 0));
+    ASSERT_TRUE(course.ok()) << course.error().to_string();
+    auto bundle = publish(course.value().project);
+    ASSERT_TRUE(bundle.ok()) << bundle.error().to_string();
+    check_every_split(bundle.value(), course.value().solver,
+                      &course.value().reward_rules);
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
 }
 
 TEST(SnapshotTest, RestoresMidDialogue) {

@@ -13,6 +13,7 @@
 #include "core/classroom.hpp"
 #include "core/demo_games.hpp"
 #include "core/platform.hpp"
+#include "gen/generator.hpp"
 #include "obs/metrics.hpp"
 #include "persist/session_store.hpp"
 #include "rewards/badge_store.hpp"
@@ -515,6 +516,70 @@ TEST(RewardsDeterminism, UnlockStreamsAreByteIdenticalAcrossConfigs) {
     for (const auto& s : resumed.students) EXPECT_TRUE(s.resumed);
     EXPECT_EQ(unlock_streams(resumed), expected);
   }
+}
+
+std::vector<u64> checked_in_corpus_seeds() {
+  std::vector<u64> seeds;
+  std::ifstream in(VGBL_GEN_SEEDS_PATH);
+  EXPECT_TRUE(in.good()) << "missing " << VGBL_GEN_SEEDS_PATH;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    seeds.push_back(std::strtoull(line.c_str(), nullptr, 10));
+  }
+  return seeds;
+}
+
+// The same unlock-stream byte-identity contract over the procedurally
+// generated corpus: each course carries its OWN generated rule set (drawn
+// across all 10 trigger kinds), so suspend/resume is exercised against
+// heterogeneous rules, not just RewardRuleSet::standard(). Note the
+// store-backed classroom path deliberately reseeds the resumed half
+// (classroom.cpp), so the contract here is reruns and worker-thread
+// placements of the *same* store-backed configuration — not equality with
+// a straight-through run (gen_fuzz_test pins that via the snapshot path).
+TEST(RewardsDeterminism, GeneratedCorpusUnlockStreamsSurviveSplitResume) {
+  size_t total_unlocks = 0;
+  for (u64 seed : checked_in_corpus_seeds()) {
+    SCOPED_TRACE("corpus seed " + std::to_string(seed));
+    auto course = gen::generate_course(gen::corpus_course_params(seed, 0),
+                                       gen::corpus_course_seed(seed, 0));
+    ASSERT_TRUE(course.ok()) << course.error().to_string();
+    auto bundle = publish(course.value().project);
+    ASSERT_TRUE(bundle.ok()) << bundle.error().to_string();
+
+    ClassroomOptions options;
+    options.student_count = 4;
+    options.max_steps_per_student = 80;
+    options.seed = seed;
+    options.reward_rules = &course.value().reward_rules;
+
+    std::vector<Bytes> expected;
+    for (int threads : {0, 4}) {
+      SessionStoreOptions store_options;
+      store_options.directory = test_dir("gen_corpus_" + std::to_string(seed) +
+                                         "_t" + std::to_string(threads));
+      store_options.session.reward_rules = options.reward_rules;
+      SessionStore store(store_options);
+      ClassroomOptions split = options;
+      split.worker_threads = threads;
+      split.store = &store;
+      const ClassroomSummary run = simulate_classroom(bundle.value(), split);
+      SCOPED_TRACE("store-backed threads=" + std::to_string(threads));
+      for (const auto& s : run.students) EXPECT_TRUE(s.resumed);
+      if (expected.empty()) {
+        expected = unlock_streams(run);
+        for (const auto& s : run.students) total_unlocks += s.unlocks.size();
+      } else {
+        EXPECT_EQ(unlock_streams(run), expected);
+      }
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+  // The corpus must actually unlock badges or the test proves nothing.
+  EXPECT_GT(total_unlocks, 0u);
 }
 
 TEST(RewardsDeterminism, ClassroomCommitsToBadgeStoreOnce) {

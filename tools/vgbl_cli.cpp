@@ -17,15 +17,19 @@
 //                  [--rewards] [--badge-store <dir>]
 //   vgbl rewards inspect <store_dir>
 //   vgbl metrics <scrape.json>
+//   vgbl gen [--seed S] [--count N] [--out <dir>] [--threads N]
+//            [--projects] [--repro <failure.json>]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
 
 #include "core/classroom.hpp"
 #include "core/platform.hpp"
+#include "gen/generator.hpp"
 #include "net/streaming.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -478,6 +482,114 @@ int cmd_rewards_inspect(const std::string& dir) {
   return 0;
 }
 
+// FNV-1a over the bundle bytes — printed so two `vgbl gen` runs (or runs
+// with different --threads) can be compared for bit-identity at a glance.
+u64 fingerprint64(const Bytes& bytes) {
+  u64 h = 0xcbf29ce484222325ULL;
+  for (u8 b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  u64 seed = 1;
+  int count = 1;
+  int threads = 0;
+  std::string out_dir = "gen-out";
+  std::string repro_path;
+  bool emit_projects = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    auto next = [&]() -> std::string {
+      return i + 1 < args.size() ? args[++i] : std::string();
+    };
+    if (args[i] == "--seed") {
+      seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (args[i] == "--count") {
+      count = std::atoi(next().c_str());
+    } else if (args[i] == "--threads") {
+      threads = std::atoi(next().c_str());
+    } else if (args[i] == "--out") {
+      out_dir = next();
+    } else if (args[i] == "--repro") {
+      repro_path = next();
+    } else if (args[i] == "--projects") {
+      emit_projects = true;
+    } else {
+      std::fprintf(stderr, "error: unknown gen flag '%s'\n", args[i].c_str());
+      return 64;
+    }
+  }
+
+  if (!repro_path.empty()) {
+    auto dump = gen::read_failure_dump(repro_path);
+    if (!dump.ok()) return fail(dump.error());
+    const gen::FailureDump& d = dump.value();
+    std::printf("repro: property '%s' seed %llu\nparams: %s\n",
+                d.property.c_str(), static_cast<unsigned long long>(d.seed),
+                d.params.to_json().dump(-1).c_str());
+    auto course = gen::generate_course(d.params, d.seed);
+    if (!course.ok()) return fail(course.error());
+    const std::string text = save_project_text(course.value().project);
+    std::printf("regenerated project %s dump text (%zu bytes)\n",
+                text == d.project_text ? "MATCHES" : "DIFFERS FROM",
+                text.size());
+    auto bundle = build_bundle(course.value().project);
+    if (!bundle.ok()) return fail(bundle.error());
+    std::printf("bundle: %s, fingerprint %016llx, solver %zu steps\n",
+                format_bytes(bundle.value().size()).c_str(),
+                static_cast<unsigned long long>(
+                    fingerprint64(bundle.value())),
+                course.value().solver.size());
+    return text == d.project_text ? 0 : 3;
+  }
+
+  if (count < 1) {
+    std::fprintf(stderr, "error: --count must be >= 1\n");
+    return 64;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot create '%s': %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  auto corpus = gen::generate_corpus(seed, count, threads);
+  if (!corpus.ok()) return fail(corpus.error());
+  for (int i = 0; i < count; ++i) {
+    const gen::GeneratedCourse& course = corpus.value()[static_cast<size_t>(i)];
+    auto bytes = build_bundle(course.project);
+    if (!bytes.ok()) return fail(bytes.error());
+    char name[64];
+    std::snprintf(name, sizeof(name), "gen-%llu-%03d",
+                  static_cast<unsigned long long>(seed), i);
+    const std::string base = out_dir + "/" + name;
+    if (auto st = write_file(base + ".vgblb", bytes.value().data(),
+                             bytes.value().size());
+        !st.ok()) {
+      return fail(st.error());
+    }
+    if (emit_projects) {
+      const std::string text = save_project_text(course.project);
+      if (auto st = write_file(base + ".vgbl", text.data(), text.size());
+          !st.ok()) {
+        return fail(st.error());
+      }
+    }
+    std::printf("%s.vgblb  %9s  fingerprint %016llx  scenarios %zu  "
+                "solver %zu steps  rules %zu\n",
+                base.c_str(), format_bytes(bytes.value().size()).c_str(),
+                static_cast<unsigned long long>(fingerprint64(bytes.value())),
+                course.project.graph.size(), course.solver.size(),
+                course.reward_rules.rules().size());
+  }
+  std::printf("wrote %d bundle(s) to %s/ (seed %llu, threads %d)\n", count,
+              out_dir.c_str(), static_cast<unsigned long long>(seed), threads);
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: vgbl <command> ...\n"
@@ -500,7 +612,9 @@ void usage() {
                "            [--metrics-out <file.json|file.prom>]\n"
                "            [--rewards] [--badge-store <dir>]\n"
                "  rewards inspect <store_dir>\n"
-               "  metrics <scrape.json>\n");
+               "  metrics <scrape.json>\n"
+               "  gen [--seed S] [--count N] [--out <dir>] [--threads N]\n"
+               "      [--projects] [--repro <failure.json>]\n");
 }
 
 }  // namespace
@@ -546,6 +660,9 @@ int main(int argc, char** argv) {
     return cmd_rewards_inspect(arg(3));
   }
   if (cmd == "metrics" && argc >= 3) return cmd_metrics(arg(2));
+  if (cmd == "gen") {
+    return cmd_gen(std::vector<std::string>(argv + 2, argv + argc));
+  }
   usage();
   return 64;
 }
