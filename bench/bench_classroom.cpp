@@ -81,6 +81,13 @@ bool write_json(const std::vector<ConfigResult>& configs, const char* path) {
                      std::to_string(kSeed) + "}");
   artifact.field("hardware_threads",
                  std::to_string(std::thread::hardware_concurrency()));
+  double best_throughput = 0;
+  for (const ConfigResult& c : configs) {
+    best_throughput = std::max(best_throughput, c.students_per_sec);
+  }
+  artifact.field("headline_metric", "\"students_per_sec\"");
+  artifact.field("headline_direction", "\"higher\"");
+  artifact.field("headline_value", vgbl::bench::json_number(best_throughput, 1));
   for (const ConfigResult& c : configs) {
     char line[320];
     std::snprintf(line, sizeof line,

@@ -114,4 +114,11 @@ BENCHMARK(BM_Decode)->Apply(CodecArgs)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return vgbl::bench::run_benchmark_main(
+      argc, argv,
+      {.name = "codec",
+       .default_out = "BENCH_codec.json",
+       .headline_case = "BM_Decode",
+       .fields = {{"workload", "{\"clip\": \"demo\", \"modes\": 5, \"sizes\": [\"160x120\", \"320x240\", \"640x480\"]}"}}});
+}

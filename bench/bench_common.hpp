@@ -3,7 +3,10 @@
 // not re-render video.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -56,6 +59,108 @@ class JsonArtifact {
   std::vector<std::pair<std::string, std::string>> fields_;
   std::vector<std::string> rows_;
 };
+
+/// Formats a double as a JSON number fragment for JsonArtifact fields.
+inline std::string json_number(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+/// Console reporter that also collects one JsonArtifact row per benchmark
+/// case, normalised to microseconds regardless of each case's display
+/// unit, so every BENCH_*.json carries the same flat (benchmark, cases)
+/// shape the PR-over-PR trajectory tooling and tools/bench_diff read.
+class ArtifactReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const double real_us = run.GetAdjustedRealTime() * 1e6 /
+                             benchmark::GetTimeUnitMultiplier(run.time_unit);
+      const double cpu_us = run.GetAdjustedCPUTime() * 1e6 /
+                            benchmark::GetTimeUnitMultiplier(run.time_unit);
+      char row[320];
+      std::snprintf(row, sizeof row,
+                    "{\"case\": \"%s\", \"real_us\": %.3f, \"cpu_us\": %.3f, "
+                    "\"iterations\": %lld}",
+                    run.benchmark_name().c_str(), real_us, cpu_us,
+                    static_cast<long long>(run.iterations));
+      rows.push_back(row);
+      if (first_real_us < 0) first_real_us = real_us;
+      if (!headline_case.empty() && headline_real_us < 0 &&
+          run.benchmark_name().rfind(headline_case, 0) == 0) {
+        headline_real_us = real_us;
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  /// Prefix of the case whose real time becomes the artifact headline.
+  std::string headline_case;
+  double headline_real_us = -1;
+  double first_real_us = -1;
+  std::vector<std::string> rows;
+};
+
+struct BenchMainOptions {
+  /// Artifact "benchmark" name (BENCH_<name>.json by convention).
+  const char* name = nullptr;
+  /// Output path when the caller passes no --out.
+  const char* default_out = nullptr;
+  /// Case-name prefix for the headline metric; the first matching case's
+  /// per-iteration real time (µs) becomes headline_value. Falls back to
+  /// the first reported case.
+  const char* headline_case = nullptr;
+  /// Extra top-level fields (key, raw JSON value) — workload shape etc.
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/// Shared main body for the google-benchmark binaries: strips a `--out
+/// <path>` flag, runs the registered benchmarks through ArtifactReporter
+/// and writes the JsonArtifact — console table plus machine-readable
+/// BENCH_*.json with a headline metric tools/bench_diff can gate on.
+inline int run_benchmark_main(int argc, char** argv,
+                              BenchMainOptions options) {
+  const char* out_path = options.default_out;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+
+  ArtifactReporter reporter;
+  if (options.headline_case != nullptr) {
+    reporter.headline_case = options.headline_case;
+  }
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  JsonArtifact artifact(options.name, "cases");
+  for (const auto& [key, value] : options.fields) {
+    artifact.field(key, value);
+  }
+  artifact.field("time_unit", "\"us\"");
+  const double headline = reporter.headline_real_us >= 0
+                              ? reporter.headline_real_us
+                              : reporter.first_real_us;
+  const std::string headline_name =
+      !reporter.headline_case.empty() ? reporter.headline_case : "first_case";
+  artifact.field("headline_metric", "\"" + headline_name + "_real_us\"");
+  artifact.field("headline_direction", "\"lower\"");
+  artifact.field("headline_value", json_number(headline >= 0 ? headline : 0));
+  for (const std::string& row : reporter.rows) artifact.row(row);
+  if (!artifact.write(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}
 
 /// Nearest-rank percentile, `p` in [0, 100]. Takes the sample by value and
 /// sorts it, so callers can pass their raw measurement vector directly.

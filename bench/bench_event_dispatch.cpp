@@ -124,4 +124,11 @@ BENCHMARK(BM_CompileCondition);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return vgbl::bench::run_benchmark_main(
+      argc, argv,
+      {.name = "event_dispatch",
+       .default_out = "BENCH_event_dispatch.json",
+       .headline_case = "BM_Dispatch",
+       .fields = {{"workload", "{\"rules\": \"4-64 per object\", \"guards\": \"interpreted+compiled\"}"}}});
+}

@@ -100,7 +100,10 @@ BENCHMARK(BM_RenderAuthoringView)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   print_figure1();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return vgbl::bench::run_benchmark_main(
+      argc, argv,
+      {.name = "fig1_authoring",
+       .default_out = "BENCH_fig1_authoring.json",
+       .headline_case = "BM_ImportAndSegment",
+       .fields = {{"workload", "{\"clips\": \"2-8 scenes\", \"ops\": \"import+place+undo+lint\"}"}}});
 }

@@ -148,7 +148,10 @@ BENCHMARK(BM_FullPlaythrough)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   print_figure2();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return vgbl::bench::run_benchmark_main(
+      argc, argv,
+      {.name = "fig2_runtime",
+       .default_out = "BENCH_fig2_runtime.json",
+       .headline_case = "BM_FullPlaythrough",
+       .fields = {{"workload", "{\"bundle\": \"quickstart\", \"ops\": \"dispatch+composite+playthrough\"}"}}});
 }

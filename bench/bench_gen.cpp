@@ -173,6 +173,11 @@ int main(int argc, char** argv) {
                      ", \"students\": " + std::to_string(kStudents) +
                      ", \"max_steps_per_student\": " +
                      std::to_string(kMaxSteps) + "}");
+  artifact.field("headline_metric", "\"courses_per_sec_seq\"");
+  artifact.field("headline_direction", "\"higher\"");
+  artifact.field("headline_value",
+                 vgbl::bench::json_number(
+                     seq_elapsed > 0 ? kCorpusSize / seq_elapsed : 0));
   char row[320];
   std::snprintf(row, sizeof row,
                 "{\"name\": \"generation\", \"courses_per_sec_seq\": %.3f, "

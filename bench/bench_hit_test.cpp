@@ -5,6 +5,7 @@
 // rebuild per frame-window change.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "object/interactive_object.hpp"
 #include "util/rng.hpp"
 
@@ -85,4 +86,11 @@ BENCHMARK(BM_HitRebuild)->Args({100, 0})->Args({100, 1})->Args({10000, 0})->Args
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return vgbl::bench::run_benchmark_main(
+      argc, argv,
+      {.name = "hit_test",
+       .default_out = "BENCH_hit_test.json",
+       .headline_case = "BM_HitQuery",
+       .fields = {{"workload", "{\"objects\": \"100-10000\", \"testers\": [\"linear\", \"grid\"]}"}}});
+}

@@ -167,6 +167,9 @@ int main(int argc, char** argv) {
   artifact.field("deterministic", deterministic ? "true" : "false");
   artifact.field("scrape_counters", std::to_string(counter_count));
   artifact.field("scrape_subsystems", std::to_string(subsystem_count));
+  artifact.field("headline_metric", "\"overhead_pct\"");
+  artifact.field("headline_direction", "\"lower\"");
+  artifact.field("headline_value", vgbl::bench::json_number(overhead_pct, 2));
   std::snprintf(buf, sizeof buf,
                 "{\"arm\": \"disabled\", \"median_s\": %.4f}", disabled_med);
   artifact.row(buf);

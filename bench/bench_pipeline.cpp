@@ -78,4 +78,11 @@ BENCHMARK(BM_StreamingPipeline)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return vgbl::bench::run_benchmark_main(
+      argc, argv,
+      {.name = "pipeline",
+       .default_out = "BENCH_pipeline.json",
+       .headline_case = "BM_StreamingPipeline",
+       .fields = {{"workload", "{\"clip\": \"demo\", \"stages\": \"decode+stream\"}"}}});
+}

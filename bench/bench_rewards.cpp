@@ -200,6 +200,10 @@ int main(int argc, char** argv) {
                      std::to_string(kStudents) + ", \"max_steps_per_student\": " +
                      std::to_string(kMaxSteps) + ", \"seed\": " +
                      std::to_string(kSeed) + "}");
+  artifact.field("headline_metric", "\"rule_evals_per_sec\"");
+  artifact.field("headline_direction", "\"higher\"");
+  artifact.field("headline_value",
+                 vgbl::bench::json_number(eval.rule_evals_per_sec, 0));
   char row[256];
   std::snprintf(row, sizeof row,
                 "{\"rule_evals_per_sec\": %.0f, \"events_per_sec\": %.0f, "

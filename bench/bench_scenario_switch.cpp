@@ -129,4 +129,11 @@ BENCHMARK(BM_ClickToScenarioEntry)->UseRealTime()->Unit(benchmark::kMicrosecond)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return vgbl::bench::run_benchmark_main(
+      argc, argv,
+      {.name = "scenario_switch",
+       .default_out = "BENCH_scenario_switch.json",
+       .headline_case = "BM_SegmentSwitch",
+       .fields = {{"workload", "{\"bundle\": \"quickstart\", \"paths\": \"segment+seek+click\"}"}}});
+}

@@ -66,7 +66,10 @@ void print_accuracy_table() {
 
 int main(int argc, char** argv) {
   print_accuracy_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return vgbl::bench::run_benchmark_main(
+      argc, argv,
+      {.name = "scene_detect",
+       .default_out = "BENCH_scene_detect.json",
+       .headline_case = "BM_DetectCuts",
+       .fields = {{"workload", "{\"clips\": \"2-8 scenes\", \"noise\": \"swept\"}"}}});
 }

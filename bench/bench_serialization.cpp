@@ -70,4 +70,11 @@ BENCHMARK(BM_LoadBundle)->Args({2, 4})->Args({4, 8})->Unit(benchmark::kMilliseco
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return vgbl::bench::run_benchmark_main(
+      argc, argv,
+      {.name = "serialization",
+       .default_out = "BENCH_serialization.json",
+       .headline_case = "BM_LoadBundle",
+       .fields = {{"workload", "{\"projects\": \"scaled 2x4-8x16\", \"formats\": [\"text\", \"bundle\"]}"}}});
+}

@@ -162,56 +162,15 @@ BENCHMARK(BM_SessionRestore)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_JournalAppendStep)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_StoreCheckpoint)->Unit(benchmark::kMicrosecond);
 
-/// Console reporter that also collects one JsonArtifact row per benchmark,
-/// so BENCH_persist.json carries the same flat (benchmark, rows) shape as
-/// the other BENCH_*.json artifacts instead of the raw library dump.
-class ArtifactReporter : public benchmark::ConsoleReporter {
- public:
-  void ReportRuns(const std::vector<Run>& reports) override {
-    for (const Run& run : reports) {
-      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
-      char row[320];
-      std::snprintf(row, sizeof row,
-                    "{\"case\": \"%s\", \"real_us\": %.3f, \"cpu_us\": %.3f, "
-                    "\"iterations\": %lld}",
-                    run.benchmark_name().c_str(), run.GetAdjustedRealTime(),
-                    run.GetAdjustedCPUTime(),
-                    static_cast<long long>(run.iterations));
-      rows.push_back(row);
-    }
-    ConsoleReporter::ReportRuns(reports);
-  }
-
-  std::vector<std::string> rows;
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* out_path = "BENCH_persist.json";
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
-      out_path = argv[++i];
-    } else {
-      args.push_back(argv[i]);
-    }
-  }
-  int args_count = static_cast<int>(args.size());
-  benchmark::Initialize(&args_count, args.data());
-
-  ArtifactReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
-
-  vgbl::bench::JsonArtifact artifact("persist", "cases");
-  artifact.field("workload",
-                 "{\"bundle\": \"classroom\", \"state\": \"mid-walkthrough\"}");
-  artifact.field("time_unit", "\"us\"");
-  for (const std::string& row : reporter.rows) artifact.row(row);
-  if (!artifact.write(out_path)) {
-    std::fprintf(stderr, "failed to write %s\n", out_path);
-    return 1;
-  }
-  std::printf("wrote %s\n", out_path);
-  return 0;
+  return vgbl::bench::run_benchmark_main(
+      argc, argv,
+      {.name = "persist",
+       .default_out = "BENCH_persist.json",
+       .headline_case = "BM_StoreCheckpoint",
+       .fields = {{"workload",
+                   "{\"bundle\": \"classroom\", "
+                   "\"state\": \"mid-walkthrough\"}"}}});
 }

@@ -6,8 +6,9 @@
 # build-tsan/, build-clang-tsa/ — see CMakePresets.json).
 #
 #   ./check.sh          # everything
-#   ./check.sh fast     # default tree only (the quick tier1 gate)
+#   ./check.sh fast     # default tree only (tier1 + bench-diff perf gate)
 #   ./check.sh lint     # static analysis only (vgbl-lint + clang TSA)
+#   ./check.sh bench    # perf regression gate only (bench-diff)
 #
 # JOBS=<n> overrides the parallelism (default: nproc).
 set -euo pipefail
@@ -25,6 +26,28 @@ gate() {
   echo "=== ${preset}: ctest -L '${labels}' ==="
   ctest --test-dir "${dir}" -L "${labels}" --output-on-failure -j "${JOBS}"
   echo "=== ${preset}: passed in $((SECONDS - started))s ==="
+}
+
+# Perf regression gate (DESIGN.md §5i): run the cheap benches with a short
+# min-time and diff their headline metrics against the committed baselines
+# in bench/baselines/. Only benches cheap enough for every run live here —
+# the heavy ones (classroom, district, streaming) run in CI's bench job.
+bench_gate() {
+  local started="${SECONDS}"
+  echo "=== bench: bench-diff vs bench/baselines ==="
+  cmake --preset default >/dev/null
+  cmake --build build -j "${JOBS}" \
+    --target bench_diff bench_event_dispatch bench_hit_test
+  local fresh="build/bench-fresh"
+  rm -rf "${fresh}" && mkdir -p "${fresh}"
+  ./build/bench/bench_event_dispatch --benchmark_min_time=0.05 \
+    --out "${fresh}/BENCH_event_dispatch.json" >/dev/null
+  ./build/bench/bench_hit_test --benchmark_min_time=0.05 \
+    --out "${fresh}/BENCH_hit_test.json" >/dev/null
+  # 35%: the short min-time arms are noisy; the gate is for step-function
+  # regressions (accidental O(n^2), lost parallelism), not percent drift.
+  ./build/tools/bench-diff bench/baselines "${fresh}" --tolerance 0.35
+  echo "=== bench: passed in $((SECONDS - started))s ==="
 }
 
 # Static analysis (DESIGN.md §5f): vgbl-lint always runs; the clang
@@ -61,15 +84,20 @@ case "${MODE}" in
     ;;
   fast)
     gate default build tier1
+    bench_gate
+    ;;
+  bench)
+    bench_gate
     ;;
   all)
     gate default build tier1
+    bench_gate
     lint_gate
     gate build-asan build-asan tier1
     gate build-tsan build-tsan "tier1|tsan"
     ;;
   *)
-    echo "usage: ./check.sh [all|fast|lint]" >&2
+    echo "usage: ./check.sh [all|fast|lint|bench]" >&2
     exit 2
     ;;
 esac

@@ -4,124 +4,28 @@
 #include <optional>
 
 #include "concurrency/thread_pool.hpp"
+#include "core/classroom_engine.hpp"
 #include "obs/macros.hpp"
-#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/wall_clock.hpp"
+#include "sim/classroom_des.hpp"
 #include "util/text.hpp"
 
 namespace vgbl {
 
 namespace {
 
-/// Classroom-subsystem metrics, including the LearningTracker aggregates
-/// (interactions, decisions, rewards) so the lecturer-facing §3.3 reward
-/// view and the ops view share one export path. All increments happen in
-/// the deterministic post-barrier aggregation loop — never on worker
-/// threads mid-run — so instrumentation cannot perturb scheduling.
-struct ClassroomMetrics {
-  obs::Counter& students;
-  obs::Counter& steps;
-  obs::Counter& completions;
-  obs::Counter& successes;
-  obs::Counter& resumed;
-  obs::Counter& interactions;
-  obs::Counter& decisions;
-  obs::Counter& rewards;
-  obs::Counter& items_collected;
-  obs::Histogram& student_wall_ms;
-  obs::Histogram& rewards_per_student;
-  obs::Gauge& steps_per_sec;
-
-  static ClassroomMetrics& get() {
-    auto& reg = obs::MetricsRegistry::global();
-    static ClassroomMetrics m{
-        reg.counter("classroom_students_total", "students simulated"),
-        reg.counter("classroom_steps_total", "bot steps executed"),
-        reg.counter("classroom_completions_total",
-                    "students who finished their game"),
-        reg.counter("classroom_successes_total",
-                    "students who finished successfully"),
-        reg.counter("classroom_resumed_total",
-                    "students whose run resumed from a session store"),
-        reg.counter("classroom_interactions_total",
-                    "LearningTracker interactions across students"),
-        reg.counter("classroom_decisions_total",
-                    "LearningTracker decisions across students"),
-        reg.counter("classroom_rewards_total",
-                    "LearningTracker rewards earned across students"),
-        reg.counter("classroom_items_collected_total",
-                    "LearningTracker items collected across students"),
-        reg.histogram("classroom_student_wall_ms",
-                      obs::exponential_buckets(0.25, 2.0, 14),
-                      "wall time to simulate one student"),
-        reg.histogram("classroom_rewards_per_student",
-                      obs::linear_buckets(0, 1, 16),
-                      "rewards earned by one student"),
-        reg.gauge("classroom_steps_per_sec",
-                  "bot-step throughput of the latest classroom run")};
-    return m;
-  }
-};
-
-}  // namespace
-
-u64 classroom_student_seed(u64 classroom_seed, int student_id) {
-  // Pure (seed, id) mixing: one splitmix step decorrelates adjacent
-  // classroom seeds, a golden-ratio stride separates adjacent students,
-  // and a second splitmix step whitens the result. No shared generator is
-  // consulted, so the seed — and therefore the whole student run — is
-  // independent of execution order.
-  u64 state = classroom_seed;
-  (void)splitmix64(state);
-  state += static_cast<u64>(static_cast<u32>(student_id)) *
-           0x9E3779B97F4A7C15ULL;
-  return splitmix64(state);
-}
-
-namespace {
-
-void fill_from_session(StudentResult& r, const GameSession& session,
-                       const SimClock& clock, const BotResult& bot) {
-  r.completed = bot.completed;
-  r.succeeded = bot.succeeded;
-  r.steps = bot.steps;
-  r.score = session.score();
-  r.play_seconds = to_seconds(clock.now());
-  r.decisions = static_cast<int>(session.tracker().decisions().size());
-  r.items_collected =
-      static_cast<int>(session.tracker().items_collected().size());
-  r.rewards = static_cast<int>(session.tracker().rewards_earned().size());
-  r.interactions = static_cast<int>(session.tracker().interactions().size());
-  r.unlocks = session.rewards().unlock_log();
-  r.badge_points = session.rewards().total_bonus_points();
-}
-
-/// Commits a finished student's unlock log to the shared badge store from
-/// the worker thread that ran it (the concurrency the store's sharded
-/// locks exist for). Durable-store failures do not fail the simulation —
-/// the in-memory summary is already complete.
-void commit_to_badge_store(const ClassroomOptions& options,
-                           const std::string& student,
-                           const StudentResult& r) {
-  if (options.badge_store == nullptr || r.unlocks.empty()) return;
-  auto committed = options.badge_store->commit(student, r.unlocks);
-  (void)committed;
-}
-
-/// Simulates one student, start to finish. Reads only immutable shared
-/// state (the bundle, the options) plus the student's own store files, so
-/// any number of these can run concurrently. Returns nullopt when a
-/// session cannot be opened/started (that student is skipped, as before).
+/// Simulates one student, start to finish, on the legacy thread-per-student
+/// engine. Reads only immutable shared state (the bundle, the options) plus
+/// the student's own store files, so any number of these can run
+/// concurrently. Returns nullopt when a session cannot be opened/started
+/// (that student is skipped, as before). Kept as the differential-testing
+/// oracle for the DES engine (tests/classroom_differential_test.cpp).
 std::optional<StudentResult> run_student(
     const std::shared_ptr<const GameBundle>& bundle,
     const ClassroomOptions& options, int index) {
   const i64 t0_us = obs::wall_now_us();
-  const BotPolicy policy =
-      options.policies.empty()
-          ? BotPolicy::kExplorer
-          : options.policies[static_cast<size_t>(index) %
-                             options.policies.size()];
+  const BotPolicy policy = classroom_engine::student_policy(options, index);
   const u64 bot_seed = classroom_student_seed(options.seed, index + 1);
 
   StudentResult r;
@@ -139,13 +43,18 @@ std::optional<StudentResult> run_student(
     VGBL_SPAN("classroom.student", &clock);
     SessionOptions session_options;
     session_options.reward_rules = options.reward_rules;
+    // Synchronous decode, matching the DES engine's sessions: simulated
+    // students gain nothing from decode-ahead threads, and the oracle
+    // should construct its sessions exactly like the engine under test.
+    session_options.decode_threads = 0;
     GameSession session(bundle, &clock, session_options);
     if (!session.start().ok()) return std::nullopt;
 
     const BotResult bot = run_bot(session, clock, policy,
                                   options.max_steps_per_student, bot_seed);
-    fill_from_session(r, session, clock, bot);
-    commit_to_badge_store(options, "student-" + std::to_string(index + 1), r);
+    classroom_engine::fill_student_result(r, session, clock, bot);
+    classroom_engine::commit_unlocks(
+        options.badge_store, "student-" + std::to_string(index + 1), r);
     return finish(r);
   }
 
@@ -180,8 +89,8 @@ std::optional<StudentResult> run_student(
   (void)ps.checkpoint();
 
   r.resumed = ps.resumed();
-  fill_from_session(r, ps.session(), ps.clock(), bot);
-  commit_to_badge_store(options, student, r);
+  classroom_engine::fill_student_result(r, ps.session(), ps.clock(), bot);
+  classroom_engine::commit_unlocks(options.badge_store, student, r);
   return finish(r);
 }
 
@@ -190,86 +99,33 @@ std::optional<StudentResult> run_student(
 ClassroomSummary simulate_classroom(std::shared_ptr<const GameBundle> bundle,
                                     const ClassroomOptions& options) {
   // Every student writes only its own pre-allocated slot; aggregation
-  // happens after the parallel_for barrier, in index order. That plus the
-  // pure per-student seeding makes the parallel path bit-identical to the
-  // sequential one.
+  // happens after the run barrier, in index order. That plus the pure
+  // per-student seeding makes every engine/thread/shard combination
+  // bit-identical to the sequential legacy run.
   const i64 run_started_us = obs::wall_now_us();
   std::vector<std::optional<StudentResult>> results(
       static_cast<size_t>(std::max(0, options.student_count)));
-  auto run_one = [&](i64 i) {
-    results[static_cast<size_t>(i)] =
-        run_student(bundle, options, static_cast<int>(i));
-  };
 
-  if (options.worker_threads > 0 && options.student_count > 1) {
-    ThreadPool pool(static_cast<unsigned>(options.worker_threads));
-    // Grain 1: students are coarse, heterogeneous tasks — let the pool
-    // load-balance them individually.
-    pool.parallel_for(0, options.student_count, run_one, /*grain=*/1);
+  if (options.engine == ClassroomEngine::kDes) {
+    sim::run_classroom_des(bundle, options, results);
   } else {
-    for (int i = 0; i < options.student_count; ++i) run_one(i);
-  }
-
-  ClassroomSummary summary;
-  f64 interactions = 0;
-  ClassroomMetrics& metrics = ClassroomMetrics::get();
-  for (auto& slot : results) {
-    if (!slot.has_value()) continue;
-    interactions += static_cast<f64>(slot->interactions);
-    VGBL_COUNT(metrics.students);
-    VGBL_COUNT(metrics.steps, static_cast<u64>(std::max(0, slot->steps)));
-    if (slot->completed) VGBL_COUNT(metrics.completions);
-    if (slot->succeeded) VGBL_COUNT(metrics.successes);
-    if (slot->resumed) VGBL_COUNT(metrics.resumed);
-    VGBL_COUNT(metrics.interactions, static_cast<u64>(slot->interactions));
-    VGBL_COUNT(metrics.decisions, static_cast<u64>(slot->decisions));
-    VGBL_COUNT(metrics.rewards, static_cast<u64>(slot->rewards));
-    VGBL_COUNT(metrics.items_collected,
-               static_cast<u64>(slot->items_collected));
-    VGBL_OBSERVE(metrics.student_wall_ms, slot->wall_ms);
-    VGBL_OBSERVE(metrics.rewards_per_student, static_cast<f64>(slot->rewards));
-    summary.students.push_back(std::move(*slot));
-  }
-  if (obs::enabled()) {
-    const f64 elapsed =
-        static_cast<f64>(obs::wall_now_us() - run_started_us) / 1e6;
-    u64 total_steps = 0;
-    for (const auto& s : summary.students) {
-      total_steps += static_cast<u64>(std::max(0, s.steps));
+    auto run_one = [&](i64 i) {
+      results[static_cast<size_t>(i)] =
+          run_student(bundle, options, static_cast<int>(i));
+    };
+    if (options.worker_threads > 0 && options.student_count > 1) {
+      ThreadPool pool(static_cast<unsigned>(options.worker_threads));
+      // Grain 1: students are coarse, heterogeneous tasks — let the pool
+      // load-balance them individually.
+      pool.parallel_for(0, options.student_count, run_one, /*grain=*/1);
+    } else {
+      for (int i = 0; i < options.student_count; ++i) run_one(i);
     }
-    VGBL_GAUGE_SET(metrics.steps_per_sec,
-                   elapsed > 0 ? static_cast<f64>(total_steps) / elapsed : 0);
   }
 
-  const f64 n = static_cast<f64>(
-      std::max<size_t>(1, summary.students.size()));
-  for (const auto& s : summary.students) {
-    summary.completion_rate += s.completed ? 1.0 : 0.0;
-    summary.mean_score += static_cast<f64>(s.score);
-    summary.mean_play_seconds += s.play_seconds;
-  }
-  summary.completion_rate /= n;
-  summary.mean_score /= n;
-  summary.mean_play_seconds /= n;
-  summary.mean_interactions = interactions / n;
-
-  if (options.reward_rules != nullptr) {
-    std::vector<rewards::LeaderboardRow> rows;
-    for (const auto& s : summary.students) {
-      rewards::LeaderboardRow row;
-      row.student_id = "student-" + std::to_string(s.student_id);
-      row.badges = static_cast<int>(s.unlocks.size());
-      row.badge_points = s.badge_points;
-      // Ledger totals already include badge bonuses; the row keeps the
-      // gameplay score separate so total_points() counts bonuses once.
-      row.score = s.score - s.badge_points;
-      for (const auto& u : s.unlocks) row.badge_names.push_back(u.badge);
-      rows.push_back(std::move(row));
-    }
-    summary.leaderboard = rewards::build_leaderboard(std::move(rows));
-    rewards::export_leaderboard_metrics(summary.leaderboard);
-  }
-  return summary;
+  return classroom_engine::aggregate_classroom_results(std::move(results),
+                                                       options,
+                                                       run_started_us);
 }
 
 namespace {
@@ -287,16 +143,6 @@ const char* policy_name(BotPolicy p) {
 }
 
 }  // namespace
-
-StreamingConfig StreamReplayOptions::classroom_link_defaults() {
-  StreamingConfig config;
-  config.network.bandwidth_bps = 40'000'000;  // 40 Mbit school downlink
-  config.network.base_latency = milliseconds(15);
-  config.network.jitter = milliseconds(5);
-  config.network.loss_rate = 0.002;
-  config.prefetch_enabled = true;
-  return config;
-}
 
 StreamReplaySummary replay_classroom_stream(
     const GameBundle& bundle, const StreamReplayOptions& options) {
@@ -318,24 +164,6 @@ StreamReplaySummary replay_classroom_stream(
   out.arq = server.arq_stats();
   out.packets_sent = server.network().stats().packets_sent;
   out.packets_lost = server.network().stats().packets_lost;
-  return out;
-}
-
-std::string StreamReplaySummary::report() const {
-  std::string out;
-  out += "startup " + format_double(aggregate.mean_startup_ms, 1) + " ms (p95 " +
-         format_double(aggregate.p95_startup_ms, 1) + "), rebuffer ratio " +
-         format_double(aggregate.mean_rebuffer_ratio, 3) + ", " +
-         std::to_string(aggregate.total_rebuffer_events) + " stall(s), " +
-         std::to_string(aggregate.prefetch_hits) + " prefetch hit(s)\n";
-  out += "delivery: " + std::to_string(packets_sent) + " packet(s) sent, " +
-         std::to_string(packets_lost) + " lost, " +
-         std::to_string(aggregate.retransmits) + " retransmit(s), " +
-         std::to_string(aggregate.nacks_sent) + " nack(s), " +
-         std::to_string(arq.abandoned) + " abandoned, " +
-         std::to_string(aggregate.frames_skipped) + " frame(s) skipped, " +
-         std::to_string(aggregate.unfinished_clients) +
-         " unfinished client(s)\n";
   return out;
 }
 

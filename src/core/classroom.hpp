@@ -4,6 +4,7 @@
 // for the multi-client experiments).
 #pragma once
 
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "rewards/leaderboard.hpp"
 #include "rewards/rules.hpp"
 #include "runtime/script.hpp"
+#include "util/text.hpp"
 
 namespace vgbl {
 
@@ -60,6 +62,18 @@ struct ClassroomSummary {
   [[nodiscard]] std::string report() const;
 };
 
+/// Which engine executes the cohort. Both produce bit-identical
+/// ClassroomSummary fields for the same options (the differential test in
+/// tests/classroom_differential_test.cpp holds them to it).
+enum class ClassroomEngine {
+  /// Discrete-event scheduler (src/sim): every student is an event stream
+  /// on one sharded timeline. Scales to district-size cohorts.
+  kDes,
+  /// Historical thread-per-student path on the ThreadPool — kept as the
+  /// differential-testing oracle for the DES port.
+  kLegacyThreads,
+};
+
 struct ClassroomOptions {
   int student_count = 8;
   int max_steps_per_student = 400;
@@ -88,12 +102,88 @@ struct ClassroomOptions {
   /// unlock log as the run finishes (commits are idempotent per rule, so
   /// re-running a classroom over the same store does not double-grant).
   rewards::BadgeStore* badge_store = nullptr;
+  /// Execution engine; every engine/thread/shard combination produces the
+  /// same summary bits.
+  ClassroomEngine engine = ClassroomEngine::kDes;
+  /// DES engine only: event-queue shards. 0 derives one shard per worker
+  /// thread (minimum 1). Any value is bit-identical to any other.
+  int des_shards = 0;
 };
 
 /// Derives the bot seed for one student purely from the classroom seed and
 /// the 1-based student id — the determinism contract behind the parallel
-/// engine (DESIGN.md §5c). Exposed so tests can pin the scheme.
-u64 classroom_student_seed(u64 classroom_seed, int student_id);
+/// engine (DESIGN.md §5c). Exposed so tests can pin the scheme. Inline so
+/// src/sim can derive seeds without linking the classroom engine itself:
+/// one splitmix step decorrelates adjacent classroom seeds, a golden-ratio
+/// stride separates adjacent students, and a second splitmix step whitens
+/// the result. No shared generator is consulted, so the seed — and
+/// therefore the whole student run — is independent of execution order.
+inline u64 classroom_student_seed(u64 classroom_seed, int student_id) {
+  u64 state = classroom_seed;
+  (void)splitmix64(state);
+  state += static_cast<u64>(static_cast<u32>(student_id)) *
+           0x9E3779B97F4A7C15ULL;
+  return splitmix64(state);
+}
+
+/// Order-sensitive FNV-1a fingerprint over every ClassroomSummary field the
+/// determinism contract covers — per-student results, encoded unlock logs
+/// and the ranked leaderboard; wall_ms is excluded by contract. The
+/// DES-vs-legacy differential test, bench_district and `vgbl district` all
+/// compare runs through this one helper. Inline so src/sim can fingerprint
+/// per-classroom summaries without linking the classroom engine.
+inline u64 classroom_fingerprint(const ClassroomSummary& summary) {
+  u64 h = 14695981039346656037ULL;  // FNV-1a 64-bit offset basis
+  auto mix_byte = [&h](u8 b) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  };
+  auto mix = [&mix_byte](u64 v) {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<u8>(v >> (i * 8)));
+    }
+  };
+  auto mix_f = [&mix](f64 v) {
+    u64 bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    mix(bits);
+  };
+  auto mix_s = [&mix, &mix_byte](const std::string& s) {
+    mix(s.size());
+    for (char c : s) mix_byte(static_cast<u8>(c));
+  };
+  mix(summary.students.size());
+  for (const StudentResult& s : summary.students) {
+    mix(static_cast<u64>(s.student_id));
+    mix(static_cast<u64>(s.policy));
+    mix((s.completed ? 1u : 0u) | (s.succeeded ? 2u : 0u) |
+        (s.resumed ? 4u : 0u));
+    mix(static_cast<u64>(s.steps));
+    mix(static_cast<u64>(s.score));
+    mix_f(s.play_seconds);
+    mix(static_cast<u64>(s.decisions));
+    mix(static_cast<u64>(s.items_collected));
+    mix(static_cast<u64>(s.rewards));
+    mix(static_cast<u64>(s.interactions));
+    mix(static_cast<u64>(s.badge_points));
+    for (u8 byte : rewards::encode_unlock_log(s.unlocks)) mix_byte(byte);
+  }
+  mix_f(summary.completion_rate);
+  mix_f(summary.mean_score);
+  mix_f(summary.mean_play_seconds);
+  mix_f(summary.mean_interactions);
+  mix(summary.leaderboard.rows.size());
+  for (const rewards::LeaderboardRow& row : summary.leaderboard.rows) {
+    mix(static_cast<u64>(row.rank));
+    mix_s(row.student_id);
+    mix(static_cast<u64>(row.badges));
+    mix(static_cast<u64>(row.badge_points));
+    mix(static_cast<u64>(row.score));
+    for (const std::string& badge : row.badge_names) mix_s(badge);
+  }
+  return h;
+}
 
 /// Runs every student to completion (or step budget) — sequentially, or
 /// across `options.worker_threads` workers with bit-identical results.
@@ -127,6 +217,36 @@ struct StreamReplaySummary {
 
   [[nodiscard]] std::string report() const;
 };
+
+// Inline (like the fingerprint helpers above) so src/sim's district runner
+// can shape links and print streaming lines without linking vgbl_core.
+inline StreamingConfig StreamReplayOptions::classroom_link_defaults() {
+  StreamingConfig config;
+  config.network.bandwidth_bps = 40'000'000;  // 40 Mbit school downlink
+  config.network.base_latency = milliseconds(15);
+  config.network.jitter = milliseconds(5);
+  config.network.loss_rate = 0.002;
+  config.prefetch_enabled = true;
+  return config;
+}
+
+inline std::string StreamReplaySummary::report() const {
+  std::string out;
+  out += "startup " + format_double(aggregate.mean_startup_ms, 1) + " ms (p95 " +
+         format_double(aggregate.p95_startup_ms, 1) + "), rebuffer ratio " +
+         format_double(aggregate.mean_rebuffer_ratio, 3) + ", " +
+         std::to_string(aggregate.total_rebuffer_events) + " stall(s), " +
+         std::to_string(aggregate.prefetch_hits) + " prefetch hit(s)\n";
+  out += "delivery: " + std::to_string(packets_sent) + " packet(s) sent, " +
+         std::to_string(packets_lost) + " lost, " +
+         std::to_string(aggregate.retransmits) + " retransmit(s), " +
+         std::to_string(aggregate.nacks_sent) + " nack(s), " +
+         std::to_string(arq.abandoned) + " abandoned, " +
+         std::to_string(aggregate.frames_skipped) + " frame(s) skipped, " +
+         std::to_string(aggregate.unfinished_clients) +
+         " unfinished client(s)\n";
+  return out;
+}
 
 /// Streams the cohort over the simulated link. Each client's path is
 /// derived from classroom_student_seed(seed, id) — the same seed that

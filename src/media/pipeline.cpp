@@ -137,7 +137,9 @@ DecodePipeline::DecodePipeline(std::shared_ptr<const VideoContainer> container,
                                Options options)
     : container_(std::move(container)),
       options_(options),
-      pool_(std::max(1u, options.decode_threads)) {}
+      pool_(options.decode_threads > 0
+                ? std::make_unique<ThreadPool>(options.decode_threads)
+                : nullptr) {}
 
 DecodePipeline::~DecodePipeline() { stop(); }
 
@@ -179,49 +181,39 @@ std::optional<Frame> DecodePipeline::next_frame() {
     return std::nullopt;
   }
 
-  // Keep the decode window full: submit GOPs up to a lookahead window
-  // *relative to the consumer cursor*. (Gating on in_flight/done counts is
-  // racy: the consumer can consume a GOP's last frame and erase its
-  // bookkeeping before the worker's final done-mark runs, leaving a stale
-  // entry that would block submission forever.)
-  const size_t window =
-      options_.decode_threads +
-      std::max<size_t>(1, options_.lookahead_frames /
-                              std::max(1, container_->codec_config().gop_size));
-  while (run->next_submit < run->plan.gops.size() &&
-         run->next_submit < run->current_gop + window) {
-    const size_t g = run->next_submit++;
-    ++run->in_flight;
-    auto container = container_;
-    pool_.submit([run, container, g] {
-      MediaMetrics& metrics = MediaMetrics::get();
-      VGBL_SPAN("media.decode_gop");
-      VGBL_TIMER(metrics.gop_decode_ms);
-      Decoder decoder;
-      const GopRange gop = run->plan.gops[g];
-      u64 decoded = 0;
-      for (int i = gop.first; i < gop.first + gop.count; ++i) {
-        if (run->cancelled.load(std::memory_order_relaxed)) break;
-        auto data = container->frame_data(i);
-        Result<Frame> frame = data.ok() ? decoder.decode(data.value())
-                                        : Result<Frame>(data.error());
+  if (pool_ != nullptr) {
+    // Keep the decode window full: submit GOPs up to a lookahead window
+    // *relative to the consumer cursor*. (Gating on in_flight/done counts
+    // is racy: the consumer can consume a GOP's last frame and erase its
+    // bookkeeping before the worker's final done-mark runs, leaving a
+    // stale entry that would block submission forever.)
+    const size_t window =
+        options_.decode_threads +
+        std::max<size_t>(1,
+                         options_.lookahead_frames /
+                             std::max(1, container_->codec_config().gop_size));
+    while (run->next_submit < run->plan.gops.size() &&
+           run->next_submit < run->current_gop + window) {
+      const size_t g = run->next_submit++;
+      ++run->in_flight;
+      // stop() waits for in_flight to drain before the run (or the
+      // pipeline itself) goes away, so `this` stays valid in the worker.
+      pool_->submit([this, run, g] {
+        decode_gop(run, g);
         MutexLock inner(run->mutex);
-        if (!frame.ok()) {
-          run->failed.insert(g);
-          run->cv.notify_all();
-          break;
-        }
-        run->partial[g].push_back(std::move(frame.value()));
-        ++decoded;
+        --run->in_flight;
         run->cv.notify_all();
-      }
-      VGBL_COUNT(metrics.gops_decoded);
-      VGBL_COUNT(metrics.frames_decoded, decoded);
-      MutexLock inner(run->mutex);
-      run->done.insert(g);
-      --run->in_flight;
-      run->cv.notify_all();
-    });
+      });
+    }
+  } else if (run->done.count(run->current_gop) == 0 &&
+             run->failed.count(run->current_gop) == 0) {
+    // Synchronous mode: decode the consumer's GOP on demand, right here.
+    // No lookahead — memory stays bounded by one GOP per session no matter
+    // how many sessions a simulation keeps alive.
+    const size_t g = run->current_gop;
+    lock.unlock();
+    decode_gop(run, g);
+    lock.lock();
   }
 
   // Wait for the next frame of the current GOP (not the whole GOP). An
@@ -259,6 +251,35 @@ std::optional<Frame> DecodePipeline::next_frame() {
     ++stats_.gops_decoded;
   }
   return frame;
+}
+
+void DecodePipeline::decode_gop(const std::shared_ptr<Run>& run, size_t g) {
+  MediaMetrics& metrics = MediaMetrics::get();
+  VGBL_SPAN("media.decode_gop");
+  VGBL_TIMER(metrics.gop_decode_ms);
+  Decoder decoder;
+  const GopRange gop = run->plan.gops[g];
+  u64 decoded = 0;
+  for (int i = gop.first; i < gop.first + gop.count; ++i) {
+    if (run->cancelled.load(std::memory_order_relaxed)) break;
+    auto data = container_->frame_data(i);
+    Result<Frame> frame = data.ok() ? decoder.decode(data.value())
+                                    : Result<Frame>(data.error());
+    MutexLock inner(run->mutex);
+    if (!frame.ok()) {
+      run->failed.insert(g);
+      run->cv.notify_all();
+      break;
+    }
+    run->partial[g].push_back(std::move(frame.value()));
+    ++decoded;
+    run->cv.notify_all();
+  }
+  VGBL_COUNT(metrics.gops_decoded);
+  VGBL_COUNT(metrics.frames_decoded, decoded);
+  MutexLock inner(run->mutex);
+  run->done.insert(g);
+  run->cv.notify_all();
 }
 
 DecodePipeline::Stats DecodePipeline::stats() const { return stats_; }

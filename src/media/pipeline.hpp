@@ -44,8 +44,14 @@ Result<std::vector<Frame>> decode_range_parallel(const VideoContainer& container
 class DecodePipeline {
  public:
   struct Options {
+    /// Decode workers. 0 runs with no pool at all: GOPs decode
+    /// synchronously on the consumer thread, on demand. That mode exists
+    /// for massive simulated cohorts (district-scale DES runs keep 100k+
+    /// sessions alive at once) where even one OS thread per session would
+    /// exhaust the process thread limit.
     unsigned decode_threads = 2;
-    /// Decoded frames buffered ahead of the consumer.
+    /// Decoded frames buffered ahead of the consumer (pooled mode only;
+    /// synchronous mode buffers exactly the consumer's GOP).
     size_t lookahead_frames = 32;
   };
 
@@ -75,9 +81,13 @@ class DecodePipeline {
  private:
   struct Run;
 
+  /// Decodes one GOP into `run`'s reorder buffers (worker body in pooled
+  /// mode, called inline from next_frame in synchronous mode).
+  void decode_gop(const std::shared_ptr<Run>& run, size_t g);
+
   std::shared_ptr<const VideoContainer> container_;
   Options options_;
-  ThreadPool pool_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null in synchronous mode
   std::shared_ptr<Run> run_;
   Stats stats_;
 };

@@ -522,59 +522,60 @@ bool StreamServer::pump_client(StreamClient& client, MicroTime now) {
   return false;
 }
 
+bool StreamServer::step(MicroTime now) {
+  // Deliver arrived packets.
+  for (const Packet& p : network_.poll(now)) {
+    if (p.flow >= 1 && p.flow <= clients_.size()) {
+      clients_[p.flow - 1]->on_packet(p, now);
+    }
+  }
+  // Process client feedback and fire retransmission timeouts.
+  for (const FeedbackPacket& fb : feedback_.poll(now)) {
+    on_feedback(fb, now);
+  }
+  check_timeouts(now);
+
+  // Advance playback models.
+  bool all_finished = true;
+  for (auto& c : clients_) {
+    c->tick(now);
+    all_finished &= c->finished();
+  }
+  if (all_finished) return true;
+
+  // Clients put feedback on the uplink — self-paced, change-driven, and
+  // subject to the thin reverse link's backpressure.
+  for (size_t i = 0; i < clients_.size() && feedback_.can_send(now); ++i) {
+    StreamClient& c = *clients_[fb_rr_ % clients_.size()];
+    ++fb_rr_;
+    if (auto fb = c.make_feedback(now)) {
+      feedback_.send(std::move(*fb), now);
+    }
+  }
+
+  // Fill the link: pending retransmissions first (they are blocking
+  // someone's playback right now), then new frames round-robin while
+  // capacity remains at this instant.
+  while (network_.can_send(now) && send_one_retransmit(now)) {
+  }
+  size_t idle_count = 0;
+  while (network_.can_send(now) && idle_count < clients_.size()) {
+    StreamClient& c = *clients_[rr_ % clients_.size()];
+    ++rr_;
+    if (pump_client(c, now)) {
+      idle_count = 0;
+    } else {
+      ++idle_count;
+    }
+  }
+  return false;
+}
+
 MicroTime StreamServer::run(MicroTime deadline) {
   MicroTime now = 0;
-  const MicroTime step = milliseconds(2);
-  size_t rr = 0;     // round-robin cursor: new frames
-  size_t fb_rr = 0;  // round-robin cursor: feedback uplink access
-
   while (now < deadline) {
-    // Deliver arrived packets.
-    for (const Packet& p : network_.poll(now)) {
-      if (p.flow >= 1 && p.flow <= clients_.size()) {
-        clients_[p.flow - 1]->on_packet(p, now);
-      }
-    }
-    // Process client feedback and fire retransmission timeouts.
-    for (const FeedbackPacket& fb : feedback_.poll(now)) {
-      on_feedback(fb, now);
-    }
-    check_timeouts(now);
-
-    // Advance playback models.
-    bool all_finished = true;
-    for (auto& c : clients_) {
-      c->tick(now);
-      all_finished &= c->finished();
-    }
-    if (all_finished) return now;
-
-    // Clients put feedback on the uplink — self-paced, change-driven, and
-    // subject to the thin reverse link's backpressure.
-    for (size_t i = 0; i < clients_.size() && feedback_.can_send(now); ++i) {
-      StreamClient& c = *clients_[fb_rr % clients_.size()];
-      ++fb_rr;
-      if (auto fb = c.make_feedback(now)) {
-        feedback_.send(std::move(*fb), now);
-      }
-    }
-
-    // Fill the link: pending retransmissions first (they are blocking
-    // someone's playback right now), then new frames round-robin while
-    // capacity remains at this instant.
-    while (network_.can_send(now) && send_one_retransmit(now)) {
-    }
-    size_t idle_count = 0;
-    while (network_.can_send(now) && idle_count < clients_.size()) {
-      StreamClient& c = *clients_[rr % clients_.size()];
-      ++rr;
-      if (pump_client(c, now)) {
-        idle_count = 0;
-      } else {
-        ++idle_count;
-      }
-    }
-    now += step;
+    if (step(now)) return now;
+    now += kStepInterval;
   }
   return now;
 }

@@ -198,6 +198,20 @@ class StreamServer {
 
   StreamClient& add_client(std::vector<SegmentId> path);
 
+  /// Scheduler cadence of the delivery loop: one step() every 2 ms of sim
+  /// time, both inside run() and when a DES actor (src/sim) drives the
+  /// server on a shared timeline.
+  static constexpr MicroTime kStepInterval = milliseconds(2);
+
+  /// One delivery step at sim time `now`: deliver arrived packets, process
+  /// feedback, fire ARQ timeouts, advance every client's playback, then
+  /// fill the link (retransmits first, new frames round-robin). Returns
+  /// true once every client has finished. Exposed so a discrete-event
+  /// timeline can interleave many servers; run() is exactly this in a
+  /// kStepInterval loop, so the two drive modes are step-for-step
+  /// identical.
+  bool step(MicroTime now);
+
   /// Runs the simulation until all clients finish or `deadline` passes.
   /// Returns the end time.
   MicroTime run(MicroTime deadline);
@@ -274,6 +288,10 @@ class StreamServer {
   ArqStats arq_stats_;
   // Per (client, segment) send progress: next frame index to transmit.
   std::map<std::pair<u32, u32>, int> send_progress_;
+  // Round-robin cursors, persistent across steps: new frames / feedback
+  // uplink access.
+  size_t rr_ = 0;
+  size_t fb_rr_ = 0;
 };
 
 /// Builds a plausible student path: a weighted random walk over the graph

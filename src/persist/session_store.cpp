@@ -226,6 +226,9 @@ Result<std::unique_ptr<PersistedSession>> SessionStore::open_session(
   VGBL_SPAN("persist.open");
   VGBL_TIMER(metrics.open_ms);
 
+  // no-naked-new allowlist: PersistedSession's constructor is private (only
+  // the store may create one), which make_unique cannot reach; the result
+  // is owned by the unique_ptr on the same line.
   std::unique_ptr<PersistedSession> ps(new PersistedSession(
       bundle, options_.session, options_.policy, student_id,
       snapshot_path(student_id), journal_path(student_id),

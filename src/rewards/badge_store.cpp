@@ -342,6 +342,9 @@ Result<std::unique_ptr<BadgeStore>> BadgeStore::open(
   if (options.directory.empty()) {
     return invalid_argument("badge store needs a directory");
   }
+  // no-naked-new allowlist: BadgeStore's constructor is private (open() is
+  // the only way in), which make_unique cannot reach; the result is owned
+  // by the unique_ptr on the same line.
   std::unique_ptr<BadgeStore> store(new BadgeStore(std::move(options)));
   if (auto st = store->load(); !st.ok()) return st.error();
   return store;

@@ -313,35 +313,74 @@ class RandomBot {
 
 }  // namespace
 
-BotResult run_bot(GameSession& session, SimClock& clock, BotPolicy policy,
-                  int max_steps, u64 seed) {
-  BotResult result;
-  Rng rng(seed);
-  ExplorerBot explorer(session, clock, rng.fork(), policy == BotPolicy::kExplorer);
-  RandomBot random(session, rng.fork());
+struct BotDriver::Impl {
+  GameSession& session;
+  SimClock& clock;
+  BotPolicy policy;
+  int max_steps;
+  Rng rng;
+  ExplorerBot explorer;
+  RandomBot random;
+  BotResult partial;
 
-  for (int i = 0; i < max_steps && !session.game_over(); ++i) {
-    bool acted;
-    if (policy == BotPolicy::kRandom) {
-      acted = random.step();
-    } else {
-      acted = explorer.step();
-    }
-    ++result.steps;
-    clock.advance(milliseconds(300));
-    session.tick();
-    if (!acted) {
-      // Out of ideas: let the video run (segment-end / timer rules may
-      // change the world) before the next sweep.
-      for (int t = 0; t < 10 && !session.game_over(); ++t) {
-        clock.advance(milliseconds(200));
-        session.tick();
-      }
+  Impl(GameSession& session_in, SimClock& clock_in, BotPolicy policy_in,
+       int max_steps_in, u64 seed)
+      : session(session_in),
+        clock(clock_in),
+        policy(policy_in),
+        max_steps(max_steps_in),
+        rng(seed),
+        // Fork order matches the historical run_bot body: explorer first,
+        // then random — both bots exist regardless of policy so the RNG
+        // stream consumed per seed is policy-independent.
+        explorer(session_in, clock_in, rng.fork(),
+                 policy_in == BotPolicy::kExplorer),
+        random(session_in, rng.fork()) {}
+};
+
+BotDriver::BotDriver(GameSession& session, SimClock& clock, BotPolicy policy,
+                     int max_steps, u64 seed)
+    : impl_(std::make_unique<Impl>(session, clock, policy, max_steps, seed)) {}
+
+BotDriver::~BotDriver() = default;
+
+bool BotDriver::done() const {
+  return impl_->partial.steps >= impl_->max_steps ||
+         impl_->session.game_over();
+}
+
+bool BotDriver::run_iteration() {
+  if (done()) return false;
+  Impl& im = *impl_;
+  const bool acted = im.policy == BotPolicy::kRandom ? im.random.step()
+                                                     : im.explorer.step();
+  ++im.partial.steps;
+  im.clock.advance(milliseconds(300));
+  im.session.tick();
+  if (!acted) {
+    // Out of ideas: let the video run (segment-end / timer rules may
+    // change the world) before the next sweep.
+    for (int t = 0; t < 10 && !im.session.game_over(); ++t) {
+      im.clock.advance(milliseconds(200));
+      im.session.tick();
     }
   }
-  result.completed = session.game_over();
-  result.succeeded = session.succeeded();
+  return true;
+}
+
+BotResult BotDriver::result() const {
+  BotResult result = impl_->partial;
+  result.completed = impl_->session.game_over();
+  result.succeeded = impl_->session.succeeded();
   return result;
+}
+
+BotResult run_bot(GameSession& session, SimClock& clock, BotPolicy policy,
+                  int max_steps, u64 seed) {
+  BotDriver driver(session, clock, policy, max_steps, seed);
+  while (driver.run_iteration()) {
+  }
+  return driver.result();
 }
 
 }  // namespace vgbl

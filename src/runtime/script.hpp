@@ -4,6 +4,7 @@
 // the classroom simulation and robustness tests.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -148,5 +149,36 @@ struct BotResult {
 
 BotResult run_bot(GameSession& session, SimClock& clock, BotPolicy policy,
                   int max_steps, u64 seed = 1);
+
+/// Incremental form of `run_bot`: the same loop, surfaced one iteration at
+/// a time so a discrete-event scheduler (src/sim) can interleave thousands
+/// of students on a single timeline. `run_bot` itself is implemented on
+/// this driver, which keeps the blocking path and the event-stream path
+/// step-for-step identical by construction — the differential-testing
+/// contract behind the DES classroom engine (DESIGN.md §5i).
+class BotDriver {
+ public:
+  BotDriver(GameSession& session, SimClock& clock, BotPolicy policy,
+            int max_steps, u64 seed);
+  ~BotDriver();
+  BotDriver(const BotDriver&) = delete;
+  BotDriver& operator=(const BotDriver&) = delete;
+
+  /// True once the step budget is exhausted or the game ended.
+  [[nodiscard]] bool done() const;
+
+  /// Executes exactly one loop iteration: one bot action, the 300 ms
+  /// advance + tick, and the idle-tick recovery when the bot was out of
+  /// ideas. The session clock ends at the sim time of the next iteration.
+  /// Returns false (doing nothing) when already done().
+  bool run_iteration();
+
+  /// Steps taken and completion flags so far; final once done().
+  [[nodiscard]] BotResult result() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace vgbl

@@ -1,0 +1,46 @@
+// Streaming delivery as a timeline actor (DESIGN.md §5i): a StreamServer's
+// 2 ms delivery loop — SimulatedNetwork arrivals, client feedback, ARQ
+// retransmission timers, playback deadlines — re-expressed as an event
+// stream, so classroom gameplay and media delivery share one DES timeline
+// instead of each owning a private clock loop. Because StreamServer::run()
+// is itself step() in a kStepInterval loop, the actor-driven server is
+// step-for-step identical to the blocking one.
+#pragma once
+
+#include "net/streaming.hpp"
+#include "sim/scheduler.hpp"
+
+namespace vgbl::sim {
+
+class StreamActor : public Actor {
+ public:
+  /// `server` must outlive the scheduler run. The actor stops at the
+  /// first step() where all clients finished, or at `deadline` — exactly
+  /// StreamServer::run(deadline)'s exit conditions.
+  StreamActor(StreamServer* server, MicroTime deadline)
+      : server_(server), deadline_(deadline) {}
+
+  void on_event(Context& ctx) override {
+    if (done_) return;
+    const MicroTime now = ctx.now();
+    if (now >= deadline_ || server_->step(now)) {
+      end_time_ = now;
+      done_ = true;
+      return;
+    }
+    ctx.schedule(now + StreamServer::kStepInterval);
+  }
+
+  [[nodiscard]] bool finished() const { return done_; }
+  /// Sim time when the cohort finished (or the deadline cut it off);
+  /// meaningful once finished().
+  [[nodiscard]] MicroTime end_time() const { return end_time_; }
+
+ private:
+  StreamServer* server_;
+  MicroTime deadline_;
+  MicroTime end_time_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace vgbl::sim

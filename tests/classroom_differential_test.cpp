@@ -1,0 +1,135 @@
+// DES-vs-legacy differential harness: every gen-corpus seed is run through
+// the legacy thread-per-student classroom engine (the oracle) and through
+// the DES engine at several shard/thread counts, and the full
+// classroom_fingerprint — per-student results, encoded unlock logs,
+// ranked leaderboards — must match bit for bit (DESIGN.md §5i).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/classroom.hpp"
+#include "core/platform.hpp"
+#include "gen/generator.hpp"
+
+namespace vgbl {
+namespace {
+
+std::vector<u64> corpus_seeds() {
+  std::vector<u64> seeds;
+  std::ifstream in(VGBL_GEN_SEEDS_PATH);
+  EXPECT_TRUE(in.good()) << "missing " << VGBL_GEN_SEEDS_PATH;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream row(line);
+    u64 seed = 0;
+    if (row >> seed) seeds.push_back(seed);
+  }
+  EXPECT_GE(seeds.size(), 8u);
+  return seeds;
+}
+
+struct CorpusCourse {
+  std::shared_ptr<const GameBundle> bundle;
+  gen::GeneratedCourse course;
+};
+
+CorpusCourse load_course(u64 seed) {
+  auto course = gen::generate_course(gen::corpus_course_params(seed, 0),
+                                     gen::corpus_course_seed(seed, 0));
+  EXPECT_TRUE(course.ok()) << "seed " << seed;
+  auto bundle = publish(course.value().project);
+  EXPECT_TRUE(bundle.ok()) << "seed " << seed;
+  return {bundle.value(), std::move(course).value()};
+}
+
+ClassroomOptions base_options(u64 seed,
+                              const rewards::RewardRuleSet* rules) {
+  ClassroomOptions options;
+  options.student_count = 6;
+  options.max_steps_per_student = 200;
+  options.seed = seed;
+  options.reward_rules = rules;
+  return options;
+}
+
+/// The shard/thread grid the DES engine must match the oracle on. Shards
+/// {1, 2, 8} are the ISSUE acceptance set; threads {0, 2} additionally
+/// cross the serial and ThreadPool execution paths.
+struct Grid {
+  int shards;
+  int threads;
+};
+constexpr Grid kGrid[] = {{1, 0}, {2, 0}, {8, 0}, {1, 2}, {2, 2}, {8, 2}};
+
+TEST(ClassroomDifferential, DesMatchesLegacyOnEveryCorpusSeed) {
+  for (u64 seed : corpus_seeds()) {
+    const CorpusCourse corpus = load_course(seed);
+    if (!corpus.bundle) continue;  // load already failed the test
+
+    ClassroomOptions legacy =
+        base_options(seed, &corpus.course.reward_rules);
+    legacy.engine = ClassroomEngine::kLegacyThreads;
+    const u64 oracle =
+        classroom_fingerprint(simulate_classroom(corpus.bundle, legacy));
+
+    for (const Grid& g : kGrid) {
+      ClassroomOptions des =
+          base_options(seed, &corpus.course.reward_rules);
+      des.engine = ClassroomEngine::kDes;
+      des.des_shards = g.shards;
+      des.worker_threads = g.threads;
+      EXPECT_EQ(
+          classroom_fingerprint(simulate_classroom(corpus.bundle, des)),
+          oracle)
+          << "seed " << seed << ", " << g.shards << " shards, "
+          << g.threads << " threads";
+    }
+  }
+}
+
+TEST(ClassroomDifferential, StoreBackedRunsMatchAcrossEngines) {
+  // The suspend/checkpoint/resume path rides the same differential
+  // contract: one corpus seed, each run against its own fresh store so the
+  // engines never see each other's snapshots.
+  namespace fs = std::filesystem;
+  const u64 seed = corpus_seeds().front();
+  const CorpusCourse corpus = load_course(seed);
+  ASSERT_TRUE(corpus.bundle);
+
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("vgbl-diff-store-" + std::to_string(static_cast<unsigned>(::getpid())));
+  fs::remove_all(root);
+
+  auto run = [&](ClassroomEngine engine, int shards, int threads,
+                 const std::string& tag) {
+    SessionStoreOptions store_options;
+    store_options.directory = (root / tag).string();
+    store_options.session.reward_rules = &corpus.course.reward_rules;
+    SessionStore store(store_options);
+    ClassroomOptions options =
+        base_options(seed, &corpus.course.reward_rules);
+    options.store = &store;
+    options.engine = engine;
+    options.des_shards = shards;
+    options.worker_threads = threads;
+    return classroom_fingerprint(simulate_classroom(corpus.bundle, options));
+  };
+
+  const u64 oracle = run(ClassroomEngine::kLegacyThreads, 0, 0, "legacy");
+  EXPECT_EQ(run(ClassroomEngine::kDes, 1, 0, "des-1"), oracle);
+  EXPECT_EQ(run(ClassroomEngine::kDes, 8, 2, "des-8"), oracle);
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace vgbl

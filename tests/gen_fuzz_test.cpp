@@ -238,25 +238,6 @@ void expect_course_properties(const GenParams& params, u64 seed) {
          << "\ndump: " << dump << "\nrepro: vgbl gen --repro " << dump;
 }
 
-/// Deterministic fingerprint of everything a ClassroomSummary promises to
-/// keep bit-identical across worker-thread counts (wall_ms excluded by
-/// contract).
-std::string classroom_fingerprint(const ClassroomSummary& summary) {
-  std::ostringstream out;
-  for (const auto& s : summary.students) {
-    out << s.student_id << '|' << static_cast<int>(s.policy) << '|'
-        << s.completed << s.succeeded << s.resumed << '|' << s.steps << '|'
-        << s.score << '|' << s.decisions << '|' << s.items_collected << '|'
-        << s.rewards << '|' << s.interactions << '|' << s.badge_points << '|';
-    const Bytes unlocks = rewards::encode_unlock_log(s.unlocks);
-    for (u8 byte : unlocks) out << static_cast<int>(byte) << ',';
-    out << '\n';
-  }
-  out << summary.completion_rate << '|' << summary.mean_score << '|'
-      << summary.mean_interactions << '\n';
-  return out.str();
-}
-
 // --- params ---------------------------------------------------------------
 
 TEST(GenParamsTest, ValidateRejectsImpossibleShapes) {
@@ -378,7 +359,9 @@ TEST(GenFuzzTest, ParallelClassroomFingerprintMatchesSequential) {
     options.seed = seeds[n];
     options.reward_rules = &course.value().reward_rules;
     options.worker_threads = 0;
-    const std::string sequential =
+    // The shared classroom_fingerprint covers every contract field
+    // (students, unlock logs, means, leaderboard), wall_ms excluded.
+    const u64 sequential =
         classroom_fingerprint(simulate_classroom(bundle.value(), options));
     for (int threads : {2, 4}) {
       options.worker_threads = threads;

@@ -1,0 +1,17 @@
+// Bad fixture: naked new/delete expressions inside a determinism-rule
+// layer. Every allocation/deallocation line below must fire the
+// no-naked-new builtin (and nothing else).
+struct Buffer {
+  int* data = nullptr;
+};
+
+int* make_raw() {
+  return new int[16];
+}
+
+void churn() {
+  Buffer* b = new Buffer;
+  delete b;
+  int* xs = new int[4];
+  delete[] xs;
+}

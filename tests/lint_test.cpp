@@ -85,8 +85,9 @@ TEST(LintConfig, RepoRulesParse) {
   for (const Rule& rule : rules.rules) ids.push_back(rule.id);
   for (const char* expected :
        {"determinism-wallclock", "determinism-random", "determinism-sleep",
-        "gen-generator-determinism", "replay-state-unordered",
-        "obs-guarded-metric", "include-hygiene", "banned-pattern"}) {
+        "no-naked-new", "gen-generator-determinism",
+        "replay-state-unordered", "obs-guarded-metric", "include-hygiene",
+        "banned-pattern"}) {
     EXPECT_TRUE(std::count(ids.begin(), ids.end(), expected) == 1)
         << "missing rule " << expected;
   }
@@ -196,6 +197,44 @@ TEST(LintScoping, UnorderedRuleStopsAtReplayBoundary) {
   const std::string source = fixture("unordered_bad.cpp");
   EXPECT_FALSE(fires(lint_file("src/core/x.cpp", source, repo_rules()),
                      "replay-state-unordered"));
+}
+
+TEST(LintFixtures, NakedNewBadFires) {
+  const auto findings = lint_file("src/sim/naked_new_bad.cpp",
+                                  fixture("naked_new_bad.cpp"), repo_rules());
+  expect_only(findings, "no-naked-new");
+  // new int[16], new Buffer, delete b, new int[4], delete[] xs.
+  EXPECT_EQ(findings.size(), 5u);
+}
+
+TEST(LintScoping, NakedNewAllowlistedForPrivateCtorFactories) {
+  // session_store.cpp / badge_store.cpp hold the two justified
+  // unique_ptr(new T) sites for private constructors; the same content
+  // fires anywhere else in scope.
+  const std::string source = fixture("naked_new_bad.cpp");
+  EXPECT_TRUE(fires(lint_file("src/persist/x.cpp", source, repo_rules()),
+                    "no-naked-new"));
+  EXPECT_FALSE(
+      fires(lint_file("src/persist/session_store.cpp", source, repo_rules()),
+            "no-naked-new"));
+  EXPECT_FALSE(
+      fires(lint_file("src/rewards/badge_store.cpp", source, repo_rules()),
+            "no-naked-new"));
+}
+
+TEST(LintEngine, NakedNewSkipsDeclarationsAndPreprocessor) {
+  // `= delete`d functions, `#include <new>` and identifiers embedding the
+  // keywords are not allocation sites.
+  const std::string clean =
+      "#include <new>\n"
+      "struct T {\n"
+      "  T(const T&) = delete;\n"
+      "  T& operator=(const T&)=delete;\n"
+      "};\n"
+      "int renew_all(int new_value) { return new_value; }\n";
+  const auto findings = lint_file("src/sim/x.cpp", clean, repo_rules());
+  EXPECT_FALSE(fires(findings, "no-naked-new"))
+      << format_finding(findings.front());
 }
 
 TEST(LintFixtures, ParentIncludeFires) {

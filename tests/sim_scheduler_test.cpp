@@ -1,0 +1,192 @@
+// Unit coverage for the DES core (src/sim/scheduler): the
+// (time, shard, actor, seq) ordering contract, timeline clamping, the
+// epoch-barrier mail merge, and — the load-bearing property — bit-identical
+// execution traces across shard counts and worker-thread counts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace vgbl::sim {
+namespace {
+
+/// Records every firing into a shared, globally ordered log (safe only on
+/// single-shard schedulers, where execution is fully serial).
+struct GlobalLogActor : Actor {
+  std::vector<std::pair<ActorId, MicroTime>>* log = nullptr;
+  int repeats = 0;
+  MicroTime interval = 0;
+
+  void on_event(Context& ctx) override {
+    log->emplace_back(ctx.self(), ctx.now());
+    if (repeats-- > 0) ctx.schedule(ctx.now() + interval);
+  }
+};
+
+/// Records its own firings locally (safe on any shard layout: an actor's
+/// state is only ever touched by its own events).
+struct LocalLogActor : Actor {
+  std::vector<std::pair<MicroTime, u64>> log;
+  int repeats = 0;
+  MicroTime interval = milliseconds(1);
+
+  void on_event(Context& ctx) override {
+    log.emplace_back(ctx.now(), ctx.tag());
+    if (repeats-- > 0) ctx.schedule(ctx.now() + interval, ctx.tag());
+  }
+};
+
+TEST(SimScheduler, SameTimeFiringsOrderByActorThenSeq) {
+  Scheduler scheduler(SchedulerOptions{.shards = 1});
+  std::vector<std::pair<ActorId, MicroTime>> log;
+  GlobalLogActor a;
+  a.log = &log;
+  GlobalLogActor b;
+  b.log = &log;
+  const ActorId ida = scheduler.add_actor(&a);
+  const ActorId idb = scheduler.add_actor(&b);
+  // Schedule b before a at the same instant: the key orders by actor id,
+  // not insertion order.
+  scheduler.schedule(idb, milliseconds(5));
+  scheduler.schedule(ida, milliseconds(5));
+  scheduler.schedule(idb, milliseconds(1));
+  scheduler.run();
+
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], std::make_pair(idb, milliseconds(1)));
+  EXPECT_EQ(log[1], std::make_pair(ida, milliseconds(5)));
+  EXPECT_EQ(log[2], std::make_pair(idb, milliseconds(5)));
+}
+
+TEST(SimScheduler, ScheduleIntoThePastClampsToNow) {
+  struct Rewinder : Actor {
+    std::vector<MicroTime> fired;
+    void on_event(Context& ctx) override {
+      fired.push_back(ctx.now());
+      if (fired.size() == 1) {
+        ctx.schedule(0);  // in the past: must fire at now, not at 0
+      }
+    }
+  };
+  Scheduler scheduler(SchedulerOptions{.shards = 1});
+  Rewinder actor;
+  const ActorId id = scheduler.add_actor(&actor);
+  scheduler.schedule(id, milliseconds(30));
+  scheduler.run();
+  ASSERT_EQ(actor.fired.size(), 2u);
+  EXPECT_EQ(actor.fired[0], milliseconds(30));
+  EXPECT_EQ(actor.fired[1], milliseconds(30));
+}
+
+TEST(SimScheduler, MailDeliveryWaitsForTheEpochBarrier) {
+  // Sender posts at its own firing time; the receiver must not see it
+  // before the end of the sender's epoch — the price of running shards in
+  // parallel without locks.
+  struct Sender : Actor {
+    ActorId peer = kInvalidActor;
+    void on_event(Context& ctx) override { ctx.post(peer, ctx.now(), 7); }
+  };
+  struct Receiver : Actor {
+    std::vector<std::pair<MicroTime, u64>> got;
+    void on_event(Context& ctx) override {
+      got.emplace_back(ctx.now(), ctx.tag());
+    }
+  };
+  const MicroTime width = milliseconds(10);
+  Scheduler scheduler(
+      SchedulerOptions{.shards = 2, .epoch_width = width});
+  Sender sender;
+  Receiver receiver;
+  const ActorId sid = scheduler.add_actor(&sender, 0);
+  sender.peer = scheduler.add_actor(&receiver, 1);
+  scheduler.schedule(sid, milliseconds(3));
+  const SchedulerStats stats = scheduler.run();
+
+  ASSERT_EQ(receiver.got.size(), 1u);
+  // Posted at t=3ms; its epoch spans [3ms, 3ms + width), so the mail
+  // lands exactly at that barrier.
+  EXPECT_EQ(receiver.got[0].first, milliseconds(3) + width);
+  EXPECT_EQ(receiver.got[0].second, 7u);
+  EXPECT_EQ(stats.mails_delivered, 1u);
+  EXPECT_EQ(stats.events, 2u);
+}
+
+TEST(SimScheduler, StatsCountEventsAndEpochs) {
+  Scheduler scheduler(SchedulerOptions{.shards = 1});
+  LocalLogActor actor;
+  actor.repeats = 9;
+  const ActorId id = scheduler.add_actor(&actor);
+  scheduler.schedule(id, 0);
+  const SchedulerStats stats = scheduler.run();
+  EXPECT_EQ(stats.events, 10u);
+  EXPECT_GE(stats.epochs, 1u);
+  EXPECT_EQ(stats.end_time, actor.log.back().first);
+  EXPECT_EQ(scheduler.stats().events, stats.events);
+}
+
+/// The contract bench_district leans on: per-actor event streams are
+/// bit-identical across shard counts and worker-thread counts, including
+/// cross-shard mail. Ping-pong pairs force mail through the merge path.
+TEST(SimScheduler, TracesAreInvariantAcrossShardsAndThreads) {
+  struct Pinger : Actor {
+    ActorId peer = kInvalidActor;
+    int remaining = 0;
+    std::vector<MicroTime> fired;
+    void on_event(Context& ctx) override {
+      fired.push_back(ctx.now());
+      if (remaining-- > 0) {
+        ctx.post(peer, ctx.now() + milliseconds(4), ctx.tag());
+      }
+    }
+  };
+  constexpr int kActors = 12;
+
+  auto run = [&](u32 shards, int threads) {
+    Scheduler scheduler(SchedulerOptions{
+        .shards = shards, .worker_threads = threads,
+        .epoch_width = milliseconds(10)});
+    std::vector<std::unique_ptr<Pinger>> actors;
+    std::vector<ActorId> ids;
+    for (int i = 0; i < kActors; ++i) {
+      actors.push_back(std::make_unique<Pinger>());
+      actors.back()->remaining = 5 + i % 3;
+      ids.push_back(scheduler.add_actor(actors.back().get()));
+    }
+    for (int i = 0; i < kActors; ++i) {
+      // Pair i with its neighbour, mixing self-stream and mail traffic.
+      actors[static_cast<size_t>(i)]->peer =
+          ids[static_cast<size_t>((i + 1) % kActors)];
+      scheduler.schedule(ids[static_cast<size_t>(i)],
+                         milliseconds(i % 4));
+    }
+    scheduler.run();
+    std::vector<std::vector<MicroTime>> traces;
+    for (const auto& actor : actors) traces.push_back(actor->fired);
+    return traces;
+  };
+
+  const auto baseline = run(1, 0);
+  for (u32 shards : {2u, 3u, 8u}) {
+    for (int threads : {0, 2}) {
+      EXPECT_EQ(run(shards, threads), baseline)
+          << shards << " shards, " << threads << " threads diverged";
+    }
+  }
+}
+
+TEST(SimScheduler, TagsTravelWithSelfScheduledEvents) {
+  Scheduler scheduler(SchedulerOptions{.shards = 1});
+  LocalLogActor actor;
+  actor.repeats = 2;
+  const ActorId id = scheduler.add_actor(&actor);
+  scheduler.schedule(id, 0, 42);
+  scheduler.run();
+  ASSERT_EQ(actor.log.size(), 3u);
+  for (const auto& [time, tag] : actor.log) EXPECT_EQ(tag, 42u);
+}
+
+}  // namespace
+}  // namespace vgbl::sim

@@ -1,0 +1,185 @@
+// bench-diff: regression gate over the BENCH_*.json perf artifacts.
+// Compares the headline metric of freshly produced artifacts against the
+// committed baselines (bench/baselines/) and fails on a regression beyond
+// the tolerance — 10% by default, per the perf budget in DESIGN.md §5i.
+//
+//   bench-diff <baseline_dir> <fresh_dir> [--tolerance 0.10]
+//   bench-diff <baseline.json> <fresh.json> [--tolerance 0.10]
+//
+// Directory mode pairs files by name (BENCH_*.json); a fresh artifact with
+// no baseline is reported but does not fail the gate (commit the baseline
+// to arm it), while a baseline whose fresh counterpart is missing fails —
+// a silently skipped bench must not pass as "no regression". Artifacts
+// carry their own polarity ("headline_direction": "higher" | "lower"), so
+// throughput and latency headlines gate correctly without a table here.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Headline {
+  std::string metric;
+  std::string direction = "lower";
+  double value = 0;
+};
+
+/// Extracts the raw value of a top-level `"key": <value>` pair. The
+/// artifacts come from our own JsonArtifact writer (one field per line), so
+/// a line scan is exact enough — no JSON library needed.
+std::optional<std::string> field_value(const std::string& text,
+                                       const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  size_t begin = at + needle.size();
+  while (begin < text.size() && text[begin] == ' ') ++begin;
+  size_t end = begin;
+  while (end < text.size() && text[end] != ',' && text[end] != '\n') ++end;
+  return text.substr(begin, end - begin);
+}
+
+std::string strip_quotes(std::string s) {
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+    return s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+std::optional<Headline> read_headline(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const auto value = field_value(text, "headline_value");
+  if (!value) return std::nullopt;
+  Headline h;
+  h.value = std::strtod(value->c_str(), nullptr);
+  if (const auto metric = field_value(text, "headline_metric")) {
+    h.metric = strip_quotes(*metric);
+  }
+  if (const auto direction = field_value(text, "headline_direction")) {
+    h.direction = strip_quotes(*direction);
+  }
+  return h;
+}
+
+/// Relative regression of `fresh` vs `baseline` honouring polarity:
+/// positive means worse. 0 when the baseline value is 0 (nothing to
+/// compare against).
+double regression(const Headline& baseline, const Headline& fresh) {
+  if (baseline.value == 0) return 0;
+  const double delta = (fresh.value - baseline.value) / baseline.value;
+  return baseline.direction == "higher" ? -delta : delta;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench-diff <baseline_dir|baseline.json> "
+               "<fresh_dir|fresh.json> [--tolerance 0.10]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  double tolerance = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) return usage();
+  const fs::path baseline_root = positional[0];
+  const fs::path fresh_root = positional[1];
+
+  // Resolve the (baseline, fresh) pairs to compare.
+  std::vector<std::pair<fs::path, fs::path>> pairs;
+  if (fs::is_directory(baseline_root)) {
+    if (!fs::is_directory(fresh_root)) {
+      std::fprintf(stderr, "bench-diff: %s is a directory but %s is not\n",
+                   baseline_root.string().c_str(),
+                   fresh_root.string().c_str());
+      return 2;
+    }
+    std::vector<fs::path> names;
+    for (const auto& entry : fs::directory_iterator(baseline_root)) {
+      const std::string name = entry.path().filename().string();
+      if (name.starts_with("BENCH_") && name.ends_with(".json")) {
+        names.push_back(entry.path().filename());
+      }
+    }
+    std::sort(names.begin(), names.end());
+    for (const fs::path& name : names) {
+      pairs.emplace_back(baseline_root / name, fresh_root / name);
+    }
+    // Fresh artifacts without a baseline: advisory only.
+    for (const auto& entry : fs::directory_iterator(fresh_root)) {
+      const std::string name = entry.path().filename().string();
+      if (name.starts_with("BENCH_") && name.ends_with(".json") &&
+          !fs::exists(baseline_root / name)) {
+        std::printf("bench-diff: %s has no baseline (commit %s to arm it)\n",
+                    name.c_str(), (baseline_root / name).string().c_str());
+      }
+    }
+  } else {
+    pairs.emplace_back(baseline_root, fresh_root);
+  }
+  if (pairs.empty()) {
+    std::fprintf(stderr, "bench-diff: no BENCH_*.json baselines under %s\n",
+                 baseline_root.string().c_str());
+    return 2;
+  }
+
+  int failures = 0;
+  for (const auto& [baseline_path, fresh_path] : pairs) {
+    const auto baseline = read_headline(baseline_path);
+    if (!baseline) {
+      std::fprintf(stderr, "bench-diff: FAIL %s: unreadable or missing "
+                           "headline_value\n",
+                   baseline_path.string().c_str());
+      ++failures;
+      continue;
+    }
+    const auto fresh = read_headline(fresh_path);
+    if (!fresh) {
+      std::fprintf(stderr,
+                   "bench-diff: FAIL %s: fresh artifact missing (did the "
+                   "bench run?)\n",
+                   fresh_path.string().c_str());
+      ++failures;
+      continue;
+    }
+    const double rel = regression(*baseline, *fresh);
+    const bool failed = rel > tolerance;
+    std::printf("bench-diff: %-4s %-28s %-24s %12.3f -> %12.3f (%+.1f%%)\n",
+                failed ? "FAIL" : "ok",
+                baseline_path.filename().string().c_str(),
+                baseline->metric.c_str(), baseline->value, fresh->value,
+                (baseline->direction == "higher" ? 1 : -1) * -rel * 100);
+    if (failed) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "bench-diff: %d headline metric(s) regressed beyond "
+                 "%.0f%% (or failed to compare)\n",
+                 failures, tolerance * 100);
+    return 1;
+  }
+  return 0;
+}

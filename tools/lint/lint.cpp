@@ -191,6 +191,44 @@ void run_include_hygiene(const Rule& rule, const std::string& path,
   }
 }
 
+// --- builtin: naked-new -----------------------------------------------------
+
+/// Flags `new` / `delete` expressions on stripped lines. In the covered
+/// layers allocation goes through std::make_unique/std::make_shared or the
+/// arena allocators, so ownership is always typed; the rare
+/// unique_ptr(new T) for a private constructor lives in allowlisted files.
+/// Preprocessor lines are skipped (`#include <new>` names the header, not
+/// the operator), and `= delete` declarations are exempt — that `delete`
+/// deletes a function, not memory.
+void run_naked_new(const Rule& rule, const std::string& path,
+                   const std::vector<std::string>& lines,
+                   std::vector<Finding>* out) {
+  static const std::string kKeywords[] = {"new", "delete"};
+  for (size_t n = 0; n < lines.size(); ++n) {
+    const std::string& line = lines[n];
+    const size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line[first] == '#') continue;
+    for (const std::string& kw : kKeywords) {
+      for (size_t pos = line.find(kw); pos != std::string::npos;
+           pos = line.find(kw, pos + 1)) {
+        if (pos > 0 && is_ident(line[pos - 1])) continue;
+        const size_t end = pos + kw.size();
+        if (end < line.size() && is_ident(line[end])) continue;
+        if (kw == "delete") {
+          size_t prev = pos;
+          while (prev > 0 &&
+                 (line[prev - 1] == ' ' || line[prev - 1] == '\t')) {
+            --prev;
+          }
+          if (prev > 0 && line[prev - 1] == '=') continue;  // = delete
+        }
+        out->push_back({path, static_cast<int>(n + 1), rule.id,
+                        "naked '" + kw + "' expression: " + rule.message});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 bool Rule::applies_to(const std::string& path) const {
@@ -272,6 +310,8 @@ std::optional<RuleSet> parse_rules(const std::string& text,
         rule.metric_guard = true;
       } else if (tokens[1] == "include-hygiene") {
         rule.include_hygiene = true;
+      } else if (tokens[1] == "naked-new") {
+        rule.naked_new = true;
       } else {
         return fail("unknown builtin '" + tokens[1] + "'");
       }
@@ -387,7 +427,7 @@ std::vector<Finding> lint_file(const std::string& path,
   std::vector<std::string> stripped_lines;
   for (const Rule& rule : rules.rules) {
     if (!rule.applies_to(path)) continue;
-    if (!rule.ban.empty() || rule.metric_guard) {
+    if (!rule.ban.empty() || rule.metric_guard || rule.naked_new) {
       if (stripped_lines.empty()) {
         stripped = strip_code(source);
         stripped_lines = split_lines(stripped);
@@ -403,6 +443,9 @@ std::vector<Finding> lint_file(const std::string& path,
       }
       if (rule.metric_guard) {
         run_metric_guard(rule, path, stripped_lines, &findings);
+      }
+      if (rule.naked_new) {
+        run_naked_new(rule, path, stripped_lines, &findings);
       }
     }
     if (rule.include_hygiene) {

@@ -11,8 +11,8 @@
 //   - per-file allowlist entries (`allow` path suffixes, each requiring a
 //     justification comment at the allowed site),
 //   - optional built-in analyses (`builtin metric-guard`,
-//     `builtin include-hygiene`) for checks that need more than substring
-//     matching.
+//     `builtin include-hygiene`, `builtin naked-new`) for checks that need
+//     more than substring matching.
 //
 // The library half (this header + lint.cpp) is linked by both the
 // `vgbl-lint` binary and tests/lint_test.cpp, which lints fixture content
@@ -41,6 +41,7 @@ struct Rule {
   std::vector<std::string> allow;  // path suffixes fully exempt
   bool metric_guard = false;       // builtin: unguarded metric mutations
   bool include_hygiene = false;    // builtin: pragma once + parent includes
+  bool naked_new = false;          // builtin: naked new/delete expressions
 
   [[nodiscard]] bool applies_to(const std::string& path) const;
 };

@@ -15,6 +15,10 @@
 //                  [--seed S] [--store <dir>] [--stream] [--fault <profile>]
 //                  [--metrics-out <file.json|file.prom>]
 //                  [--rewards] [--badge-store <dir>]
+//   vgbl district <bundle.vgblb> [--classrooms N] [--students M] [--steps K]
+//                 [--seed S] [--threads T] [--shards N] [--stream]
+//                 [--clients C] [--fault <profile>] [--rewards]
+//                 [--persist <dir>] [--metrics-out <file>]
 //   vgbl rewards inspect <store_dir>
 //   vgbl metrics <scrape.json>
 //   vgbl gen [--seed S] [--count N] [--out <dir>] [--threads N]
@@ -29,6 +33,7 @@
 
 #include "core/classroom.hpp"
 #include "core/platform.hpp"
+#include "sim/district.hpp"
 #include "gen/generator.hpp"
 #include "net/streaming.hpp"
 #include "obs/export.hpp"
@@ -341,6 +346,10 @@ int cmd_classroom(const std::string& path,
       options.worker_threads = std::atoi(rest[++i].c_str());
     } else if (a == "--seed" && i + 1 < rest.size()) {
       options.seed = std::strtoull(rest[++i].c_str(), nullptr, 10);
+    } else if (a == "--shards" && i + 1 < rest.size()) {
+      options.des_shards = std::atoi(rest[++i].c_str());
+    } else if (a == "--legacy") {
+      options.engine = ClassroomEngine::kLegacyThreads;
     } else if (a == "--store" && i + 1 < rest.size()) {
       store_dir = rest[++i];
     } else if (a == "--rewards") {
@@ -421,6 +430,78 @@ int cmd_classroom(const std::string& path,
     run_stream_cohort(*shared, options.student_count, options.seed,
                       fault_profile);
   }
+  if (!metrics_out.empty()) return write_metrics_scrape(metrics_out);
+  return 0;
+}
+
+int cmd_district(const std::string& path,
+                 const std::vector<std::string>& rest) {
+  sim::DistrictOptions options;
+  std::string metrics_out;
+  for (size_t i = 0; i < rest.size(); ++i) {
+    const std::string& a = rest[i];
+    if (a == "--classrooms" && i + 1 < rest.size()) {
+      options.classrooms = std::atoi(rest[++i].c_str());
+    } else if (a == "--students" && i + 1 < rest.size()) {
+      options.students_per_classroom = std::atoi(rest[++i].c_str());
+    } else if (a == "--steps" && i + 1 < rest.size()) {
+      options.max_steps_per_student = std::atoi(rest[++i].c_str());
+    } else if (a == "--seed" && i + 1 < rest.size()) {
+      options.seed = std::strtoull(rest[++i].c_str(), nullptr, 10);
+    } else if (a == "--threads" && i + 1 < rest.size()) {
+      options.worker_threads = std::atoi(rest[++i].c_str());
+    } else if (a == "--shards" && i + 1 < rest.size()) {
+      options.shards = std::atoi(rest[++i].c_str());
+    } else if (a == "--rewards") {
+      options.reward_rules = &rewards::RewardRuleSet::standard();
+    } else if (a == "--persist" && i + 1 < rest.size()) {
+      options.persist_dir = rest[++i];
+    } else if (a == "--stream") {
+      options.stream = true;
+    } else if (a == "--clients" && i + 1 < rest.size()) {
+      options.stream_clients = std::atoi(rest[++i].c_str());
+      options.stream = true;
+    } else if (a == "--fault" && i + 1 < rest.size()) {
+      options.fault_profile = rest[++i];
+      options.stream = true;  // a fault profile only makes sense streaming
+    } else if (a == "--metrics-out" && i + 1 < rest.size()) {
+      metrics_out = rest[++i];
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", a.c_str());
+      return 64;
+    }
+  }
+  if (options.classrooms <= 0 || options.students_per_classroom <= 0 ||
+      options.max_steps_per_student <= 0 || options.worker_threads < 0) {
+    std::fprintf(stderr,
+                 "classrooms, students, steps must be > 0; threads >= 0\n");
+    return 64;
+  }
+
+  auto bundle = load_bundle_file(path);
+  if (!bundle.ok()) return fail(bundle.error());
+  auto shared = std::make_shared<GameBundle>(std::move(bundle.value()));
+  if (!metrics_out.empty()) obs::set_enabled(true);
+
+  auto summary = sim::run_district(shared, options);
+  if (!summary.ok()) return fail(summary.error());
+  const sim::DistrictSummary& district = summary.value();
+  std::printf("%s", district.report().c_str());
+  std::printf(
+      "simulated %d student(s) across %zu classroom(s) in %.2fs on "
+      "%d worker thread(s), %u shard(s) (%.1f students/s, %.0f events/s)\n",
+      district.total_students(), district.classrooms.size(),
+      district.wall_ms / 1000.0, options.worker_threads,
+      options.shards > 0 ? static_cast<unsigned>(options.shards)
+                         : static_cast<unsigned>(options.classrooms),
+      district.wall_ms > 0
+          ? static_cast<double>(district.total_students()) /
+                (district.wall_ms / 1000.0)
+          : 0.0,
+      district.wall_ms > 0
+          ? static_cast<double>(district.scheduler.events) /
+                (district.wall_ms / 1000.0)
+          : 0.0);
   if (!metrics_out.empty()) return write_metrics_scrape(metrics_out);
   return 0;
 }
@@ -611,6 +692,12 @@ void usage() {
                "            [--fault clean|iid2|bursty|flap|degraded|stress]\n"
                "            [--metrics-out <file.json|file.prom>]\n"
                "            [--rewards] [--badge-store <dir>]\n"
+               "            [--shards N] [--legacy]\n"
+               "  district <bundle.vgblb> [--classrooms N] [--students M]\n"
+               "            [--steps K] [--seed S] [--threads T] [--shards N]\n"
+               "            [--stream] [--clients C] [--fault <profile>]\n"
+               "            [--rewards] [--persist <dir>]\n"
+               "            [--metrics-out <file.json|file.prom>]\n"
                "  rewards inspect <store_dir>\n"
                "  metrics <scrape.json>\n"
                "  gen [--seed S] [--count N] [--out <dir>] [--threads N]\n"
@@ -655,6 +742,10 @@ int main(int argc, char** argv) {
   if (cmd == "classroom" && argc >= 3) {
     return cmd_classroom(arg(2),
                          std::vector<std::string>(argv + 3, argv + argc));
+  }
+  if (cmd == "district" && argc >= 3) {
+    return cmd_district(arg(2),
+                        std::vector<std::string>(argv + 3, argv + argc));
   }
   if (cmd == "rewards" && argc >= 4 && arg(2) == "inspect") {
     return cmd_rewards_inspect(arg(3));
