@@ -9,6 +9,7 @@
 #   ./check.sh fast     # default tree only (tier1 + bench-diff perf gate)
 #   ./check.sh lint     # static analysis only (vgbl-lint + clang TSA)
 #   ./check.sh bench    # perf regression gate only (bench-diff)
+#   ./check.sh pgo      # profile-guided build exercise (build-pgo/, optional)
 #
 # JOBS=<n> overrides the parallelism (default: nproc).
 set -euo pipefail
@@ -37,17 +38,52 @@ bench_gate() {
   echo "=== bench: bench-diff vs bench/baselines ==="
   cmake --preset default >/dev/null
   cmake --build build -j "${JOBS}" \
-    --target bench_diff bench_event_dispatch bench_hit_test
+    --target bench_diff bench_event_dispatch bench_hit_test \
+    bench_codec bench_pipeline
   local fresh="build/bench-fresh"
   rm -rf "${fresh}" && mkdir -p "${fresh}"
   ./build/bench/bench_event_dispatch --benchmark_min_time=0.05 \
     --out "${fresh}/BENCH_event_dispatch.json" >/dev/null
   ./build/bench/bench_hit_test --benchmark_min_time=0.05 \
     --out "${fresh}/BENCH_hit_test.json" >/dev/null
+  # Codec hot-path gate (ISSUE 9): the smallest resolution keeps the run
+  # cheap; the headline (raw-mode stream decode) is what the quant-table /
+  # batch-decode overhaul sped up, and the committed baselines already hold
+  # the post-overhaul numbers — a regression to the pre-overhaul path
+  # trips the tolerance immediately.
+  ./build/bench/bench_codec --benchmark_min_time=0.05 \
+    --benchmark_filter='160/120' --out "${fresh}/BENCH_codec.json" >/dev/null
+  ./build/bench/bench_pipeline --benchmark_min_time=0.05 \
+    --out "${fresh}/BENCH_pipeline.json" >/dev/null
   # 35%: the short min-time arms are noisy; the gate is for step-function
   # regressions (accidental O(n^2), lost parallelism), not percent drift.
   ./build/tools/bench-diff bench/baselines "${fresh}" --tolerance 0.35
   echo "=== bench: passed in $((SECONDS - started))s ==="
+}
+
+# Profile-guided build exercise (DESIGN.md §5j): instrument, train on
+# tools/pgo_workload, rebuild with -fprofile-use, then prove the PGO binary
+# still emits the golden bitstream. Optional (not part of `all`) because it
+# builds the tree twice; CI runs it in its own job.
+pgo_gate() {
+  local started="${SECONDS}"
+  if ! printf 'int main(){return 0;}\n' |
+       "${CXX:-c++}" -x c++ -fprofile-generate -o /dev/null - 2>/dev/null; then
+    echo "=== pgo: toolchain lacks -fprofile-generate; skipping ==="
+    return 0
+  fi
+  echo "=== pgo: phase 1 — instrumented build + training workload ==="
+  cmake --preset build-pgo-instrument >/dev/null
+  cmake --build build-pgo -j "${JOBS}" \
+    --target vgbl_cli bench_codec codec_golden_test
+  ./tools/pgo_workload build-pgo
+  echo "=== pgo: phase 2 — rebuild with -fprofile-use ==="
+  cmake --preset build-pgo-use >/dev/null
+  cmake --build build-pgo -j "${JOBS}" \
+    --target vgbl_cli bench_codec codec_golden_test
+  echo "=== pgo: golden bitstream check under PGO ==="
+  ./build-pgo/tests/codec_golden_test
+  echo "=== pgo: passed in $((SECONDS - started))s ==="
 }
 
 # Static analysis (DESIGN.md §5f): vgbl-lint always runs; the clang
@@ -89,6 +125,9 @@ case "${MODE}" in
   bench)
     bench_gate
     ;;
+  pgo)
+    pgo_gate
+    ;;
   all)
     gate default build tier1
     bench_gate
@@ -97,7 +136,7 @@ case "${MODE}" in
     gate build-tsan build-tsan "tier1|tsan"
     ;;
   *)
-    echo "usage: ./check.sh [all|fast|lint|bench]" >&2
+    echo "usage: ./check.sh [all|fast|lint|bench|pgo]" >&2
     exit 2
     ;;
 esac

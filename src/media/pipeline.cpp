@@ -54,25 +54,24 @@ GopPlan plan_gops(const VideoContainer& container, int first, int count) {
 }
 
 Result<std::vector<Frame>> decode_gop(const VideoContainer& container,
-                                      GopRange gop,
-                                      const std::atomic<bool>* cancel = nullptr) {
+                                      GopRange gop) {
   MediaMetrics& metrics = MediaMetrics::get();
   VGBL_SPAN("media.decode_gop");
   VGBL_TIMER(metrics.gop_decode_ms);
-  Decoder decoder;
-  std::vector<Frame> frames;
-  frames.reserve(static_cast<size_t>(gop.count));
+  // Whole-GOP batch decode: the prediction chain stays inside the output
+  // vector, so the per-frame reference copy of the frame-at-a-time API is
+  // paid once per GOP instead.
+  std::vector<std::span<const u8>> datas;
+  datas.reserve(static_cast<size_t>(gop.count));
   for (int i = gop.first; i < gop.first + gop.count; ++i) {
-    // Frame-granular cancellation keeps pipeline teardown — and therefore
-    // scenario-switch latency — bounded by one frame decode, not one GOP.
-    if (cancel && cancel->load(std::memory_order_relaxed)) {
-      return std::vector<Frame>{};
-    }
     auto data = container.frame_data(i);
     if (!data.ok()) return data.error();
-    auto frame = decoder.decode(data.value());
-    if (!frame.ok()) return frame.error();
-    frames.push_back(std::move(frame.value()));
+    datas.push_back(data.value());
+  }
+  Decoder decoder;
+  std::vector<Frame> frames;
+  if (auto st = decoder.decode_batch(datas, frames); !st.ok()) {
+    return st.error();
   }
   VGBL_COUNT(metrics.gops_decoded);
   VGBL_COUNT(metrics.frames_decoded, frames.size());
@@ -209,10 +208,12 @@ std::optional<Frame> DecodePipeline::next_frame() {
              run->failed.count(run->current_gop) == 0) {
     // Synchronous mode: decode the consumer's GOP on demand, right here.
     // No lookahead — memory stays bounded by one GOP per session no matter
-    // how many sessions a simulation keeps alive.
+    // how many sessions a simulation keeps alive. There is no concurrent
+    // consumer to feed frame-by-frame, so the whole GOP goes through the
+    // batch decode path and is published under one lock acquisition.
     const size_t g = run->current_gop;
     lock.unlock();
-    decode_gop(run, g);
+    decode_gop_batch(run, g);
     lock.lock();
   }
 
@@ -278,6 +279,39 @@ void DecodePipeline::decode_gop(const std::shared_ptr<Run>& run, size_t g) {
   VGBL_COUNT(metrics.gops_decoded);
   VGBL_COUNT(metrics.frames_decoded, decoded);
   MutexLock inner(run->mutex);
+  run->done.insert(g);
+  run->cv.notify_all();
+}
+
+void DecodePipeline::decode_gop_batch(const std::shared_ptr<Run>& run,
+                                      size_t g) {
+  MediaMetrics& metrics = MediaMetrics::get();
+  VGBL_SPAN("media.decode_gop");
+  VGBL_TIMER(metrics.gop_decode_ms);
+  const GopRange gop = run->plan.gops[g];
+  Status st;
+  std::vector<Frame> frames;
+  if (!run->cancelled.load(std::memory_order_relaxed)) {
+    std::vector<std::span<const u8>> datas;
+    datas.reserve(static_cast<size_t>(gop.count));
+    for (int i = gop.first; i < gop.first + gop.count; ++i) {
+      auto data = container_->frame_data(i);
+      if (!data.ok()) {
+        st = data.error();
+        break;
+      }
+      datas.push_back(data.value());
+    }
+    if (st.ok()) {
+      Decoder decoder;
+      st = decoder.decode_batch(datas, frames);
+    }
+  }
+  VGBL_COUNT(metrics.gops_decoded);
+  VGBL_COUNT(metrics.frames_decoded, frames.size());
+  MutexLock inner(run->mutex);
+  if (!st.ok()) run->failed.insert(g);
+  if (!frames.empty()) run->partial[g] = std::move(frames);
   run->done.insert(g);
   run->cv.notify_all();
 }

@@ -81,9 +81,14 @@ class DecodePipeline {
  private:
   struct Run;
 
-  /// Decodes one GOP into `run`'s reorder buffers (worker body in pooled
-  /// mode, called inline from next_frame in synchronous mode).
+  /// Decodes one GOP into `run`'s reorder buffers, publishing frame by
+  /// frame (worker body in pooled mode, where the consumer can present the
+  /// first frame while the rest still decodes).
   void decode_gop(const std::shared_ptr<Run>& run, size_t g);
+
+  /// Batch variant for synchronous mode: decodes the whole GOP through
+  /// Decoder::decode_batch and publishes it under one lock acquisition.
+  void decode_gop_batch(const std::shared_ptr<Run>& run, size_t g);
 
   std::shared_ptr<const VideoContainer> container_;
   Options options_;

@@ -3,6 +3,7 @@
 // debuggable and platform-independent.
 #pragma once
 
+#include <bit>
 #include <span>
 
 #include "util/bytes.hpp"
@@ -63,37 +64,48 @@ class BitWriter {
   int filled_ = 0;
 };
 
+/// Accumulator-based reader: bytes are pulled into a 64-bit MSB-first
+/// window so `ue`/`se`/`bits` run on shifts and a count-leading-zeros
+/// instead of one bounds-checked call per bit. This is the video codec's
+/// entropy-decode hot loop (ISSUE 9); parsing semantics and error
+/// behaviour are unchanged from the per-bit reader it replaced.
 class BitReader {
  public:
   explicit BitReader(std::span<const u8> data) : data_(data) {}
 
   /// Reads `count` bits (MSB-first); fails on stream exhaustion.
   [[nodiscard]] Result<u64> bits(int count) {
-    u64 v = 0;
-    for (int i = 0; i < count; ++i) {
-      auto b = bit();
-      if (!b.ok()) return b.error();
-      v = (v << 1) | (b.value() ? 1 : 0);
+    if (count <= 0) return u64{0};
+    if (count > 57) {  // split so the accumulator cannot overflow
+      auto hi = bits(count - 32);
+      if (!hi.ok()) return hi;
+      auto lo = bits(32);
+      if (!lo.ok()) return lo;
+      return (hi.value() << 32) | lo.value();
     }
-    return v;
+    refill();
+    if (count > acc_bits_) return exhausted();
+    acc_bits_ -= count;
+    return (acc_ >> acc_bits_) & mask(count);
   }
 
   [[nodiscard]] Result<bool> bit() {
-    const size_t byte = pos_ >> 3;
-    if (byte >= data_.size()) return corrupt_data("bitstream exhausted");
-    const bool v = (data_[byte] >> (7 - (pos_ & 7))) & 1;
-    ++pos_;
-    return v;
+    refill();
+    if (acc_bits_ == 0) return exhausted();
+    --acc_bits_;
+    return ((acc_ >> acc_bits_) & 1) != 0;
   }
 
   [[nodiscard]] Result<u32> ue() {
-    int zeros = 0;
-    while (true) {
-      auto b = bit();
-      if (!b.ok()) return b.error();
-      if (b.value()) break;
-      if (++zeros > 32) return corrupt_data("exp-golomb prefix too long");
-    }
+    refill();
+    const int avail = acc_bits_;
+    const u64 window = avail == 0 ? 0 : acc_ << (64 - avail);
+    const int zeros = window == 0 ? avail : std::countl_zero(window);
+    if (zeros > 32) return corrupt_data("exp-golomb prefix too long");
+    // refill() tops up to > 56 bits whenever bytes remain, so a prefix
+    // spanning the whole window means the stream ended mid-code.
+    if (zeros >= avail) return exhausted();
+    acc_bits_ -= zeros + 1;  // consume the zero prefix and its 1 terminator
     auto rest = bits(zeros);
     if (!rest.ok()) return rest.error();
     const u64 x = (1ULL << zeros) | rest.value();
@@ -107,11 +119,28 @@ class BitReader {
     return static_cast<i32>((u >> 1) ^ (~(u & 1) + 1));
   }
 
-  [[nodiscard]] size_t bit_position() const { return pos_; }
+  [[nodiscard]] size_t bit_position() const {
+    return byte_pos_ * 8 - static_cast<size_t>(acc_bits_);
+  }
 
  private:
+  static constexpr u64 mask(int count) {
+    return count >= 64 ? ~0ULL : (1ULL << count) - 1;
+  }
+
+  static Error exhausted() { return corrupt_data("bitstream exhausted"); }
+
+  void refill() {
+    while (acc_bits_ <= 56 && byte_pos_ < data_.size()) {
+      acc_ = (acc_ << 8) | data_[byte_pos_++];
+      acc_bits_ += 8;
+    }
+  }
+
   std::span<const u8> data_;
-  size_t pos_ = 0;
+  size_t byte_pos_ = 0;  ///< bytes pulled into the accumulator so far
+  u64 acc_ = 0;          ///< low acc_bits_ bits are unconsumed input
+  int acc_bits_ = 0;
 };
 
 }  // namespace vgbl

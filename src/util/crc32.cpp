@@ -5,26 +5,63 @@
 namespace vgbl {
 namespace {
 
-constexpr std::array<u32, 256> make_table() {
-  std::array<u32, 256> table{};
+/// Slicing-by-8 tables. t[0] is the classic byte-at-a-time table; t[j]
+/// advances a byte through j further zero bytes, so eight lookups retire
+/// eight input bytes per iteration. The polynomial (and therefore every
+/// CRC value) is unchanged from the byte-wise implementation — frame and
+/// bundle checksums written before this existed still verify.
+struct CrcTables {
+  u32 t[8][256];
+};
+
+constexpr CrcTables make_tables() {
+  CrcTables tb{};
   for (u32 i = 0; i < 256; ++i) {
     u32 c = i;
     for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    table[i] = c;
+    tb.t[0][i] = c;
   }
-  return table;
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = tb.t[0][i];
+    for (int j = 1; j < 8; ++j) {
+      c = tb.t[0][c & 0xFF] ^ (c >> 8);
+      tb.t[j][i] = c;
+    }
+  }
+  return tb;
 }
 
-constexpr auto kTable = make_table();
+constexpr auto kTables = make_tables();
+
+constexpr u32 load_le32(const u8* p) {
+  return static_cast<u32>(p[0]) | static_cast<u32>(p[1]) << 8 |
+         static_cast<u32>(p[2]) << 16 | static_cast<u32>(p[3]) << 24;
+}
 
 }  // namespace
 
 void Crc32::update_byte(u8 b) {
-  state_ = kTable[(state_ ^ b) & 0xFF] ^ (state_ >> 8);
+  state_ = kTables.t[0][(state_ ^ b) & 0xFF] ^ (state_ >> 8);
 }
 
 void Crc32::update(std::span<const u8> data) {
-  for (u8 b : data) update_byte(b);
+  u32 s = state_;
+  const u8* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    const u32 lo = s ^ load_le32(p);
+    const u32 hi = load_le32(p + 4);
+    s = kTables.t[7][lo & 0xFF] ^ kTables.t[6][(lo >> 8) & 0xFF] ^
+        kTables.t[5][(lo >> 16) & 0xFF] ^ kTables.t[4][lo >> 24] ^
+        kTables.t[3][hi & 0xFF] ^ kTables.t[2][(hi >> 8) & 0xFF] ^
+        kTables.t[1][(hi >> 16) & 0xFF] ^ kTables.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; --n) {
+    s = kTables.t[0][(s ^ *p++) & 0xFF] ^ (s >> 8);
+  }
+  state_ = s;
 }
 
 u32 crc32(std::span<const u8> data) {

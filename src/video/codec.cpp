@@ -1,7 +1,6 @@
 #include "video/codec.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "util/bitstream.hpp"
 #include "util/crc32.hpp"
@@ -15,8 +14,8 @@ enum class FrameType : u8 { kIntra = 0, kInter = 1 };
 constexpr u8 kFrameMagic = 0xF5;
 
 /// Run-length encodes raw bytes as (run, value) pairs, runs capped at 255.
-Bytes rle_encode(std::span<const u8> data) {
-  Bytes out;
+void rle_encode(std::span<const u8> data, Bytes& out) {
+  out.clear();
   out.reserve(data.size() / 4 + 16);
   size_t i = 0;
   while (i < data.size()) {
@@ -27,13 +26,12 @@ Bytes rle_encode(std::span<const u8> data) {
     out.push_back(v);
     i += run;
   }
-  return out;
 }
 
 Status rle_decode(std::span<const u8> in, std::span<u8> out) {
   size_t oi = 0;
   size_t ii = 0;
-  while (ii + 1 < in.size() + 1 && ii < in.size()) {
+  while (ii < in.size()) {
     if (ii + 2 > in.size()) return corrupt_data("rle: dangling run byte");
     const u8 run = in[ii];
     const u8 value = in[ii + 1];
@@ -92,10 +90,109 @@ Status decode_block(BitReader& br, QuantBlock& q) {
   return {};
 }
 
+/// Gathers one 8×8 block of centred (intra) or residual (inter) samples.
+/// Interior blocks walk raw row pointers; only edge blocks pay the clamped
+/// per-pixel path (pixel replication, unchanged).
+void gather_block(const Frame& cur, const Frame* ref, int c, i32 bx, i32 by,
+                  DctBlock& spatial) {
+  const i32 w = cur.width();
+  const i32 h = cur.height();
+  const int ch = cur.channels();
+  const i32 x0 = bx * kDctBlockSize;
+  const i32 y0 = by * kDctBlockSize;
+  if (x0 + kDctBlockSize <= w && y0 + kDctBlockSize <= h) {
+    const u8* cb = cur.data().data();
+    const u8* rb = ref ? ref->data().data() : nullptr;
+    const size_t stride = cur.stride();
+    for (int yy = 0; yy < kDctBlockSize; ++yy) {
+      const size_t base = static_cast<size_t>(y0 + yy) * stride +
+                          static_cast<size_t>(x0) * static_cast<size_t>(ch) +
+                          static_cast<size_t>(c);
+      const u8* crow = cb + base;
+      f32* out = &spatial[static_cast<size_t>(yy) * kDctBlockSize];
+      if (rb) {
+        const u8* rrow = rb + base;
+        for (int xx = 0; xx < kDctBlockSize; ++xx) {
+          out[xx] = static_cast<f32>(crow[xx * ch]) -
+                    static_cast<f32>(rrow[xx * ch]);
+        }
+      } else {
+        for (int xx = 0; xx < kDctBlockSize; ++xx) {
+          out[xx] = static_cast<f32>(crow[xx * ch]) - 128.0f;
+        }
+      }
+    }
+    return;
+  }
+  for (int yy = 0; yy < kDctBlockSize; ++yy) {
+    for (int xx = 0; xx < kDctBlockSize; ++xx) {
+      const i32 x = std::min<i32>(x0 + xx, w - 1);
+      const i32 y = std::min<i32>(y0 + yy, h - 1);
+      f32 v = static_cast<f32>(cur.at(x, y, c));
+      if (ref) {
+        v -= static_cast<f32>(ref->at(x, y, c));
+      } else {
+        v -= 128.0f;
+      }
+      spatial[yy * kDctBlockSize + xx] = v;
+    }
+  }
+}
+
+/// Scatters a reconstructed block back into `dst` (adding the prediction).
+/// Shared by the encoder's closed loop and the decoder so both sides run
+/// the identical rounding path.
+void scatter_block(Frame& dst, const Frame* ref, int c, i32 bx, i32 by,
+                   const DctBlock& spatial) {
+  const i32 w = dst.width();
+  const i32 h = dst.height();
+  const int ch = dst.channels();
+  const i32 x0 = bx * kDctBlockSize;
+  const i32 y0 = by * kDctBlockSize;
+  if (x0 + kDctBlockSize <= w && y0 + kDctBlockSize <= h) {
+    u8* db = dst.data().data();
+    const u8* rb = ref ? ref->data().data() : nullptr;
+    const size_t stride = dst.stride();
+    for (int yy = 0; yy < kDctBlockSize; ++yy) {
+      const size_t base = static_cast<size_t>(y0 + yy) * stride +
+                          static_cast<size_t>(x0) * static_cast<size_t>(ch) +
+                          static_cast<size_t>(c);
+      u8* drow = db + base;
+      const f32* in = &spatial[static_cast<size_t>(yy) * kDctBlockSize];
+      if (rb) {
+        const u8* rrow = rb + base;
+        for (int xx = 0; xx < kDctBlockSize; ++xx) {
+          drow[xx * ch] =
+              round_clamp_u8(in[xx] + static_cast<f32>(rrow[xx * ch]));
+        }
+      } else {
+        for (int xx = 0; xx < kDctBlockSize; ++xx) {
+          drow[xx * ch] = round_clamp_u8(in[xx] + 128.0f);
+        }
+      }
+    }
+    return;
+  }
+  for (int yy = 0; yy < kDctBlockSize; ++yy) {
+    for (int xx = 0; xx < kDctBlockSize; ++xx) {
+      const i32 x = x0 + xx;
+      const i32 y = y0 + yy;
+      if (x >= w || y >= h) continue;
+      f32 v = spatial[yy * kDctBlockSize + xx];
+      if (ref) {
+        v += static_cast<f32>(ref->at(x, y, c));
+      } else {
+        v += 128.0f;
+      }
+      dst.set(x, y, c, round_clamp_u8(v));
+    }
+  }
+}
+
 /// DCT-codes `current` (optionally as a residual against `reference`) and
-/// writes the reconstruction into `recon`.
-Bytes dct_encode(const Frame& current, const Frame* reference, int quality,
-                 Frame& recon) {
+/// writes the reconstruction into `recon` (reused across frames).
+Bytes dct_encode(const Frame& current, const Frame* reference,
+                 const QuantTable& qt, Frame& recon) {
   const i32 w = current.width();
   const i32 h = current.height();
   const int channels = current.channels();
@@ -106,48 +203,25 @@ Bytes dct_encode(const Frame& current, const Frame* reference, int quality,
   DctBlock spatial, freq;
   QuantBlock q;
 
-  recon = Frame(w, h, current.format());
+  // scatter_block writes every valid pixel, so a right-sized scratch frame
+  // can be reused without clearing.
+  if (recon.size() != current.size() || recon.format() != current.format()) {
+    recon = Frame(w, h, current.format());
+  }
 
   for (int c = 0; c < channels; ++c) {
     for (i32 by = 0; by < bh_blocks; ++by) {
       for (i32 bx = 0; bx < bw_blocks; ++bx) {
-        // Gather the block, clamping at the frame edge (pixel replication).
-        for (int yy = 0; yy < kDctBlockSize; ++yy) {
-          for (int xx = 0; xx < kDctBlockSize; ++xx) {
-            const i32 x = std::min<i32>(bx * kDctBlockSize + xx, w - 1);
-            const i32 y = std::min<i32>(by * kDctBlockSize + yy, h - 1);
-            f32 v = static_cast<f32>(current.at(x, y, c));
-            if (reference) {
-              v -= static_cast<f32>(reference->at(x, y, c));
-            } else {
-              v -= 128.0f;
-            }
-            spatial[yy * kDctBlockSize + xx] = v;
-          }
-        }
+        gather_block(current, reference, c, bx, by, spatial);
         forward_dct(spatial, freq);
-        quantize(freq, quality, q);
+        quantize(freq, qt, q);
         encode_block(bits, q);
 
         // Closed-loop reconstruction so the encoder reference matches the
         // decoder exactly.
-        dequantize(q, quality, freq);
+        dequantize(q, qt, freq);
         inverse_dct(freq, spatial);
-        for (int yy = 0; yy < kDctBlockSize; ++yy) {
-          for (int xx = 0; xx < kDctBlockSize; ++xx) {
-            const i32 x = bx * kDctBlockSize + xx;
-            const i32 y = by * kDctBlockSize + yy;
-            if (x >= w || y >= h) continue;
-            f32 v = spatial[yy * kDctBlockSize + xx];
-            if (reference) {
-              v += static_cast<f32>(reference->at(x, y, c));
-            } else {
-              v += 128.0f;
-            }
-            recon.set(x, y, c,
-                      static_cast<u8>(std::clamp(std::lround(v), 0L, 255L)));
-          }
-        }
+        scatter_block(recon, reference, c, bx, by, spatial);
       }
     }
   }
@@ -155,7 +229,7 @@ Bytes dct_encode(const Frame& current, const Frame* reference, int quality,
 }
 
 Status dct_decode(std::span<const u8> payload, const Frame* reference,
-                  int quality, Frame& out) {
+                  const QuantTable& qt, Frame& out) {
   const i32 w = out.width();
   const i32 h = out.height();
   const int channels = out.channels();
@@ -170,23 +244,9 @@ Status dct_decode(std::span<const u8> payload, const Frame* reference,
     for (i32 by = 0; by < bh_blocks; ++by) {
       for (i32 bx = 0; bx < bw_blocks; ++bx) {
         if (auto st = decode_block(bits, q); !st.ok()) return st;
-        dequantize(q, quality, freq);
+        dequantize(q, qt, freq);
         inverse_dct(freq, spatial);
-        for (int yy = 0; yy < kDctBlockSize; ++yy) {
-          for (int xx = 0; xx < kDctBlockSize; ++xx) {
-            const i32 x = bx * kDctBlockSize + xx;
-            const i32 y = by * kDctBlockSize + yy;
-            if (x >= w || y >= h) continue;
-            f32 v = spatial[yy * kDctBlockSize + xx];
-            if (reference) {
-              v += static_cast<f32>(reference->at(x, y, c));
-            } else {
-              v += 128.0f;
-            }
-            out.set(x, y, c,
-                    static_cast<u8>(std::clamp(std::lround(v), 0L, 255L)));
-          }
-        }
+        scatter_block(out, reference, c, bx, by, spatial);
       }
     }
   }
@@ -194,7 +254,7 @@ Status dct_decode(std::span<const u8> payload, const Frame* reference,
 }
 
 EncodedFrame wrap_frame(CodecMode mode, FrameType type, const Frame& frame,
-                        int quality, Bytes payload) {
+                        int quality, std::span<const u8> payload) {
   ByteWriter w(payload.size() + 32);
   w.put_u8(kFrameMagic);
   w.put_u8(static_cast<u8>(mode));
@@ -209,6 +269,113 @@ EncodedFrame wrap_frame(CodecMode mode, FrameType type, const Frame& frame,
   out.keyframe = type == FrameType::kIntra;
   out.data = std::move(w).take();
   return out;
+}
+
+/// Frame header plus a non-owning view of the checked payload.
+struct ParsedFrame {
+  CodecMode mode = CodecMode::kRaw;
+  FrameType type = FrameType::kIntra;
+  PixelFormat format = PixelFormat::kRgb24;
+  int quality = 0;
+  i32 width = 0;
+  i32 height = 0;
+  std::span<const u8> payload;
+};
+
+/// Parses and validates a frame header. The payload stays a view into
+/// `data` — no copy — so `data` must outlive the returned struct.
+Result<ParsedFrame> parse_frame(std::span<const u8> data) {
+  ByteReader r(data);
+  auto magic = r.u8_();
+  if (!magic.ok() || magic.value() != kFrameMagic) {
+    return corrupt_data("bad frame magic");
+  }
+  auto mode_b = r.u8_();
+  auto type_b = r.u8_();
+  auto fmt_b = r.u8_();
+  auto quality_b = r.u8_();
+  auto width_v = r.varint();
+  auto height_v = r.varint();
+  auto crc_v = r.u32_();
+  auto len_v = r.varint();
+  if (!mode_b.ok() || !type_b.ok() || !fmt_b.ok() || !quality_b.ok() ||
+      !width_v.ok() || !height_v.ok() || !crc_v.ok() || !len_v.ok()) {
+    return corrupt_data("truncated frame header");
+  }
+  auto payload_v = r.view(static_cast<size_t>(len_v.value()));
+  if (!payload_v.ok()) return corrupt_data("truncated frame header");
+  if (mode_b.value() > static_cast<u8>(CodecMode::kDct)) {
+    return corrupt_data("unknown codec mode");
+  }
+  if (fmt_b.value() != static_cast<u8>(PixelFormat::kGray8) &&
+      fmt_b.value() != static_cast<u8>(PixelFormat::kRgb24)) {
+    return corrupt_data("unknown pixel format");
+  }
+  ParsedFrame f;
+  f.mode = static_cast<CodecMode>(mode_b.value());
+  f.type = static_cast<FrameType>(type_b.value());
+  f.format = static_cast<PixelFormat>(fmt_b.value());
+  f.quality = quality_b.value();
+  f.width = static_cast<i32>(width_v.value());
+  f.height = static_cast<i32>(height_v.value());
+  if (f.width <= 0 || f.height <= 0 ||
+      static_cast<u64>(f.width) * static_cast<u64>(f.height) > 64u << 20) {
+    return corrupt_data("implausible frame dimensions");
+  }
+  f.payload = payload_v.value();
+  if (crc32(f.payload) != crc_v.value()) {
+    return corrupt_data("frame payload CRC mismatch");
+  }
+  return f;
+}
+
+/// Decodes a parsed frame into `out` (allocated here if needed). `ref` is
+/// the previous decoded frame or nullptr at a prediction-chain start.
+Status decode_parsed(const ParsedFrame& f, const Frame* ref, Frame& out,
+                     Bytes& rle_scratch) {
+  const bool inter = f.type == FrameType::kInter;
+  if (inter && f.mode != CodecMode::kRaw) {
+    if (!ref || ref->size() != Size{f.width, f.height} ||
+        ref->format() != f.format) {
+      return failed_precondition("inter frame without matching reference");
+    }
+  }
+
+  if (out.size() != Size{f.width, f.height} || out.format() != f.format) {
+    out = Frame(f.width, f.height, f.format);
+  }
+  switch (f.mode) {
+    case CodecMode::kRaw: {
+      if (f.payload.size() != out.data().size()) {
+        return corrupt_data("raw payload size mismatch");
+      }
+      std::copy(f.payload.begin(), f.payload.end(), out.data().begin());
+      break;
+    }
+    case CodecMode::kRle: {
+      if (!inter) {
+        if (auto st = rle_decode(f.payload, out.data()); !st.ok()) return st;
+      } else {
+        rle_scratch.resize(out.data().size());
+        if (auto st = rle_decode(f.payload, rle_scratch); !st.ok()) return st;
+        const auto rd = ref->data();
+        auto dst = out.data();
+        for (size_t i = 0; i < dst.size(); ++i) {
+          dst[i] = static_cast<u8>(rd[i] + rle_scratch[i]);
+        }
+      }
+      break;
+    }
+    case CodecMode::kDct: {
+      const Frame* pred = inter ? ref : nullptr;
+      if (auto st = dct_decode(f.payload, pred, quant_table(f.quality), out);
+          !st.ok()) {
+        return st;
+      }
+      break;
+    }
+  }
+  return {};
 }
 
 }  // namespace
@@ -227,6 +394,10 @@ const char* codec_mode_name(CodecMode mode) {
 
 Result<EncodedFrame> Encoder::encode(const Frame& frame) {
   if (frame.empty()) return invalid_argument("cannot encode empty frame");
+  if (config_.mode == CodecMode::kDct &&
+      (config_.quality < 1 || config_.quality > 255)) {
+    return invalid_argument("dct quality out of range [1, 255]");
+  }
   if (!stream_format_) {
     stream_format_ = frame.format();
     stream_size_ = frame.size();
@@ -249,19 +420,23 @@ EncodedFrame Encoder::encode_intra(const Frame& frame) {
     case CodecMode::kRaw: {
       reference_ = frame;
       return wrap_frame(config_.mode, FrameType::kIntra, frame, 0,
-                        Bytes(frame.data().begin(), frame.data().end()));
+                        frame.data());
     }
     case CodecMode::kRle: {
       reference_ = frame;
+      rle_encode(frame.data(), rle_scratch_);
       return wrap_frame(config_.mode, FrameType::kIntra, frame, 0,
-                        rle_encode(frame.data()));
+                        rle_scratch_);
     }
     case CodecMode::kDct: {
-      Frame recon;
-      Bytes payload = dct_encode(frame, nullptr, config_.quality, recon);
-      reference_ = std::move(recon);
+      Bytes payload = dct_encode(frame, nullptr, quant_table(config_.quality),
+                                 recon_scratch_);
+      // Swap instead of move: the displaced reference becomes next frame's
+      // right-sized scratch.
+      if (!reference_) reference_.emplace();
+      std::swap(*reference_, recon_scratch_);
       return wrap_frame(config_.mode, FrameType::kIntra, frame,
-                        config_.quality, std::move(payload));
+                        config_.quality, payload);
     }
   }
   return {};
@@ -272,121 +447,94 @@ EncodedFrame Encoder::encode_inter(const Frame& frame) {
     case CodecMode::kRaw: {
       reference_ = frame;
       return wrap_frame(config_.mode, FrameType::kInter, frame, 0,
-                        Bytes(frame.data().begin(), frame.data().end()));
+                        frame.data());
     }
     case CodecMode::kRle: {
       // Temporal delta (mod-256) then RLE: static regions collapse to long
       // zero runs. Lossless because subtraction is exactly invertible.
       const auto cur = frame.data();
       const auto ref = reference_->data();
-      Bytes diff(cur.size());
+      diff_scratch_.resize(cur.size());
       for (size_t i = 0; i < cur.size(); ++i) {
-        diff[i] = static_cast<u8>(cur[i] - ref[i]);
+        diff_scratch_[i] = static_cast<u8>(cur[i] - ref[i]);
       }
       reference_ = frame;
+      rle_encode(diff_scratch_, rle_scratch_);
       return wrap_frame(config_.mode, FrameType::kInter, frame, 0,
-                        rle_encode(diff));
+                        rle_scratch_);
     }
     case CodecMode::kDct: {
-      Frame recon;
-      Bytes payload =
-          dct_encode(frame, &*reference_, config_.quality, recon);
-      reference_ = std::move(recon);
+      Bytes payload = dct_encode(frame, &*reference_,
+                                 quant_table(config_.quality), recon_scratch_);
+      std::swap(*reference_, recon_scratch_);
       return wrap_frame(config_.mode, FrameType::kInter, frame,
-                        config_.quality, std::move(payload));
+                        config_.quality, payload);
     }
   }
   return {};
 }
 
 Result<Frame> Decoder::decode(std::span<const u8> data) {
-  ByteReader r(data);
-  auto magic = r.u8_();
-  if (!magic.ok() || magic.value() != kFrameMagic) {
-    return corrupt_data("bad frame magic");
-  }
-  auto mode_b = r.u8_();
-  auto type_b = r.u8_();
-  auto fmt_b = r.u8_();
-  auto quality_b = r.u8_();
-  auto width_v = r.varint();
-  auto height_v = r.varint();
-  auto crc_v = r.u32_();
-  auto payload_r = r.blob();
-  if (!mode_b.ok() || !type_b.ok() || !fmt_b.ok() || !quality_b.ok() ||
-      !width_v.ok() || !height_v.ok() || !crc_v.ok() || !payload_r.ok()) {
-    return corrupt_data("truncated frame header");
-  }
-  if (mode_b.value() > static_cast<u8>(CodecMode::kDct)) {
-    return corrupt_data("unknown codec mode");
-  }
-  const auto mode = static_cast<CodecMode>(mode_b.value());
-  const auto type = static_cast<FrameType>(type_b.value());
-  if (fmt_b.value() != static_cast<u8>(PixelFormat::kGray8) &&
-      fmt_b.value() != static_cast<u8>(PixelFormat::kRgb24)) {
-    return corrupt_data("unknown pixel format");
-  }
-  const auto format = static_cast<PixelFormat>(fmt_b.value());
-  const int quality = quality_b.value();
-  const i32 w = static_cast<i32>(width_v.value());
-  const i32 h = static_cast<i32>(height_v.value());
-  if (w <= 0 || h <= 0 || static_cast<u64>(w) * static_cast<u64>(h) > 64u << 20) {
-    return corrupt_data("implausible frame dimensions");
-  }
-  const Bytes& payload = payload_r.value();
-  if (crc32(payload) != crc_v.value()) {
-    return corrupt_data("frame payload CRC mismatch");
-  }
-
-  const bool inter = type == FrameType::kInter;
-  if (inter && mode != CodecMode::kRaw) {
-    if (!reference_ || reference_->size() != Size{w, h} ||
-        reference_->format() != format) {
-      return failed_precondition("inter frame without matching reference");
-    }
-  }
-
-  Frame out(w, h, format);
-  switch (mode) {
-    case CodecMode::kRaw: {
-      if (payload.size() != out.data().size()) {
-        return corrupt_data("raw payload size mismatch");
-      }
-      std::copy(payload.begin(), payload.end(), out.data().begin());
-      break;
-    }
-    case CodecMode::kRle: {
-      if (!inter) {
-        if (auto st = rle_decode(payload, out.data()); !st.ok()) {
-          return st.error();
-        }
-      } else {
-        Bytes diff(out.data().size());
-        if (auto st = rle_decode(payload, diff); !st.ok()) return st.error();
-        const auto ref = reference_->data();
-        auto dst = out.data();
-        for (size_t i = 0; i < dst.size(); ++i) {
-          dst[i] = static_cast<u8>(ref[i] + diff[i]);
-        }
-      }
-      break;
-    }
-    case CodecMode::kDct: {
-      const Frame* ref = inter ? &*reference_ : nullptr;
-      if (auto st = dct_decode(payload, ref, quality, out); !st.ok()) {
-        return st.error();
-      }
-      break;
-    }
+  auto pf = parse_frame(data);
+  if (!pf.ok()) return pf.error();
+  const Frame* ref = reference_ ? &*reference_ : nullptr;
+  Frame out;
+  if (auto st = decode_parsed(pf.value(), ref, out, rle_scratch_); !st.ok()) {
+    return st.error();
   }
   reference_ = out;
   return out;
+}
+
+Status Decoder::decode_batch(std::span<const std::span<const u8>> frames,
+                             std::vector<Frame>& out) {
+  // Reserve up front: `ref` points into `out` while the batch runs, so the
+  // vector must not reallocate mid-loop.
+  out.reserve(out.size() + frames.size());
+  const Frame* ref = reference_ ? &*reference_ : nullptr;
+  size_t decoded = 0;
+  Status result;
+  for (const auto& data : frames) {
+    auto pf = parse_frame(data);
+    if (!pf.ok()) {
+      result = pf.error();
+      break;
+    }
+    out.emplace_back();
+    if (auto st = decode_parsed(pf.value(), ref, out.back(), rle_scratch_);
+        !st.ok()) {
+      out.pop_back();
+      result = st;
+      break;
+    }
+    ref = &out.back();
+    ++decoded;
+  }
+  if (decoded > 0) reference_ = out.back();
+  return result;
+}
+
+Status Decoder::decode_batch(std::span<const EncodedFrame> frames,
+                             std::vector<Frame>& out) {
+  std::vector<std::span<const u8>> datas;
+  datas.reserve(frames.size());
+  for (const EncodedFrame& f : frames) datas.push_back(f.data);
+  return decode_batch(datas, out);
 }
 
 Result<EncodedStream> encode_stream(const std::vector<Frame>& frames,
                                     const CodecConfig& config, int fps,
                                     const std::vector<int>& segment_starts) {
   if (frames.empty()) return invalid_argument("no frames to encode");
+  for (size_t i = 0; i < segment_starts.size(); ++i) {
+    const int s = segment_starts[i];
+    if (s < 0 || static_cast<size_t>(s) >= frames.size()) {
+      return invalid_argument("segment start out of range");
+    }
+    if (i > 0 && s <= segment_starts[i - 1]) {
+      return invalid_argument("segment starts must be strictly increasing");
+    }
+  }
   EncodedStream stream;
   stream.config = config;
   stream.width = frames[0].width();
@@ -397,10 +545,6 @@ Result<EncodedStream> encode_stream(const std::vector<Frame>& frames,
   Encoder enc(config);
   size_t next_boundary = 0;
   for (size_t i = 0; i < frames.size(); ++i) {
-    while (next_boundary < segment_starts.size() &&
-           static_cast<size_t>(segment_starts[next_boundary]) < i) {
-      ++next_boundary;
-    }
     if (next_boundary < segment_starts.size() &&
         static_cast<size_t>(segment_starts[next_boundary]) == i) {
       enc.request_keyframe();
@@ -416,11 +560,8 @@ Result<EncodedStream> encode_stream(const std::vector<Frame>& frames,
 Result<std::vector<Frame>> decode_stream(const EncodedStream& stream) {
   Decoder dec;
   std::vector<Frame> out;
-  out.reserve(stream.frames.size());
-  for (const auto& ef : stream.frames) {
-    auto f = dec.decode(ef.data);
-    if (!f.ok()) return f.error();
-    out.push_back(std::move(f.value()));
+  if (auto st = dec.decode_batch(std::span(stream.frames), out); !st.ok()) {
+    return st.error();
   }
   return out;
 }

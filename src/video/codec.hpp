@@ -29,6 +29,9 @@ struct CodecConfig {
   /// Keyframe interval: an I-frame every `gop_size` frames. 1 = all-intra.
   int gop_size = 12;
   /// DCT quantiser scale (1 fine .. 64 coarse); ignored by kRaw/kRle.
+  /// The frame header stores this as one byte, so kDct encoding validates
+  /// it to [1, 255] — out-of-range values are kInvalidArgument, never a
+  /// silent truncation that would desync encoder and decoder tables.
   int quality = 16;
 };
 
@@ -62,6 +65,9 @@ class Encoder {
   std::optional<Frame> reference_;  // decoder-identical reconstruction
   Size stream_size_{};
   std::optional<PixelFormat> stream_format_;
+  Frame recon_scratch_;  ///< reused DCT closed-loop reconstruction target
+  Bytes diff_scratch_;   ///< reused RLE temporal-residual buffer
+  Bytes rle_scratch_;    ///< reused RLE output buffer
 };
 
 /// Stateful decoder: feed encoded frames in order; seeks restart at a
@@ -72,12 +78,24 @@ class Decoder {
 
   Result<Frame> decode(std::span<const u8> data);
 
+  /// Decodes a run of consecutive frames, appending to `out`. Equivalent to
+  /// calling decode() per frame, but prediction chains through the frames
+  /// already appended to `out`, so the reference copy that per-frame decode
+  /// pays on every frame happens once per batch. On error the valid prefix
+  /// stays in `out` and the decoder reference is the last decoded frame,
+  /// exactly as per-frame decoding would have left it.
+  Status decode_batch(std::span<const std::span<const u8>> frames,
+                      std::vector<Frame>& out);
+  Status decode_batch(std::span<const EncodedFrame> frames,
+                      std::vector<Frame>& out);
+
   /// Drops inter-frame prediction state (call before decoding from a
   /// keyframe that is not the stream start).
   void reset() { reference_.reset(); }
 
  private:
   std::optional<Frame> reference_;
+  Bytes rle_scratch_;  ///< reused inter-RLE residual buffer
 };
 
 /// Convenience: encode a whole clip (keyframe forced at `segment_starts`).

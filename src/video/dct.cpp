@@ -1,13 +1,17 @@
 #include "video/dct.hpp"
 
 #include <cmath>
+#include <memory>
 
 namespace vgbl {
 namespace {
 
-/// Cosine basis C[k][n] = c(k) * cos((2n+1)kπ/16), precomputed once.
+/// Cosine basis C[k][n] = c(k) * cos((2n+1)kπ/16) plus its transpose,
+/// precomputed once. The transpose gives the column passes a contiguous
+/// inner loop without changing any accumulation order.
 struct Basis {
-  f32 c[kDctBlockSize][kDctBlockSize];
+  f32 c[kDctBlockSize][kDctBlockSize];   // c[k][n]
+  f32 ct[kDctBlockSize][kDctBlockSize];  // ct[n][k] == c[k][n]
   Basis() {
     const f64 pi = 3.14159265358979323846;
     for (int k = 0; k < kDctBlockSize; ++k) {
@@ -16,6 +20,7 @@ struct Basis {
       for (int n = 0; n < kDctBlockSize; ++n) {
         c[k][n] = static_cast<f32>(
             scale * std::cos((2 * n + 1) * k * pi / (2 * kDctBlockSize)));
+        ct[n][k] = c[k][n];
       }
     }
   }
@@ -63,23 +68,25 @@ const std::array<int, kDctBlockArea>& zigzag_order() {
 
 void forward_dct(const DctBlock& spatial, DctBlock& freq) {
   const Basis& b = basis();
-  // Separable: rows then columns.
-  DctBlock tmp;
+  // Separable: rows then columns. tmp is stored transposed (tmp[k][y]) so
+  // the column pass reads contiguously; each output value still accumulates
+  // its 8 products in the same n = 0..7 order as always.
+  f32 tmp[kDctBlockArea];
   for (int y = 0; y < kDctBlockSize; ++y) {
+    const f32* row = &spatial[y * kDctBlockSize];
     for (int k = 0; k < kDctBlockSize; ++k) {
+      const f32* ck = b.c[k];
       f32 acc = 0;
-      for (int n = 0; n < kDctBlockSize; ++n) {
-        acc += spatial[y * kDctBlockSize + n] * b.c[k][n];
-      }
-      tmp[y * kDctBlockSize + k] = acc;
+      for (int n = 0; n < kDctBlockSize; ++n) acc += row[n] * ck[n];
+      tmp[k * kDctBlockSize + y] = acc;
     }
   }
   for (int x = 0; x < kDctBlockSize; ++x) {
+    const f32* col = &tmp[x * kDctBlockSize];  // former column x, contiguous
     for (int k = 0; k < kDctBlockSize; ++k) {
+      const f32* ck = b.c[k];
       f32 acc = 0;
-      for (int n = 0; n < kDctBlockSize; ++n) {
-        acc += tmp[n * kDctBlockSize + x] * b.c[k][n];
-      }
+      for (int n = 0; n < kDctBlockSize; ++n) acc += col[n] * ck[n];
       freq[k * kDctBlockSize + x] = acc;
     }
   }
@@ -87,22 +94,27 @@ void forward_dct(const DctBlock& spatial, DctBlock& freq) {
 
 void inverse_dct(const DctBlock& freq, DctBlock& spatial) {
   const Basis& b = basis();
-  DctBlock tmp;
+  f32 tmp[kDctBlockArea];
   for (int x = 0; x < kDctBlockSize; ++x) {
+    // Gather column x once; the transposed basis keeps the k accumulation
+    // (same k = 0..7 order) contiguous on both operands.
+    f32 col[kDctBlockSize];
+    for (int k = 0; k < kDctBlockSize; ++k) {
+      col[k] = freq[k * kDctBlockSize + x];
+    }
     for (int n = 0; n < kDctBlockSize; ++n) {
+      const f32* ctn = b.ct[n];
       f32 acc = 0;
-      for (int k = 0; k < kDctBlockSize; ++k) {
-        acc += freq[k * kDctBlockSize + x] * b.c[k][n];
-      }
+      for (int k = 0; k < kDctBlockSize; ++k) acc += col[k] * ctn[k];
       tmp[n * kDctBlockSize + x] = acc;
     }
   }
   for (int y = 0; y < kDctBlockSize; ++y) {
+    const f32* row = &tmp[y * kDctBlockSize];
     for (int n = 0; n < kDctBlockSize; ++n) {
+      const f32* ctn = b.ct[n];
       f32 acc = 0;
-      for (int k = 0; k < kDctBlockSize; ++k) {
-        acc += tmp[y * kDctBlockSize + k] * b.c[k][n];
-      }
+      for (int k = 0; k < kDctBlockSize; ++k) acc += row[k] * ctn[k];
       spatial[y * kDctBlockSize + n] = acc;
     }
   }
@@ -115,16 +127,44 @@ f32 quant_step(int index, int quality) {
   return step < 1.0f ? 1.0f : step;
 }
 
-void quantize(const DctBlock& freq, int quality, QuantBlock& out) {
+const QuantTable& quant_table(int quality) {
+  // 256 tables × 64 steps × 4 bytes = 64 KiB, built once on first use
+  // (thread-safe magic static). Indexing masks to the header-byte range so
+  // decode-side lookups can never run off the array.
+  static const auto tables = [] {
+    auto t = std::make_unique<std::array<QuantTable, 256>>();
+    for (int q = 0; q < 256; ++q) {
+      for (int i = 0; i < kDctBlockArea; ++i) {
+        (*t)[static_cast<size_t>(q)].step[static_cast<size_t>(i)] =
+            quant_step(i, q);
+      }
+    }
+    return t;
+  }();
+  return (*tables)[static_cast<size_t>(quality) & 0xFF];
+}
+
+void quantize(const DctBlock& freq, const QuantTable& table, QuantBlock& out) {
+  // Same value as round(freq/quant_step): the cached step is the identical
+  // f32, the division stays a division (a reciprocal would round
+  // differently), and round_half_away is exactly lroundf.
   for (int i = 0; i < kDctBlockArea; ++i) {
-    out[i] = static_cast<i32>(std::lround(freq[i] / quant_step(i, quality)));
+    out[i] = round_half_away(freq[i] / table.step[static_cast<size_t>(i)]);
+  }
+}
+
+void quantize(const DctBlock& freq, int quality, QuantBlock& out) {
+  quantize(freq, quant_table(quality), out);
+}
+
+void dequantize(const QuantBlock& in, const QuantTable& table, DctBlock& freq) {
+  for (int i = 0; i < kDctBlockArea; ++i) {
+    freq[i] = static_cast<f32>(in[i]) * table.step[static_cast<size_t>(i)];
   }
 }
 
 void dequantize(const QuantBlock& in, int quality, DctBlock& freq) {
-  for (int i = 0; i < kDctBlockArea; ++i) {
-    freq[i] = static_cast<f32>(in[i]) * quant_step(i, quality);
-  }
+  dequantize(in, quant_table(quality), freq);
 }
 
 }  // namespace vgbl

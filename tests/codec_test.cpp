@@ -2,6 +2,8 @@
 // DCT, GOP/keyframe mechanics, and corruption handling.
 #include <gtest/gtest.h>
 
+#include "util/bytes.hpp"
+#include "util/crc32.hpp"
 #include "util/rng.hpp"
 #include "video/codec.hpp"
 #include "video/synthetic.hpp"
@@ -273,6 +275,189 @@ TEST(CodecErrorTest, InterFrameWithoutReferenceFails) {
 
 TEST(CodecErrorTest, EmptyStreamRejected) {
   EXPECT_FALSE(encode_stream({}, CodecConfig{}).ok());
+}
+
+// --- ISSUE 9 regressions -----------------------------------------------------
+
+// quality is stored as one byte in the frame header; values outside [1,255]
+// used to truncate silently (300 -> 44), desyncing the decoder's quantiser
+// from the encoder's. Now they are rejected up front.
+TEST(CodecErrorTest, DctQualityOutOfRangeRejected) {
+  const auto frame = test_frames(1)[0];
+  for (int quality : {0, -1, 256, 300, 1 << 20}) {
+    Encoder enc({CodecMode::kDct, 4, quality});
+    auto r = enc.encode(frame);
+    ASSERT_FALSE(r.ok()) << "quality " << quality;
+    EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument) << quality;
+  }
+  for (int quality : {1, 16, 255}) {
+    Encoder enc({CodecMode::kDct, 4, quality});
+    EXPECT_TRUE(enc.encode(frame).ok()) << "quality " << quality;
+  }
+  // Raw/RLE ignore quality entirely, so even nonsense values stay accepted
+  // (existing callers construct RLE encoders with quality 0).
+  Encoder rle({CodecMode::kRle, 4, 300});
+  EXPECT_TRUE(rle.encode(frame).ok());
+}
+
+/// Builds a syntactically valid RLE intra frame around an arbitrary payload
+/// (correct magic, header and CRC), so tests reach the RLE payload
+/// validation itself rather than being stopped at the CRC gate.
+Bytes wrap_rle_payload(i32 w, i32 h, std::span<const u8> payload) {
+  ByteWriter wr(payload.size() + 32);
+  wr.put_u8(0xF5);                                    // kFrameMagic
+  wr.put_u8(static_cast<u8>(CodecMode::kRle));
+  wr.put_u8(0);                                       // FrameType::kIntra
+  wr.put_u8(static_cast<u8>(PixelFormat::kGray8));
+  wr.put_u8(0);                                       // quality (unused)
+  wr.put_varint(static_cast<u64>(w));
+  wr.put_varint(static_cast<u64>(h));
+  wr.put_u32(crc32(payload));
+  wr.put_blob(payload);
+  return std::move(wr).take();
+}
+
+TEST(RleRobustnessTest, DanglingRunByteRejected) {
+  // 8 bytes of output then a run byte with no value byte.
+  const Bytes payload = {8, 42, 7};
+  Decoder dec;
+  auto r = dec.decode(wrap_rle_payload(8, 1, payload));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kCorruptData);
+}
+
+TEST(RleRobustnessTest, ZeroLengthRunRejected) {
+  const Bytes payload = {0, 42, 8, 42};
+  Decoder dec;
+  EXPECT_FALSE(dec.decode(wrap_rle_payload(8, 1, payload)).ok());
+}
+
+TEST(RleRobustnessTest, RunPastFrameEndRejected) {
+  const Bytes payload = {9, 42};  // 9 bytes into an 8-pixel frame
+  Decoder dec;
+  EXPECT_FALSE(dec.decode(wrap_rle_payload(8, 1, payload)).ok());
+}
+
+TEST(RleRobustnessTest, ShortPayloadRejected) {
+  const Bytes payload = {4, 42};  // only 4 of 8 pixels covered
+  Decoder dec;
+  EXPECT_FALSE(dec.decode(wrap_rle_payload(8, 1, payload)).ok());
+}
+
+// Property test: RLE must round-trip arbitrary content exactly — pure
+// noise (worst case, all runs length 1), constant frames (single maximal
+// runs), and noisy-with-plateaus frames in both pixel formats.
+TEST(RleRobustnessTest, RoundTripsArbitraryContent) {
+  Rng rng(99);
+  for (int iter = 0; iter < 30; ++iter) {
+    const i32 w = static_cast<i32>(1 + rng.below(40));
+    const i32 h = static_cast<i32>(1 + rng.below(30));
+    const auto format =
+        rng.chance(0.5) ? PixelFormat::kGray8 : PixelFormat::kRgb24;
+    Frame f(w, h, format);
+    const int flavour = static_cast<int>(rng.below(3));
+    for (auto& v : f.data()) {
+      if (flavour == 0) {
+        v = static_cast<u8>(rng.next());  // noise
+      } else if (flavour == 1) {
+        v = 7;  // constant: one run per 255 bytes
+      } else {
+        v = rng.chance(0.9) ? 0 : static_cast<u8>(rng.next());  // plateaus
+      }
+    }
+    Encoder enc({CodecMode::kRle, 4, 0});
+    Decoder dec;
+    auto ef = enc.encode(f);
+    ASSERT_TRUE(ef.ok()) << iter;
+    auto r = dec.decode(ef.value().data);
+    ASSERT_TRUE(r.ok()) << iter;
+    EXPECT_EQ(r.value(), f) << iter;
+  }
+}
+
+// encode_stream used to skip unsorted/duplicate/out-of-range segment
+// starts silently, dropping the keyframes the caller asked for. They are
+// contract violations now.
+TEST(CodecErrorTest, InvalidSegmentStartsRejected) {
+  const auto frames = test_frames(8);
+  CodecConfig config;
+  config.mode = CodecMode::kRle;
+  const std::vector<std::vector<int>> bad = {
+      {8},      // == frame count (out of range)
+      {-1},     // negative
+      {3, 3},   // duplicate
+      {5, 2},   // unsorted
+      {0, 99},  // second entry out of range
+  };
+  for (const auto& segments : bad) {
+    auto r = encode_stream(frames, config, 24, segments);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
+  }
+  EXPECT_TRUE(encode_stream(frames, config, 24, {0, 3, 7}).ok());
+}
+
+// --- Batch decode ------------------------------------------------------------
+
+TEST(DecodeBatchTest, MatchesPerFrameDecode) {
+  const auto frames = test_frames(13);
+  for (CodecMode mode : {CodecMode::kRaw, CodecMode::kRle, CodecMode::kDct}) {
+    CodecConfig config;
+    config.mode = mode;
+    config.gop_size = 5;
+    config.quality = 16;
+    const auto stream = encode_stream(frames, config).value();
+
+    Decoder per_frame;
+    std::vector<Frame> expected;
+    for (const auto& ef : stream.frames) {
+      expected.push_back(per_frame.decode(ef.data).value());
+    }
+
+    Decoder batched;
+    std::vector<Frame> got;
+    ASSERT_TRUE(batched.decode_batch(std::span(stream.frames), got).ok());
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i]) << codec_mode_name(mode) << " " << i;
+    }
+  }
+}
+
+TEST(DecodeBatchTest, ErrorKeepsValidPrefixAndReference) {
+  const auto frames = test_frames(9);
+  CodecConfig config;
+  config.mode = CodecMode::kDct;
+  config.gop_size = 9;
+  auto stream = encode_stream(frames, config).value();
+  stream.frames[5].data[stream.frames[5].data.size() / 2] ^= 0xFF;
+
+  Decoder dec;
+  std::vector<Frame> got;
+  auto st = dec.decode_batch(std::span(stream.frames), got);
+  ASSERT_FALSE(st.ok());
+  ASSERT_EQ(got.size(), 5u);  // frames 0..4 decoded before the bad frame
+
+  // The reference is the last good frame, exactly like per-frame decode:
+  // frame 6 (an inter frame) still predicts from it.
+  auto next = dec.decode(stream.frames[6].data);
+  ASSERT_TRUE(next.ok());
+}
+
+TEST(DecodeBatchTest, AppendsToExistingOutput) {
+  const auto frames = test_frames(6);
+  CodecConfig config;
+  config.mode = CodecMode::kRle;
+  config.gop_size = 3;
+  const auto stream = encode_stream(frames, config).value();
+
+  Decoder dec;
+  std::vector<Frame> out;
+  const std::span<const EncodedFrame> all(stream.frames);
+  ASSERT_TRUE(dec.decode_batch(all.subspan(0, 3), out).ok());
+  ASSERT_TRUE(dec.decode_batch(all.subspan(3), out).ok());
+  ASSERT_EQ(out.size(), frames.size());
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], frames[i]) << i;
 }
 
 TEST(CodecTest, ModeNames) {
