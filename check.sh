@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # One-command verify gate: the tier1 test suite in the default tree, the
 # static-analysis gate (vgbl-lint + clang thread-safety analysis), then the
-# same test gate under ASan+UBSan, then tier1 plus the `tsan`-labelled
-# concurrency stress suite under TSan (trees: build/, build-asan/,
-# build-tsan/, build-clang-tsa/ — see CMakePresets.json).
+# same test gate under ASan+UBSan, tier1 under fatal-report UBSan, then
+# tier1 plus the `tsan`-labelled concurrency stress suite under TSan
+# (trees: build/, build-asan/, build-ubsan/, build-tsan/, build-clang-tsa/
+# — see CMakePresets.json).
 #
 #   ./check.sh          # everything
-#   ./check.sh fast     # default tree only (tier1 + bench-diff perf gate)
+#   ./check.sh fast     # default tree: tier1 + vgbl-lint + bench-diff gate
 #   ./check.sh lint     # static analysis only (vgbl-lint + clang TSA)
+#   ./check.sh ubsan    # tier1 under UBSan with reports fatal (build-ubsan/)
 #   ./check.sh bench    # perf regression gate only (bench-diff)
 #   ./check.sh pgo      # profile-guided build exercise (build-pgo/, optional)
 #
@@ -86,15 +88,23 @@ pgo_gate() {
   echo "=== pgo: passed in $((SECONDS - started))s ==="
 }
 
+# vgbl-lint (DESIGN.md §5f, §5k): builds the binary in the default tree
+# and sweeps src/ + tools/ — per-file rules plus the cross-TU taint,
+# lock-order and nodiscard passes. Cheap enough (~150 ms) to ride in the
+# fast gate as well as the full lint gate.
+vgbl_lint_run() {
+  echo "=== lint: vgbl-lint over src/ tools/ ==="
+  cmake --preset default >/dev/null
+  cmake --build build --target vgbl_lint -j "${JOBS}"
+  ./build/tools/vgbl-lint --rules lint_rules src tools
+}
+
 # Static analysis (DESIGN.md §5f): vgbl-lint always runs; the clang
 # thread-safety tree and clang-tidy run only where clang is installed (CI
 # installs it — see .github/workflows/ci.yml).
 lint_gate() {
   local started="${SECONDS}"
-  echo "=== lint: vgbl-lint over src/ tools/ ==="
-  cmake --preset default >/dev/null
-  cmake --build build --target vgbl_lint -j "${JOBS}"
-  ./build/tools/vgbl-lint --rules lint_rules src tools
+  vgbl_lint_run
 
   if command -v clang++ >/dev/null 2>&1; then
     echo "=== lint: clang -Werror=thread-safety (build-clang-tsa) ==="
@@ -120,7 +130,11 @@ case "${MODE}" in
     ;;
   fast)
     gate default build tier1
+    vgbl_lint_run
     bench_gate
+    ;;
+  ubsan)
+    gate build-ubsan build-ubsan tier1
     ;;
   bench)
     bench_gate
@@ -133,10 +147,11 @@ case "${MODE}" in
     bench_gate
     lint_gate
     gate build-asan build-asan tier1
+    gate build-ubsan build-ubsan tier1
     gate build-tsan build-tsan "tier1|tsan"
     ;;
   *)
-    echo "usage: ./check.sh [all|fast|lint|bench|pgo]" >&2
+    echo "usage: ./check.sh [all|fast|lint|ubsan|bench|pgo]" >&2
     exit 2
     ;;
 esac

@@ -20,25 +20,25 @@ namespace vgbl {
 
 /// Parses a project document; performs schema-version migration (v1
 /// projects lack transition weights; they default to 1.0).
-Result<Project> project_from_json(const Json& json);
-Result<Project> load_project_text(const std::string& text);
+[[nodiscard]] Result<Project> project_from_json(const Json& json);
+[[nodiscard]] Result<Project> load_project_text(const std::string& text);
 
 // Entity-level helpers shared with the bundle writer (exposed for tests).
 [[nodiscard]] Json condition_to_json(const Condition& c);
-Result<Condition> condition_from_json(const Json& json);
+[[nodiscard]] Result<Condition> condition_from_json(const Json& json);
 [[nodiscard]] Json action_to_json(const Action& a);
-Result<Action> action_from_json(const Json& json);
+[[nodiscard]] Result<Action> action_from_json(const Json& json);
 [[nodiscard]] Json trigger_to_json(const Trigger& t);
-Result<Trigger> trigger_from_json(const Json& json);
+[[nodiscard]] Result<Trigger> trigger_from_json(const Json& json);
 [[nodiscard]] Json rule_to_json(const EventRule& r);
-Result<EventRule> rule_from_json(const Json& json);
+[[nodiscard]] Result<EventRule> rule_from_json(const Json& json);
 [[nodiscard]] Json dialogue_to_json(const DialogueTree& d);
-Result<DialogueTree> dialogue_from_json(const Json& json);
+[[nodiscard]] Result<DialogueTree> dialogue_from_json(const Json& json);
 [[nodiscard]] Json quiz_to_json(const Quiz& q);
-Result<Quiz> quiz_from_json(const Json& json);
+[[nodiscard]] Result<Quiz> quiz_from_json(const Json& json);
 [[nodiscard]] Json object_to_json(const InteractiveObject& o);
-Result<InteractiveObject> object_from_json(const Json& json);
+[[nodiscard]] Result<InteractiveObject> object_from_json(const Json& json);
 [[nodiscard]] Json clip_spec_to_json(const ClipSpec& spec);
-Result<ClipSpec> clip_spec_from_json(const Json& json);
+[[nodiscard]] Result<ClipSpec> clip_spec_from_json(const Json& json);
 
 }  // namespace vgbl

@@ -1003,7 +1003,7 @@ GenParams corpus_course_params(u64 corpus_seed, int index) {
   return random_params(rng);
 }
 
-Result<std::vector<GeneratedCourse>> generate_corpus(u64 seed, int count,
+[[nodiscard]] Result<std::vector<GeneratedCourse>> generate_corpus(u64 seed, int count,
                                                      int worker_threads) {
   if (count < 0) return invalid_argument("corpus count must be >= 0");
   std::vector<GeneratedCourse> corpus(static_cast<size_t>(count));

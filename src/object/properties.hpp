@@ -51,7 +51,7 @@ class PropertyBag {
   }
 
   [[nodiscard]] Json to_json() const;
-  static Result<PropertyBag> from_json(const Json& json);
+  [[nodiscard]] static Result<PropertyBag> from_json(const Json& json);
 
   bool operator==(const PropertyBag&) const = default;
 

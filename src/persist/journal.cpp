@@ -47,7 +47,7 @@ void write_step_payload(ByteWriter& w, const ScriptStep& s) {
   w.put_i32(s.point.y);
 }
 
-Result<ScriptStep> read_step_payload(std::span<const u8> payload) {
+[[nodiscard]] Result<ScriptStep> read_step_payload(std::span<const u8> payload) {
   ByteReader r(payload);
   auto op = r.u8_();
   if (!op.ok()) return op.error();

@@ -47,10 +47,10 @@ struct JournalRecord {
 class JournalWriter {
  public:
   /// Creates (or truncates) `path` and writes a fresh file header.
-  static Result<JournalWriter> create(const std::string& path);
+  [[nodiscard]] static Result<JournalWriter> create(const std::string& path);
   /// Opens an existing journal for appending. The readable prefix is
   /// validated first; a torn tail is trimmed, corruption is rejected.
-  static Result<JournalWriter> open(const std::string& path);
+  [[nodiscard]] static Result<JournalWriter> open(const std::string& path);
 
   JournalWriter(JournalWriter&& other) noexcept;
   JournalWriter& operator=(JournalWriter&& other) noexcept;
@@ -84,10 +84,10 @@ struct JournalContents {
 
 /// Parses journal bytes. Torn tails are trimmed (crash recovery); bad
 /// magic, version or CRC anywhere else returns a typed error.
-Result<JournalContents> parse_journal(std::span<const u8> data);
+[[nodiscard]] Result<JournalContents> parse_journal(std::span<const u8> data);
 
 /// Reads and parses a journal file. kNotFound when the file is absent.
-Result<JournalContents> read_journal_file(const std::string& path);
+[[nodiscard]] Result<JournalContents> read_journal_file(const std::string& path);
 
 /// The steps to replay on top of a snapshot with `snapshot_sequence`:
 /// everything after the last barrier whose sequence matches. Returns an

@@ -83,7 +83,7 @@ struct JournalContents {
   bool torn_tail = false;
 };
 
-Result<JournalGrant> read_grant_payload(std::span<const u8> payload) {
+[[nodiscard]] Result<JournalGrant> read_grant_payload(std::span<const u8> payload) {
   ByteReader r(payload);
   auto student = r.string();
   auto rule = r.u32_();
@@ -104,7 +104,7 @@ Result<JournalGrant> read_grant_payload(std::span<const u8> payload) {
 
 /// Parses badge-journal bytes with the persist-layer failure semantics:
 /// torn tails are trimmed, anything else that fails a check is corruption.
-Result<JournalContents> parse_badge_journal(std::span<const u8> data) {
+[[nodiscard]] Result<JournalContents> parse_badge_journal(std::span<const u8> data) {
   ByteReader r(data);
   auto magic = r.u32_();
   if (!magic.ok() || magic.value() != kBadgeJournalMagic) {
@@ -194,7 +194,7 @@ Status append_record(std::FILE* file, const std::string& path,
 
 /// Creates (truncating) a fresh journal: header plus one barrier marking
 /// everything up to snapshot `sequence` as folded in.
-Result<std::FILE*> create_journal(const std::string& path, u64 sequence) {
+[[nodiscard]] Result<std::FILE*> create_journal(const std::string& path, u64 sequence) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return file_error("cannot create badge journal", path);
   const Bytes header = file_header(kBadgeJournalMagic);
@@ -249,7 +249,7 @@ struct DecodedStoreSnapshot {
   std::vector<StudentBadges> students;
 };
 
-Result<DecodedStoreSnapshot> decode_store_snapshot(std::span<const u8> data) {
+[[nodiscard]] Result<DecodedStoreSnapshot> decode_store_snapshot(std::span<const u8> data) {
   ByteReader r(data);
   auto magic = r.u32_();
   if (!magic.ok() || magic.value() != kBadgeSnapshotMagic) {

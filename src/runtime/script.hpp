@@ -124,8 +124,8 @@ class ScriptRunner {
 
  private:
   /// Canvas-space centre of a named visible object in the current scenario.
-  Result<Point> locate(const std::string& object_name) const;
-  Result<ItemId> item_by_name(const std::string& name) const;
+  [[nodiscard]] Result<Point> locate(const std::string& object_name) const;
+  [[nodiscard]] Result<ItemId> item_by_name(const std::string& name) const;
 
   GameSession* session_;
   SimClock* clock_;

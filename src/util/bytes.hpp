@@ -188,7 +188,7 @@ class ByteReader {
   static Error truncated() { return corrupt_data("unexpected end of data"); }
 
   template <typename T>
-  Result<T> get_le() {
+  [[nodiscard]] Result<T> get_le() {
     if (sizeof(T) > remaining()) return truncated();
     T v = 0;
     for (size_t i = 0; i < sizeof(T); ++i)

@@ -44,7 +44,7 @@ inline Bytes mux_container(const EncodedStream& stream,
 class VideoContainer {
  public:
   /// Parses and validates (magic, version, CRC, index consistency).
-  static Result<VideoContainer> parse(Bytes data);
+  [[nodiscard]] static Result<VideoContainer> parse(Bytes data);
 
   [[nodiscard]] i32 width() const { return width_; }
   [[nodiscard]] i32 height() const { return height_; }
@@ -107,10 +107,10 @@ class VideoReader {
   [[nodiscard]] const VideoContainer& container() const { return container_; }
 
   /// Decodes frame `i` (0-based presentation order).
-  Result<Frame> read_frame(int i);
+  [[nodiscard]] Result<Frame> read_frame(int i);
 
   /// First frame of a segment — the scenario-switch entry point.
-  Result<Frame> read_segment_start(SegmentId id);
+  [[nodiscard]] Result<Frame> read_segment_start(SegmentId id);
 
   /// Decode statistics for benchmarking.
   struct Stats {
@@ -121,7 +121,7 @@ class VideoReader {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
-  Result<Frame> decode_at(int i);
+  [[nodiscard]] Result<Frame> decode_at(int i);
 
   VideoContainer container_;
   Decoder decoder_;

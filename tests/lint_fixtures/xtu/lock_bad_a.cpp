@@ -1,0 +1,17 @@
+// Fixture (linted as src/persist/xtu_lock_a.cpp): half of a cross-file
+// lock-order cycle. flush_journal holds g_journal while calling into
+// flush_index (defined in lock_bad_b.cpp), which acquires g_index — so
+// the acquired-before graph gets g_journal -> g_index via the call edge.
+namespace vgbl {
+
+struct Mutex {};
+void flush_index();
+
+extern Mutex g_journal;
+
+void flush_journal() {
+  MutexLock hold_journal(g_journal);
+  flush_index();
+}
+
+}  // namespace vgbl

@@ -1,0 +1,21 @@
+// Fixture (linted as src/persist/xtu_lock_b.cpp): the other half of the
+// cycle. compact nests g_journal under g_index directly — the inverse of
+// the order implied by flush_journal -> flush_index in lock_bad_a.cpp.
+// Neither file alone has a cycle; only the cross-TU graph closes it.
+namespace vgbl {
+
+struct Mutex {};
+
+extern Mutex g_journal;
+extern Mutex g_index;
+
+void flush_index() {
+  MutexLock hold_index(g_index);
+}
+
+void compact() {
+  MutexLock hold_index(g_index);
+  MutexLock hold_journal(g_journal);
+}
+
+}  // namespace vgbl

@@ -1,0 +1,31 @@
+// Fixture (linted as src/rewards/xtu_badge_store.cpp): a BadgeStore-shaped
+// class that takes the journal mutex before any shard mutex — exactly the
+// contract the config's `order BadgeStore::journal_mutex_
+// BadgeStore::shard.mutex` fact declares. This fixture both observes the
+// fact (so require_facts passes) and stays cycle-free.
+namespace vgbl::rewards {
+
+struct Mutex {};
+
+class BadgeStore {
+ public:
+  void checkpoint();
+
+ private:
+  struct Shard {
+    Mutex mutex;
+    int badges = 0;
+  };
+  Mutex journal_mutex_;
+  Shard shards_[4];
+};
+
+void BadgeStore::checkpoint() {
+  MutexLock journal(journal_mutex_);
+  for (auto& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    shard.badges = 0;
+  }
+}
+
+}  // namespace vgbl::rewards

@@ -1,0 +1,31 @@
+// Fixture (linted as src/rewards/xtu_badge_store.cpp): a BadgeStore that
+// inverts the declared journal-before-shard order — it nests
+// journal_mutex_ under shard.mutex. No cycle exists among the observed
+// edges alone; the injected `order` fact edge closes one, which is the
+// point: a declared contract makes any single inversion detectable.
+namespace vgbl::rewards {
+
+struct Mutex {};
+
+class BadgeStore {
+ public:
+  void rebuild();
+
+ private:
+  struct Shard {
+    Mutex mutex;
+    int badges = 0;
+  };
+  Mutex journal_mutex_;
+  Shard shards_[4];
+};
+
+void BadgeStore::rebuild() {
+  for (auto& shard : shards_) {
+    MutexLock lock(shard.mutex);
+    MutexLock journal(journal_mutex_);
+    shard.badges = 0;
+  }
+}
+
+}  // namespace vgbl::rewards

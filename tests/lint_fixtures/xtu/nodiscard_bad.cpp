@@ -1,0 +1,18 @@
+// Fixture (linted as src/util/xtu_parse.cpp): out-of-line definitions for
+// nodiscard_bad.hpp. Definitions conventionally do not repeat the
+// attribute — the check is per merged symbol, so parse_ratio is fine
+// (header carries it) and parse_count is the only violation.
+#include "util/xtu_parse.hpp"
+
+namespace vgbl {
+
+Result<int> parse_count(const std::string& text) {
+  return static_cast<int>(text.size());
+}
+
+Result<int> parse_ratio(const std::string& text) {
+  if (text.empty()) return 0;
+  return static_cast<int>(text.size() / 2);
+}
+
+}  // namespace vgbl

@@ -1,0 +1,17 @@
+// Fixture (linted as src/util/xtu_parse.hpp): parse_count drops the
+// [[nodiscard]] that every Result<...>-returning declaration must carry;
+// parse_ratio carries it on the header declaration, which satisfies the
+// merged symbol even though the out-of-line definition does not repeat it.
+#pragma once
+
+#include <string>
+
+#include "util/result.hpp"
+
+namespace vgbl {
+
+Result<int> parse_count(const std::string& text);
+
+[[nodiscard]] Result<int> parse_ratio(const std::string& text);
+
+}  // namespace vgbl

@@ -1,0 +1,15 @@
+// Fixture (linted as src/util/xtu_clock.cpp): the actual wall-clock read
+// at the end of the chain. The per-file determinism-wallclock rule flags
+// the raw token here; the cross-TU taint pass additionally attributes it
+// to the simulate_classroom sink with the full call chain.
+#include <chrono>
+
+#include "util/xtu_helper.hpp"
+
+namespace vgbl::detail {
+
+long read_tick() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace vgbl::detail

@@ -1,0 +1,16 @@
+// Fixture (linted as src/core/xtu_entry.cpp): the replay sink itself is
+// clean — the wall-clock read is smuggled in two hops away, which only the
+// cross-TU taint pass can see.
+#include "util/xtu_helper.hpp"
+
+namespace vgbl {
+
+int simulate_classroom(int days) {
+  int total = 0;
+  for (int d = 0; d < days; ++d) {
+    total += detail::advance_day(d);
+  }
+  return total;
+}
+
+}  // namespace vgbl

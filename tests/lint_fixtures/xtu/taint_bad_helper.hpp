@@ -1,0 +1,14 @@
+// Fixture (linted as src/util/xtu_helper.hpp): middle hop of the taint
+// chain — this header is itself token-clean; it merely forwards to the
+// tainted helper defined out-of-line.
+#pragma once
+
+namespace vgbl::detail {
+
+long read_tick();
+
+inline int advance_day(int day) {
+  return day + static_cast<int>(read_tick() % 7);
+}
+
+}  // namespace vgbl::detail

@@ -1,0 +1,15 @@
+// Fixture (linted as src/util/sim_clock.hpp — the allowlisted virtual
+// clock path): contains a real wall-clock read, exempt both from the
+// per-file determinism-wallclock rule and from the cross-TU taint pass
+// (edges into trusted files are pruned, subtree and all).
+#pragma once
+
+#include <chrono>
+
+namespace vgbl::detail {
+
+inline long trusted_tick() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace vgbl::detail

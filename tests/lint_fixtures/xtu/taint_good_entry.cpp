@@ -1,0 +1,22 @@
+// Fixture (linted as src/core/xtu_entry.cpp): the same sink shape as
+// taint_bad_entry.cpp, but every time read goes through sanctioned
+// channels — the virtual sim clock (allowlisted file) and
+// obs::wall_now_us (allowlisted symbol). Must produce zero findings.
+#include "util/sim_clock.hpp"
+
+namespace obs {
+long wall_now_us();
+}  // namespace obs
+
+namespace vgbl {
+
+int simulate_classroom(int days) {
+  long started_us = obs::wall_now_us();
+  int total = 0;
+  for (int d = 0; d < days; ++d) {
+    total += d + static_cast<int>(detail::trusted_tick() % 7);
+  }
+  return total + static_cast<int>(started_us % 2);
+}
+
+}  // namespace vgbl

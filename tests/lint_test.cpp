@@ -87,7 +87,8 @@ TEST(LintConfig, RepoRulesParse) {
        {"determinism-wallclock", "determinism-random", "determinism-sleep",
         "no-naked-new", "gen-generator-determinism",
         "replay-state-unordered", "obs-guarded-metric", "include-hygiene",
-        "banned-pattern"}) {
+        "banned-pattern", "determinism-taint", "lock-order-cycle",
+        "nodiscard-result"}) {
     EXPECT_TRUE(std::count(ids.begin(), ids.end(), expected) == 1)
         << "missing rule " << expected;
   }
@@ -317,6 +318,175 @@ TEST(LintEngine, BoundaryMatchingAvoidsSubstrings) {
   EXPECT_TRUE(lint_file("src/x.cpp", "int y = operand(1);", set).empty());
   EXPECT_TRUE(lint_file("src/x.cpp", "srand(1);", set).empty());
   EXPECT_FALSE(lint_file("src/x.cpp", "int y = rand();", set).empty());
+}
+
+// --- cross-TU passes (DESIGN.md §5k) ---------------------------------------
+// Multi-file fixture sets linted through lint_tree under virtual src/
+// paths, against the real config — the same way the per-file fixtures
+// prove the per-file rules.
+
+/// Loads a fixture from lint_fixtures/xtu/ under a virtual repo path.
+SourceFile xtu(const std::string& name, const std::string& virtual_path) {
+  return {virtual_path, fixture("xtu/" + name)};
+}
+
+/// The findings of one rule only.
+std::vector<Finding> of_rule(const std::vector<Finding>& findings,
+                             const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+const std::vector<SourceFile>& taint_bad_set() {
+  static const std::vector<SourceFile> set = {
+      xtu("taint_bad_entry.cpp", "src/core/xtu_entry.cpp"),
+      xtu("taint_bad_helper.hpp", "src/util/xtu_helper.hpp"),
+      xtu("taint_bad_clock.cpp", "src/util/xtu_clock.cpp"),
+  };
+  return set;
+}
+
+TEST(LintXtuTaint, WallclockSmuggledTwoHopsAwayFires) {
+  const auto findings = lint_tree(taint_bad_set(), repo_rules());
+  const auto taint = of_rule(findings, "determinism-taint");
+  ASSERT_EQ(taint.size(), 1u);
+  // Anchored at the tainted token, not at the sink.
+  EXPECT_EQ(taint.front().file, "src/util/xtu_clock.cpp");
+  // The message must carry the full call chain, sink first, with every
+  // hop's call site — that is the whole point of the cross-TU pass.
+  const std::string& msg = taint.front().message;
+  for (const char* part :
+       {"banned token 'steady_clock'",
+        "vgbl::simulate_classroom (src/core/xtu_entry.cpp:",
+        "-> vgbl::detail::advance_day (called at src/core/xtu_entry.cpp:",
+        "-> vgbl::detail::read_tick (called at src/util/xtu_helper.hpp:",
+        "tainted at src/util/xtu_clock.cpp:"}) {
+    EXPECT_NE(msg.find(part), std::string::npos)
+        << "missing '" << part << "' in: " << msg;
+  }
+  // The per-file rule still flags the raw token where it is in scope; the
+  // two findings are complementary, and nothing else fires.
+  EXPECT_EQ(of_rule(findings, "determinism-wallclock").size(), 1u);
+  EXPECT_EQ(findings.size(), taint.size() + 1u);
+}
+
+TEST(LintXtuTaint, AllowlistedClockAndObsSymbolStayClean) {
+  // Same sink shape, but time flows through the allowlisted sim_clock.hpp
+  // and the allow-symbol'd obs::wall_now_us — the whole subtree is pruned.
+  const std::vector<SourceFile> set = {
+      xtu("taint_good_entry.cpp", "src/core/xtu_entry.cpp"),
+      xtu("taint_good_clock.hpp", "src/util/sim_clock.hpp"),
+      xtu("taint_good_obs.cpp", "src/obs/xtu_obs.cpp"),
+  };
+  const auto findings = lint_tree(set, repo_rules());
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : format_finding(findings.front()));
+}
+
+TEST(LintXtuLockOrder, CrossFileCycleFires) {
+  // g_journal -> g_index via a call edge in one file, g_index -> g_journal
+  // by direct nesting in the other; only the merged graph has the cycle.
+  const std::vector<SourceFile> set = {
+      xtu("lock_bad_a.cpp", "src/persist/xtu_lock_a.cpp"),
+      xtu("lock_bad_b.cpp", "src/persist/xtu_lock_b.cpp"),
+  };
+  const auto findings = lint_tree(set, repo_rules());
+  expect_only(findings, "lock-order-cycle");
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string& msg = findings.front().message;
+  for (const char* part :
+       {"lock-order cycle:", "g_journal", "g_index", "via call from"}) {
+    EXPECT_NE(msg.find(part), std::string::npos)
+        << "missing '" << part << "' in: " << msg;
+  }
+}
+
+TEST(LintXtuLockOrder, JournalBeforeShardIsCleanAndObserved) {
+  // The BadgeStore-shaped fixture takes journal before shard — exactly the
+  // declared `order` fact. No cycle; and under require_facts the fact
+  // counts as observed (no staleness finding for the lock rule).
+  const std::vector<SourceFile> set = {
+      xtu("lock_good_store.cpp", "src/rewards/xtu_badge_store.cpp"),
+  };
+  EXPECT_TRUE(lint_tree(set, repo_rules()).empty());
+
+  CrossTuOptions strict;
+  strict.require_facts = true;
+  // (Taint sinks legitimately don't resolve in a one-file slice; only the
+  // lock rule's liveness matters here.)
+  const auto findings =
+      of_rule(lint_tree(set, repo_rules(), strict), "lock-order-cycle");
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : format_finding(findings.front()));
+}
+
+TEST(LintXtuLockOrder, DeclaredOrderInversionFires) {
+  // Nesting journal under shard has no cycle among observed edges — the
+  // injected journal-before-shard fact edge is what closes it.
+  const std::vector<SourceFile> set = {
+      xtu("lock_inversion_store.cpp", "src/rewards/xtu_badge_store.cpp"),
+  };
+  const auto findings = lint_tree(set, repo_rules());
+  expect_only(findings, "lock-order-cycle");
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string& msg = findings.front().message;
+  for (const char* part :
+       {"BadgeStore::journal_mutex_", "BadgeStore::shard.mutex",
+        "declared order fact"}) {
+    EXPECT_NE(msg.find(part), std::string::npos)
+        << "missing '" << part << "' in: " << msg;
+  }
+}
+
+TEST(LintXtuNodiscard, MissingAttributeOnResultDeclFires) {
+  const std::vector<SourceFile> set = {
+      xtu("nodiscard_bad.hpp", "src/util/xtu_parse.hpp"),
+      xtu("nodiscard_bad.cpp", "src/util/xtu_parse.cpp"),
+  };
+  const auto findings = lint_tree(set, repo_rules());
+  expect_only(findings, "nodiscard-result");
+  // parse_count fires exactly once (per merged symbol, not per decl);
+  // parse_ratio is satisfied by the attribute on its header declaration
+  // even though the out-of-line definition does not repeat it.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings.front().message.find("vgbl::parse_count"),
+            std::string::npos)
+      << findings.front().message;
+}
+
+TEST(LintEngine, ParallelScanOutputIsDeterministic) {
+  // The scan pass parallelises over files; findings must be byte-identical
+  // whatever the worker count, because results merge in sorted path order.
+  std::vector<SourceFile> set = {
+      xtu("taint_bad_entry.cpp", "src/core/xtu_entry.cpp"),
+      xtu("taint_bad_helper.hpp", "src/util/xtu_helper.hpp"),
+      xtu("taint_bad_clock.cpp", "src/util/xtu_clock.cpp"),
+      xtu("lock_bad_a.cpp", "src/persist/xtu_lock_a.cpp"),
+      xtu("lock_bad_b.cpp", "src/persist/xtu_lock_b.cpp"),
+      xtu("lock_inversion_store.cpp", "src/rewards/xtu_badge_store.cpp"),
+      xtu("nodiscard_bad.hpp", "src/util/xtu_parse.hpp"),
+      xtu("nodiscard_bad.cpp", "src/util/xtu_parse.cpp"),
+      {"src/core/wallclock_bad.cpp", fixture("wallclock_bad.cpp")},
+      {"src/net/random_bad.cpp", fixture("random_bad.cpp")},
+      {"src/persist/sleep_bad.cpp", fixture("sleep_bad.cpp")},
+      {"src/persist/unordered_bad.cpp", fixture("unordered_bad.cpp")},
+      {"src/sim/naked_new_bad.cpp", fixture("naked_new_bad.cpp")},
+      {"src/core/namespace_bad.cpp", fixture("namespace_bad.cpp")},
+  };
+  CrossTuOptions serial;
+  serial.jobs = 1;
+  CrossTuOptions parallel;
+  parallel.jobs = 8;
+  const auto a = lint_tree(set, repo_rules(), serial);
+  const auto b = lint_tree(set, repo_rules(), parallel);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(format_finding(a[i]), format_finding(b[i]));
+  }
 }
 
 // The acceptance gate itself: the built binary over the real tree must be

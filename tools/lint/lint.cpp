@@ -2,10 +2,17 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
+
+#include "concurrency/thread_pool.hpp"
+#include "lint/lock_order.hpp"
+#include "lint/symbol_index.hpp"
+#include "lint/taint.hpp"
 
 namespace vgbl::lint {
 
@@ -20,16 +27,6 @@ bool has_prefix(const std::string& path, const std::string& prefix) {
     return false;
   }
   return path.size() == prefix.size() || path[prefix.size()] == '/';
-}
-
-bool has_suffix(const std::string& path, const std::string& suffix) {
-  if (path.size() < suffix.size()) return false;
-  if (path.compare(path.size() - suffix.size(), suffix.size(), suffix)) {
-    return false;
-  }
-  // Suffix must start at a path-component boundary or cover the whole path.
-  return path.size() == suffix.size() ||
-         path[path.size() - suffix.size() - 1] == '/';
 }
 
 /// Matches `pattern` at `pos` in `line`. A space in the pattern consumes
@@ -51,11 +48,23 @@ size_t match_pattern_at(const std::string& line, size_t pos,
   return i;
 }
 
+}  // namespace
+
+bool path_has_suffix(const std::string& path, const std::string& suffix) {
+  if (path.size() < suffix.size()) return false;
+  if (path.compare(path.size() - suffix.size(), suffix.size(), suffix)) {
+    return false;
+  }
+  // Suffix must start at a path-component boundary or cover the whole path.
+  return path.size() == suffix.size() ||
+         path[path.size() - suffix.size() - 1] == '/';
+}
+
 /// Boundary-aware search: an identifier-leading pattern must not be
 /// preceded by an identifier char, an identifier-trailing pattern must not
 /// be followed by one — so banning `rand(` does not flag `srand(` or
 /// `operand(`.
-bool line_has_pattern(const std::string& line, const std::string& pattern) {
+bool text_has_pattern(const std::string& line, const std::string& pattern) {
   if (pattern.empty()) return false;
   for (size_t pos = 0; pos + 1 <= line.size(); ++pos) {
     const size_t end = match_pattern_at(line, pos, pattern);
@@ -71,7 +80,7 @@ bool line_has_pattern(const std::string& line, const std::string& pattern) {
   return false;
 }
 
-std::vector<std::string> split_lines(const std::string& text) {
+std::vector<std::string> split_source_lines(const std::string& text) {
   std::vector<std::string> lines;
   std::string current;
   for (char c : text) {
@@ -85,6 +94,8 @@ std::vector<std::string> split_lines(const std::string& text) {
   lines.push_back(std::move(current));
   return lines;
 }
+
+namespace {
 
 // --- builtin: metric-guard --------------------------------------------------
 
@@ -165,7 +176,7 @@ bool is_header(const std::string& path) {
 /// string literal and must survive inspection.
 void run_include_hygiene(const Rule& rule, const std::string& path,
                          const std::string& raw, std::vector<Finding>* out) {
-  const std::vector<std::string> lines = split_lines(raw);
+  const std::vector<std::string> lines = split_source_lines(raw);
   bool pragma_once = false;
   for (size_t n = 0; n < lines.size(); ++n) {
     const std::string& line = lines[n];
@@ -233,7 +244,7 @@ void run_naked_new(const Rule& rule, const std::string& path,
 
 bool Rule::applies_to(const std::string& path) const {
   for (const std::string& suffix : allow) {
-    if (has_suffix(path, suffix)) return false;
+    if (path_has_suffix(path, suffix)) return false;
   }
   for (const std::string& prefix : skip) {
     if (has_prefix(path, prefix)) return false;
@@ -304,6 +315,17 @@ std::optional<RuleSet> parse_rules(const std::string& text,
       rule.ban.insert(rule.ban.end(), tokens.begin() + 1, tokens.end());
     } else if (directive == "allow") {
       rule.allow.insert(rule.allow.end(), tokens.begin() + 1, tokens.end());
+    } else if (directive == "sink") {
+      rule.sinks.insert(rule.sinks.end(), tokens.begin() + 1, tokens.end());
+    } else if (directive == "source") {
+      rule.sources.insert(rule.sources.end(), tokens.begin() + 1,
+                          tokens.end());
+    } else if (directive == "allow-symbol") {
+      rule.allow_symbols.insert(rule.allow_symbols.end(), tokens.begin() + 1,
+                                tokens.end());
+    } else if (directive == "order") {
+      if (tokens.size() != 3) return fail("expected: order <before> <after>");
+      rule.order.emplace_back(tokens[1], tokens[2]);
     } else if (directive == "builtin") {
       if (tokens.size() != 2) return fail("expected: builtin <name>");
       if (tokens[1] == "metric-guard") {
@@ -312,6 +334,12 @@ std::optional<RuleSet> parse_rules(const std::string& text,
         rule.include_hygiene = true;
       } else if (tokens[1] == "naked-new") {
         rule.naked_new = true;
+      } else if (tokens[1] == "taint") {
+        rule.taint = true;
+      } else if (tokens[1] == "lock-order") {
+        rule.lock_order = true;
+      } else if (tokens[1] == "nodiscard-result") {
+        rule.nodiscard_result = true;
       } else {
         return fail("unknown builtin '" + tokens[1] + "'");
       }
@@ -419,50 +447,168 @@ std::string strip_code(const std::string& source) {
   return out;
 }
 
+namespace {
+
+void sort_findings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+}
+
+/// Per-file rules against precomputed stripped lines — shared by
+/// lint_file (which strips lazily for one file) and the lint_tree scan
+/// pass (which strips anyway to feed the symbol index).
+void run_file_rules(const std::string& path, const std::string& source,
+                    const std::vector<std::string>& stripped_lines,
+                    const RuleSet& rules, std::vector<Finding>* findings) {
+  for (const Rule& rule : rules.rules) {
+    if (!rule.applies_to(path)) continue;
+    for (size_t n = 0; n < stripped_lines.size(); ++n) {
+      for (const std::string& pattern : rule.ban) {
+        if (text_has_pattern(stripped_lines[n], pattern)) {
+          findings->push_back({path, static_cast<int>(n + 1), rule.id,
+                               "banned token '" + pattern + "': " +
+                                   rule.message});
+        }
+      }
+    }
+    if (rule.metric_guard) {
+      run_metric_guard(rule, path, stripped_lines, findings);
+    }
+    if (rule.naked_new) {
+      run_naked_new(rule, path, stripped_lines, findings);
+    }
+    if (rule.include_hygiene) {
+      run_include_hygiene(rule, path, source, findings);
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<Finding> lint_file(const std::string& path,
                                const std::string& source,
                                const RuleSet& rules) {
   std::vector<Finding> findings;
-  std::string stripped;
-  std::vector<std::string> stripped_lines;
-  for (const Rule& rule : rules.rules) {
-    if (!rule.applies_to(path)) continue;
-    if (!rule.ban.empty() || rule.metric_guard || rule.naked_new) {
-      if (stripped_lines.empty()) {
-        stripped = strip_code(source);
-        stripped_lines = split_lines(stripped);
-      }
-      for (size_t n = 0; n < stripped_lines.size(); ++n) {
-        for (const std::string& pattern : rule.ban) {
-          if (line_has_pattern(stripped_lines[n], pattern)) {
-            findings.push_back({path, static_cast<int>(n + 1), rule.id,
-                                "banned token '" + pattern + "': " +
-                                    rule.message});
-          }
-        }
-      }
-      if (rule.metric_guard) {
-        run_metric_guard(rule, path, stripped_lines, &findings);
-      }
-      if (rule.naked_new) {
-        run_naked_new(rule, path, stripped_lines, &findings);
-      }
-    }
-    if (rule.include_hygiene) {
-      run_include_hygiene(rule, path, source, &findings);
+  const std::vector<std::string> stripped_lines =
+      split_source_lines(strip_code(source));
+  run_file_rules(path, source, stripped_lines, rules, &findings);
+  sort_findings(&findings);
+  return findings;
+}
+
+std::vector<Finding> lint_tree(const std::vector<SourceFile>& files,
+                               const RuleSet& rules,
+                               const CrossTuOptions& options) {
+  const auto scan_start = std::chrono::steady_clock::now();
+  const bool cross_tu =
+      std::any_of(rules.rules.begin(), rules.rules.end(), [](const Rule& r) {
+        return r.taint || r.lock_order || r.nodiscard_result;
+      });
+
+  // Deterministic path order, independent of input order and scan
+  // parallelism.
+  std::vector<size_t> order(files.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return files[a].path < files[b].path;
+  });
+
+  struct Slot {
+    std::vector<Finding> findings;
+    std::vector<std::string> stripped_lines;
+    FileIndex index;
+  };
+  std::vector<Slot> slots(files.size());
+  auto scan_one = [&](size_t k) {
+    const SourceFile& file = files[order[k]];
+    Slot& slot = slots[k];
+    slot.stripped_lines = split_source_lines(strip_code(file.content));
+    run_file_rules(file.path, file.content, slot.stripped_lines, rules,
+                   &slot.findings);
+    if (cross_tu) slot.index = index_file(file.path, slot.stripped_lines);
+  };
+  const unsigned jobs =
+      options.jobs > 0 ? static_cast<unsigned>(options.jobs)
+                       : std::max(1u, std::thread::hardware_concurrency());
+  if (jobs > 1 && files.size() > 1) {
+    ThreadPool pool(jobs);
+    pool.parallel_for(0, static_cast<i64>(files.size()),
+                      [&](i64 k) { scan_one(static_cast<size_t>(k)); });
+  } else {
+    for (size_t k = 0; k < files.size(); ++k) scan_one(k);
+  }
+
+  // Sequential path-ordered merge keeps findings and symbol attribution
+  // identical across thread counts.
+  std::vector<Finding> findings;
+  SymbolIndex index;
+  std::map<std::string, std::vector<std::string>> stripped;
+  for (size_t k = 0; k < files.size(); ++k) {
+    Slot& slot = slots[k];
+    findings.insert(findings.end(),
+                    std::make_move_iterator(slot.findings.begin()),
+                    std::make_move_iterator(slot.findings.end()));
+    if (cross_tu) {
+      merge_index(std::move(slot.index), &index);
+      stripped.emplace(files[order[k]].path, std::move(slot.stripped_lines));
     }
   }
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              return std::tie(a.file, a.line, a.rule) <
-                     std::tie(b.file, b.line, b.rule);
-            });
+  const auto scan_end = std::chrono::steady_clock::now();
+  if (options.scan_seconds != nullptr) {
+    *options.scan_seconds =
+        std::chrono::duration<double>(scan_end - scan_start).count();
+  }
+
+  for (const Rule& rule : rules.rules) {
+    if (rule.taint) {
+      TaintConfig config;
+      config.rule_id = rule.id;
+      config.message = rule.message;
+      config.sinks = rule.sinks;
+      config.sources = rule.sources;
+      config.allow_files = rule.allow;
+      config.allow_symbols = rule.allow_symbols;
+      config.require_sinks = options.require_facts;
+      run_taint(index, stripped, config, &findings);
+    }
+    if (rule.lock_order) {
+      LockOrderConfig config;
+      config.rule_id = rule.id;
+      config.message = rule.message;
+      config.allow_files = rule.allow;
+      config.order = rule.order;
+      config.require_facts = options.require_facts;
+      run_lock_order(index, config, &findings);
+    }
+    if (rule.nodiscard_result) {
+      for (const auto& [name, sym] : index.symbols) {
+        if (!sym.returns_result || sym.has_nodiscard) continue;
+        if (!rule.applies_to(sym.result_decl_file)) continue;
+        findings.push_back(
+            {sym.result_decl_file, sym.result_decl_line, rule.id,
+             "'" + sym.qualified +
+                 "' returns Result<...> but no declaration carries "
+                 "[[nodiscard]]: " +
+                 rule.message});
+      }
+    }
+  }
+  if (options.analyze_seconds != nullptr) {
+    *options.analyze_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      scan_end)
+            .count();
+  }
+  sort_findings(&findings);
   return findings;
 }
 
 std::optional<std::vector<Finding>> lint_paths(
     const std::vector<std::string>& roots, const RuleSet& rules,
-    std::string* error) {
+    std::string* error, const CrossTuOptions& options) {
   namespace fs = std::filesystem;
   static const std::string kExtensions[] = {".hpp", ".h", ".cpp", ".cc",
                                             ".cxx"};
@@ -490,7 +636,8 @@ std::optional<std::vector<Finding>> lint_paths(
     }
   }
   std::sort(files.begin(), files.end());
-  std::vector<Finding> findings;
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
   for (const std::string& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -502,13 +649,9 @@ std::optional<std::vector<Finding>> lint_paths(
     // Normalize a leading "./" so rule prefixes match either spelling.
     std::string path = file;
     if (path.starts_with("./")) path = path.substr(2);
-    std::vector<Finding> file_findings =
-        lint_file(path, content.str(), rules);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
+    sources.push_back({std::move(path), content.str()});
   }
-  return findings;
+  return lint_tree(sources, rules, options);
 }
 
 std::string format_finding(const Finding& finding) {

@@ -1,0 +1,181 @@
+#include "lint/lock_order.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace vgbl::lint {
+
+namespace {
+
+/// Provenance of one acquired-before edge, for cycle reports.
+struct EdgeInfo {
+  std::string file;
+  int line = 0;
+  std::string why;  ///< "acquired at" / "via call to f which may acquire"
+};
+
+using Graph = std::map<std::string, std::map<std::string, EdgeInfo>>;
+
+void add_edge(Graph* graph, const std::string& from, const std::string& to,
+              EdgeInfo info) {
+  if (from == to) return;  // same canonical node; see header on aliasing
+  auto& row = (*graph)[from];
+  row.emplace(to, std::move(info));  // first (deterministic) witness wins
+  (*graph)[to];                      // ensure the node exists
+}
+
+}  // namespace
+
+void run_lock_order(const SymbolIndex& index, const LockOrderConfig& config,
+                    std::vector<Finding>* out) {
+  auto exempt = [&](const Symbol& sym) {
+    return std::any_of(config.allow_files.begin(), config.allow_files.end(),
+                       [&](const std::string& suffix) {
+                         return path_has_suffix(sym.file, suffix);
+                       });
+  };
+
+  // Resolve call edges once (stable order: map iteration + call lists).
+  std::map<const Symbol*, std::vector<std::pair<const Symbol*, const CallSite*>>>
+      calls;
+  std::vector<const Symbol*> order_syms;
+  for (const auto& [name, sym] : index.symbols) {
+    if (exempt(sym)) continue;
+    order_syms.push_back(&sym);
+    auto& list = calls[&sym];
+    for (const CallSite& call : sym.calls) {
+      for (const Symbol* callee : index.resolve(sym, call)) {
+        if (callee != nullptr && !exempt(*callee)) {
+          list.push_back({callee, &call});
+        }
+      }
+    }
+  }
+
+  // may_acquire fixpoint: the set of lock nodes each function can take,
+  // directly or through any resolved callee.
+  std::map<const Symbol*, std::set<std::string>> may_acquire;
+  for (const Symbol* sym : order_syms) {
+    auto& set = may_acquire[sym];
+    for (const LockAcquire& acq : sym->acquires) set.insert(acq.lock);
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const Symbol* sym : order_syms) {
+      auto& set = may_acquire[sym];
+      for (const auto& [callee, site] : calls[sym]) {
+        for (const std::string& lock : may_acquire[callee]) {
+          changed = set.insert(lock).second || changed;
+        }
+      }
+    }
+  }
+
+  // Acquired-before edges: direct nesting, then call sites under a lock.
+  Graph graph;
+  for (const Symbol* sym : order_syms) {
+    for (const LockAcquire& acq : sym->acquires) {
+      for (const std::string& held : acq.held_locks) {
+        add_edge(&graph, held, acq.lock,
+                 {acq.file, acq.line,
+                  "acquired in " + sym->qualified});
+      }
+    }
+    for (const auto& [callee, site] : calls[sym]) {
+      if (site->held_locks.empty()) continue;
+      for (const std::string& lock : may_acquire[callee]) {
+        for (const std::string& held : site->held_locks) {
+          add_edge(&graph, held, lock,
+                   {site->file, site->line,
+                    "via call from " + sym->qualified + " to " +
+                        callee->qualified});
+        }
+      }
+    }
+  }
+
+  // Declared order facts: must be observed (when required), and the fact
+  // edge is injected so an observed inversion closes a cycle.
+  for (const auto& [before, after] : config.order) {
+    const auto row = graph.find(before);
+    const bool observed = row != graph.end() && row->second.count(after) > 0;
+    if (!observed && config.require_facts) {
+      out->push_back({"lint_rules", 0, config.rule_id,
+                      "declared lock order '" + before + "' before '" +
+                          after +
+                          "' is not observed in any indexed function — the "
+                          "config has gone stale against the tree"});
+    }
+    add_edge(&graph, before, after,
+             {"lint_rules", 0, "declared order fact"});
+  }
+
+  // Cycle detection: iterative DFS, deterministic over the sorted node map.
+  std::map<std::string, int> color;  // 0 white, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  // Returns true when a cycle was reported starting from `node`.
+  auto dfs = [&](const std::string& root) {
+    struct Frame {
+      std::string node;
+      std::map<std::string, EdgeInfo>::const_iterator it;
+    };
+    std::vector<Frame> frames;
+    frames.push_back({root, graph.at(root).begin()});
+    color[root] = 1;
+    stack.push_back(root);
+    while (!frames.empty()) {
+      Frame& top = frames.back();
+      const auto& row = graph.at(top.node);
+      if (top.it == row.end()) {
+        color[top.node] = 2;
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const std::string& next = top.it->first;
+      ++top.it;
+      if (color[next] == 2) continue;
+      if (color[next] == 1) {
+        // Reconstruct the cycle from the explicit stack.
+        const auto begin =
+            std::find(stack.begin(), stack.end(), next);
+        std::vector<std::string> cycle(begin, stack.end());
+        cycle.push_back(next);
+        std::string text = "lock-order cycle: ";
+        EdgeInfo first_edge;
+        for (size_t i = 0; i + 1 < cycle.size(); ++i) {
+          const EdgeInfo& info = graph.at(cycle[i]).at(cycle[i + 1]);
+          if (i == 0) {
+            text += cycle[i];
+            first_edge = info;
+          }
+          text += " -> " + cycle[i + 1] + " (" + info.why;
+          if (info.file != "lint_rules") {
+            text += ", " + info.file + ":" + std::to_string(info.line);
+          }
+          text += ")";
+        }
+        text += ". " + config.message;
+        out->push_back({first_edge.file, first_edge.line, config.rule_id,
+                        std::move(text)});
+        return true;
+      }
+      color[next] = 1;
+      stack.push_back(next);
+      frames.push_back({next, graph.at(next).begin()});
+    }
+    return false;
+  };
+  for (const auto& [node, row] : graph) {
+    if (color[node] != 0) continue;
+    if (dfs(node)) {
+      // One finding per connected cycle is enough signal; reset the
+      // partially-colored stack so other components still get visited.
+      for (const std::string& n : stack) color[n] = 2;
+      stack.clear();
+    }
+  }
+}
+
+}  // namespace vgbl::lint

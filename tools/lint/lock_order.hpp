@@ -1,0 +1,46 @@
+// Pass 2b of the cross-TU analyzer (DESIGN.md §5k): static lock-order
+// checking. Pass 1 harvested every mutex acquisition (RAII lock sites plus
+// VGBL_ACQUIRE annotations) with the set of locks already held at that
+// point (in-scope RAII locks plus the function's VGBL_REQUIRES set). This
+// pass closes the graph over calls — a function called while holding L
+// contributes every lock it may transitively acquire — then fails on any
+// cycle in the resulting acquired-before relation.
+//
+// Lock nodes are canonical names ("BadgeStore::journal_mutex_",
+// "BadgeStore::shard.mutex"): the owning class plus the normalized member
+// expression. Two shards of the same array share one node, which is the
+// useful granularity for ordering rules and the documented approximation
+// (hand-over-hand locking over same-named instances would need real alias
+// analysis and does not occur in this tree).
+//
+// `order` facts from lint_rules turn prose ordering contracts into checked
+// edges: the fact edge is injected (so any observed inversion closes a
+// cycle), and under require_facts the fact must also be *observed* in code
+// — a fact no function exhibits means the config went stale.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "lint/symbol_index.hpp"
+
+namespace vgbl::lint {
+
+struct LockOrderConfig {
+  std::string rule_id;
+  std::string message;
+  /// Path suffixes whose symbols are excluded entirely — the mutex wrapper
+  /// internals in thread_annotations.hpp acquire "the mutex parameter",
+  /// which is not a meaningful graph node.
+  std::vector<std::string> allow_files;
+  /// Declared acquired-before facts: first must be taken before second.
+  std::vector<std::pair<std::string, std::string>> order;
+  bool require_facts = false;
+};
+
+void run_lock_order(const SymbolIndex& index, const LockOrderConfig& config,
+                    std::vector<Finding>* out);
+
+}  // namespace vgbl::lint

@@ -1,0 +1,151 @@
+#include "lint/taint.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+namespace vgbl::lint {
+
+namespace {
+
+/// Where a source token was found inside a symbol's body.
+struct SourceHit {
+  std::string pattern;
+  std::string file;
+  int line = 0;
+};
+
+/// First source-token hit in any body line of `sym`, scanning the same
+/// stripped text the per-file rules use.
+std::optional<SourceHit> find_source_hit(
+    const Symbol& sym,
+    const std::map<std::string, std::vector<std::string>>& stripped,
+    const std::vector<std::string>& patterns) {
+  for (const BodyRange& body : sym.bodies) {
+    const auto it = stripped.find(body.file);
+    if (it == stripped.end()) continue;
+    const std::vector<std::string>& lines = it->second;
+    const int end = std::min(body.end_line, static_cast<int>(lines.size()));
+    for (int n = body.begin_line; n <= end; ++n) {
+      for (const std::string& pattern : patterns) {
+        if (text_has_pattern(lines[n - 1], pattern)) {
+          return SourceHit{pattern, body.file, n};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_trusted(const Symbol& sym, const TaintConfig& config) {
+  for (const std::string& suffix : config.allow_files) {
+    if (path_has_suffix(sym.file, suffix)) return true;
+  }
+  for (const std::string& suffix : config.allow_symbols) {
+    if (qualified_matches(sym.qualified, suffix)) return true;
+  }
+  return false;
+}
+
+/// One resolved call-graph edge, keeping the call site for chain display.
+struct Edge {
+  const Symbol* to = nullptr;
+  std::string file;
+  int line = 0;
+};
+
+}  // namespace
+
+void run_taint(const SymbolIndex& index,
+               const std::map<std::string, std::vector<std::string>>& stripped,
+               const TaintConfig& config, std::vector<Finding>* out) {
+  // Classify every symbol once: trusted symbols are invisible (edges into
+  // them are pruned), the rest are scanned for source tokens.
+  std::map<const Symbol*, SourceHit> sources;
+  std::map<const Symbol*, bool> trusted;
+  for (const auto& [name, sym] : index.symbols) {
+    const bool t = is_trusted(sym, config);
+    trusted[&sym] = t;
+    if (t) continue;
+    if (std::optional<SourceHit> hit =
+            find_source_hit(sym, stripped, config.sources)) {
+      sources.emplace(&sym, std::move(*hit));
+    }
+  }
+
+  // Resolve the call edges of every untrusted symbol (deterministic: the
+  // symbol map and each symbol's call list are in stable order).
+  std::map<const Symbol*, std::vector<Edge>> edges;
+  for (const auto& [name, sym] : index.symbols) {
+    if (trusted[&sym]) continue;
+    std::vector<Edge>& list = edges[&sym];
+    for (const CallSite& call : sym.calls) {
+      for (const Symbol* callee : index.resolve(sym, call)) {
+        if (callee == nullptr || trusted[callee]) continue;
+        list.push_back({callee, call.file, call.line});
+      }
+    }
+  }
+
+  for (const std::string& sink_name : config.sinks) {
+    std::vector<const Symbol*> sinks = index.match_suffix(sink_name);
+    sinks.erase(std::remove(sinks.begin(), sinks.end(), nullptr), sinks.end());
+    if (sinks.empty()) {
+      if (config.require_sinks) {
+        out->push_back(
+            {"lint_rules", 0, config.rule_id,
+             "taint sink '" + sink_name +
+                 "' matches no indexed symbol — the config has gone stale "
+                 "against the tree; update the sink list"});
+      }
+      continue;
+    }
+    for (const Symbol* sink : sinks) {
+      if (trusted[sink]) continue;
+      // BFS from the sink: shortest call chain to every reachable symbol.
+      std::map<const Symbol*, std::pair<const Symbol*, Edge>> parent;
+      std::deque<const Symbol*> queue{sink};
+      parent[sink] = {nullptr, {}};
+      while (!queue.empty()) {
+        const Symbol* at = queue.front();
+        queue.pop_front();
+        const auto eit = edges.find(at);
+        if (eit == edges.end()) continue;
+        for (const Edge& edge : eit->second) {
+          if (parent.count(edge.to) > 0) continue;
+          parent[edge.to] = {at, edge};
+          queue.push_back(edge.to);
+        }
+      }
+      // Report every reachable source with its chain, sink first.
+      for (const auto& [sym, hit] : sources) {
+        const auto pit = parent.find(sym);
+        if (pit == parent.end()) continue;
+        std::vector<std::pair<const Symbol*, Edge>> chain;  // sink..source
+        for (const Symbol* at = sym; at != nullptr;) {
+          const auto& [from, edge] = parent.at(at);
+          chain.push_back({at, edge});
+          at = from;
+        }
+        std::reverse(chain.begin(), chain.end());
+        std::string text = "banned token '" + hit.pattern +
+                           "' is reachable from deterministic sink: ";
+        for (size_t i = 0; i < chain.size(); ++i) {
+          const auto& [at, edge] = chain[i];
+          if (i == 0) {
+            text += at->qualified + " (" + at->file + ":" +
+                    std::to_string(at->line) + ")";
+          } else {
+            text += " -> " + at->qualified + " (called at " + edge.file +
+                    ":" + std::to_string(edge.line) + ")";
+          }
+        }
+        text += "; tainted at " + hit.file + ":" + std::to_string(hit.line) +
+                ". " + config.message;
+        out->push_back({hit.file, hit.line, config.rule_id, std::move(text)});
+      }
+    }
+  }
+}
+
+}  // namespace vgbl::lint

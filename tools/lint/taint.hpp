@@ -1,0 +1,47 @@
+// Pass 2a of the cross-TU analyzer (DESIGN.md §5k): determinism taint
+// propagation. A *sink* is a function whose output must be bit-identical
+// across runs (simulate_classroom, sim::Scheduler::run, generate_course,
+// the snapshot/fingerprint serializers). A *source* is any body line
+// containing a nondeterministic token (wall clock, randomness, sleeps,
+// thread ids, unordered-container iteration). The pass walks the resolved
+// call graph forward from every sink; reaching a source is an error,
+// reported as the full call chain so the reader sees exactly how the
+// nondeterminism leaks in.
+//
+// Trust is config-driven and mirrors the per-file rules' allow mechanism:
+// `allow` file suffixes (src/util/sim_clock.hpp — the sanctioned virtual
+// clock) and `allow-symbol` qualified-name suffixes (obs::wall_now_us —
+// observe-only timestamps that never feed replay state). Edges into a
+// trusted symbol are pruned, so its entire callee subtree is exempt.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "lint/symbol_index.hpp"
+
+namespace vgbl::lint {
+
+struct TaintConfig {
+  std::string rule_id;
+  std::string message;
+  std::vector<std::string> sinks;    ///< qualified-name suffixes
+  std::vector<std::string> sources;  ///< boundary-aware token patterns
+  std::vector<std::string> allow_files;    ///< trusted path suffixes
+  std::vector<std::string> allow_symbols;  ///< trusted qualified suffixes
+  /// When set, a sink that matches no indexed symbol is itself a finding —
+  /// the live tree must keep the config honest. Fixture runs leave it off.
+  bool require_sinks = false;
+};
+
+/// Runs taint propagation over the merged index. `stripped` maps each
+/// indexed path to its comment/string-stripped source lines (source-token
+/// scanning happens on the same text the per-file rules see). Findings are
+/// appended to `out`, anchored at the tainted token's site.
+void run_taint(const SymbolIndex& index,
+               const std::map<std::string, std::vector<std::string>>& stripped,
+               const TaintConfig& config, std::vector<Finding>* out);
+
+}  // namespace vgbl::lint

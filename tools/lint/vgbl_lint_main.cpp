@@ -2,7 +2,12 @@
 // tree is clean, 1 with one "file:line: [rule] message" diagnostic per
 // violation otherwise, 2 on usage/config errors. Run from the repo root so
 // rule directory prefixes (src/core, ...) match the walked paths.
+//
+// The scan pass (strip + per-file rules + symbol indexing) parallelizes
+// over --jobs worker threads; output ordering is deterministic regardless.
+// Per-pass wall times go to stderr so stdout stays machine-parseable.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -14,9 +19,11 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: vgbl-lint --rules <lint_rules> <path>...\n"
+               "usage: vgbl-lint --rules <lint_rules> [--jobs N] <path>...\n"
                "  Lints C++ sources under each path (file or directory)\n"
-               "  against the rules config. Run from the repo root.\n");
+               "  against the rules config. Run from the repo root.\n"
+               "  --jobs N   scan worker threads (default: all cores;\n"
+               "             output order is identical for any N)\n");
   return 2;
 }
 
@@ -25,11 +32,16 @@ int usage() {
 int main(int argc, char** argv) {
   std::string rules_path;
   std::vector<std::string> roots;
+  int jobs = 0;  // 0 = hardware concurrency
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--rules") {
       if (i + 1 >= argc) return usage();
       rules_path = argv[++i];
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) return usage();
+      jobs = std::atoi(argv[++i]);
+      if (jobs < 1) return usage();
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else {
@@ -53,11 +65,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto findings = vgbl::lint::lint_paths(roots, *rules, &error);
+  vgbl::lint::CrossTuOptions options;
+  options.jobs = jobs;
+  // The real tree keeps the config honest: stale sinks / order facts fail.
+  options.require_facts = true;
+  double scan_seconds = 0.0;
+  double analyze_seconds = 0.0;
+  options.scan_seconds = &scan_seconds;
+  options.analyze_seconds = &analyze_seconds;
+  const auto findings = vgbl::lint::lint_paths(roots, *rules, &error, options);
   if (!findings.has_value()) {
     std::fprintf(stderr, "vgbl-lint: %s\n", error.c_str());
     return 2;
   }
+  std::fprintf(stderr, "vgbl-lint: scan %.0f ms, cross-TU analysis %.0f ms\n",
+               scan_seconds * 1000.0, analyze_seconds * 1000.0);
   for (const auto& finding : *findings) {
     std::fprintf(stderr, "%s\n",
                  vgbl::lint::format_finding(finding).c_str());

@@ -50,7 +50,7 @@ namespace {
 
 using namespace vgbl;
 
-Result<std::string> read_file(const std::string& path) {
+[[nodiscard]] Result<std::string> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return io_error("cannot open '" + path + "'");
   std::ostringstream ss;
@@ -65,13 +65,13 @@ Status write_file(const std::string& path, const void* data, size_t size) {
   return out.good() ? Status{} : Status(io_error("write failed for '" + path + "'"));
 }
 
-Result<Project> load_project_file(const std::string& path) {
+[[nodiscard]] Result<Project> load_project_file(const std::string& path) {
   auto text = read_file(path);
   if (!text.ok()) return text.error();
   return load_project_text(text.value());
 }
 
-Result<GameBundle> load_bundle_file(const std::string& path) {
+[[nodiscard]] Result<GameBundle> load_bundle_file(const std::string& path) {
   auto data = read_file(path);
   if (!data.ok()) return data.error();
   Bytes bytes(data.value().begin(), data.value().end());
